@@ -1,0 +1,45 @@
+"""Shared benchmark plumbing.
+
+Every benchmark runs one registered experiment (the same code the CLI
+runs), times it with pytest-benchmark, prints the regenerated table,
+and asserts the paper's *shape* claims — who wins, how growth scales,
+where crossovers fall.  Absolute numbers are not asserted (our
+substrate is a simulator, not the authors' testbed).
+
+Scale selection: benchmarks default to the ``small`` scale; export
+``REPRO_BENCH_SCALE=paper`` for the EXPERIMENTS.md sweeps or
+``REPRO_BENCH_SCALE=smoke`` for a quick pass.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.experiments.base import bench_scale_from_env
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    """The benchmark scale, from REPRO_BENCH_SCALE (default: small)."""
+    return bench_scale_from_env()
+
+
+@pytest.fixture
+def run_and_show(benchmark, scale, capsys):
+    """Run an experiment under the benchmark timer and print its tables."""
+
+    def runner(experiment_id: str, seed: int = 0):
+        result = benchmark.pedantic(
+            run_experiment,
+            args=(experiment_id,),
+            kwargs={"scale": scale, "seed": seed},
+            rounds=1,
+            iterations=1,
+        )
+        with capsys.disabled():
+            print(f"\n[{experiment_id} @ scale={scale}]")
+            print(result.render())
+        return result
+
+    return runner

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Scenario: a sensor fleet self-healing after partial failures (§3).
+
+A swarm of anonymous sensors uses ranks as collision-free slot numbers
+(think TDMA slots or sampling offsets).  Sensors occasionally crash and
+reboot with a default state, leaving ``k`` slots unclaimed — exactly a
+``k``-distant configuration.  The state-optimal ring-of-traps protocol
+re-ranks the fleet in ``O(k·n^{3/2})`` time, so *small* failure bursts
+heal much faster than a full restart.
+
+This example stabilises a fleet, injects failure bursts of increasing
+size, and reports the measured recovery times — the Theorem 1 story.
+
+Usage::
+
+    python examples/sensor_network_recovery.py [--m 12] [--seed 3]
+"""
+
+import argparse
+
+from repro import (
+    RingOfTrapsProtocol,
+    crash_and_replace,
+    distance_from_solved,
+    run_protocol,
+    solved_configuration,
+)
+from repro.analysis.tables import Table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--m", type=int, default=12,
+                        help="ring parameter; fleet size is m(m+1)")
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument("--repetitions", type=int, default=5)
+    args = parser.parse_args()
+
+    protocol = RingOfTrapsProtocol(m=args.m)
+    n = protocol.num_agents
+    print(f"fleet of {n} sensors, ranked via {protocol.name} "
+          f"(state-optimal: zero extra states)\n")
+
+    table = Table(
+        title="Recovery time after failure bursts",
+        headers=[
+            "sensors rebooted", "slots lost (k)", "median recovery time",
+            "recovery/(k·n^1.5)",
+        ],
+    )
+    fleet = solved_configuration(protocol)
+    for burst in (1, 2, 4, 8, n // 4):
+        times = []
+        distances = []
+        for rep in range(args.repetitions):
+            seed = args.seed * 1000 + burst * 10 + rep
+            damaged = crash_and_replace(
+                fleet, burst, replacement_state=0, seed=seed
+            )
+            distances.append(distance_from_solved(protocol, damaged))
+            result = run_protocol(protocol, damaged, seed=seed)
+            assert result.silent and protocol.is_ranked(
+                result.final_configuration
+            ), "the fleet must always heal (stability)"
+            times.append(result.parallel_time)
+        median_time = sorted(times)[len(times) // 2]
+        median_k = sorted(distances)[len(distances) // 2]
+        envelope = max(1, median_k) * n**1.5
+        table.add_row(burst, median_k, median_time, median_time / envelope)
+    table.add_note(
+        "recovery scales with the burst size k, not with the fleet-wide "
+        "worst case n²·log²n — Theorem 1's k-distant bound"
+    )
+    print(table.render())
+
+
+if __name__ == "__main__":
+    main()

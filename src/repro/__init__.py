@@ -1,0 +1,124 @@
+"""repro — self-stabilising ranking & leader election population protocols.
+
+A full reproduction of "Improving Efficiency in Near-State and
+State-Optimal Self-Stabilising Leader Election Population Protocols"
+(Gąsieniec, Grodzicki, Stachowiak; PODC 2025, arXiv:2502.01227).
+
+Quickstart::
+
+    from repro import TreeRankingProtocol, random_configuration, run_protocol
+
+    protocol = TreeRankingProtocol(num_agents=500)
+    start = random_configuration(protocol, seed=7)
+    result = run_protocol(protocol, start, seed=7)
+    assert result.silent and protocol.is_ranked(result.final_configuration)
+    print(f"ranked in {result.parallel_time:.0f} parallel time")
+
+See DESIGN.md for the architecture and EXPERIMENTS.md for the
+paper-versus-measured record.
+"""
+
+from .core import (
+    Configuration,
+    Event,
+    JumpEngine,
+    MetricRecorder,
+    PopulationProtocol,
+    RankingProtocol,
+    Recorder,
+    RunResult,
+    SequentialEngine,
+    TrajectoryRecorder,
+    corrupt_agents,
+    crash_and_replace,
+    make_rng,
+    run_protocol,
+)
+from .configurations import (
+    all_in_extras_configuration,
+    all_in_state_configuration,
+    distance_from_solved,
+    doubled_prefix_configuration,
+    k_distant_configuration,
+    random_configuration,
+    solved_configuration,
+)
+from .exceptions import (
+    ConfigurationError,
+    ExperimentError,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+    SimulationLimitReached,
+)
+from .protocols import (
+    AGProtocol,
+    LeaderElectionResult,
+    LineOfTrapsProtocol,
+    ModifiedTreeProtocol,
+    NodeKind,
+    PerfectlyBalancedTree,
+    RingOfTrapsProtocol,
+    RoutingGraph,
+    SingleTrapProtocol,
+    TrapLayout,
+    TreeDispersalProtocol,
+    TreeRankingProtocol,
+    build_routing_graph,
+    count_leaders,
+    elect_leader,
+    line_lattice_size,
+    line_parameter_for,
+    ring_parameter_for,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AGProtocol",
+    "Configuration",
+    "ConfigurationError",
+    "Event",
+    "ExperimentError",
+    "JumpEngine",
+    "LeaderElectionResult",
+    "LineOfTrapsProtocol",
+    "MetricRecorder",
+    "ModifiedTreeProtocol",
+    "NodeKind",
+    "PerfectlyBalancedTree",
+    "PopulationProtocol",
+    "ProtocolError",
+    "RankingProtocol",
+    "Recorder",
+    "ReproError",
+    "RingOfTrapsProtocol",
+    "RoutingGraph",
+    "RunResult",
+    "SequentialEngine",
+    "SimulationError",
+    "SimulationLimitReached",
+    "SingleTrapProtocol",
+    "TrajectoryRecorder",
+    "TrapLayout",
+    "TreeDispersalProtocol",
+    "TreeRankingProtocol",
+    "__version__",
+    "all_in_extras_configuration",
+    "all_in_state_configuration",
+    "build_routing_graph",
+    "corrupt_agents",
+    "count_leaders",
+    "crash_and_replace",
+    "distance_from_solved",
+    "doubled_prefix_configuration",
+    "elect_leader",
+    "k_distant_configuration",
+    "line_lattice_size",
+    "line_parameter_for",
+    "make_rng",
+    "random_configuration",
+    "ring_parameter_for",
+    "run_protocol",
+    "solved_configuration",
+]

@@ -1,0 +1,63 @@
+"""Measurement toolkit: potentials, fits, statistics, sweeps, tables."""
+
+from .fitting import PowerLawFit, bootstrap_exponent_interval, fit_power_law
+from .potentials import (
+    LineVectors,
+    all_traps_tidy,
+    global_deficit,
+    global_excess,
+    global_surplus,
+    indicated_lines,
+    line_deficit,
+    line_excess_tokens,
+    line_surplus,
+    line_vectors,
+    max_tree_path_potential,
+    ring_weight,
+    ring_weight_components,
+    stabilise_line,
+    tree_path_potential,
+)
+from .stats import Summary, geometric_mean, summarise, wilson_interval
+from .sweep import SweepPoint, measure_stabilisation, run_sweep
+from .tables import Table, format_value
+from .trajectories import (
+    PhaseCensus,
+    ResetCounter,
+    SampledMetricRecorder,
+    TreePhaseRecorder,
+)
+
+__all__ = [
+    "LineVectors",
+    "PhaseCensus",
+    "PowerLawFit",
+    "ResetCounter",
+    "SampledMetricRecorder",
+    "Summary",
+    "SweepPoint",
+    "Table",
+    "TreePhaseRecorder",
+    "all_traps_tidy",
+    "bootstrap_exponent_interval",
+    "fit_power_law",
+    "format_value",
+    "geometric_mean",
+    "global_deficit",
+    "global_excess",
+    "global_surplus",
+    "indicated_lines",
+    "line_deficit",
+    "line_excess_tokens",
+    "line_surplus",
+    "line_vectors",
+    "max_tree_path_potential",
+    "measure_stabilisation",
+    "ring_weight",
+    "ring_weight_components",
+    "run_sweep",
+    "stabilise_line",
+    "summarise",
+    "tree_path_potential",
+    "wilson_interval",
+]

@@ -1,0 +1,301 @@
+"""The paper's potential functions and accounting vectors, as code.
+
+The correctness proofs hinge on a handful of quantities that decrease
+(or are conserved) along trajectories.  Implementing them makes the
+proofs *testable*: the test suite asserts monotonicity/identities along
+simulated trajectories, and experiments record them as time series.
+
+* §2.2  — tidiness of trap configurations (Lemma 2).
+* §3    — the Lemma 3 weight ``K = k₁ + 2·k₂`` of a ring configuration.
+* §4    — per-line vectors ``β, γ`` and the derived allocation ``α``,
+  target-gate ``δ`` and excess ``ρ`` vectors; the Lemma 5 closed form
+  for a line stabilising in isolation; surplus ``s``, deficit ``d`` and
+  token count ``r``; the Lemma 10 identity ``s(C) = d(C)``.
+* §5    — the Lemma 20 root-to-leaf path potential
+  ``F = k_b + 3/2·k_n − h_b − 3/2·h_n``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..exceptions import ConfigurationError
+from ..protocols.line import LineOfTrapsProtocol
+from ..protocols.ring import RingOfTrapsProtocol
+from ..protocols.trap import TrapLayout, trap_gaps, trap_is_flat, trap_is_tidy
+from ..protocols.tree import NodeKind, PerfectlyBalancedTree
+
+__all__ = [
+    "ring_weight_components",
+    "ring_weight",
+    "all_traps_tidy",
+    "tree_path_potential",
+    "max_tree_path_potential",
+    "LineVectors",
+    "line_vectors",
+    "stabilise_line",
+    "line_surplus",
+    "line_excess_tokens",
+    "line_deficit",
+    "global_surplus",
+    "global_deficit",
+    "global_excess",
+    "indicated_lines",
+]
+
+
+# ----------------------------------------------------------------------
+# §2.2 / Lemma 2 — tidiness
+# ----------------------------------------------------------------------
+def all_traps_tidy(traps: Sequence[TrapLayout], counts: Sequence[int]) -> bool:
+    """True iff every trap is tidy: overloads sit above all gaps (§2.2)."""
+    return all(trap_is_tidy(counts, trap) for trap in traps)
+
+
+# ----------------------------------------------------------------------
+# §3 / Lemma 3 — the ring weight K
+# ----------------------------------------------------------------------
+def ring_weight_components(
+    protocol: RingOfTrapsProtocol, counts: Sequence[int]
+) -> Tuple[int, int]:
+    """``(k₁, k₂)``: flat traps with empty gates, and total gaps."""
+    k1 = 0
+    k2 = 0
+    for trap in protocol.traps:
+        k2 += trap_gaps(counts, trap)
+        if trap_is_flat(counts, trap) and counts[trap.gate] == 0:
+            k1 += 1
+    return k1, k2
+
+
+def ring_weight(protocol: RingOfTrapsProtocol, counts: Sequence[int]) -> int:
+    """The Lemma 3 weight ``K = k₁ + 2·k₂`` (non-increasing along runs)."""
+    k1, k2 = ring_weight_components(protocol, counts)
+    return k1 + 2 * k2
+
+
+# ----------------------------------------------------------------------
+# §5 / Lemma 20 — root-to-leaf path potential
+# ----------------------------------------------------------------------
+def tree_path_potential(
+    tree: PerfectlyBalancedTree, counts: Sequence[int], leaf: int
+) -> float:
+    """``F = k_b + 3/2·k_n − h_b − 3/2·h_n`` along one root-to-leaf path.
+
+    ``k_b/k_n`` count agents on branching/non-branching path nodes,
+    ``h_b/h_n`` count the nodes themselves; the leaf counts as
+    branching, as in the paper's proof.  ``F = 0`` on a path occupied by
+    exactly one agent per node.
+    """
+    kb = kn = hb = hn = 0
+    for node in tree.root_to_leaf_path(leaf):
+        branching_like = tree.kind(node) != NodeKind.NON_BRANCHING
+        if branching_like:
+            hb += 1
+            kb += counts[node]
+        else:
+            hn += 1
+            kn += counts[node]
+    return (kb - hb) + 1.5 * (kn - hn)
+
+
+def max_tree_path_potential(
+    tree: PerfectlyBalancedTree, counts: Sequence[int]
+) -> float:
+    """Maximum path potential over all root-to-leaf paths (small trees)."""
+    return max(
+        tree_path_potential(tree, counts, leaf) for leaf in tree.leaves
+    )
+
+
+# ----------------------------------------------------------------------
+# §4 — line-of-traps accounting
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class LineVectors:
+    """Per-trap agent counts of one line, in trap order ``a = 1..A``.
+
+    ``beta[a-1]`` agents occupy the *inner* states of trap ``a`` and
+    ``gamma[a-1]`` its gate; ``inner_caps[a-1]`` is the trap's inner
+    capacity ``m`` (``size − 1``).  Exposes the paper's derived vectors
+    as properties.
+    """
+
+    beta: Tuple[int, ...]
+    gamma: Tuple[int, ...]
+    inner_caps: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not len(self.beta) == len(self.gamma) == len(self.inner_caps):
+            raise ConfigurationError("line vectors must have equal length")
+
+    @property
+    def num_traps(self) -> int:
+        return len(self.beta)
+
+    @property
+    def num_agents(self) -> int:
+        """Total agents on the line."""
+        return sum(self.beta) + sum(self.gamma)
+
+    @property
+    def capacity(self) -> int:
+        """Total states on the line (``3m(m+1)`` in the exact lattice)."""
+        return sum(cap + 1 for cap in self.inner_caps)
+
+    # -- local (no-inflow) stabilisation quantities, per trap ----------
+    def allocation(self) -> Tuple[int, ...]:
+        """The allocation vector ``α``: inner occupancy after isolation."""
+        return tuple(
+            min(b + g // 2, cap)
+            for b, g, cap in zip(self.beta, self.gamma, self.inner_caps)
+        )
+
+    def target_gate(self) -> Tuple[int, ...]:
+        """The target gate vector ``δ`` (0/1 gate occupancy after isolation)."""
+        result = []
+        for b, g, cap in zip(self.beta, self.gamma, self.inner_caps):
+            result.append(g % 2 if b + g // 2 <= cap else 1)
+        return tuple(result)
+
+    def excess(self) -> Tuple[int, ...]:
+        """The excess vector ``ρ`` — each entry is that trap's token count."""
+        result = []
+        for b, g, cap in zip(self.beta, self.gamma, self.inner_caps):
+            if b + g // 2 <= cap:
+                result.append(g // 2)
+            else:
+                result.append(b + g - cap - 1)
+        return tuple(result)
+
+
+def line_vectors(
+    protocol: LineOfTrapsProtocol, counts: Sequence[int], line: int
+) -> LineVectors:
+    """Extract ``(β, γ)`` of ``line`` from a full-protocol configuration."""
+    beta = []
+    gamma = []
+    caps = []
+    for trap in protocol.line_traps(line):
+        gamma.append(counts[trap.gate])
+        beta.append(sum(counts[s] for s in trap.inner_states))
+        caps.append(trap.size - 1)
+    return LineVectors(beta=tuple(beta), gamma=tuple(gamma),
+                       inner_caps=tuple(caps))
+
+
+def stabilise_line(vectors: LineVectors) -> Tuple[LineVectors, int]:
+    """Lemma 5's closed form: the silent configuration of an isolated line.
+
+    Runs the paper's descending induction from the entrance trap
+    ``a = A`` down to the exit trap ``a = 1``: every other agent visiting
+    a gate enters the trap (until it is full), the rest flow onward.
+    Returns the final ``(β̄, γ̄)`` vectors and the surplus ``s`` — the
+    number of agents the line releases to ``X``.  Both depend only on
+    the initial configuration (schedule independence is property-tested
+    against simulation).
+    """
+    num_traps = vectors.num_traps
+    beta_bar = [0] * num_traps
+    gamma_bar = [0] * num_traps
+    inflow = 0  # x_a: agents arriving from the trap above
+    for idx in range(num_traps - 1, -1, -1):
+        beta = vectors.beta[idx]
+        gamma = vectors.gamma[idx]
+        cap = vectors.inner_caps[idx]
+        visiting = inflow + gamma  # y_a: all agents visiting this gate
+        entering = visiting // 2
+        if beta + entering <= cap:
+            beta_bar[idx] = beta + entering
+            gamma_bar[idx] = visiting % 2
+            inflow = entering
+        else:
+            beta_bar[idx] = cap
+            gamma_bar[idx] = 1
+            inflow = beta + visiting - cap - 1
+    final = LineVectors(
+        beta=tuple(beta_bar),
+        gamma=tuple(gamma_bar),
+        inner_caps=vectors.inner_caps,
+    )
+    return final, inflow
+
+
+def line_surplus(vectors: LineVectors) -> int:
+    """``s(C_l)``: agents an isolated line releases before silence."""
+    __, surplus = stabilise_line(vectors)
+    return surplus
+
+
+def line_excess_tokens(vectors: LineVectors) -> int:
+    """``r(C_l) = Σ_a ρ_a``: the line's token count."""
+    return sum(vectors.excess())
+
+
+def line_deficit(vectors: LineVectors) -> int:
+    """``d(C_l)``: unoccupied states once the line stabilises in isolation.
+
+    The Lemma 10 identity ``s(C) = d(C)`` holds with the deficit
+    measured on the stabilised line (the paper's proof equates
+    ``Σ_l 3m(m+1) − Σ_l |C̄_l|``).
+    """
+    final, __ = stabilise_line(vectors)
+    return final.capacity - final.num_agents
+
+
+# ----------------------------------------------------------------------
+# §4 — global (whole-protocol) quantities
+# ----------------------------------------------------------------------
+def _all_line_vectors(
+    protocol: LineOfTrapsProtocol, counts: Sequence[int]
+) -> List[LineVectors]:
+    return [
+        line_vectors(protocol, counts, line)
+        for line in range(protocol.num_lines)
+    ]
+
+
+def global_surplus(
+    protocol: LineOfTrapsProtocol, counts: Sequence[int]
+) -> int:
+    """``s(C) = |C_X| + Σ_l s(C_l)`` — the paper's measure of global flow."""
+    x_agents = counts[protocol.x_state]
+    return x_agents + sum(
+        line_surplus(v) for v in _all_line_vectors(protocol, counts)
+    )
+
+
+def global_deficit(
+    protocol: LineOfTrapsProtocol, counts: Sequence[int]
+) -> int:
+    """``d(C) = Σ_l d(C_l)`` — distance to the final configuration."""
+    return sum(line_deficit(v) for v in _all_line_vectors(protocol, counts))
+
+
+def global_excess(
+    protocol: LineOfTrapsProtocol, counts: Sequence[int]
+) -> int:
+    """``r(C) = |C_X| + Σ_l r(C_l)`` — total tokens (X agents included)."""
+    x_agents = counts[protocol.x_state]
+    return x_agents + sum(
+        line_excess_tokens(v) for v in _all_line_vectors(protocol, counts)
+    )
+
+
+def indicated_lines(
+    protocol: LineOfTrapsProtocol, counts: Sequence[int]
+) -> List[bool]:
+    """Which lines are *indicated*: more than ``m(m+1)`` occupied states
+    among the traps pointing to them (§4.2, before Lemma 11)."""
+    m = protocol.m
+    threshold = m * (m + 1)
+    occupied_pointing = [0] * protocol.num_lines
+    for line in range(protocol.num_lines):
+        for a in range(1, protocol.traps_per_line + 1):
+            target = protocol.pointed_line(line, a)
+            trap = protocol.trap(line, a)
+            occupied_pointing[target] += sum(
+                1 for s in trap.states if counts[s] > 0
+            )
+    return [occ > threshold for occ in occupied_pointing]

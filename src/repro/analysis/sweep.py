@@ -1,0 +1,125 @@
+"""Seeded parameter sweeps over (protocol, initial configuration) pairs.
+
+Every experiment in this reproduction is a sweep: for each parameter
+point (a population size, a distance ``k``, ...) build a fresh protocol
+and starting configuration, run to silence, repeat with independent
+seeds, and summarise.  This module owns the seed bookkeeping
+(``numpy.random.SeedSequence.spawn`` so repetitions are independent yet
+the whole sweep is reproducible from one root seed) and the aggregation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.configuration import Configuration
+from ..core.engine import RunResult, run_protocol
+from ..core.protocol import PopulationProtocol
+from ..exceptions import ExperimentError
+from .stats import Summary, summarise
+
+__all__ = ["SweepPoint", "run_sweep", "measure_stabilisation"]
+
+# A builder maps (params, rng) to a ready-to-run (protocol, configuration).
+Builder = Callable[
+    [Dict[str, object], np.random.Generator],
+    Tuple[PopulationProtocol, Configuration],
+]
+
+
+@dataclass
+class SweepPoint:
+    """All repetitions of one parameter point, with summaries."""
+
+    params: Dict[str, object]
+    runs: List[RunResult] = field(default_factory=list)
+
+    @property
+    def parallel_times(self) -> List[float]:
+        """Parallel time of every repetition."""
+        return [run.parallel_time for run in self.runs]
+
+    @property
+    def interaction_counts(self) -> List[int]:
+        """Total interaction count of every repetition."""
+        return [run.interactions for run in self.runs]
+
+    @property
+    def all_silent(self) -> bool:
+        """True iff every repetition reached silence within budget."""
+        return all(run.silent for run in self.runs)
+
+    def time_summary(self) -> Summary:
+        """Summary of parallel stabilisation times."""
+        return summarise(self.parallel_times)
+
+    def median_parallel_time(self) -> float:
+        """Median parallel stabilisation time across repetitions."""
+        return self.time_summary().median
+
+    def max_parallel_time(self) -> float:
+        """Worst repetition — the relevant statistic for whp claims."""
+        return self.time_summary().maximum
+
+
+def run_sweep(
+    points: Sequence[Dict[str, object]],
+    build: Builder,
+    repetitions: int = 5,
+    seed: int = 0,
+    engine: str = "jump",
+    max_interactions: Optional[int] = None,
+    max_events: Optional[int] = None,
+) -> List[SweepPoint]:
+    """Run ``repetitions`` independent runs per parameter point.
+
+    ``build(params, rng)`` must construct both the protocol and its
+    starting configuration from the given generator, so the whole sweep
+    is a pure function of ``seed``.
+    """
+    if repetitions < 1:
+        raise ExperimentError(f"repetitions must be >= 1, got {repetitions}")
+    root = np.random.SeedSequence(seed)
+    children = root.spawn(len(points) * repetitions)
+    results = []
+    child_index = 0
+    for params in points:
+        point = SweepPoint(params=dict(params))
+        for __ in range(repetitions):
+            rng = np.random.default_rng(children[child_index])
+            child_index += 1
+            protocol, configuration = build(dict(params), rng)
+            point.runs.append(
+                run_protocol(
+                    protocol,
+                    configuration,
+                    seed=rng,
+                    engine=engine,
+                    max_interactions=max_interactions,
+                    max_events=max_events,
+                )
+            )
+        results.append(point)
+    return results
+
+
+def measure_stabilisation(
+    build: Builder,
+    xs: Sequence[int],
+    x_name: str = "n",
+    repetitions: int = 5,
+    seed: int = 0,
+    max_interactions: Optional[int] = None,
+) -> List[SweepPoint]:
+    """Convenience sweep over a single integer parameter (usually ``n``)."""
+    points = [{x_name: x} for x in xs]
+    return run_sweep(
+        points,
+        build,
+        repetitions=repetitions,
+        seed=seed,
+        max_interactions=max_interactions,
+    )

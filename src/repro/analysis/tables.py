@@ -1,0 +1,90 @@
+"""Plain-text and Markdown table rendering for experiment output.
+
+Benchmarks print the same rows the paper's claims describe; this module
+owns the formatting so every experiment renders consistently in the
+terminal, in EXPERIMENTS.md, and in benchmark logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+__all__ = ["Table", "format_value"]
+
+
+def format_value(value: object) -> str:
+    """Render a cell: thousands separators for ints, 4 sig figs for floats."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, int):
+        return f"{value:,}"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 10000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A titled table with optional footnotes."""
+
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence[object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        """Append one row (cells are formatted lazily)."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has "
+                f"{len(self.headers)} columns"
+            )
+        self.rows.append(cells)
+
+    def add_note(self, note: str) -> None:
+        """Append a footnote line."""
+        self.notes.append(note)
+
+    def _formatted(self) -> List[List[str]]:
+        return [[format_value(c) for c in row] for row in self.rows]
+
+    def render(self) -> str:
+        """Fixed-width text rendering for terminals and logs."""
+        formatted = self._formatted()
+        widths = [len(h) for h in self.headers]
+        for row in formatted:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        sep = "-+-".join("-" * w for w in widths)
+        lines = [self.title, "=" * len(self.title)]
+        lines.append(
+            " | ".join(h.ljust(w) for h, w in zip(self.headers, widths))
+        )
+        lines.append(sep)
+        for row in formatted:
+            lines.append(
+                " | ".join(c.rjust(w) for c, w in zip(row, widths))
+            )
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        """GitHub-flavoured Markdown rendering (used by EXPERIMENTS.md)."""
+        lines = [f"### {self.title}", ""]
+        lines.append("| " + " | ".join(self.headers) + " |")
+        lines.append("|" + "|".join("---" for _ in self.headers) + "|")
+        for row in self._formatted():
+            lines.append("| " + " | ".join(row) + " |")
+        for note in self.notes:
+            lines.append("")
+            lines.append(f"*{note}*")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,154 @@
+"""Trajectory instrumentation: sampled metrics, phase censuses, counters.
+
+:class:`~repro.core.engine.MetricRecorder` evaluates a metric after
+*every* productive event, which is too expensive for large runs.  The
+recorders here sample sparsely, classify the §5 protocol's phases
+(tree / red / green populations), and count structural events such as
+R2 reset firings — the quantities the richer experiments and examples
+report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+from ..core.engine import Event, Recorder
+from ..protocols.tree_protocol import TreeRankingProtocol
+
+__all__ = [
+    "SampledMetricRecorder",
+    "PhaseCensus",
+    "TreePhaseRecorder",
+    "ResetCounter",
+]
+
+
+class SampledMetricRecorder(Recorder):
+    """Evaluate ``metric(counts)`` once every ``sample_every`` events.
+
+    The final state is always sampled (on ``on_finish``), so the last
+    recorded value reflects the end of the run.
+    """
+
+    def __init__(
+        self,
+        metric: Callable[[Sequence[int]], object],
+        sample_every: int = 100,
+    ) -> None:
+        if sample_every < 1:
+            raise ValueError(
+                f"sample_every must be >= 1, got {sample_every}"
+            )
+        self._metric = metric
+        self._sample_every = sample_every
+        self._event_count = 0
+        self.values: List[object] = []
+        self.interactions: List[int] = []
+
+    def on_start(self, counts: Sequence[int]) -> None:
+        self.values.append(self._metric(counts))
+        self.interactions.append(0)
+
+    def on_event(self, event: Event, counts: Sequence[int]) -> None:
+        self._event_count += 1
+        if self._event_count % self._sample_every == 0:
+            self.values.append(self._metric(counts))
+            self.interactions.append(event.interactions)
+
+    def on_finish(
+        self, silent: bool, interactions: int, counts: Sequence[int]
+    ) -> None:
+        if not self.interactions or self.interactions[-1] != interactions:
+            self.values.append(self._metric(counts))
+            self.interactions.append(interactions)
+
+
+@dataclass(frozen=True)
+class PhaseCensus:
+    """Population split of the §5 protocol at one instant."""
+
+    interactions: int
+    tree: int
+    red: int
+    green: int
+
+    @property
+    def phase(self) -> str:
+        """Coarse phase label used in timelines."""
+        if self.red + self.green == 0:
+            return "tree"
+        if self.red >= self.green:
+            return "red"
+        return "green"
+
+
+class TreePhaseRecorder(Recorder):
+    """Sampled tree/red/green censuses for a tree-protocol run."""
+
+    def __init__(
+        self, protocol: TreeRankingProtocol, sample_every: int = 50
+    ) -> None:
+        self._protocol = protocol
+        self._sample_every = max(1, sample_every)
+        self._event_count = 0
+        self.censuses: List[PhaseCensus] = []
+
+    def _census(self, interactions: int, counts: Sequence[int]) -> PhaseCensus:
+        protocol = self._protocol
+        n = protocol.num_ranks
+        tree = sum(counts[:n])
+        red = sum(counts[s] for s in protocol.line_states
+                  if protocol.is_red(s))
+        green = sum(counts[s] for s in protocol.line_states
+                    if protocol.is_green(s))
+        return PhaseCensus(
+            interactions=interactions, tree=tree, red=red, green=green
+        )
+
+    def on_start(self, counts: Sequence[int]) -> None:
+        self.censuses.append(self._census(0, counts))
+
+    def on_event(self, event: Event, counts: Sequence[int]) -> None:
+        self._event_count += 1
+        if self._event_count % self._sample_every == 0:
+            self.censuses.append(self._census(event.interactions, counts))
+
+    def on_finish(
+        self, silent: bool, interactions: int, counts: Sequence[int]
+    ) -> None:
+        self.censuses.append(self._census(interactions, counts))
+
+    def phases_seen(self) -> List[str]:
+        """Distinct phase labels in order of first appearance."""
+        seen: List[str] = []
+        for census in self.censuses:
+            if census.phase not in seen:
+                seen.append(census.phase)
+        return seen
+
+
+class ResetCounter(Recorder):
+    """Count R2 firings (a rank pair jumping to ``X_1``) in a tree run.
+
+    Each firing is one detected overload — the number of times the
+    population decided its current ranking attempt was unbalanced.
+    """
+
+    def __init__(self, protocol: TreeRankingProtocol) -> None:
+        self._num_ranks = protocol.num_ranks
+        self._x1 = protocol.line_state(1)
+        self.resets = 0
+        self.reset_interactions: List[int] = []
+
+    def on_event(self, event: Event, counts: Sequence[int]) -> None:
+        """Detect and record an R2 firing."""
+        fired = (
+            event.initiator_before < self._num_ranks
+            and event.responder_before < self._num_ranks
+            and event.initiator_after == self._x1
+            and event.responder_after == self._x1
+        )
+        if fired:
+            self.resets += 1
+            self.reset_interactions.append(event.interactions)

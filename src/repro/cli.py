@@ -1,0 +1,203 @@
+"""Command-line interface: ``python -m repro`` / the ``repro`` script.
+
+Subcommands:
+
+* ``list`` — show all registered experiments;
+* ``experiment <id>`` — run one experiment and print its tables;
+* ``simulate`` — run one protocol from a chosen start and report the
+  stabilisation time (and leader);
+* ``render`` — print the paper's structures (Figure 1 graph, Figure 2
+  tree, ring/line occupancy).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from . import __version__
+from .configurations.generators import (
+    all_in_state_configuration,
+    k_distant_configuration,
+    random_configuration,
+    solved_configuration,
+)
+from .core.engine import run_protocol
+from .exceptions import ReproError
+from .experiments import SCALES, list_experiments, run_experiment
+from .protocols.ag import AGProtocol
+from .protocols.leader import count_leaders
+from .protocols.line import LineOfTrapsProtocol
+from .protocols.ring import RingOfTrapsProtocol
+from .protocols.routing import build_routing_graph
+from .protocols.tree import PerfectlyBalancedTree
+from .protocols.tree_protocol import TreeRankingProtocol
+from .viz.ascii import render_ring, render_routing_graph, render_tree
+
+__all__ = ["main", "build_parser"]
+
+_PROTOCOLS = {
+    "ag": AGProtocol,
+    "ring": RingOfTrapsProtocol,
+    "line": LineOfTrapsProtocol,
+    "tree": TreeRankingProtocol,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Self-stabilising ranking / leader election population "
+            "protocols (PODC 2025 reproduction)"
+        ),
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list all registered experiments")
+
+    exp = sub.add_parser("experiment", help="run a registered experiment")
+    exp.add_argument("experiment_id", help="experiment id (see `repro list`)")
+    exp.add_argument("--scale", choices=SCALES, default="small")
+    exp.add_argument("--seed", type=int, default=0)
+    exp.add_argument(
+        "--markdown", action="store_true",
+        help="emit Markdown tables instead of fixed-width text",
+    )
+
+    sim = sub.add_parser("simulate", help="run one protocol to silence")
+    sim.add_argument("--protocol", choices=sorted(_PROTOCOLS), default="tree")
+    sim.add_argument("--n", type=int, default=100, help="population size")
+    sim.add_argument(
+        "--start", choices=["random", "k-distant", "pileup", "solved"],
+        default="random",
+    )
+    sim.add_argument("--k", type=int, default=1, help="distance for k-distant")
+    sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument(
+        "--engine", choices=["jump", "sequential"], default="jump"
+    )
+    sim.add_argument(
+        "--max-interactions", type=int, default=None,
+        help="abort after this many scheduler steps",
+    )
+
+    ren = sub.add_parser("render", help="print a structure as text")
+    ren.add_argument(
+        "structure", choices=["figure1", "figure2", "graph", "tree", "ring"]
+    )
+    ren.add_argument(
+        "--size", type=int, default=None,
+        help="lines for graph, n for tree, m for ring",
+    )
+
+    rep = sub.add_parser(
+        "report", help="run all experiments and write EXPERIMENTS.md"
+    )
+    rep.add_argument("--scale", choices=SCALES, default="small")
+    rep.add_argument("--seed", type=int, default=0)
+    rep.add_argument(
+        "--output", default="EXPERIMENTS.md",
+        help="path to write (use '-' for stdout)",
+    )
+    return parser
+
+
+def _cmd_list() -> int:
+    for experiment in list_experiments():
+        print(f"{experiment.experiment_id:20s} {experiment.description}")
+        print(f"{'':20s}   [{experiment.paper_reference}]")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    result = run_experiment(args.experiment_id, scale=args.scale, seed=args.seed)
+    print(result.to_markdown() if args.markdown else result.render())
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    protocol = _PROTOCOLS[args.protocol](args.n)
+    if args.start == "random":
+        start = random_configuration(protocol, seed=args.seed)
+    elif args.start == "k-distant":
+        start = k_distant_configuration(protocol, args.k, seed=args.seed)
+    elif args.start == "pileup":
+        start = all_in_state_configuration(protocol, protocol.num_ranks - 1)
+    else:
+        start = solved_configuration(protocol)
+    result = run_protocol(
+        protocol, start, seed=args.seed, engine=args.engine,
+        max_interactions=args.max_interactions,
+    )
+    final = result.final_configuration
+    print(f"protocol            : {protocol.name}")
+    print(f"population n        : {protocol.num_agents}")
+    print(f"extra states x      : {protocol.num_extra_states}")
+    print(f"silent              : {result.silent}")
+    print(f"correctly ranked    : {protocol.is_ranked(final)}")
+    print(f"unique leader       : {count_leaders(protocol, final) == 1}")
+    print(f"interactions        : {result.interactions}")
+    print(f"parallel time       : {result.parallel_time:.1f}")
+    print(f"productive events   : {result.events}")
+    print(f"wall time           : {result.wall_time_s:.3f}s")
+    return 0 if result.silent else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .experiments.report import generate_report
+
+    content = generate_report(scale=args.scale, seed=args.seed)
+    if args.output == "-":
+        print(content)
+    else:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(content)
+        print(f"wrote {args.output} ({len(content.splitlines())} lines)")
+    return 0
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    if args.structure == "figure1":
+        print(render_routing_graph(build_routing_graph(16)))
+    elif args.structure == "figure2":
+        print(render_tree(PerfectlyBalancedTree(9)))
+    elif args.structure == "graph":
+        print(render_routing_graph(build_routing_graph(args.size or 16)))
+    elif args.structure == "tree":
+        print(render_tree(PerfectlyBalancedTree(args.size or 9)))
+    else:
+        protocol = RingOfTrapsProtocol(m=args.size or 4)
+        counts = solved_configuration(protocol).counts_list()
+        print(render_ring(protocol, counts))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "experiment":
+            return _cmd_experiment(args)
+        if args.command == "simulate":
+            return _cmd_simulate(args)
+        if args.command == "report":
+            return _cmd_report(args)
+        return _cmd_render(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early — not an error.
+        sys.stderr.close()
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""Initial-configuration generators (k-distant, random, adversarial)."""
+
+from .generators import (
+    all_in_extras_configuration,
+    all_in_state_configuration,
+    distance_from_solved,
+    doubled_prefix_configuration,
+    k_distant_configuration,
+    random_configuration,
+    solved_configuration,
+)
+
+__all__ = [
+    "all_in_extras_configuration",
+    "all_in_state_configuration",
+    "distance_from_solved",
+    "doubled_prefix_configuration",
+    "k_distant_configuration",
+    "random_configuration",
+    "solved_configuration",
+]

@@ -1,0 +1,59 @@
+"""Protocol-agnostic simulation substrate.
+
+Public surface:
+
+* :class:`~repro.core.configuration.Configuration` — multiset of states.
+* :class:`~repro.core.protocol.PopulationProtocol` /
+  :class:`~repro.core.protocol.RankingProtocol` — protocol ABCs.
+* :func:`~repro.core.engine.run_protocol` — run to silence with either
+  engine; returns a :class:`~repro.core.engine.RunResult`.
+* :mod:`~repro.core.faults` — fault injection helpers.
+"""
+
+from .configuration import Configuration
+from .engine import (
+    Event,
+    MetricRecorder,
+    Recorder,
+    RunResult,
+    TrajectoryRecorder,
+    make_rng,
+    run_protocol,
+)
+from .families import (
+    Family,
+    OrderedProduct,
+    SameStatePairs,
+    TriangularLine,
+    check_family_coverage,
+)
+from .faults import adversarial_swap, corrupt_agents, crash_and_replace
+from .fenwick import FenwickTree
+from .jump import JumpEngine
+from .protocol import PopulationProtocol, RankingProtocol, Transition
+from .sequential import SequentialEngine
+
+__all__ = [
+    "Configuration",
+    "Event",
+    "Family",
+    "FenwickTree",
+    "JumpEngine",
+    "MetricRecorder",
+    "OrderedProduct",
+    "PopulationProtocol",
+    "RankingProtocol",
+    "Recorder",
+    "RunResult",
+    "SameStatePairs",
+    "SequentialEngine",
+    "TrajectoryRecorder",
+    "Transition",
+    "TriangularLine",
+    "adversarial_swap",
+    "check_family_coverage",
+    "corrupt_agents",
+    "crash_and_replace",
+    "make_rng",
+    "run_protocol",
+]

@@ -1,0 +1,202 @@
+"""Shared engine machinery: run results, recorders, and the runner API.
+
+Both engines (:class:`~repro.core.jump.JumpEngine` and
+:class:`~repro.core.sequential.SequentialEngine`) simulate the same
+process — a uniformly random ordered pair of distinct agents interacts
+at every step — and report results in the same shape:
+
+* ``interactions`` counts *all* scheduler steps, including null ones;
+* ``events`` counts productive interactions only;
+* ``parallel_time`` is ``interactions / n``, the paper's time measure.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..exceptions import SimulationError, SimulationLimitReached
+from .configuration import Configuration
+from .protocol import PopulationProtocol
+
+__all__ = [
+    "Event",
+    "RunResult",
+    "Recorder",
+    "TrajectoryRecorder",
+    "MetricRecorder",
+    "run_protocol",
+    "make_rng",
+]
+
+
+@dataclass(frozen=True)
+class Event:
+    """One productive interaction.
+
+    ``interactions`` is the cumulative scheduler step count at which the
+    event happened (1-based: the event *is* that interaction).
+    """
+
+    interactions: int
+    initiator_before: int
+    responder_before: int
+    initiator_after: int
+    responder_after: int
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of driving a protocol until silence (or a budget)."""
+
+    protocol_name: str
+    engine_name: str
+    silent: bool
+    interactions: int
+    events: int
+    num_agents: int
+    final_configuration: Configuration
+    wall_time_s: float
+    seed: Optional[int] = None
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def parallel_time(self) -> float:
+        """Interactions divided by the population size (paper's clock)."""
+        return self.interactions / self.num_agents
+
+    def __repr__(self) -> str:
+        status = "silent" if self.silent else "budget-exhausted"
+        return (
+            f"RunResult({self.protocol_name}, {status}, "
+            f"interactions={self.interactions}, events={self.events}, "
+            f"parallel_time={self.parallel_time:.1f})"
+        )
+
+
+class Recorder:
+    """Observation hooks invoked by the engines.
+
+    Subclass and override any subset.  ``on_event`` receives the live
+    counts list — treat it as read-only.
+    """
+
+    def on_start(self, counts: Sequence[int]) -> None:
+        """Called once before the first interaction."""
+
+    def on_event(self, event: Event, counts: Sequence[int]) -> None:
+        """Called after every productive interaction."""
+
+    def on_finish(self, silent: bool, interactions: int, counts: Sequence[int]) -> None:
+        """Called once when the run ends."""
+
+
+class TrajectoryRecorder(Recorder):
+    """Records every productive event (small runs only — unbounded memory)."""
+
+    def __init__(self) -> None:
+        self.events: List[Event] = []
+
+    def on_event(self, event: Event, counts: Sequence[int]) -> None:
+        """Store the event."""
+        self.events.append(event)
+
+
+class MetricRecorder(Recorder):
+    """Evaluates ``metric(counts)`` at the start and after every event.
+
+    Useful for tracking the paper's potential functions (the Lemma 3
+    weight ``K``, the Lemma 20 potential ``F``, token counts, ...) along
+    a trajectory.
+    """
+
+    def __init__(self, metric: Callable[[Sequence[int]], object]) -> None:
+        self._metric = metric
+        self.values: List[object] = []
+        self.interactions: List[int] = []
+
+    def on_start(self, counts: Sequence[int]) -> None:
+        self.values.append(self._metric(counts))
+        self.interactions.append(0)
+
+    def on_event(self, event: Event, counts: Sequence[int]) -> None:
+        """Evaluate and store the metric after the event."""
+        self.values.append(self._metric(counts))
+        self.interactions.append(event.interactions)
+
+
+def make_rng(
+    seed_or_rng: Union[int, np.random.Generator, None],
+) -> np.random.Generator:
+    """Normalise a seed / generator / None into a numpy Generator."""
+    if isinstance(seed_or_rng, np.random.Generator):
+        return seed_or_rng
+    return np.random.default_rng(seed_or_rng)
+
+
+def run_protocol(
+    protocol: PopulationProtocol,
+    configuration: Configuration,
+    seed: Union[int, np.random.Generator, None] = None,
+    engine: str = "jump",
+    max_interactions: Optional[int] = None,
+    recorder: Optional[Recorder] = None,
+    require_silence: bool = False,
+    max_events: Optional[int] = None,
+) -> RunResult:
+    """Simulate ``protocol`` from ``configuration`` until silence.
+
+    Parameters
+    ----------
+    engine:
+        ``"jump"`` (exact geometric-jump chain, the default — use this
+        for anything but tiny populations) or ``"sequential"`` (naive
+        per-interaction loop, used for cross-validation).
+    max_interactions:
+        Optional budget on *total* scheduler steps (null ones included).
+        When exhausted the result has ``silent=False``.
+    max_events:
+        Optional budget on *productive* events — the engine's actual
+        work; the effective guard against non-converging churn.
+    require_silence:
+        If True, raise :class:`SimulationLimitReached` instead of
+        returning a non-silent result.
+    """
+    # Imported here to avoid a circular import at module load time.
+    from .jump import JumpEngine
+    from .sequential import SequentialEngine
+
+    engines = {"jump": JumpEngine, "sequential": SequentialEngine}
+    if engine not in engines:
+        raise SimulationError(
+            f"unknown engine {engine!r}; expected one of {sorted(engines)}"
+        )
+    seed_value = seed if isinstance(seed, int) else None
+    driver = engines[engine](protocol, configuration, make_rng(seed))
+    start = time.perf_counter()
+    silent = driver.run(
+        max_interactions=max_interactions,
+        recorder=recorder,
+        max_events=max_events,
+    )
+    elapsed = time.perf_counter() - start
+    result = RunResult(
+        protocol_name=protocol.name,
+        engine_name=engine,
+        silent=silent,
+        interactions=driver.interactions,
+        events=driver.events,
+        num_agents=protocol.num_agents,
+        final_configuration=Configuration(driver.counts),
+        wall_time_s=elapsed,
+        seed=seed_value,
+    )
+    if require_silence and not silent:
+        raise SimulationLimitReached(
+            f"{protocol.name} not silent after {driver.interactions} "
+            f"interactions (budget {max_interactions})"
+        )
+    return result

@@ -1,0 +1,276 @@
+"""Weight families: incremental bookkeeping of productive ordered pairs.
+
+In the probabilistic population protocol model a scheduler draws, at
+every step, one *ordered* pair of distinct agents uniformly at random.
+Most draws are null (the transition function leaves both agents
+unchanged); the expensive protocols of the paper perform `Θ(n²)` such
+draws.  The jump engine therefore never enumerates null interactions —
+it only needs, at any moment,
+
+* ``W`` — the exact number of *productive* ordered agent pairs, and
+* a way to sample one productive pair with probability ``1/W`` each.
+
+Every protocol in the paper induces productive pairs of exactly three
+structural shapes, captured by the three :class:`Family` subclasses
+below.  Families hold *disjoint* sets of ordered state pairs, and the
+union over a protocol's families must equal the productive support of
+its transition function (verified by :func:`check_family_coverage`).
+
+All weights are exact Python integers (pair counts), updated
+incrementally on every agent count change.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Iterable, List, Sequence, Tuple
+
+from ..exceptions import SimulationError
+from .fenwick import FenwickTree
+
+__all__ = [
+    "Family",
+    "SameStatePairs",
+    "OrderedProduct",
+    "TriangularLine",
+    "check_family_coverage",
+]
+
+# A callable that returns a uniform integer in [0, bound).
+RandBelow = Callable[[int], int]
+
+
+class Family(ABC):
+    """A set of ordered state pairs, weighted by current agent counts."""
+
+    @property
+    @abstractmethod
+    def weight(self) -> int:
+        """Number of productive ordered agent pairs in this family."""
+
+    @abstractmethod
+    def on_count_change(self, state: int, old: int, new: int) -> None:
+        """Notify the family that ``state``'s agent count changed."""
+
+    @abstractmethod
+    def sample(self, rand_below: RandBelow) -> Tuple[int, int]:
+        """Draw a productive (initiator, responder) state pair uniformly."""
+
+    @abstractmethod
+    def covers(self, initiator: int, responder: int) -> bool:
+        """Structural membership test (ignores current counts).
+
+        ``covers(si, sj)`` is True iff the ordered pair ``(si, sj)``
+        belongs to this family's pair set, i.e. it would be productive
+        whenever enough agents occupy those states.
+        """
+
+
+class SameStatePairs(Family):
+    """Pairs ``(s, s)`` for every state ``s`` carrying a same-state rule.
+
+    With ``c`` agents in state ``s`` there are ``c·(c−1)`` ordered pairs
+    of distinct agents both in ``s``.  Covers the entire transition
+    function of every *state-optimal* protocol in the paper (AG, traps,
+    ring of traps) as well as the same-state rules of the richer ones.
+    """
+
+    __slots__ = ("_has_rule", "_fenwick")
+
+    def __init__(self, counts: Sequence[int], rule_states: Iterable[int]) -> None:
+        num_states = len(counts)
+        self._has_rule = [False] * num_states
+        for state in rule_states:
+            self._has_rule[state] = True
+        weights = [
+            counts[s] * (counts[s] - 1) if self._has_rule[s] else 0
+            for s in range(num_states)
+        ]
+        self._fenwick = FenwickTree.from_values(weights)
+
+    @property
+    def weight(self) -> int:
+        return self._fenwick.total
+
+    def on_count_change(self, state: int, old: int, new: int) -> None:
+        if self._has_rule[state]:
+            self._fenwick.set(state, new * (new - 1))
+
+    def sample(self, rand_below: RandBelow) -> Tuple[int, int]:
+        state = self._fenwick.find(rand_below(self._fenwick.total))
+        return state, state
+
+    def covers(self, initiator: int, responder: int) -> bool:
+        """True iff the pair is a same-state pair with a rule."""
+        return initiator == responder and self._has_rule[initiator]
+
+
+class OrderedProduct(Family):
+    """All pairs (initiator ∈ A, responder ∈ B) with A, B disjoint.
+
+    Weight is ``(Σ_{a∈A} c_a) · (Σ_{b∈B} c_b)``; each side is sampled
+    independently, proportionally to its counts, via a Fenwick tree.
+
+    Used for the §4 routing rule ``(rank state, X) → (rank state, gate)``
+    (A = rank states, B = {X}) and the §5 rule R4 ``(X_i, rank)``
+    (A = reset-line states, B = rank states).
+    """
+
+    __slots__ = ("_initiators", "_responders", "_init_pos", "_resp_pos",
+                 "_init_fenwick", "_resp_fenwick")
+
+    def __init__(
+        self,
+        counts: Sequence[int],
+        initiators: Sequence[int],
+        responders: Sequence[int],
+    ) -> None:
+        init_set = set(initiators)
+        if init_set & set(responders):
+            raise SimulationError(
+                "OrderedProduct initiator/responder groups must be disjoint"
+            )
+        self._initiators = list(initiators)
+        self._responders = list(responders)
+        num_states = len(counts)
+        self._init_pos = [-1] * num_states
+        self._resp_pos = [-1] * num_states
+        for pos, state in enumerate(self._initiators):
+            self._init_pos[state] = pos
+        for pos, state in enumerate(self._responders):
+            self._resp_pos[state] = pos
+        self._init_fenwick = FenwickTree.from_values(
+            counts[s] for s in self._initiators
+        )
+        self._resp_fenwick = FenwickTree.from_values(
+            counts[s] for s in self._responders
+        )
+
+    @property
+    def weight(self) -> int:
+        return self._init_fenwick.total * self._resp_fenwick.total
+
+    def on_count_change(self, state: int, old: int, new: int) -> None:
+        pos = self._init_pos[state]
+        if pos >= 0:
+            self._init_fenwick.set(pos, new)
+        pos = self._resp_pos[state]
+        if pos >= 0:
+            self._resp_fenwick.set(pos, new)
+
+    def sample(self, rand_below: RandBelow) -> Tuple[int, int]:
+        initiator_pos = self._init_fenwick.find(
+            rand_below(self._init_fenwick.total)
+        )
+        responder_pos = self._resp_fenwick.find(
+            rand_below(self._resp_fenwick.total)
+        )
+        return self._initiators[initiator_pos], self._responders[responder_pos]
+
+    def covers(self, initiator: int, responder: int) -> bool:
+        return (
+            self._init_pos[initiator] >= 0 and self._resp_pos[responder] >= 0
+        )
+
+
+class TriangularLine(Family):
+    """Pairs ``(L[i], L[j])`` with ``i ≤ j`` over an ordered list of states.
+
+    This is the shape of §5's rule R3 on the reset line ``X_1..X_{2k}``
+    (together with R5 at the top): an interaction is productive exactly
+    when the initiator's line index does not exceed the responder's.
+    The line has only ``O(log n)`` states, so weights are recomputed
+    directly in ``O(len(line))`` per change — cheaper in practice than
+    maintaining a tree.
+    """
+
+    __slots__ = ("_line", "_pos", "_counts", "_weight")
+
+    def __init__(self, counts: Sequence[int], line_states: Sequence[int]) -> None:
+        self._line = list(line_states)
+        self._pos = {state: i for i, state in enumerate(self._line)}
+        if len(self._pos) != len(self._line):
+            raise SimulationError("TriangularLine states must be distinct")
+        self._counts = [counts[s] for s in self._line]
+        self._weight = self._recompute()
+
+    def _recompute(self) -> int:
+        counts = self._counts
+        total = 0
+        suffix = 0
+        for c in reversed(counts):
+            total += c * (c - 1) + c * suffix
+            suffix += c
+        return total
+
+    @property
+    def weight(self) -> int:
+        return self._weight
+
+    def on_count_change(self, state: int, old: int, new: int) -> None:
+        pos = self._pos.get(state)
+        if pos is None:
+            return
+        self._counts[pos] = new
+        self._weight = self._recompute()
+
+    def sample(self, rand_below: RandBelow) -> Tuple[int, int]:
+        target = rand_below(self._weight)
+        counts = self._counts
+        length = len(counts)
+        suffix = sum(counts)
+        for i in range(length):
+            c = counts[i]
+            suffix -= c
+            same = c * (c - 1)
+            if target < same:
+                return self._line[i], self._line[i]
+            target -= same
+            cross = c * suffix
+            if target < cross:
+                # responder drawn among states strictly above i,
+                # proportionally to their counts
+                j_target = target // c
+                for j in range(i + 1, length):
+                    if j_target < counts[j]:
+                        return self._line[i], self._line[j]
+                    j_target -= counts[j]
+                raise SimulationError("TriangularLine sample overflow")
+            target -= cross
+        raise SimulationError("TriangularLine sample out of range")
+
+    def covers(self, initiator: int, responder: int) -> bool:
+        pos_i = self._pos.get(initiator)
+        pos_j = self._pos.get(responder)
+        if pos_i is None or pos_j is None:
+            return False
+        return pos_i <= pos_j
+
+
+def check_family_coverage(protocol, counts: Sequence[int] | None = None) -> None:
+    """Verify families exactly cover the productive support of ``delta``.
+
+    Enumerates all ordered state pairs (quadratic — test-sized protocols
+    only) and checks that a pair is productive under the transition
+    function iff exactly one family covers it.  Raises
+    :class:`SimulationError` on any mismatch.
+    """
+    if counts is None:
+        counts = [1] * protocol.num_states
+    families = protocol.build_families(list(counts))
+    num_states = protocol.num_states
+    for si in range(num_states):
+        for sj in range(num_states):
+            if si == sj and counts[si] < 2:
+                pass  # structural check is still meaningful
+            productive = protocol.delta(si, sj) is not None
+            covering = sum(1 for f in families if f.covers(si, sj))
+            if productive and covering != 1:
+                raise SimulationError(
+                    f"pair ({si}, {sj}) productive but covered by "
+                    f"{covering} families"
+                )
+            if not productive and covering != 0:
+                raise SimulationError(
+                    f"pair ({si}, {sj}) null but covered by {covering} families"
+                )

@@ -1,0 +1,114 @@
+"""Fault injection for self-stabilisation experiments.
+
+Self-stabilising protocols recover from *any* configuration, so the
+natural way to exercise them is to let a population stabilise, corrupt
+part of it, and measure re-stabilisation.  These helpers produce the
+corrupted configurations; they never mutate their input.
+
+The §3 experiments also need *k-distant* configurations (exactly ``k``
+rank states unoccupied) as recovery targets — those live in
+:mod:`repro.configurations.generators`; the functions here model
+transient faults hitting a running population.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .configuration import Configuration
+from .engine import make_rng
+
+__all__ = [
+    "corrupt_agents",
+    "crash_and_replace",
+    "adversarial_swap",
+]
+
+
+def _pick_agents(
+    configuration: Configuration, num_agents: int, rng: np.random.Generator
+) -> list:
+    """Sample ``num_agents`` distinct agents; returns their current states.
+
+    Agents are anonymous, so sampling agents is sampling states with
+    multiplicity: we draw without replacement from the multiset.
+    """
+    population = []
+    for state, count in enumerate(configuration):
+        population.extend([state] * count)
+    if num_agents > len(population):
+        raise ConfigurationError(
+            f"cannot corrupt {num_agents} of {len(population)} agents"
+        )
+    chosen = rng.choice(len(population), size=num_agents, replace=False)
+    return [population[i] for i in chosen]
+
+
+def corrupt_agents(
+    configuration: Configuration,
+    num_agents: int,
+    seed: Union[int, np.random.Generator, None] = None,
+    target_states: Optional[Sequence[int]] = None,
+) -> Configuration:
+    """Reassign ``num_agents`` random agents to uniformly random states.
+
+    ``target_states`` restricts where corrupted agents may land
+    (default: anywhere in the state space).  Models transient memory
+    faults: the population size is preserved, states are arbitrary.
+    """
+    rng = make_rng(seed)
+    victims = _pick_agents(configuration, num_agents, rng)
+    targets = (
+        list(target_states)
+        if target_states is not None
+        else list(range(configuration.num_states))
+    )
+    counts = configuration.counts_list()
+    for state in victims:
+        counts[state] -= 1
+        counts[int(rng.choice(targets))] += 1
+    return Configuration(counts)
+
+
+def crash_and_replace(
+    configuration: Configuration,
+    num_agents: int,
+    replacement_state: int,
+    seed: Union[int, np.random.Generator, None] = None,
+) -> Configuration:
+    """Crash ``num_agents`` random agents and reboot them in one state.
+
+    Models the classical fail-and-rejoin scenario: rebooted agents come
+    back with a fixed default state (e.g. rank 0 or the extra state X),
+    leaving up to ``num_agents`` rank states unoccupied — a ``k``-distant
+    configuration with ``k <= num_agents`` for state-optimal protocols.
+    """
+    rng = make_rng(seed)
+    victims = _pick_agents(configuration, num_agents, rng)
+    counts = configuration.counts_list()
+    if not 0 <= replacement_state < configuration.num_states:
+        raise ConfigurationError(
+            f"replacement state {replacement_state} outside state space"
+        )
+    for state in victims:
+        counts[state] -= 1
+        counts[replacement_state] += 1
+    return Configuration(counts)
+
+
+def adversarial_swap(
+    configuration: Configuration,
+    state_a: int,
+    state_b: int,
+) -> Configuration:
+    """Swap the populations of two states (worst-case, deterministic).
+
+    Useful for constructing specific distances from the solved
+    configuration in tests.
+    """
+    counts = configuration.counts_list()
+    counts[state_a], counts[state_b] = counts[state_b], counts[state_a]
+    return Configuration(counts)

@@ -1,0 +1,130 @@
+"""Naive per-interaction simulation of the random pairwise scheduler.
+
+Every scheduler step draws an ordered pair of distinct agents uniformly
+at random and applies the transition function.  This is the literal
+model from the paper, simulated without any shortcut.  It is
+``O(interactions)`` and therefore only suitable for small populations —
+its purpose is to cross-validate the :class:`~repro.core.jump.JumpEngine`
+(same interface, same result shape) and to serve as an obviously-correct
+reference in tests.
+
+Agent identities are explicit here (a state per agent), which also makes
+this engine the natural place for agent-level observations in examples.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .configuration import Configuration
+from .engine import Event, Recorder
+from .protocol import PopulationProtocol
+
+__all__ = ["SequentialEngine"]
+
+_PAIR_BATCH = 4096
+
+
+class SequentialEngine:
+    """Drives one protocol run, one interaction at a time."""
+
+    def __init__(
+        self,
+        protocol: PopulationProtocol,
+        configuration: Configuration,
+        rng: np.random.Generator,
+    ) -> None:
+        protocol.validate_configuration(configuration)
+        self._protocol = protocol
+        self._rng = rng
+        self.counts: List[int] = configuration.counts_list()
+        # Explicit agent array: agent i holds state agent_states[i].
+        self.agent_states: List[int] = []
+        for state, count in enumerate(self.counts):
+            self.agent_states.extend([state] * count)
+        self._n = protocol.num_agents
+        self._families = protocol.build_families(self.counts)
+        self.interactions = 0
+        self.events = 0
+        self._pair_buffer = np.empty((0, 2), dtype=np.int64)
+        self._pair_pos = 0
+
+    def _next_pair(self) -> tuple:
+        """Uniform ordered pair of distinct agent indices."""
+        if self._pair_pos >= len(self._pair_buffer):
+            first = self._rng.integers(0, self._n, size=_PAIR_BATCH)
+            second = self._rng.integers(0, self._n - 1, size=_PAIR_BATCH)
+            second = second + (second >= first)
+            self._pair_buffer = np.stack([first, second], axis=1)
+            self._pair_pos = 0
+        a, b = self._pair_buffer[self._pair_pos]
+        self._pair_pos += 1
+        return int(a), int(b)
+
+    @property
+    def productive_weight(self) -> int:
+        """Current number of productive ordered pairs ``W``."""
+        return sum(family.weight for family in self._families)
+
+    def is_silent(self) -> bool:
+        """True iff no productive interaction exists."""
+        return self.productive_weight == 0
+
+    def _move_agent(self, agent: int, new_state: int) -> None:
+        old_state = self.agent_states[agent]
+        if old_state == new_state:
+            return
+        self.agent_states[agent] = new_state
+        for state, old, new in (
+            (old_state, self.counts[old_state], self.counts[old_state] - 1),
+            (new_state, self.counts[new_state], self.counts[new_state] + 1),
+        ):
+            self.counts[state] = new
+            for family in self._families:
+                family.on_count_change(state, old, new)
+
+    def step(self) -> Optional[Event]:
+        """One scheduler step; returns the event if it was productive."""
+        initiator, responder = self._next_pair()
+        self.interactions += 1
+        si = self.agent_states[initiator]
+        sj = self.agent_states[responder]
+        out = self._protocol.delta(si, sj)
+        if out is None:
+            return None
+        ti, tj = out
+        self._move_agent(initiator, ti)
+        self._move_agent(responder, tj)
+        self.events += 1
+        return Event(self.interactions, si, sj, ti, tj)
+
+    def run(
+        self,
+        max_interactions: Optional[int] = None,
+        recorder: Optional[Recorder] = None,
+        max_events: Optional[int] = None,
+    ) -> bool:
+        """Run until silence or budget exhaustion; True iff silent."""
+        if recorder is not None:
+            recorder.on_start(self.counts)
+        silent = False
+        while True:
+            if self.is_silent():
+                silent = True
+                break
+            if max_interactions is not None and self.interactions >= max_interactions:
+                break
+            if max_events is not None and self.events >= max_events:
+                break
+            event = self.step()
+            if event is not None and recorder is not None:
+                recorder.on_event(event, self.counts)
+        if recorder is not None:
+            recorder.on_finish(silent, self.interactions, self.counts)
+        return silent
+
+    def configuration(self) -> Configuration:
+        """Snapshot of the current configuration."""
+        return Configuration(self.counts)

@@ -1,0 +1,50 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error deliberately raised by the library derives from
+:class:`ReproError`, so callers can catch library failures without
+accidentally swallowing programming errors such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An agent configuration is malformed or inconsistent with a protocol.
+
+    Raised, for example, when the number of agents does not match the
+    protocol population size, or when a state index is out of range.
+    """
+
+
+class ProtocolError(ReproError):
+    """A protocol was constructed with invalid parameters.
+
+    Examples: a ring of traps with fewer states than agents, a line
+    protocol with an odd lattice parameter ``m``, or a tree protocol
+    with a non-positive reset-line length.
+    """
+
+
+class SimulationError(ReproError):
+    """The simulation engine reached an inconsistent internal state.
+
+    This signals a bug (e.g. a weight family sampled a pair the
+    transition function considers null) rather than a user error.
+    """
+
+
+class SimulationLimitReached(ReproError):
+    """A run exceeded its ``max_interactions`` budget without silence.
+
+    Engines normally *return* a non-silent :class:`~repro.core.engine.RunResult`
+    when the budget is exhausted; this exception is only raised when the
+    caller explicitly asked for ``require_silence=True``.
+    """
+
+
+class ExperimentError(ReproError):
+    """An experiment was invoked with an unknown id, scale, or parameters."""

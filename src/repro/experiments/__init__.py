@@ -1,0 +1,22 @@
+"""Reproduction experiments, one per paper artefact (see DESIGN.md §5)."""
+
+from .base import SCALES, ExperimentResult, bench_scale_from_env, pick
+from .registry import (
+    REGISTRY,
+    Experiment,
+    get_experiment,
+    list_experiments,
+    run_experiment,
+)
+
+__all__ = [
+    "REGISTRY",
+    "SCALES",
+    "Experiment",
+    "ExperimentResult",
+    "bench_scale_from_env",
+    "get_experiment",
+    "list_experiments",
+    "pick",
+    "run_experiment",
+]

@@ -1,0 +1,76 @@
+"""Experiment ``ag_quadratic`` — the baseline's ``Θ(n²)`` stabilisation.
+
+Paper claim (§1, §2): the generic state-optimal protocol ``AG`` silently
+self-stabilises in ``Θ(n²)`` parallel time whp.  We sweep ``n``, start
+from uniformly random rank configurations, and fit the growth exponent
+of the median stabilisation time — it should sit at ≈ 2, giving the
+baseline every other experiment compares against.
+"""
+
+from __future__ import annotations
+
+from ..analysis.fitting import fit_power_law
+from ..analysis.sweep import measure_stabilisation
+from ..analysis.tables import Table
+from ..configurations.generators import random_configuration
+from ..protocols.ag import AGProtocol
+from .base import ExperimentResult, pick
+
+EXPERIMENT_ID = "ag_quadratic"
+DESCRIPTION = "AG baseline stabilisation time is Θ(n²) (paper §1/§2)"
+PAPER_REFERENCE = "§1.1, §2 — protocol AG, stabilisation Θ(n²)"
+
+
+def _build(params, rng):
+    protocol = AGProtocol(int(params["n"]))
+    start = random_configuration(protocol, seed=rng, include_extras=False)
+    return protocol, start
+
+
+def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+    """Sweep n, fit the exponent, and tabulate times and per-n² ratios."""
+    ns = pick(
+        scale,
+        smoke=[32, 48, 64],
+        small=[64, 96, 128, 192, 256, 384],
+        paper=[128, 192, 256, 384, 512, 768, 1024],
+    )
+    repetitions = pick(scale, smoke=2, small=3, paper=5)
+    points = measure_stabilisation(
+        _build, ns, x_name="n", repetitions=repetitions, seed=seed
+    )
+
+    table = Table(
+        title="AG baseline: stabilisation time vs n (random starts)",
+        headers=["n", "median time", "max time", "time/n", "time/n²", "silent"],
+    )
+    medians = []
+    for point in points:
+        n = int(point.params["n"])
+        summary = point.time_summary()
+        medians.append(summary.median)
+        table.add_row(
+            n,
+            summary.median,
+            summary.maximum,
+            summary.median / n,
+            summary.median / n**2,
+            point.all_silent,
+        )
+    fit = fit_power_law(ns, medians)
+    table.add_note(f"fitted growth: {fit.describe()}; paper claims Θ(n²)")
+    table.add_note(
+        f"{repetitions} repetitions per n; time is parallel time "
+        "(interactions / n)"
+    )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        scale=scale,
+        tables=[table],
+        raw={
+            "ns": ns,
+            "median_times": medians,
+            "exponent": fit.exponent,
+            "r_squared": fit.r_squared,
+        },
+    )

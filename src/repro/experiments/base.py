@@ -1,0 +1,63 @@
+"""Shared experiment plumbing: results, scales, helpers.
+
+Every experiment module exposes ``run(scale, seed) -> ExperimentResult``.
+The ``scale`` knob keeps one code path for CI smoke tests, the default
+benchmark suite, and paper-scale sweeps:
+
+* ``smoke`` — seconds; exercises the code path only.
+* ``small`` — the default for ``pytest benchmarks/``; minutes total.
+* ``paper`` — the sizes EXPERIMENTS.md reports; set
+  ``REPRO_BENCH_SCALE=paper`` to select it in benchmarks.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, TypeVar
+
+from ..analysis.tables import Table
+from ..exceptions import ExperimentError
+
+__all__ = ["SCALES", "ExperimentResult", "pick", "bench_scale_from_env"]
+
+SCALES = ("smoke", "small", "paper")
+
+T = TypeVar("T")
+
+
+def pick(scale: str, smoke: T, small: T, paper: T) -> T:
+    """Select a per-scale value, validating the scale name."""
+    if scale not in SCALES:
+        raise ExperimentError(
+            f"unknown scale {scale!r}; expected one of {SCALES}"
+        )
+    return {"smoke": smoke, "small": small, "paper": paper}[scale]
+
+
+def bench_scale_from_env(default: str = "small") -> str:
+    """Scale selected by the ``REPRO_BENCH_SCALE`` environment variable."""
+    scale = os.environ.get("REPRO_BENCH_SCALE", default)
+    if scale not in SCALES:
+        raise ExperimentError(
+            f"REPRO_BENCH_SCALE={scale!r} invalid; expected one of {SCALES}"
+        )
+    return scale
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment: rendered tables plus raw numbers."""
+
+    experiment_id: str
+    scale: str
+    tables: List[Table] = field(default_factory=list)
+    raw: Dict[str, object] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """All tables as fixed-width text."""
+        return "\n\n".join(table.render() for table in self.tables)
+
+    def to_markdown(self) -> str:
+        """All tables as Markdown (EXPERIMENTS.md building block)."""
+        return "\n\n".join(table.to_markdown() for table in self.tables)

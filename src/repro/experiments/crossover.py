@@ -1,0 +1,147 @@
+"""Experiment ``crossover`` — where the ring stops beating the baseline.
+
+Theorem 1's punchline: for ``k = o(√n)`` the ring of traps stabilises
+in ``o(n²)``, i.e. beats the generic ``Θ(n²)`` barrier.  At fixed ``n``
+we sweep ``k`` and measure three quantities:
+
+* the ring's time from ``k``-distant starts;
+* AG's time from the *same* ``k``-distant starts (an easy instance for
+  AG too — a single duplicate just walks to the missing rank);
+* AG's time from arbitrary (uniform random) starts — the ``Θ(n²)``
+  barrier the paper's corollary refers to.
+
+The shape claims: the ring's advantage over the barrier is large for
+small ``k`` and decays as ``k`` grows; by ``k = Θ(√n)`` (up to the
+constants hidden in both bounds) the advantage is gone.  Note that the
+measured ring time grows *sublinearly* in ``k`` at reachable sizes —
+Lemma 3's ``k·n^{3/2}`` is an upper bound that the parallel gap-filling
+beats in practice — so the empirical crossover sits at or beyond
+``√n``, never before it.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..analysis.sweep import run_sweep
+from ..analysis.tables import Table
+from ..configurations.generators import (
+    k_distant_configuration,
+    random_configuration,
+)
+from ..protocols.ag import AGProtocol
+from ..protocols.ring import RingOfTrapsProtocol
+from .base import ExperimentResult, pick
+
+EXPERIMENT_ID = "crossover"
+DESCRIPTION = "Theorem 1 corollary: ring beats the n² barrier while k = O(√n)"
+PAPER_REFERENCE = "§3, Theorem 1 (k = o(√n) ⇒ o(n²) leader election)"
+
+
+def _build_ring(params, rng):
+    protocol = RingOfTrapsProtocol(m=int(params["m"]))
+    return protocol, k_distant_configuration(
+        protocol, int(params["k"]), seed=rng
+    )
+
+
+def _build_ag_same_start(params, rng):
+    protocol = AGProtocol(int(params["n"]))
+    return protocol, k_distant_configuration(
+        protocol, int(params["k"]), seed=rng
+    )
+
+
+def _build_ag_barrier(params, rng):
+    protocol = AGProtocol(int(params["n"]))
+    return protocol, random_configuration(
+        protocol, seed=rng, include_extras=False
+    )
+
+
+def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+    """Sweep k at fixed n; chart the ring's advantage over the barrier."""
+    m = pick(scale, smoke=8, small=16, paper=24)
+    n = m * (m + 1)
+    ks = pick(
+        scale,
+        smoke=[1, 4, 8],
+        small=[1, 2, 4, 8, 16, 32, 64, 90],
+        paper=[1, 2, 4, 8, 16, 32, 64, 128, 200],
+    )
+    ks = [k for k in ks if k < n]
+    repetitions = pick(scale, smoke=3, small=9, paper=9)
+
+    ring_points = run_sweep(
+        [{"m": m, "k": k} for k in ks],
+        _build_ring,
+        repetitions=repetitions,
+        seed=seed,
+    )
+    ag_points = run_sweep(
+        [{"n": n, "k": k} for k in ks],
+        _build_ag_same_start,
+        repetitions=repetitions,
+        seed=seed + 1,
+    )
+    barrier_point = run_sweep(
+        [{"n": n}],
+        _build_ag_barrier,
+        repetitions=repetitions,
+        seed=seed + 2,
+    )[0]
+    barrier = barrier_point.median_parallel_time()
+
+    table = Table(
+        title=f"Ring vs the Θ(n²) barrier at n={n} (barrier = AG from "
+              f"arbitrary starts: {barrier:,.0f})",
+        headers=[
+            "k", "ring median time", "AG same-start median",
+            "barrier/ring advantage",
+        ],
+    )
+    ring_medians, ag_medians, advantages = [], [], []
+    crossover_k = None
+    for k, ring_point, ag_point in zip(ks, ring_points, ag_points):
+        ring_median = ring_point.median_parallel_time()
+        ag_median = ag_point.median_parallel_time()
+        advantage = barrier / ring_median
+        ring_medians.append(ring_median)
+        ag_medians.append(ag_median)
+        advantages.append(advantage)
+        table.add_row(k, ring_median, ag_median, advantage)
+        if crossover_k is None and advantage < 2.0:
+            crossover_k = k
+    sqrt_n = math.sqrt(n)
+    if crossover_k is None:
+        table.add_note(
+            f"advantage stays ≥ 2x for every tested k ≤ {ks[-1]} "
+            f"(√n ≈ {sqrt_n:.1f}) — consistent with the sublinear "
+            "measured growth in k"
+        )
+    else:
+        table.add_note(
+            f"advantage drops below 2x at k ≈ {crossover_k}; the paper's "
+            f"corollary places the loss of the o(n²) guarantee at "
+            f"k = Θ(√n) = Θ({sqrt_n:.1f})"
+        )
+    table.add_note(
+        "the 'AG same-start' column shows AG also heals small k quickly "
+        "(a walk to the missing rank, ≈ 0.4·n²·(d/n)); the theorem's "
+        "barrier is AG's guarantee over arbitrary starts"
+    )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        scale=scale,
+        tables=[table],
+        raw={
+            "n": n,
+            "ks": ks,
+            "ring_median_times": ring_medians,
+            "ag_same_start_times": ag_medians,
+            "barrier_time": barrier,
+            "advantages": advantages,
+            "crossover_k": crossover_k,
+            "sqrt_n": sqrt_n,
+        },
+    )

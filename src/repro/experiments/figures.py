@@ -1,0 +1,120 @@
+"""Experiments ``figure1`` and ``figure2`` — the paper's two figures.
+
+``figure1`` regenerates the cubic routing graph ``G`` for ``m² = 16``
+(Figure 1) and validates every property the paper states: 3-regularity,
+connectivity, the ``4⌈log m⌉`` diameter bound across a sweep of sizes,
+and the worked example printed under the figure ("for l = 1 we get
+l0 = 2, l1 = 3, and l2 = 8").
+
+``figure2`` regenerates the perfectly balanced tree of ranks for
+``n = 9`` (Figure 2) — the exact node kinds and pre-order child edges —
+and validates the structural claims of §5 (uniform levels, height
+bound) across a sweep of sizes.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..analysis.tables import Table
+from ..protocols.routing import build_routing_graph
+from ..protocols.tree import NodeKind, PerfectlyBalancedTree
+from ..viz.ascii import render_routing_graph, render_tree
+from .base import ExperimentResult, pick
+
+DESCRIPTION_FIG1 = "Figure 1: the cubic routing graph G (m²=16) and its invariants"
+DESCRIPTION_FIG2 = "Figure 2: the perfectly balanced tree of ranks (n=9)"
+PAPER_REFERENCE = "§4.2 Figure 1, §5 Figure 2"
+
+# Figure 2 of the paper, as (node, kind, children) triples.
+FIGURE2_EXPECTED = [
+    (0, NodeKind.BRANCHING, (1, 5)),
+    (1, NodeKind.NON_BRANCHING, (2,)),
+    (2, NodeKind.BRANCHING, (3, 4)),
+    (3, NodeKind.LEAF, ()),
+    (4, NodeKind.LEAF, ()),
+    (5, NodeKind.NON_BRANCHING, (6,)),
+    (6, NodeKind.BRANCHING, (7, 8)),
+    (7, NodeKind.LEAF, ()),
+    (8, NodeKind.LEAF, ()),
+]
+
+
+def run_figure1(scale: str = "small", seed: int = 0) -> ExperimentResult:
+    """Rebuild G for the figure's size and check invariants over a sweep."""
+    del seed  # deterministic construction
+    ms = pick(scale, smoke=[2, 4], small=[2, 4, 6, 8], paper=[2, 4, 6, 8, 10, 12])
+    table = Table(
+        title="Routing graph G (Figure 1): invariants across sizes",
+        headers=["m", "lines m²", "cubic", "connected", "diameter",
+                 "bound 4·ceil(log2 m)"],
+    )
+    for m in ms:
+        graph = build_routing_graph(m * m)
+        bound = 4 * math.ceil(math.log2(m)) if m > 1 else 1
+        table.add_row(
+            m, m * m, graph.is_cubic(), graph.is_connected(),
+            graph.diameter(), max(bound, 1),
+        )
+    figure_graph = build_routing_graph(16)
+    example = figure_graph.neighbours(1)
+    matches = example == (2, 3, 8)
+    table.add_note(
+        f"paper's worked example (m²=16, line 1): l0={example[0]}, "
+        f"l1={example[1]}, l2={example[2]} — "
+        + ("matches the paper exactly" if matches else "MISMATCH")
+    )
+    return ExperimentResult(
+        experiment_id="figure1",
+        scale=scale,
+        tables=[table],
+        raw={
+            "example_neighbours": list(example),
+            "example_matches_paper": matches,
+            "rendering": render_routing_graph(figure_graph),
+        },
+    )
+
+
+def run_figure2(scale: str = "small", seed: int = 0) -> ExperimentResult:
+    """Rebuild the n=9 tree; check §5 structure claims across sizes."""
+    del seed  # deterministic construction
+    tree9 = PerfectlyBalancedTree(9)
+    exact = all(
+        tree9.kind(node) == kind
+        and tuple(tree9.children(node)) == children
+        for node, kind, children in FIGURE2_EXPECTED
+    )
+
+    ns = pick(
+        scale,
+        smoke=[2, 9, 17],
+        small=[2, 5, 9, 17, 33, 100, 1000],
+        paper=[2, 5, 9, 17, 33, 100, 1000, 10000, 100000],
+    )
+    table = Table(
+        title="Perfectly balanced trees (Figure 2): structure across sizes",
+        headers=["n", "height", "bound 2·log2 n", "leaves",
+                 "levels uniform"],
+    )
+    for n in ns:
+        tree = PerfectlyBalancedTree(n)
+        uniform = all(
+            len({(tree.kind(p), tree.subtree_size(p)) for p in level_nodes}) <= 1
+            for level_nodes in tree.iter_levels()
+        )
+        bound = 2 * math.log2(n) if n > 1 else 0
+        table.add_row(n, tree.height, round(bound, 2), len(tree.leaves), uniform)
+    table.add_note(
+        "n=9 instance "
+        + ("matches Figure 2 node-for-node" if exact else "MISMATCHES Figure 2")
+    )
+    return ExperimentResult(
+        experiment_id="figure2",
+        scale=scale,
+        tables=[table],
+        raw={
+            "figure2_exact_match": exact,
+            "rendering": render_tree(tree9),
+        },
+    )

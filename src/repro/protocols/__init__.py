@@ -1,0 +1,60 @@
+"""The paper's protocols and their combinatorial substrates.
+
+* :class:`~repro.protocols.ag.AGProtocol` — the ``Θ(n²)`` baseline.
+* :class:`~repro.protocols.ring.RingOfTrapsProtocol` — §3, Theorem 1.
+* :class:`~repro.protocols.line.LineOfTrapsProtocol` — §4, Theorem 2.
+* :class:`~repro.protocols.tree_protocol.TreeRankingProtocol` — §5, Theorem 3.
+* Substrates: agent traps, the routing graph ``G`` (Figure 1), and
+  perfectly balanced binary trees (Figure 2).
+"""
+
+from .ag import AGProtocol
+from .leader import LeaderElectionResult, count_leaders, elect_leader
+from .line import LineOfTrapsProtocol, line_lattice_size, line_parameter_for
+from .modified_tree import ModifiedTreeProtocol
+from .ring import RingOfTrapsProtocol, ring_parameter_for
+from .routing import RoutingGraph, build_routing_graph
+from .trap import (
+    SingleTrapProtocol,
+    TrapLayout,
+    trap_gaps,
+    trap_is_flat,
+    trap_is_full,
+    trap_is_saturated,
+    trap_is_tidy,
+    trap_surplus,
+)
+from .tree import NodeKind, PerfectlyBalancedTree
+from .tree_protocol import (
+    TreeDispersalProtocol,
+    TreeRankingProtocol,
+    default_line_half_length,
+)
+
+__all__ = [
+    "AGProtocol",
+    "LeaderElectionResult",
+    "LineOfTrapsProtocol",
+    "ModifiedTreeProtocol",
+    "NodeKind",
+    "PerfectlyBalancedTree",
+    "RingOfTrapsProtocol",
+    "RoutingGraph",
+    "SingleTrapProtocol",
+    "TrapLayout",
+    "TreeDispersalProtocol",
+    "TreeRankingProtocol",
+    "build_routing_graph",
+    "count_leaders",
+    "default_line_half_length",
+    "elect_leader",
+    "line_lattice_size",
+    "line_parameter_for",
+    "ring_parameter_for",
+    "trap_gaps",
+    "trap_is_flat",
+    "trap_is_full",
+    "trap_is_saturated",
+    "trap_is_tidy",
+    "trap_surplus",
+]

@@ -1,0 +1,48 @@
+"""The generic state-optimal ranking protocol ``AG`` (paper §1–§2).
+
+State space ``{0, ..., n−1}`` (rank states only, ``x = 0``) with the
+single rule family
+
+    ``i + i → i + (i + 1 mod n)``
+
+i.e. when two agents share a state, the responder advances to the next
+state cyclically.  The paper recalls that this protocol silently
+self-stabilises in ``Θ(n²)`` parallel time and uses it as the baseline
+every new protocol is measured against.
+
+This is the *only* previously known state-optimal self-stabilising
+ranking protocol; the structure of all such protocols (one rule per
+state, of the form ``(s, s) → (s', s'')``) is discussed in §2.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.protocol import RankingProtocol, Transition
+
+__all__ = ["AGProtocol"]
+
+
+class AGProtocol(RankingProtocol):
+    """Baseline cyclic-successor ranking protocol (``Θ(n²)``, ``x = 0``)."""
+
+    def __init__(self, num_agents: int) -> None:
+        super().__init__(num_agents, num_extra_states=0)
+
+    def delta(self, initiator: int, responder: int) -> Optional[Transition]:
+        """``i + i → i + (i+1 mod n)``; all other pairs are null."""
+        if initiator != responder:
+            return None
+        return initiator, (initiator + 1) % self.num_ranks
+
+    def same_state_rule_states(self):
+        # Every state carries a rule; avoids n delta() calls at build time.
+        return list(range(self.num_ranks))
+
+    def state_label(self, state: int) -> str:
+        return f"rank{state}"
+
+    @property
+    def name(self) -> str:
+        return "AG"

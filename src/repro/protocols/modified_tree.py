@@ -1,0 +1,51 @@
+"""The "modified protocol" from the proof of Theorem 3 (proof device).
+
+The Theorem 3 proof analyses a variant of the tree protocol in which
+*all* line states are treated as green: rule R4 always performs
+``X_i + j → 0 + j`` (no reset propagation), while R1–R3 and R5 are
+unchanged.  Computations of the real protocol coincide with this
+variant for as long as no red agent meets a tree agent, which is the
+coupling the proof exploits.
+
+**The modified protocol is not self-stabilising on its own** — and that
+is the point of keeping it in the library.  Without the red phase an
+unbalanced population can cycle forever: excess agents overload a leaf
+(R2), travel up the line, drop back onto the root, and R1 washes them
+down into the same overloaded subtree again.  The smallest witness is
+``n = 3`` with both leaf states doubled-up reachable: the process
+visits a finite set of non-silent configurations and the ranked
+configuration is unreachable (see
+``tests/protocols/test_modified_tree.py::TestNotSelfStabilising``).
+The red half of the reset line exists precisely to break this cycle by
+pulling *tree* agents into the line and replaying Lemma 19's clean
+root dispersal.
+
+From a *balanced* configuration (one where converting every line agent
+to the root state leads to a perfect ranking) the modified protocol
+does stabilise — that is the half of the coupling the proof uses, and
+what the tests assert.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.protocol import Transition
+from .tree_protocol import TreeRankingProtocol
+
+__all__ = ["ModifiedTreeProtocol"]
+
+
+class ModifiedTreeProtocol(TreeRankingProtocol):
+    """Tree protocol with R4 forced to its green branch (Thm 3 proof)."""
+
+    def delta(self, initiator: int, responder: int) -> Optional[Transition]:
+        n = self.num_ranks
+        if initiator >= n and responder < n:
+            # R4, always green: relocate the line agent to the root.
+            return 0, responder
+        return super().delta(initiator, responder)
+
+    @property
+    def name(self) -> str:
+        return f"ModifiedTree(k={self.k})"

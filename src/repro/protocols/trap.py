@@ -1,0 +1,196 @@
+"""The agent trap — the paper's core combinatorial gadget (§2.1).
+
+A trap of size ``m + 1`` consists of states ``0..m``: state 0 is the
+*gate*, states ``1..m`` are *inner* states.  Its rules:
+
+* ``R_i : (i, i) → (i, i−1)`` for inner states ``i = 1..m`` — excess
+  agents descend toward the gate;
+* ``R_g : (0, 0) → (m, Y)`` — the gate keeps one agent (sent to the top
+  inner state ``m``) and *releases* the other to a state ``Y`` outside
+  the trap (the next trap's gate in the ring/line protocols).
+
+An unoccupied inner state is a *gap*; a trap with no gaps is
+*saturated*; a saturated trap holding at least ``m + 1`` agents is
+*full*.  Facts 1–3 of the paper (gaps stay filled, 2d arrivals saturate
+d gaps, fullness is absorbing) and Lemma 1 (drain rates) are about this
+object and are exercised in tests/benchmarks through the standalone
+protocol below.
+
+:class:`TrapLayout` is the shared description reused by the ring (§3)
+and line (§4) protocols; :class:`SingleTrapProtocol` embeds one trap
+with an absorbing exit state so Lemma 1 can be measured in isolation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..exceptions import ProtocolError
+from ..core.configuration import Configuration
+from ..core.protocol import PopulationProtocol, Transition
+
+__all__ = [
+    "TrapLayout",
+    "SingleTrapProtocol",
+    "trap_gaps",
+    "trap_surplus",
+    "trap_is_saturated",
+    "trap_is_full",
+    "trap_is_flat",
+    "trap_is_tidy",
+]
+
+
+@dataclass(frozen=True)
+class TrapLayout:
+    """Position of one trap inside a larger state space.
+
+    States ``base .. base + size − 1``; ``base`` is the gate and
+    ``base + b`` is inner state ``b``.  ``size == 1`` is the degenerate
+    single-state trap the paper mentions (``m = 0``): its "top inner
+    state" is the gate itself.
+    """
+
+    base: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ProtocolError(f"trap size must be >= 1, got {self.size}")
+
+    @property
+    def gate(self) -> int:
+        """Index of the gate state."""
+        return self.base
+
+    @property
+    def top(self) -> int:
+        """Index of the highest state (inner state ``m``; gate if size 1)."""
+        return self.base + self.size - 1
+
+    @property
+    def inner_states(self) -> range:
+        """Inner states (possibly empty for the degenerate trap)."""
+        return range(self.base + 1, self.base + self.size)
+
+    @property
+    def states(self) -> range:
+        """All states of the trap, gate first."""
+        return range(self.base, self.base + self.size)
+
+    def contains(self, state: int) -> bool:
+        """True iff ``state`` belongs to this trap."""
+        return self.base <= state < self.base + self.size
+
+    def inner_index(self, state: int) -> int:
+        """Offset ``b`` of a state within the trap (0 = gate)."""
+        if not self.contains(state):
+            raise ProtocolError(f"state {state} not in trap at base {self.base}")
+        return state - self.base
+
+
+# ----------------------------------------------------------------------
+# Trap predicates over raw counts (shared by §3 and §4 analyses)
+# ----------------------------------------------------------------------
+def trap_gaps(counts: Sequence[int], trap: TrapLayout) -> int:
+    """Number of unoccupied inner states."""
+    return sum(1 for s in trap.inner_states if counts[s] == 0)
+
+
+def trap_surplus(counts: Sequence[int], trap: TrapLayout) -> int:
+    """``l`` such that ``m + l + 1`` agents occupy the trap (may be < 0)."""
+    occupancy = sum(counts[s] for s in trap.states)
+    return occupancy - trap.size
+
+
+def trap_is_saturated(counts: Sequence[int], trap: TrapLayout) -> bool:
+    """True iff the trap has no gaps."""
+    return trap_gaps(counts, trap) == 0
+
+
+def trap_is_full(counts: Sequence[int], trap: TrapLayout) -> bool:
+    """True iff saturated and holding at least ``size`` agents."""
+    return (
+        trap_is_saturated(counts, trap)
+        and sum(counts[s] for s in trap.states) >= trap.size
+    )
+
+
+def trap_is_flat(counts: Sequence[int], trap: TrapLayout) -> bool:
+    """True iff no inner state holds two or more agents (Lemma 3)."""
+    return all(counts[s] <= 1 for s in trap.inner_states)
+
+
+def trap_is_tidy(counts: Sequence[int], trap: TrapLayout) -> bool:
+    """True iff every overloaded inner state sits above every gap (§2.2)."""
+    highest_gap = -1
+    lowest_overload = trap.size + 1
+    for state in trap.inner_states:
+        b = state - trap.base
+        if counts[state] == 0:
+            highest_gap = max(highest_gap, b)
+        elif counts[state] >= 2:
+            lowest_overload = min(lowest_overload, b)
+    return lowest_overload > highest_gap
+
+
+class SingleTrapProtocol(PopulationProtocol):
+    """One agent trap plus an absorbing *exit* state.
+
+    States: ``0`` gate, ``1..m`` inner, ``m+1`` exit (the paper's ``Y``).
+    The exit state has no rules, so released agents accumulate there and
+    the run goes silent once the trap itself has settled.  Used by the
+    Lemma 1 micro-benchmarks and the trap property tests.
+
+    ``num_agents`` is free (the trap may start with any surplus or
+    deficit), unlike the ranking protocols where it is tied to the state
+    count.
+    """
+
+    def __init__(self, inner_size: int, num_agents: int) -> None:
+        if inner_size < 0:
+            raise ProtocolError(f"inner_size must be >= 0, got {inner_size}")
+        self._m = inner_size
+        super().__init__(num_states=inner_size + 2, num_agents=num_agents)
+        self._trap = TrapLayout(base=0, size=inner_size + 1)
+
+    @property
+    def trap(self) -> TrapLayout:
+        """Layout of the embedded trap (states ``0..m``)."""
+        return self._trap
+
+    @property
+    def exit_state(self) -> int:
+        """The absorbing state ``Y`` that collects released agents."""
+        return self._m + 1
+
+    def delta(self, initiator: int, responder: int) -> Optional[Transition]:
+        if initiator != responder:
+            return None
+        state = initiator
+        if state == self._trap.gate:
+            # R_g: keep one agent (to the top inner state), release one.
+            return self._trap.top, self.exit_state
+        if self._trap.contains(state):
+            # R_i: the responder descends one step.
+            return state, state - 1
+        return None  # exit state is absorbing
+
+    def same_state_rule_states(self) -> List[int]:
+        return list(self._trap.states)
+
+    def released(self, configuration: Configuration) -> int:
+        """Agents the trap has released so far."""
+        return configuration.count(self.exit_state)
+
+    def state_label(self, state: int) -> str:
+        if state == self._trap.gate:
+            return "gate"
+        if state == self.exit_state:
+            return "exit"
+        return f"inner{state}"
+
+    @property
+    def name(self) -> str:
+        return f"SingleTrap(m={self._m})"

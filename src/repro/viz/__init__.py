@@ -1,0 +1,17 @@
+"""Plain-text renderers for traps, rings, lines, trees, and graph G."""
+
+from .ascii import (
+    render_line,
+    render_ring,
+    render_routing_graph,
+    render_trap,
+    render_tree,
+)
+
+__all__ = [
+    "render_line",
+    "render_ring",
+    "render_routing_graph",
+    "render_trap",
+    "render_tree",
+]

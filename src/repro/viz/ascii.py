@@ -1,0 +1,112 @@
+"""Text renderings of the paper's structures (figures, live state).
+
+Everything here returns plain strings — no plotting dependencies — and
+is shared by the examples, the CLI ``render`` command, and the figure
+benchmarks that regenerate the paper's Figure 1 and Figure 2.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..protocols.line import LineOfTrapsProtocol
+from ..protocols.ring import RingOfTrapsProtocol
+from ..protocols.routing import RoutingGraph
+from ..protocols.trap import TrapLayout
+from ..protocols.tree import NodeKind, PerfectlyBalancedTree
+
+__all__ = [
+    "render_tree",
+    "render_routing_graph",
+    "render_trap",
+    "render_ring",
+    "render_line",
+]
+
+_KIND_MARK = {
+    NodeKind.LEAF: "leaf",
+    NodeKind.NON_BRANCHING: "·",
+    NodeKind.BRANCHING: "⑂",
+}
+
+
+def render_tree(
+    tree: PerfectlyBalancedTree, counts: Optional[Sequence[int]] = None
+) -> str:
+    """Indented pre-order rendering of the tree of ranks (Figure 2 style).
+
+    With ``counts`` given, each node also shows its current occupancy.
+    """
+    lines = [
+        f"perfectly balanced tree, n={tree.size}, height={tree.height}"
+    ]
+
+    def visit(node: int) -> None:
+        indent = "  " * tree.level(node)
+        mark = _KIND_MARK[tree.kind(node)]
+        occupancy = (
+            f"  [{counts[node]} agent(s)]" if counts is not None else ""
+        )
+        lines.append(f"{indent}{node} {mark}{occupancy}")
+        for child in tree.children(node):
+            visit(child)
+
+    visit(0)
+    return "\n".join(lines)
+
+
+def render_routing_graph(graph: RoutingGraph) -> str:
+    """Adjacency rendering of the cubic graph ``G`` (Figure 1 style)."""
+    lines = [
+        f"routing graph G: {graph.num_vertices} lines, "
+        f"cubic={graph.is_cubic()}, diameter={graph.diameter()}"
+    ]
+    for vertex in graph.vertices:
+        l0, l1, l2 = graph.neighbours(vertex)
+        lines.append(f"  line {vertex:>3}: l0={l0:<3} l1={l1:<3} l2={l2:<3}")
+    return "\n".join(lines)
+
+
+def _bar(count: int) -> str:
+    if count == 0:
+        return "."
+    if count <= 9:
+        return str(count)
+    return "*"
+
+
+def render_trap(
+    trap: TrapLayout, counts: Sequence[int], label: str = "trap"
+) -> str:
+    """One-line occupancy map of a trap: gate first, then inner states.
+
+    Digits are agent counts (``.`` empty, ``*`` for 10+); e.g.
+    ``[2|1.13]`` is a gate with two agents and a gap at inner state 2.
+    """
+    gate = _bar(counts[trap.gate])
+    inner = "".join(_bar(counts[s]) for s in trap.inner_states)
+    return f"{label}[{gate}|{inner}]"
+
+
+def render_ring(
+    protocol: RingOfTrapsProtocol, counts: Sequence[int]
+) -> str:
+    """Occupancy of every trap around the ring."""
+    lines = [f"ring of traps, m={protocol.m}, n={protocol.num_agents}"]
+    for index, trap in enumerate(protocol.traps):
+        lines.append("  " + render_trap(trap, counts, label=f"a={index:<3} "))
+    return "\n".join(lines)
+
+
+def render_line(
+    protocol: LineOfTrapsProtocol, counts: Sequence[int], line: int
+) -> str:
+    """Occupancy of one line, exit trap (a=1) first, plus the X count."""
+    parts: List[str] = [
+        f"line {line + 1} (exit → entrance), X holds "
+        f"{counts[protocol.x_state]} agent(s)"
+    ]
+    for a in range(1, protocol.traps_per_line + 1):
+        trap = protocol.trap(line, a)
+        parts.append("  " + render_trap(trap, counts, label=f"a={a:<3} "))
+    return "\n".join(parts)

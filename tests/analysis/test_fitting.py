@@ -1,0 +1,86 @@
+"""Unit tests for power-law fitting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.fitting import (
+    bootstrap_exponent_interval,
+    fit_power_law,
+)
+from repro.exceptions import ExperimentError
+
+
+class TestFitPowerLaw:
+    def test_exact_quadratic(self):
+        xs = [10, 20, 40, 80]
+        ys = [3 * x**2 for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(2.0, abs=1e-9)
+        assert fit.coefficient == pytest.approx(3.0, rel=1e-6)
+        assert fit.r_squared == pytest.approx(1.0, abs=1e-9)
+
+    def test_exact_linear(self):
+        xs = [2, 4, 8, 16]
+        fit = fit_power_law(xs, [5.0 * x for x in xs])
+        assert fit.exponent == pytest.approx(1.0, abs=1e-9)
+
+    def test_log_correction_recovers_polynomial_part(self):
+        xs = [16, 64, 256, 1024]
+        ys = [2 * x * np.log(x) for x in xs]
+        fit = fit_power_law(xs, ys, log_correction=1.0)
+        assert fit.exponent == pytest.approx(1.0, abs=1e-9)
+        assert fit.log_correction == 1.0
+
+    def test_noisy_data_r_squared_below_one(self):
+        rng = np.random.default_rng(0)
+        xs = [10, 20, 40, 80, 160]
+        ys = [x**1.5 * float(rng.uniform(0.8, 1.2)) for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert 1.2 < fit.exponent < 1.8
+        assert 0 < fit.r_squared <= 1
+
+    def test_predict(self):
+        fit = fit_power_law([2, 4, 8], [12, 48, 192])  # 3·x²
+        assert fit.predict(16) == pytest.approx(768, rel=1e-6)
+
+    def test_predict_with_log_correction(self):
+        xs = [16, 64, 256]
+        fit = fit_power_law(xs, [x * np.log(x) for x in xs], log_correction=1.0)
+        assert fit.predict(64) == pytest.approx(64 * np.log(64), rel=1e-6)
+
+    def test_describe_mentions_exponent(self):
+        fit = fit_power_law([2, 4], [4, 16])
+        assert "n^2.00" in fit.describe()
+
+    def test_input_validation(self):
+        with pytest.raises(ExperimentError):
+            fit_power_law([1, 2], [1])
+        with pytest.raises(ExperimentError):
+            fit_power_law([2], [4])
+        with pytest.raises(ExperimentError):
+            fit_power_law([0, 2], [1, 2])
+        with pytest.raises(ExperimentError):
+            fit_power_law([2, 4], [0, 1])
+        with pytest.raises(ExperimentError):
+            fit_power_law([1, 2], [1, 2], log_correction=1.0)
+
+
+class TestBootstrap:
+    def test_interval_brackets_true_exponent(self):
+        rng = np.random.default_rng(1)
+        xs = list(range(10, 200, 20))
+        ys = [x**2 * float(rng.uniform(0.95, 1.05)) for x in xs]
+        lo, hi = bootstrap_exponent_interval(xs, ys, num_resamples=300, seed=2)
+        assert lo <= 2.0 <= hi
+        assert hi - lo < 0.5
+
+    def test_needs_three_points(self):
+        with pytest.raises(ExperimentError):
+            bootstrap_exponent_interval([2, 4], [4, 16])
+
+    def test_deterministic_given_seed(self):
+        xs = [10, 20, 40, 80]
+        ys = [x**1.5 for x in xs]
+        a = bootstrap_exponent_interval(xs, ys, num_resamples=50, seed=5)
+        b = bootstrap_exponent_interval(xs, ys, num_resamples=50, seed=5)
+        assert a == b

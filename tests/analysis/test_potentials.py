@@ -1,0 +1,261 @@
+"""Unit tests for the paper's potential functions and line accounting."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Configuration,
+    JumpEngine,
+    LineOfTrapsProtocol,
+    PerfectlyBalancedTree,
+    RingOfTrapsProtocol,
+    random_configuration,
+)
+from repro.analysis.potentials import (
+    LineVectors,
+    all_traps_tidy,
+    global_deficit,
+    global_excess,
+    global_surplus,
+    indicated_lines,
+    line_deficit,
+    line_excess_tokens,
+    line_surplus,
+    line_vectors,
+    max_tree_path_potential,
+    ring_weight,
+    ring_weight_components,
+    stabilise_line,
+    tree_path_potential,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestRingWeight:
+    protocol = RingOfTrapsProtocol(m=3)  # 3 traps of size 4
+
+    def test_solved_configuration_weight_zero(self):
+        counts = [1] * 12
+        assert ring_weight(self.protocol, counts) == 0
+
+    def test_gap_counting(self):
+        counts = [1] * 12
+        counts[2] = 0  # gap in trap 0
+        counts[3] = 2
+        k1, k2 = ring_weight_components(self.protocol, counts)
+        assert k2 == 1
+        assert k1 == 0  # trap 0 is not flat (state 3 overloaded)
+        assert ring_weight(self.protocol, counts) == 2
+
+    def test_flat_trap_with_empty_gate(self):
+        counts = [1] * 12
+        counts[0] = 0   # gate of trap 0 empty
+        counts[1] = 2   # keep population size; inner overloaded → not flat
+        k1, __ = ring_weight_components(self.protocol, counts)
+        assert k1 == 0
+        counts = [1] * 12
+        counts[4] = 0   # gate of trap 1 empty, trap 1 flat
+        counts[8] = 2
+        k1, k2 = ring_weight_components(self.protocol, counts)
+        assert k1 == 1 and k2 == 0
+
+    def test_weight_bounded_by_2k(self):
+        """K = k1 + 2·k2 <= 2k for any k-distant configuration (§3.2)."""
+        from repro import k_distant_configuration
+
+        for k in (1, 3, 6):
+            for seed in range(5):
+                config = k_distant_configuration(self.protocol, k, seed=seed)
+                assert ring_weight(self.protocol, config.counts_list()) <= 2 * k
+
+    def test_monotone_along_trajectories(self):
+        """Lemma 3's core argument: K never increases."""
+        protocol = RingOfTrapsProtocol(m=4)
+        for seed in range(5):
+            start = random_configuration(protocol, seed=seed,
+                                         include_extras=False)
+            engine = JumpEngine(protocol, start,
+                                np.random.default_rng(seed))
+            previous = ring_weight(protocol, engine.counts)
+            while True:
+                if engine.step() is None:
+                    break
+                current = ring_weight(protocol, engine.counts)
+                assert current <= previous, "Lemma 3 weight increased"
+                previous = current
+            assert previous == 0  # silent ⇒ solved ⇒ K = 0
+
+
+class TestTidiness:
+    def test_tidy_detection(self):
+        protocol = RingOfTrapsProtocol(m=3)
+        counts = [1] * 12
+        assert all_traps_tidy(protocol.traps, counts)
+        counts[1] = 2  # overload at inner 1...
+        counts[3] = 0  # ...below a gap at inner 3 → untidy
+        assert not all_traps_tidy(protocol.traps, counts)
+
+    def test_tidiness_absorbing_along_runs(self):
+        """Lemma 2: once tidy, configurations remain tidy."""
+        protocol = RingOfTrapsProtocol(m=4)
+        for seed in range(3):
+            start = random_configuration(protocol, seed=seed,
+                                         include_extras=False)
+            engine = JumpEngine(protocol, start, np.random.default_rng(seed))
+            seen_tidy = False
+            while True:
+                tidy = all_traps_tidy(protocol.traps, engine.counts)
+                if seen_tidy:
+                    assert tidy, "tidiness must persist (Lemma 2)"
+                seen_tidy = seen_tidy or tidy
+                if engine.step() is None:
+                    break
+            assert seen_tidy
+
+
+class TestTreePotential:
+    tree = PerfectlyBalancedTree(9)
+
+    def test_balanced_path_has_zero_potential(self):
+        counts = [1] * 9
+        for leaf in self.tree.leaves:
+            assert tree_path_potential(self.tree, counts, leaf) == 0
+
+    def test_extra_agent_raises_potential(self):
+        counts = [1] * 9
+        counts[0] = 2  # extra agent on the (branching) root
+        for leaf in self.tree.leaves:
+            assert tree_path_potential(self.tree, counts, leaf) == 1
+
+    def test_non_branching_weighted_three_halves(self):
+        counts = [1] * 9
+        counts[1] += 1  # node 1 is non-branching, on paths to leaves 3, 4
+        assert tree_path_potential(self.tree, counts, 3) == 1.5
+        assert tree_path_potential(self.tree, counts, 7) == 0
+
+    def test_missing_agent_lowers_potential(self):
+        counts = [1] * 9
+        counts[3] = 0  # leaf 3 empty
+        assert tree_path_potential(self.tree, counts, 3) == -1
+
+    def test_max_over_paths(self):
+        counts = [1] * 9
+        counts[6] += 2  # branching node on paths to 7, 8
+        assert max_tree_path_potential(self.tree, counts) == 2
+
+
+class TestLineVectors:
+    def test_length_validation(self):
+        with pytest.raises(ConfigurationError):
+            LineVectors(beta=(1, 2), gamma=(0,), inner_caps=(2, 2))
+
+    def test_totals(self):
+        vectors = LineVectors(beta=(2, 0), gamma=(1, 3), inner_caps=(2, 2))
+        assert vectors.num_agents == 6
+        assert vectors.capacity == 6
+        assert vectors.num_traps == 2
+
+    def test_allocation_vector(self):
+        vectors = LineVectors(beta=(1, 3), gamma=(4, 0), inner_caps=(2, 2))
+        # trap 1: min(1 + 2, 2) = 2 ; trap 2: min(3 + 0, 2) = 2
+        assert vectors.allocation() == (2, 2)
+
+    def test_target_gate_vector(self):
+        # under capacity: δ = γ mod 2 ; over capacity: δ = 1
+        vectors = LineVectors(beta=(0, 2), gamma=(3, 2), inner_caps=(2, 2))
+        # trap 1: 0+1 <= 2 → δ = 3 % 2 = 1 ; trap 2: 2+1 > 2 → δ = 1
+        assert vectors.target_gate() == (1, 1)
+        vectors = LineVectors(beta=(0, 0), gamma=(2, 0), inner_caps=(2, 2))
+        assert vectors.target_gate() == (0, 0)
+
+    def test_excess_vector(self):
+        # under capacity: ρ = ⌊γ/2⌋ ; over: ρ = β + γ − cap − 1
+        vectors = LineVectors(beta=(0, 2), gamma=(5, 3), inner_caps=(2, 2))
+        # trap 1: 0+2 <= 2 → ρ = 2 ; trap 2: 2+1 > 2 → 2+3−2−1 = 2
+        assert vectors.excess() == (2, 2)
+
+    def test_excess_tokens_total(self):
+        vectors = LineVectors(beta=(0, 2), gamma=(5, 3), inner_caps=(2, 2))
+        assert line_excess_tokens(vectors) == 4
+
+
+class TestStabiliseLine:
+    def test_empty_line(self):
+        vectors = LineVectors(beta=(0, 0), gamma=(0, 0), inner_caps=(2, 2))
+        final, surplus = stabilise_line(vectors)
+        assert surplus == 0
+        assert final.beta == (0, 0) and final.gamma == (0, 0)
+
+    def test_solved_line_is_fixed_point(self):
+        vectors = LineVectors(beta=(2, 2), gamma=(1, 1), inner_caps=(2, 2))
+        final, surplus = stabilise_line(vectors)
+        assert surplus == 0
+        assert final == vectors
+
+    def test_flow_through_full_line(self):
+        # everything at the entrance gate of a 2-trap line, caps 2
+        vectors = LineVectors(beta=(0, 0), gamma=(0, 8), inner_caps=(2, 2))
+        final, surplus = stabilise_line(vectors)
+        # entrance trap keeps 2 inner + 0 gate; forwards 4; exit trap
+        # keeps 2 inner; releases 2; gates: γ = y mod 2
+        assert final.beta == (2, 2)
+        assert surplus + final.num_agents == 8
+
+    def test_deficit_matches_definition(self):
+        vectors = LineVectors(beta=(0, 1), gamma=(1, 0), inner_caps=(2, 2))
+        final, surplus = stabilise_line(vectors)
+        assert line_deficit(vectors) == final.capacity - final.num_agents
+        assert line_surplus(vectors) == surplus
+
+
+class TestGlobalQuantities:
+    protocol = LineOfTrapsProtocol(m=2)
+
+    def test_solved_configuration_all_zero(self):
+        counts = self.protocol.solved_configuration().counts_list()
+        assert global_surplus(self.protocol, counts) == 0
+        assert global_deficit(self.protocol, counts) == 0
+        assert global_excess(self.protocol, counts) == 0
+
+    def test_lemma10_identity_on_random_configurations(self):
+        """Lemma 10: s(C) = d(C) for every configuration."""
+        for seed in range(10):
+            config = random_configuration(self.protocol, seed=seed)
+            counts = config.counts_list()
+            assert global_surplus(self.protocol, counts) == global_deficit(
+                self.protocol, counts
+            )
+
+    def test_surplus_bounded_by_excess(self):
+        """§4.2: s(C) <= r(C) (each released agent is a handled token)."""
+        for seed in range(10):
+            config = random_configuration(self.protocol, seed=seed)
+            counts = config.counts_list()
+            assert global_surplus(self.protocol, counts) <= global_excess(
+                self.protocol, counts
+            )
+
+    def test_line_vectors_extraction(self):
+        counts = self.protocol.solved_configuration().counts_list()
+        vectors = line_vectors(self.protocol, counts, 0)
+        assert vectors.num_traps == self.protocol.traps_per_line
+        assert vectors.beta == (2,) * 6
+        assert vectors.gamma == (1,) * 6
+
+    def test_indicated_lines_solved(self):
+        """Every line is indicated in the solved configuration."""
+        counts = self.protocol.solved_configuration().counts_list()
+        assert all(indicated_lines(self.protocol, counts))
+
+    def test_indicated_lines_empty(self):
+        """No line is indicated when everyone sits in X."""
+        counts = [0] * self.protocol.num_states
+        counts[self.protocol.x_state] = self.protocol.num_agents
+        assert not any(indicated_lines(self.protocol, counts))
+
+    def test_excess_decreases_to_zero_over_run(self):
+        """r(C) hits 0 exactly at the silent configuration."""
+        start = random_configuration(self.protocol, seed=4)
+        engine = JumpEngine(self.protocol, start, np.random.default_rng(4))
+        engine.run()
+        assert global_excess(self.protocol, engine.counts) == 0

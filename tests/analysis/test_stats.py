@@ -1,0 +1,84 @@
+"""Unit tests for summary statistics."""
+
+import pytest
+
+from repro.analysis.stats import (
+    geometric_mean,
+    summarise,
+    wilson_interval,
+)
+from repro.exceptions import ExperimentError
+
+
+class TestSummarise:
+    def test_basic_summary(self):
+        s = summarise([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert s.count == 5
+        assert s.mean == 3.0
+        assert s.median == 3.0
+        assert s.minimum == 1.0
+        assert s.maximum == 5.0
+        assert s.p25 == 2.0
+        assert s.p75 == 4.0
+
+    def test_single_value(self):
+        s = summarise([7.0])
+        assert s.std == 0.0
+        assert s.mean == s.median == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            summarise([])
+
+    def test_describe(self):
+        s = summarise([1.0, 2.0, 9.0])
+        assert "2" in s.describe()
+        assert "[1..9]" in s.describe()
+
+
+class TestWilson:
+    def test_all_successes(self):
+        lo, hi = wilson_interval(20, 20)
+        assert 0.8 < lo < 1.0
+        assert hi == 1.0
+
+    def test_no_successes(self):
+        lo, hi = wilson_interval(0, 20)
+        assert lo == 0.0
+        assert 0 < hi < 0.2
+
+    def test_half(self):
+        lo, hi = wilson_interval(50, 100)
+        assert lo < 0.5 < hi
+        assert hi - lo < 0.25
+
+    def test_interval_shrinks_with_trials(self):
+        narrow = wilson_interval(500, 1000)
+        wide = wilson_interval(5, 10)
+        assert (narrow[1] - narrow[0]) < (wide[1] - wide[0])
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            wilson_interval(1, 0)
+        with pytest.raises(ExperimentError):
+            wilson_interval(5, 3)
+        with pytest.raises(ExperimentError):
+            wilson_interval(-1, 3)
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+
+    def test_scale_invariance(self):
+        values = [1.5, 2.0, 7.0]
+        doubled = [2 * v for v in values]
+        assert geometric_mean(doubled) == pytest.approx(
+            2 * geometric_mean(values)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            geometric_mean([])
+        with pytest.raises(ExperimentError):
+            geometric_mean([1.0, 0.0])

@@ -1,0 +1,71 @@
+"""Unit tests for the sweep runner."""
+
+import pytest
+
+from repro import AGProtocol, k_distant_configuration
+from repro.analysis.sweep import measure_stabilisation, run_sweep
+from repro.exceptions import ExperimentError
+
+
+def _builder(params, rng):
+    protocol = AGProtocol(int(params["n"]))
+    return protocol, k_distant_configuration(protocol, 2, seed=rng)
+
+
+class TestRunSweep:
+    def test_point_and_run_counts(self):
+        points = run_sweep(
+            [{"n": 8}, {"n": 12}], _builder, repetitions=3, seed=0
+        )
+        assert len(points) == 2
+        assert all(len(p.runs) == 3 for p in points)
+        assert points[0].params == {"n": 8}
+
+    def test_all_runs_silent(self):
+        points = run_sweep([{"n": 10}], _builder, repetitions=4, seed=1)
+        assert points[0].all_silent
+        assert all(r.final_configuration.is_ranked(10) for r in points[0].runs)
+
+    def test_reproducible_from_root_seed(self):
+        a = run_sweep([{"n": 10}], _builder, repetitions=3, seed=7)
+        b = run_sweep([{"n": 10}], _builder, repetitions=3, seed=7)
+        assert a[0].interaction_counts == b[0].interaction_counts
+
+    def test_repetitions_are_independent(self):
+        points = run_sweep([{"n": 16}], _builder, repetitions=6, seed=3)
+        assert len(set(points[0].interaction_counts)) > 1
+
+    def test_summaries(self):
+        point = run_sweep([{"n": 10}], _builder, repetitions=5, seed=2)[0]
+        summary = point.time_summary()
+        assert summary.count == 5
+        assert point.median_parallel_time() == summary.median
+        assert point.max_parallel_time() == summary.maximum
+        assert summary.minimum <= summary.median <= summary.maximum
+
+    def test_budget_marks_non_silent(self):
+        points = run_sweep(
+            [{"n": 24}], _builder, repetitions=2, seed=0, max_interactions=5
+        )
+        assert not points[0].all_silent
+
+    def test_invalid_repetitions(self):
+        with pytest.raises(ExperimentError):
+            run_sweep([{"n": 8}], _builder, repetitions=0)
+
+
+class TestMeasureStabilisation:
+    def test_x_name_wiring(self):
+        points = measure_stabilisation(
+            _builder, [8, 12, 16], x_name="n", repetitions=2, seed=4
+        )
+        assert [p.params["n"] for p in points] == [8, 12, 16]
+
+    def test_sequential_times_grow_with_n(self):
+        points = measure_stabilisation(
+            _builder, [8, 64], x_name="n", repetitions=3, seed=5
+        )
+        assert (
+            points[1].median_parallel_time()
+            > points[0].median_parallel_time()
+        )

@@ -1,0 +1,67 @@
+"""Unit tests for table rendering."""
+
+import pytest
+
+from repro.analysis.tables import Table, format_value
+
+
+class TestFormatValue:
+    def test_ints_get_separators(self):
+        assert format_value(1234567) == "1,234,567"
+
+    def test_bools_are_yes_no(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_floats_sig_figs(self):
+        assert format_value(3.14159) == "3.142"
+        assert format_value(0.5) == "0.5"
+
+    def test_extreme_floats_scientific(self):
+        assert "e" in format_value(1.5e7)
+        assert "e" in format_value(1.5e-7)
+
+    def test_zero(self):
+        assert format_value(0.0) == "0"
+
+    def test_strings_pass_through(self):
+        assert format_value("abc") == "abc"
+
+
+class TestTable:
+    def _table(self):
+        table = Table(title="T", headers=["a", "b"])
+        table.add_row(1, 2.5)
+        table.add_row(1000, "x")
+        table.add_note("a note")
+        return table
+
+    def test_row_arity_checked(self):
+        table = Table(title="T", headers=["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_render_contains_everything(self):
+        text = self._table().render()
+        assert "T" in text
+        assert "a" in text and "b" in text
+        assert "1,000" in text
+        assert "note: a note" in text
+
+    def test_render_columns_aligned(self):
+        lines = self._table().render().splitlines()
+        header_line = next(l for l in lines if "a" in l and "|" in l)
+        data_lines = [l for l in lines if l.strip().startswith(("1", "1,000"))]
+        pipe = header_line.index("|")
+        assert all(line.index("|") == pipe for line in data_lines)
+
+    def test_markdown_shape(self):
+        md = self._table().to_markdown()
+        assert md.startswith("### T")
+        assert "| a | b |" in md
+        assert "|---|---|" in md
+        assert "*a note*" in md
+
+    def test_str_is_render(self):
+        table = self._table()
+        assert str(table) == table.render()

@@ -1,0 +1,123 @@
+"""Unit tests for trajectory instrumentation."""
+
+import pytest
+
+from repro import (
+    AGProtocol,
+    Configuration,
+    TreeRankingProtocol,
+    all_in_state_configuration,
+    run_protocol,
+)
+from repro.analysis.trajectories import (
+    PhaseCensus,
+    ResetCounter,
+    SampledMetricRecorder,
+    TreePhaseRecorder,
+)
+
+
+class TestSampledMetricRecorder:
+    def test_sampling_rate(self):
+        protocol = AGProtocol(16)
+        start = Configuration.all_in_state(0, 16, 16)
+        recorder = SampledMetricRecorder(
+            lambda counts: max(counts), sample_every=10
+        )
+        result = run_protocol(protocol, start, seed=1, recorder=recorder)
+        # start + every 10th event + final
+        expected = 1 + result.events // 10 + 1
+        assert abs(len(recorder.values) - expected) <= 1
+
+    def test_final_state_always_sampled(self):
+        protocol = AGProtocol(8)
+        start = Configuration.all_in_state(0, 8, 8)
+        recorder = SampledMetricRecorder(
+            lambda counts: max(counts), sample_every=10_000
+        )
+        result = run_protocol(protocol, start, seed=1, recorder=recorder)
+        assert recorder.values[-1] == 1  # perfectly ranked
+        assert recorder.interactions[-1] == result.interactions
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            SampledMetricRecorder(lambda c: 0, sample_every=0)
+
+    def test_interactions_monotone(self):
+        protocol = AGProtocol(12)
+        start = Configuration.all_in_state(0, 12, 12)
+        recorder = SampledMetricRecorder(lambda c: 0, sample_every=3)
+        run_protocol(protocol, start, seed=2, recorder=recorder)
+        stamps = recorder.interactions
+        assert all(a <= b for a, b in zip(stamps, stamps[1:]))
+
+
+class TestPhaseCensus:
+    def test_phase_labels(self):
+        assert PhaseCensus(0, tree=5, red=0, green=0).phase == "tree"
+        assert PhaseCensus(0, tree=1, red=3, green=1).phase == "red"
+        assert PhaseCensus(0, tree=1, red=1, green=3).phase == "green"
+
+
+class TestTreePhaseRecorder:
+    def test_census_totals_conserve_population(self):
+        protocol = TreeRankingProtocol(20, k=3)
+        leaf = protocol.tree.leaves[-1]
+        start = all_in_state_configuration(protocol, leaf)
+        recorder = TreePhaseRecorder(protocol, sample_every=5)
+        run_protocol(protocol, start, seed=3, recorder=recorder)
+        for census in recorder.censuses:
+            assert census.tree + census.red + census.green == 20
+
+    def test_reset_run_passes_through_red(self):
+        """A leaf pile-up must visit the red phase before finishing."""
+        protocol = TreeRankingProtocol(20, k=3)
+        leaf = protocol.tree.leaves[-1]
+        start = all_in_state_configuration(protocol, leaf)
+        recorder = TreePhaseRecorder(protocol, sample_every=1)
+        run_protocol(protocol, start, seed=3, recorder=recorder)
+        phases = recorder.phases_seen()
+        assert "red" in phases
+        assert recorder.censuses[-1].phase == "tree"  # ends ranked
+
+    def test_solved_run_stays_in_tree_phase(self):
+        protocol = TreeRankingProtocol(10, k=2)
+        recorder = TreePhaseRecorder(protocol)
+        run_protocol(
+            protocol, protocol.solved_configuration(), seed=0,
+            recorder=recorder,
+        )
+        assert recorder.phases_seen() == ["tree"]
+
+
+class TestResetCounter:
+    def test_counts_r2_firings(self):
+        protocol = TreeRankingProtocol(20, k=3)
+        leaf = protocol.tree.leaves[-1]
+        start = all_in_state_configuration(protocol, leaf)
+        counter = ResetCounter(protocol)
+        run_protocol(protocol, start, seed=4, recorder=counter)
+        assert counter.resets >= 1
+        assert len(counter.reset_interactions) == counter.resets
+        stamps = counter.reset_interactions
+        assert all(a <= b for a, b in zip(stamps, stamps[1:]))
+
+    def test_no_resets_from_solved(self):
+        protocol = TreeRankingProtocol(10, k=2)
+        counter = ResetCounter(protocol)
+        run_protocol(
+            protocol, protocol.solved_configuration(), seed=0,
+            recorder=counter,
+        )
+        assert counter.resets == 0
+
+    def test_dispersal_from_root_never_resets(self):
+        """Lemma 19: from all-at-root, R1 ranks without any overloads
+        reaching a leaf pair."""
+        protocol = TreeRankingProtocol(21, k=3)
+        start = Configuration.all_in_state(0, 21, protocol.num_states)
+        counter = ResetCounter(protocol)
+        result = run_protocol(protocol, start, seed=5, recorder=counter)
+        assert result.silent
+        assert protocol.is_ranked(result.final_configuration)
+        assert counter.resets == 0

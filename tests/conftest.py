@@ -1,0 +1,61 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    AGProtocol,
+    LineOfTrapsProtocol,
+    RingOfTrapsProtocol,
+    TreeRankingProtocol,
+)
+
+
+@pytest.fixture
+def rng():
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def ag_small():
+    return AGProtocol(12)
+
+
+@pytest.fixture
+def ring_small():
+    return RingOfTrapsProtocol(m=4)  # n = 20
+
+
+@pytest.fixture
+def tree_small():
+    return TreeRankingProtocol(13, k=3)
+
+
+@pytest.fixture
+def line_small():
+    return LineOfTrapsProtocol(m=2)  # n = 72
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--run-slow",
+        action="store_true",
+        default=False,
+        help="also run tests marked slow",
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "slow: long-running statistical test")
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--run-slow"):
+        return
+    skip_slow = pytest.mark.skip(reason="needs --run-slow")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)

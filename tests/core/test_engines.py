@@ -1,0 +1,258 @@
+"""Unit tests for the jump and sequential engines and the runner API."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AGProtocol,
+    Configuration,
+    JumpEngine,
+    MetricRecorder,
+    RingOfTrapsProtocol,
+    SequentialEngine,
+    TrajectoryRecorder,
+    TreeRankingProtocol,
+    run_protocol,
+    solved_configuration,
+)
+from repro.exceptions import (
+    ConfigurationError,
+    SimulationError,
+    SimulationLimitReached,
+)
+
+
+def _engine(protocol, config, seed=0, cls=JumpEngine):
+    return cls(protocol, config, np.random.default_rng(seed))
+
+
+class TestJumpEngineBasics:
+    def test_solved_configuration_is_silent(self):
+        protocol = AGProtocol(6)
+        engine = _engine(protocol, solved_configuration(protocol))
+        assert engine.is_silent()
+        assert engine.step() is None
+        assert engine.run() is True
+        assert engine.interactions == 0
+
+    def test_step_applies_exactly_one_transition(self):
+        protocol = AGProtocol(4)
+        engine = _engine(protocol, Configuration([4, 0, 0, 0]))
+        event = engine.step()
+        assert event is not None
+        assert engine.counts == [3, 1, 0, 0]
+        assert engine.events == 1
+        assert event.interactions == engine.interactions >= 1
+
+    def test_agent_count_conserved(self):
+        protocol = TreeRankingProtocol(9, k=2)
+        config = Configuration.all_in_state(8, 9, protocol.num_states)
+        engine = _engine(protocol, config)
+        engine.run()
+        assert sum(engine.counts) == 9
+
+    def test_run_reaches_correct_ranking(self):
+        protocol = AGProtocol(8)
+        engine = _engine(protocol, Configuration.all_in_state(3, 8, 8))
+        assert engine.run() is True
+        assert engine.counts == [1] * 8
+
+    def test_interactions_at_least_events(self):
+        protocol = AGProtocol(16)
+        engine = _engine(protocol, Configuration.all_in_state(0, 16, 16))
+        engine.run()
+        assert engine.interactions >= engine.events > 0
+
+    def test_validates_configuration_size(self):
+        protocol = AGProtocol(5)
+        with pytest.raises(ConfigurationError):
+            _engine(protocol, Configuration([1] * 4))
+
+    def test_validates_agent_count(self):
+        protocol = AGProtocol(5)
+        with pytest.raises(ConfigurationError):
+            _engine(protocol, Configuration([2, 1, 1, 1, 1]))
+
+    def test_rand_below_range(self):
+        protocol = AGProtocol(4)
+        engine = _engine(protocol, Configuration([1] * 4))
+        draws = [engine.rand_below(7) for _ in range(1000)]
+        assert min(draws) >= 0 and max(draws) < 7
+        assert len(set(draws)) == 7  # all values reachable
+
+    def test_max_interactions_budget(self):
+        protocol = AGProtocol(32)
+        engine = _engine(protocol, Configuration.all_in_state(0, 32, 32))
+        silent = engine.run(max_interactions=50)
+        assert silent is False
+        assert engine.interactions == 50
+
+    def test_null_pair_from_families_raises(self):
+        class Broken(AGProtocol):
+            def delta(self, initiator, responder):
+                return None  # families still claim productive pairs
+
+        engine = _engine(Broken(4), Configuration([4, 0, 0, 0]))
+        with pytest.raises(SimulationError):
+            engine.step()
+
+
+class TestSequentialEngineBasics:
+    def test_solved_is_silent(self):
+        protocol = AGProtocol(5)
+        engine = _engine(
+            protocol, solved_configuration(protocol), cls=SequentialEngine
+        )
+        assert engine.run() is True
+        assert engine.interactions == 0
+
+    def test_agent_array_matches_counts(self):
+        protocol = RingOfTrapsProtocol(m=3)
+        config = Configuration.all_in_state(0, 12, 12)
+        engine = _engine(protocol, config, cls=SequentialEngine)
+        engine.run(max_interactions=500)
+        counts = [0] * protocol.num_states
+        for state in engine.agent_states:
+            counts[state] += 1
+        assert counts == engine.counts
+
+    def test_reaches_correct_ranking(self):
+        protocol = AGProtocol(6)
+        engine = _engine(
+            protocol, Configuration.all_in_state(0, 6, 6), cls=SequentialEngine
+        )
+        assert engine.run() is True
+        assert engine.counts == [1] * 6
+
+    def test_every_interaction_counted(self):
+        protocol = AGProtocol(6)
+        engine = _engine(
+            protocol, Configuration.all_in_state(0, 6, 6), cls=SequentialEngine
+        )
+        engine.run(max_interactions=100)
+        # sequential counts nulls too, so interactions ≥ events always
+        assert engine.interactions >= engine.events
+
+    def test_step_returns_none_for_null(self):
+        protocol = AGProtocol(4)
+        # two distinct singleton states → every interaction is null
+        engine = _engine(
+            protocol, Configuration([1, 1, 1, 1]), cls=SequentialEngine
+        )
+        assert engine.step() is None
+        assert engine.interactions == 1
+
+
+class TestRunProtocol:
+    def test_result_fields(self):
+        protocol = AGProtocol(8)
+        config = Configuration.all_in_state(0, 8, 8)
+        result = run_protocol(protocol, config, seed=1)
+        assert result.silent is True
+        assert result.protocol_name == "AG"
+        assert result.engine_name == "jump"
+        assert result.num_agents == 8
+        assert result.parallel_time == result.interactions / 8
+        assert result.final_configuration.is_ranked(8)
+        assert result.wall_time_s >= 0
+        assert result.seed == 1
+
+    def test_deterministic_given_seed(self):
+        protocol = AGProtocol(10)
+        config = Configuration.all_in_state(0, 10, 10)
+        a = run_protocol(protocol, config, seed=42)
+        b = run_protocol(protocol, config, seed=42)
+        assert a.interactions == b.interactions
+        assert a.events == b.events
+
+    def test_different_seeds_differ(self):
+        protocol = AGProtocol(10)
+        config = Configuration.all_in_state(0, 10, 10)
+        runs = {run_protocol(protocol, config, seed=s).interactions
+                for s in range(5)}
+        assert len(runs) > 1
+
+    def test_unknown_engine_rejected(self):
+        protocol = AGProtocol(4)
+        with pytest.raises(SimulationError):
+            run_protocol(protocol, solved_configuration(protocol),
+                         engine="warp")
+
+    def test_require_silence_raises_on_budget(self):
+        protocol = AGProtocol(32)
+        config = Configuration.all_in_state(0, 32, 32)
+        with pytest.raises(SimulationLimitReached):
+            run_protocol(protocol, config, seed=0, max_interactions=10,
+                         require_silence=True)
+
+    def test_budget_returns_non_silent(self):
+        protocol = AGProtocol(32)
+        config = Configuration.all_in_state(0, 32, 32)
+        result = run_protocol(protocol, config, seed=0, max_interactions=10)
+        assert result.silent is False
+        assert result.interactions == 10
+
+    def test_sequential_engine_selectable(self):
+        protocol = AGProtocol(6)
+        config = Configuration.all_in_state(0, 6, 6)
+        result = run_protocol(protocol, config, seed=3, engine="sequential")
+        assert result.silent and result.engine_name == "sequential"
+
+    def test_repr(self):
+        protocol = AGProtocol(6)
+        result = run_protocol(
+            protocol, Configuration.all_in_state(0, 6, 6), seed=0
+        )
+        assert "silent" in repr(result)
+
+
+class TestRecorders:
+    def test_trajectory_recorder_sees_every_event(self):
+        protocol = AGProtocol(8)
+        config = Configuration.all_in_state(0, 8, 8)
+        recorder = TrajectoryRecorder()
+        result = run_protocol(protocol, config, seed=5, recorder=recorder)
+        assert len(recorder.events) == result.events
+        # interaction stamps strictly increase
+        stamps = [e.interactions for e in recorder.events]
+        assert all(a < b for a, b in zip(stamps, stamps[1:]))
+
+    def test_metric_recorder_tracks_duplicates(self):
+        protocol = AGProtocol(8)
+        config = Configuration.all_in_state(0, 8, 8)
+        recorder = MetricRecorder(
+            lambda counts: sum(c - 1 for c in counts if c > 1)
+        )
+        run_protocol(protocol, config, seed=5, recorder=recorder)
+        assert recorder.values[0] == 7  # all 8 agents piled on one state
+        assert recorder.values[-1] == 0  # perfectly ranked
+        assert len(recorder.values) == len(recorder.interactions)
+
+    def test_recorder_with_sequential_engine(self):
+        protocol = AGProtocol(6)
+        config = Configuration.all_in_state(0, 6, 6)
+        recorder = TrajectoryRecorder()
+        result = run_protocol(
+            protocol, config, seed=5, engine="sequential", recorder=recorder
+        )
+        assert len(recorder.events) == result.events
+
+
+class TestJumpGeometricDistribution:
+    @pytest.mark.slow
+    def test_skip_distribution_matches_geometric(self):
+        """One productive pair among n=20 agents: skip ~ Geometric(2/380)."""
+        protocol = AGProtocol(20)
+        counts = [1] * 20
+        counts[0] = 2
+        counts[19] = 0
+        samples = []
+        for seed in range(400):
+            engine = _engine(protocol, Configuration(counts), seed=seed)
+            event = engine.step()
+            samples.append(event.interactions)
+        p = 2 / (20 * 19)
+        expected_mean = 1 / p  # 190
+        mean = float(np.mean(samples))
+        # 400 samples of Geometric(1/190): std of mean ≈ 190/20 ≈ 9.5
+        assert abs(mean - expected_mean) < 40

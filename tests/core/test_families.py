@@ -1,0 +1,209 @@
+"""Unit tests for the productive-pair weight families."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AGProtocol,
+    LineOfTrapsProtocol,
+    RingOfTrapsProtocol,
+    SingleTrapProtocol,
+    TreeRankingProtocol,
+)
+from repro.core.families import (
+    OrderedProduct,
+    SameStatePairs,
+    TriangularLine,
+    check_family_coverage,
+)
+from repro.exceptions import SimulationError
+
+
+def _draws(seq):
+    """A rand_below stub that replays a scripted sequence of draws."""
+    iterator = iter(seq)
+
+    def rand_below(bound):
+        value = next(iterator)
+        assert 0 <= value < bound
+        return value
+
+    return rand_below
+
+
+class TestSameStatePairs:
+    def test_weight_counts_ordered_pairs(self):
+        counts = [3, 1, 2]
+        family = SameStatePairs(counts, rule_states=[0, 1, 2])
+        # 3·2 + 1·0 + 2·1 = 8 ordered pairs
+        assert family.weight == 8
+
+    def test_states_without_rules_ignored(self):
+        family = SameStatePairs([5, 5], rule_states=[1])
+        assert family.weight == 20
+
+    def test_on_count_change(self):
+        counts = [2, 2]
+        family = SameStatePairs(counts, rule_states=[0, 1])
+        family.on_count_change(0, 2, 4)
+        assert family.weight == 4 * 3 + 2 * 1
+
+    def test_sample_returns_same_state_pair(self):
+        family = SameStatePairs([0, 3, 0], rule_states=[0, 1, 2])
+        si, sj = family.sample(_draws([4]))
+        assert (si, sj) == (1, 1)
+
+    def test_sample_proportional_split(self):
+        family = SameStatePairs([2, 0, 2], rule_states=[0, 1, 2])
+        # weight 2 per state; targets 0,1 → state 0; 2,3 → state 2
+        assert family.sample(_draws([1])) == (0, 0)
+        assert family.sample(_draws([2])) == (2, 2)
+
+    def test_covers(self):
+        family = SameStatePairs([1, 1], rule_states=[0])
+        assert family.covers(0, 0)
+        assert not family.covers(1, 1)
+        assert not family.covers(0, 1)
+
+
+class TestOrderedProduct:
+    def test_weight_is_product(self):
+        counts = [2, 3, 4]
+        family = OrderedProduct(counts, initiators=[0, 1], responders=[2])
+        assert family.weight == (2 + 3) * 4
+
+    def test_disjointness_enforced(self):
+        with pytest.raises(SimulationError):
+            OrderedProduct([1, 1], initiators=[0], responders=[0, 1])
+
+    def test_on_count_change_both_sides(self):
+        counts = [1, 1]
+        family = OrderedProduct(counts, initiators=[0], responders=[1])
+        family.on_count_change(0, 1, 5)
+        assert family.weight == 5
+        family.on_count_change(1, 1, 3)
+        assert family.weight == 15
+
+    def test_sample(self):
+        counts = [2, 0, 3]
+        family = OrderedProduct(counts, initiators=[0, 1], responders=[2])
+        si, sj = family.sample(_draws([1, 2]))
+        assert (si, sj) == (0, 2)
+
+    def test_covers(self):
+        family = OrderedProduct([1, 1, 1], initiators=[0], responders=[2])
+        assert family.covers(0, 2)
+        assert not family.covers(2, 0)
+        assert not family.covers(0, 1)
+
+
+class TestTriangularLine:
+    def test_weight_formula(self):
+        # line states 10, 11, 12 with counts 2, 1, 3
+        counts = {10: 2, 11: 1, 12: 3}
+        full = [0] * 13
+        for s, c in counts.items():
+            full[s] = c
+        family = TriangularLine(full, line_states=[10, 11, 12])
+        # i=0: 2·1 (same) + 2·4 (cross) = 10
+        # i=1: 0 + 1·3 = 3 ; i=2: 3·2 = 6  → total 19
+        assert family.weight == 19
+
+    def test_distinct_states_required(self):
+        with pytest.raises(SimulationError):
+            TriangularLine([1, 1], line_states=[0, 0])
+
+    def test_on_count_change_recomputes(self):
+        full = [2, 2]
+        family = TriangularLine(full, line_states=[0, 1])
+        before = family.weight  # 2·1 + 2·2 + 2·1 = 8
+        assert before == 8
+        family.on_count_change(0, 2, 0)
+        assert family.weight == 2  # only (1,1) pairs remain
+
+    def test_ignores_foreign_states(self):
+        family = TriangularLine([1, 1, 5], line_states=[0, 1])
+        w = family.weight
+        family.on_count_change(2, 5, 50)
+        assert family.weight == w
+
+    def test_sample_same_and_cross(self):
+        full = [2, 1]
+        family = TriangularLine(full, line_states=[0, 1])
+        # weight: same(0)=2, cross(0→1)=2, same(1)=0 → total 4
+        assert family.sample(_draws([0])) == (0, 0)
+        assert family.sample(_draws([2])) == (0, 1)
+        assert family.sample(_draws([3])) == (0, 1)
+
+    def test_covers_triangular(self):
+        family = TriangularLine([0] * 8, line_states=[5, 6, 7])
+        assert family.covers(5, 7)
+        assert family.covers(6, 6)
+        assert not family.covers(7, 5)
+        assert not family.covers(5, 4)
+
+
+class TestCoverage:
+    @pytest.mark.parametrize(
+        "protocol",
+        [
+            AGProtocol(6),
+            RingOfTrapsProtocol(m=3),
+            SingleTrapProtocol(inner_size=2, num_agents=5),
+            TreeRankingProtocol(7, k=2),
+            LineOfTrapsProtocol(m=2),
+        ],
+        ids=lambda p: p.name,
+    )
+    def test_families_exactly_cover_delta(self, protocol):
+        check_family_coverage(protocol, [2] * protocol.num_states)
+
+    def test_coverage_detects_overlap(self):
+        class Broken(AGProtocol):
+            def build_families(self, counts):
+                states = list(range(self.num_ranks))
+                return [
+                    SameStatePairs(counts, states),
+                    SameStatePairs(counts, states),
+                ]
+
+        with pytest.raises(SimulationError):
+            check_family_coverage(Broken(4))
+
+    def test_coverage_detects_gap(self):
+        class Broken(AGProtocol):
+            def build_families(self, counts):
+                return [SameStatePairs(counts, [0])]
+
+        with pytest.raises(SimulationError):
+            check_family_coverage(Broken(4))
+
+
+class TestWeightsMatchBruteForce:
+    """Family weights must equal a brute-force count of productive pairs."""
+
+    @pytest.mark.parametrize(
+        "protocol",
+        [
+            AGProtocol(6),
+            RingOfTrapsProtocol(m=3),
+            TreeRankingProtocol(9, k=2),
+            LineOfTrapsProtocol(m=2),
+        ],
+        ids=lambda p: p.name,
+    )
+    def test_total_weight(self, protocol):
+        rng = np.random.default_rng(3)
+        counts = rng.integers(0, 4, size=protocol.num_states).tolist()
+        families = protocol.build_families(counts)
+        total = sum(f.weight for f in families)
+        brute = 0
+        for si in range(protocol.num_states):
+            for sj in range(protocol.num_states):
+                if protocol.delta(si, sj) is None:
+                    continue
+                if si == sj:
+                    brute += counts[si] * (counts[si] - 1)
+                else:
+                    brute += counts[si] * counts[sj]
+        assert total == brute

@@ -1,0 +1,98 @@
+"""Unit tests for fault injection helpers."""
+
+import pytest
+
+from repro import (
+    AGProtocol,
+    Configuration,
+    RingOfTrapsProtocol,
+    corrupt_agents,
+    crash_and_replace,
+    distance_from_solved,
+    run_protocol,
+    solved_configuration,
+)
+from repro.core.faults import adversarial_swap
+from repro.exceptions import ConfigurationError
+
+
+class TestCorruptAgents:
+    def test_population_preserved(self):
+        config = Configuration([1] * 10)
+        corrupted = corrupt_agents(config, 4, seed=1)
+        assert corrupted.num_agents == 10
+        assert corrupted.num_states == 10
+
+    def test_zero_corruption_is_identity(self):
+        config = Configuration([1] * 6)
+        assert corrupt_agents(config, 0, seed=1) == config
+
+    def test_target_states_respected(self):
+        config = Configuration([1] * 8)
+        corrupted = corrupt_agents(config, 8, seed=2, target_states=[0, 1])
+        assert corrupted.agents_within([0, 1]) == 8
+
+    def test_too_many_victims_rejected(self):
+        with pytest.raises(ConfigurationError):
+            corrupt_agents(Configuration([1, 1]), 3, seed=0)
+
+    def test_original_untouched(self):
+        config = Configuration([1] * 6)
+        corrupt_agents(config, 3, seed=3)
+        assert config == Configuration([1] * 6)
+
+    def test_deterministic_given_seed(self):
+        config = Configuration([1] * 12)
+        assert corrupt_agents(config, 5, seed=9) == corrupt_agents(
+            config, 5, seed=9
+        )
+
+
+class TestCrashAndReplace:
+    def test_replacement_state_receives_victims(self):
+        config = Configuration([1] * 8)
+        replaced = crash_and_replace(config, 3, replacement_state=0, seed=1)
+        assert replaced.num_agents == 8
+        assert replaced.count(0) >= 1
+
+    def test_bad_replacement_state(self):
+        with pytest.raises(ConfigurationError):
+            crash_and_replace(Configuration([1, 1]), 1,
+                              replacement_state=5, seed=0)
+
+    def test_creates_bounded_distance(self):
+        protocol = RingOfTrapsProtocol(m=4)
+        config = solved_configuration(protocol)
+        replaced = crash_and_replace(config, 5, replacement_state=0, seed=7)
+        assert distance_from_solved(protocol, replaced) <= 5
+
+
+class TestAdversarialSwap:
+    def test_swap(self):
+        swapped = adversarial_swap(Configuration([3, 0, 1]), 0, 1)
+        assert swapped.as_tuple() == (0, 3, 1)
+
+    def test_swap_is_involution(self):
+        config = Configuration([2, 5, 0])
+        assert adversarial_swap(adversarial_swap(config, 0, 2), 0, 2) == config
+
+
+class TestRecoveryAfterFaults:
+    """The self-stabilisation contract: corrupt, re-run, recover."""
+
+    def test_ag_recovers_from_corruption(self):
+        protocol = AGProtocol(10)
+        solved = solved_configuration(protocol)
+        corrupted = corrupt_agents(solved, 4, seed=11)
+        result = run_protocol(protocol, corrupted, seed=11)
+        assert result.silent
+        assert protocol.is_ranked(result.final_configuration)
+
+    def test_ring_recovers_from_crash(self):
+        protocol = RingOfTrapsProtocol(m=4)
+        corrupted = crash_and_replace(
+            solved_configuration(protocol), 6, replacement_state=0, seed=13
+        )
+        result = run_protocol(protocol, corrupted, seed=13)
+        assert result.silent
+        assert protocol.is_ranked(result.final_configuration)

@@ -1,0 +1,112 @@
+"""Unit tests for the protocol ABCs and the exception hierarchy."""
+
+import pytest
+
+from repro import (
+    AGProtocol,
+    Configuration,
+    ConfigurationError,
+    ExperimentError,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+    SimulationLimitReached,
+    TreeRankingProtocol,
+)
+from repro.core.protocol import PopulationProtocol
+
+
+class TestPopulationProtocolBase:
+    def test_rejects_tiny_population(self):
+        with pytest.raises(ProtocolError):
+            AGProtocol(0)
+
+    def test_rejects_single_agent(self):
+        # pairwise interactions need two agents
+        with pytest.raises(ProtocolError):
+            AGProtocol(1)
+
+    def test_default_same_state_rule_scan(self):
+        class OneRule(PopulationProtocol):
+            def __init__(self):
+                super().__init__(num_states=4, num_agents=4)
+
+            def delta(self, initiator, responder):
+                if initiator == responder == 2:
+                    return 2, 3
+                return None
+
+        protocol = OneRule()
+        assert protocol.same_state_rule_states() == [2]
+
+    def test_default_is_silent_uses_families(self):
+        class OneRule(PopulationProtocol):
+            def __init__(self):
+                super().__init__(num_states=3, num_agents=3)
+
+            def delta(self, initiator, responder):
+                if initiator == responder == 0:
+                    return 0, 1
+                return None
+
+        protocol = OneRule()
+        assert protocol.is_silent(Configuration([1, 1, 1]))
+        assert not protocol.is_silent(Configuration([2, 1, 0]))
+        # duplicates on a rule-less state are still silent
+        assert protocol.is_silent(Configuration([0, 3, 0]))
+
+    def test_default_state_label(self):
+        assert TreeRankingProtocol(5, k=1).state_label(0) == "rank0"
+
+    def test_repr(self):
+        assert "num_agents=5" in repr(AGProtocol(5))
+
+
+class TestRankingProtocolBase:
+    def test_rank_extra_partition(self):
+        protocol = TreeRankingProtocol(10, k=3)
+        assert list(protocol.rank_states) == list(range(10))
+        assert list(protocol.extra_states) == list(range(10, 16))
+        assert protocol.num_ranks == 10
+        assert protocol.num_extra_states == 6
+
+    def test_negative_extras_rejected(self):
+        class Bad(TreeRankingProtocol):
+            pass
+
+        with pytest.raises(ProtocolError):
+            TreeRankingProtocol(10, k=-1)
+
+    def test_leader_state_is_zero(self):
+        assert AGProtocol(5).leader_state == 0
+
+    def test_solved_configuration(self):
+        protocol = TreeRankingProtocol(6, k=2)
+        solved = protocol.solved_configuration()
+        assert solved.num_agents == 6
+        assert protocol.is_ranked(solved)
+
+    def test_validate_configuration(self):
+        protocol = AGProtocol(5)
+        with pytest.raises(ConfigurationError):
+            protocol.validate_configuration(Configuration([1] * 6))
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ConfigurationError,
+            ProtocolError,
+            SimulationError,
+            SimulationLimitReached,
+            ExperimentError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+    def test_repro_error_is_not_builtin(self):
+        assert not issubclass(ReproError, (ValueError, RuntimeError))

@@ -1,0 +1,86 @@
+"""Integration tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.protocol == "tree"
+        assert args.n == 100
+        assert args.engine == "jump"
+
+    def test_experiment_args(self):
+        args = build_parser().parse_args(
+            ["experiment", "figure1", "--scale", "smoke", "--seed", "9"]
+        )
+        assert args.experiment_id == "figure1"
+        assert args.scale == "smoke"
+        assert args.seed == 9
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure1" in out and "tree_scaling" in out
+
+    def test_simulate_ring(self, capsys):
+        code = main([
+            "simulate", "--protocol", "ring", "--n", "30",
+            "--start", "k-distant", "--k", "2", "--seed", "3",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "correctly ranked    : True" in out
+        assert "unique leader       : True" in out
+
+    def test_simulate_budget_exhaustion_nonzero_exit(self, capsys):
+        code = main([
+            "simulate", "--protocol", "ag", "--n", "64",
+            "--start", "pileup", "--max-interactions", "10",
+        ])
+        assert code == 1
+        assert "silent              : False" in capsys.readouterr().out
+
+    def test_simulate_solved_start(self, capsys):
+        code = main([
+            "simulate", "--protocol", "tree", "--n", "20",
+            "--start", "solved",
+        ])
+        assert code == 0
+        assert "interactions        : 0" in capsys.readouterr().out
+
+    def test_experiment_markdown(self, capsys):
+        code = main([
+            "experiment", "figure2", "--scale", "smoke", "--markdown",
+        ])
+        assert code == 0
+        assert capsys.readouterr().out.startswith("###")
+
+    def test_unknown_experiment_exits_2(self, capsys):
+        code = main(["experiment", "bogus"])
+        assert code == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    @pytest.mark.parametrize(
+        "structure", ["figure1", "figure2", "graph", "tree", "ring"]
+    )
+    def test_render_structures(self, structure, capsys):
+        assert main(["render", structure]) == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_render_with_size(self, capsys):
+        assert main(["render", "tree", "--size", "17"]) == 0
+        assert "n=17" in capsys.readouterr().out
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0

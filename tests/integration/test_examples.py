@@ -1,0 +1,78 @@
+"""Integration tests: every example script runs and produces its story."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, *args):
+    """Run an example in a subprocess and return its stdout."""
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=240,
+        check=False,
+    )
+    assert result.returncode == 0, (
+        f"{name} failed:\n{result.stdout}\n{result.stderr}"
+    )
+    return result.stdout
+
+
+class TestExamples:
+    def test_examples_directory_contents(self):
+        names = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+        assert "quickstart.py" in names
+        assert len(names) >= 4  # quickstart + ≥3 scenarios
+
+    def test_quickstart(self):
+        out = run_example("quickstart.py", "--n", "60", "--seed", "1")
+        assert "correctly ranked: True" in out
+        assert "unique leader   : True" in out
+
+    def test_sensor_network_recovery(self):
+        out = run_example(
+            "sensor_network_recovery.py", "--m", "6", "--repetitions", "3"
+        )
+        assert "Recovery time after failure bursts" in out
+        assert "Theorem 1" in out
+
+    def test_protocol_comparison(self):
+        out = run_example(
+            "protocol_comparison.py", "--repetitions", "2", "--seed", "3"
+        )
+        assert "AG (baseline" in out
+        assert "tree of ranks" in out
+        assert "O(n·log n)" in out
+
+    def test_trap_dynamics(self):
+        out = run_example(
+            "trap_dynamics.py", "--m", "5", "--surplus", "3", "--seed", "1"
+        )
+        assert "silent" in out
+        assert "MISMATCH" not in out  # closed form matches all schedules
+
+    def test_reset_cascade(self):
+        out = run_example("reset_cascade.py", "--n", "64", "--seed", "2")
+        assert "RED epidemic" in out
+        assert "SILENT" in out
+
+
+class TestReportCommand:
+    @pytest.mark.slow
+    def test_report_generates_markdown(self, tmp_path):
+        from repro.cli import main
+
+        output = tmp_path / "EXPERIMENTS.md"
+        code = main([
+            "report", "--scale", "smoke", "--output", str(output),
+        ])
+        assert code == 0
+        content = output.read_text()
+        assert content.startswith("# EXPERIMENTS")
+        assert "figure1" in content and "tree_scaling" in content

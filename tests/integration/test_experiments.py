@@ -1,0 +1,107 @@
+"""Integration tests: every registered experiment runs at smoke scale."""
+
+import pytest
+
+from repro.experiments import (
+    REGISTRY,
+    get_experiment,
+    list_experiments,
+    run_experiment,
+)
+from repro.experiments.base import ExperimentResult, pick
+from repro.exceptions import ExperimentError
+
+EXPECTED_IDS = {
+    "figure1",
+    "figure2",
+    "summary",
+    "ag_quadratic",
+    "kdistant_vs_k",
+    "kdistant_vs_n",
+    "ring_arbitrary",
+    "crossover",
+    "line_scaling",
+    "tree_scaling",
+    "trap_drain",
+    "tidy_time",
+    "tree_paths",
+    "reset_line",
+    "engine_equivalence",
+    "state_time_tradeoff",
+    "reset_ablation",
+}
+
+# Cheap experiments run per-test below; the heavier ones are grouped.
+FAST_IDS = ["figure1", "figure2", "kdistant_vs_k", "trap_drain", "tidy_time"]
+
+
+class TestRegistry:
+    def test_expected_experiments_registered(self):
+        assert {e.experiment_id for e in list_experiments()} == EXPECTED_IDS
+
+    def test_lookup(self):
+        assert get_experiment("figure1").experiment_id == "figure1"
+
+    def test_unknown_id(self):
+        with pytest.raises(ExperimentError):
+            get_experiment("nope")
+
+    def test_descriptions_and_references_present(self):
+        for experiment in REGISTRY.values():
+            assert experiment.description
+            assert experiment.paper_reference
+
+
+class TestSmokeRuns:
+    @pytest.mark.parametrize("experiment_id", sorted(FAST_IDS))
+    def test_fast_experiments(self, experiment_id):
+        result = run_experiment(experiment_id, scale="smoke", seed=1)
+        assert isinstance(result, ExperimentResult)
+        assert result.tables
+        assert result.raw
+        rendered = result.render()
+        assert rendered.strip()
+        assert result.to_markdown().startswith("###")
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_experiment("figure1", scale="galactic")
+
+
+class TestFigureExperiments:
+    def test_figure1_matches_paper(self):
+        result = run_experiment("figure1", scale="smoke")
+        assert result.raw["example_matches_paper"] is True
+        assert result.raw["example_neighbours"] == [2, 3, 8]
+
+    def test_figure2_matches_paper(self):
+        result = run_experiment("figure2", scale="smoke")
+        assert result.raw["figure2_exact_match"] is True
+        assert "perfectly balanced tree, n=9" in result.raw["rendering"]
+
+
+class TestScaleHelper:
+    def test_pick(self):
+        assert pick("smoke", 1, 2, 3) == 1
+        assert pick("small", 1, 2, 3) == 2
+        assert pick("paper", 1, 2, 3) == 3
+        with pytest.raises(ExperimentError):
+            pick("huge", 1, 2, 3)
+
+
+class TestShapeClaims:
+    """Smoke-scale sanity on the raw outputs (full checks in benchmarks)."""
+
+    def test_ag_exponent_positive_and_superlinear(self):
+        result = run_experiment("ag_quadratic", scale="smoke", seed=3)
+        assert result.raw["exponent"] > 1.0
+
+    def test_summary_lower_bound_floor(self):
+        result = run_experiment("summary", scale="smoke", seed=3)
+        assert result.raw["lower_bound_floor_holds"] is True
+        assert all(row["ranked"] for row in result.raw["rows"])
+
+    def test_engine_equivalence_medians_close(self):
+        result = run_experiment("engine_equivalence", scale="smoke", seed=3)
+        # smoke scale is noisy; just require same order of magnitude
+        assert result.raw["max_median_deviation"] < 1.0

@@ -1,0 +1,64 @@
+"""Unit tests for the EXPERIMENTS.md report generator (no heavy runs)."""
+
+from repro.experiments import REGISTRY
+from repro.experiments.base import ExperimentResult
+from repro.experiments.report import PAPER_CLAIMS, _verdict
+
+
+class TestPaperClaims:
+    def test_every_experiment_has_a_claim(self):
+        missing = set(REGISTRY) - set(PAPER_CLAIMS)
+        assert not missing, f"experiments without paper claims: {missing}"
+
+    def test_no_orphan_claims(self):
+        orphans = set(PAPER_CLAIMS) - set(REGISTRY)
+        assert not orphans, f"claims for unknown experiments: {orphans}"
+
+
+class TestVerdicts:
+    def _result(self, experiment_id, raw):
+        return ExperimentResult(
+            experiment_id=experiment_id, scale="smoke", tables=[], raw=raw
+        )
+
+    def test_figure_verdicts(self):
+        ok = self._result("figure1", {"example_matches_paper": True})
+        assert "matches" in _verdict(ok)
+        bad = self._result("figure1", {"example_matches_paper": False})
+        assert "MISMATCH" in _verdict(bad)
+
+    def test_exponent_verdicts_render_numbers(self):
+        result = self._result(
+            "ag_quadratic", {"exponent": 2.034, "r_squared": 0.999}
+        )
+        assert "2.03" in _verdict(result)
+
+    def test_crossover_verdict_both_branches(self):
+        hit = self._result(
+            "crossover", {"crossover_k": 16, "sqrt_n": 16.5}
+        )
+        assert "16" in _verdict(hit)
+        miss = self._result(
+            "crossover", {"crossover_k": None, "sqrt_n": 16.5}
+        )
+        assert "everywhere" in _verdict(miss)
+
+    def test_ablation_verdict(self):
+        result = self._result(
+            "reset_ablation",
+            {
+                "trials": 20,
+                "rows": [
+                    {"variant": "real tree protocol", "ranked": 20},
+                    {"variant": "all-green (no red phase)", "ranked": 0},
+                    {"variant": "R1 only (no reset at all)", "ranked": 0},
+                ],
+            },
+        )
+        assert "20/20" in _verdict(result)
+
+    def test_tradeoff_verdict(self):
+        result = self._result(
+            "state_time_tradeoff", {"knee_k": 6, "log2_n": 9}
+        )
+        assert "knee at k = 6" in _verdict(result)

@@ -1,0 +1,26 @@
+"""Tests for benchmark scale selection via the environment."""
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.base import bench_scale_from_env
+
+
+class TestBenchScaleFromEnv:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert bench_scale_from_env() == "small"
+
+    def test_explicit_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert bench_scale_from_env(default="smoke") == "smoke"
+
+    @pytest.mark.parametrize("scale", ["smoke", "small", "paper"])
+    def test_env_override(self, monkeypatch, scale):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", scale)
+        assert bench_scale_from_env() == scale
+
+    def test_invalid_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "enormous")
+        with pytest.raises(ExperimentError):
+            bench_scale_from_env()

@@ -1,0 +1,121 @@
+"""Cross-module integration: end-to-end stabilisation scenarios.
+
+These tests tie together protocols, generators, engines, fault
+injection and analysis — the workflows a library user actually runs.
+"""
+
+import pytest
+
+from repro import (
+    AGProtocol,
+    LineOfTrapsProtocol,
+    MetricRecorder,
+    RingOfTrapsProtocol,
+    TreeRankingProtocol,
+    corrupt_agents,
+    distance_from_solved,
+    elect_leader,
+    k_distant_configuration,
+    random_configuration,
+    run_protocol,
+    solved_configuration,
+)
+from repro.analysis.potentials import global_excess, ring_weight
+
+
+ALL_PROTOCOLS = [
+    AGProtocol(20),
+    RingOfTrapsProtocol(m=4),
+    TreeRankingProtocol(20, k=4),
+    LineOfTrapsProtocol(m=2),
+]
+
+
+class TestEveryProtocolEveryStart:
+    @pytest.mark.parametrize("protocol", ALL_PROTOCOLS, ids=lambda p: p.name)
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_random_start(self, protocol, seed):
+        start = random_configuration(protocol, seed=seed)
+        result = run_protocol(protocol, start, seed=seed)
+        assert result.silent
+        assert protocol.is_ranked(result.final_configuration)
+
+    @pytest.mark.parametrize("protocol", ALL_PROTOCOLS, ids=lambda p: p.name)
+    def test_k_distant_start(self, protocol):
+        start = k_distant_configuration(protocol, 3, seed=5)
+        result = run_protocol(protocol, start, seed=5)
+        assert result.silent
+        assert protocol.is_ranked(result.final_configuration)
+
+    @pytest.mark.parametrize("protocol", ALL_PROTOCOLS, ids=lambda p: p.name)
+    def test_solved_start_is_a_fixed_point(self, protocol):
+        result = run_protocol(protocol, solved_configuration(protocol), seed=0)
+        assert result.silent and result.interactions == 0
+
+
+class TestSelfStabilisationCycle:
+    """Stabilise → corrupt → re-stabilise, repeatedly."""
+
+    @pytest.mark.parametrize("protocol", ALL_PROTOCOLS, ids=lambda p: p.name)
+    def test_three_fault_rounds(self, protocol):
+        config = solved_configuration(protocol)
+        for round_index in range(3):
+            config = corrupt_agents(config, 5, seed=round_index)
+            result = run_protocol(protocol, config, seed=round_index)
+            assert result.silent
+            assert protocol.is_ranked(result.final_configuration)
+            config = result.final_configuration
+
+    def test_recovery_cost_scales_with_corruption(self):
+        """More corrupted agents ⟹ (weakly) longer recovery, on average."""
+        protocol = RingOfTrapsProtocol(m=8)  # n = 72
+        solved = solved_configuration(protocol)
+
+        def median_recovery(num_corrupted):
+            times = []
+            for seed in range(5):
+                start = corrupt_agents(solved, num_corrupted, seed=seed)
+                times.append(
+                    run_protocol(protocol, start, seed=seed).parallel_time
+                )
+            return sorted(times)[2]
+
+        light = median_recovery(2)
+        heavy = median_recovery(36)
+        assert heavy > light
+
+    def test_corruption_distance_bound(self):
+        protocol = RingOfTrapsProtocol(m=6)
+        start = corrupt_agents(solved_configuration(protocol), 7, seed=2)
+        assert distance_from_solved(protocol, start) <= 7
+
+
+class TestLeaderElectionEndToEnd:
+    @pytest.mark.parametrize("protocol", ALL_PROTOCOLS, ids=lambda p: p.name)
+    def test_unique_leader_from_chaos(self, protocol):
+        start = random_configuration(protocol, seed=9)
+        outcome = elect_leader(protocol, start, seed=9)
+        assert outcome.unique_leader
+
+
+class TestPotentialsAlongRuns:
+    def test_ring_weight_reaches_zero(self):
+        protocol = RingOfTrapsProtocol(m=5)
+        recorder = MetricRecorder(
+            lambda counts: ring_weight(protocol, counts)
+        )
+        start = k_distant_configuration(protocol, 4, seed=3)
+        run_protocol(protocol, start, seed=3, recorder=recorder)
+        values = recorder.values
+        assert values[0] >= 1
+        assert values[-1] == 0
+        assert all(b <= a for a, b in zip(values, values[1:]))
+
+    def test_line_excess_reaches_zero(self):
+        protocol = LineOfTrapsProtocol(m=2)
+        recorder = MetricRecorder(
+            lambda counts: global_excess(protocol, counts)
+        )
+        start = random_configuration(protocol, seed=6)
+        run_protocol(protocol, start, seed=6, recorder=recorder)
+        assert recorder.values[-1] == 0

@@ -1,0 +1,70 @@
+"""Tests for the ASCII renderers."""
+
+from repro import (
+    LineOfTrapsProtocol,
+    PerfectlyBalancedTree,
+    RingOfTrapsProtocol,
+    build_routing_graph,
+    solved_configuration,
+)
+from repro.protocols.trap import TrapLayout
+from repro.viz import (
+    render_line,
+    render_ring,
+    render_routing_graph,
+    render_trap,
+    render_tree,
+)
+
+
+class TestRenderTree:
+    def test_contains_every_node(self):
+        text = render_tree(PerfectlyBalancedTree(9))
+        for node in range(9):
+            assert f"{node} " in text
+
+    def test_indentation_tracks_levels(self):
+        tree = PerfectlyBalancedTree(9)
+        lines = render_tree(tree).splitlines()[1:]
+        for line in lines:
+            node = int(line.strip().split()[0])
+            indent = (len(line) - len(line.lstrip())) // 2
+            assert indent == tree.level(node)
+
+    def test_occupancy_annotations(self):
+        counts = [2] + [0] * 8
+        text = render_tree(PerfectlyBalancedTree(9), counts)
+        assert "[2 agent(s)]" in text
+
+
+class TestRenderGraph:
+    def test_all_vertices_listed(self):
+        text = render_routing_graph(build_routing_graph(16))
+        assert "16 lines" in text
+        for v in range(1, 17):
+            assert f"line {v:>3}:" in text
+
+    def test_figure1_neighbours_shown(self):
+        text = render_routing_graph(build_routing_graph(16))
+        assert "l0=2" in text and "l1=3" in text and "l2=8" in text
+
+
+class TestRenderTrapRingLine:
+    def test_trap_rendering(self):
+        trap = TrapLayout(base=0, size=4)
+        assert render_trap(trap, [2, 1, 0, 12]) == "trap[2|1.*]"
+
+    def test_ring_rendering(self):
+        protocol = RingOfTrapsProtocol(m=3)
+        counts = solved_configuration(protocol).counts_list()
+        text = render_ring(protocol, counts)
+        assert "m=3" in text
+        assert text.count("a=") == 3
+
+    def test_line_rendering(self):
+        protocol = LineOfTrapsProtocol(m=2)
+        counts = solved_configuration(protocol).counts_list()
+        text = render_line(protocol, counts, line=1)
+        assert "line 2" in text
+        assert text.count("a=") == protocol.traps_per_line
+        assert "X holds 0" in text

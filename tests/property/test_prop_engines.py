@@ -1,0 +1,92 @@
+"""Property tests: the two engines agree and conserve invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    AGProtocol,
+    Configuration,
+    JumpEngine,
+    SequentialEngine,
+)
+
+
+class TestEngineInvariants:
+    @given(
+        st.lists(st.integers(0, 9), min_size=10, max_size=10),
+        st.integers(0, 2**31),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_both_engines_reach_the_same_silent_set(self, states, seed):
+        """AG has a unique silent configuration; both engines must find it
+        from any start."""
+        protocol = AGProtocol(10)
+        start = Configuration.from_agents(states, 10)
+        for cls in (JumpEngine, SequentialEngine):
+            engine = cls(protocol, start, np.random.default_rng(seed))
+            assert engine.run() is True
+            assert engine.counts == [1] * 10
+
+    @given(
+        st.lists(st.integers(0, 9), min_size=10, max_size=10),
+        st.integers(0, 2**31),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_jump_interactions_lower_bounded_by_events(self, states, seed):
+        protocol = AGProtocol(10)
+        engine = JumpEngine(
+            protocol,
+            Configuration.from_agents(states, 10),
+            np.random.default_rng(seed),
+        )
+        engine.run()
+        assert engine.interactions >= engine.events
+
+    @given(
+        st.lists(st.integers(0, 9), min_size=10, max_size=10),
+        st.integers(0, 2**31),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_family_weight_zero_iff_no_duplicates(self, states, seed):
+        protocol = AGProtocol(10)
+        engine = JumpEngine(
+            protocol,
+            Configuration.from_agents(states, 10),
+            np.random.default_rng(seed),
+        )
+        has_duplicates = any(c > 1 for c in engine.counts)
+        assert (engine.productive_weight > 0) == has_duplicates
+
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_forced_chain_identical_behaviour(self, seed):
+        """With exactly two agents, every interaction is productive, so
+        interactions == events in BOTH engines, deterministically."""
+        protocol = AGProtocol(2)
+        start = Configuration([2, 0])
+        for cls in (JumpEngine, SequentialEngine):
+            engine = cls(protocol, start, np.random.default_rng(seed))
+            assert engine.run() is True
+            assert engine.interactions == engine.events == 1
+
+
+class TestStatisticalAgreement:
+    @settings(max_examples=1, deadline=None)
+    @given(st.just(0))
+    def test_mean_times_agree_for_ag16(self, __):
+        """Medians across 60 seeds agree within 15% between engines."""
+        protocol = AGProtocol(16)
+        start = Configuration.all_in_state(0, 16, 16)
+
+        def median_time(cls, base):
+            times = []
+            for seed in range(60):
+                engine = cls(protocol, start, np.random.default_rng(base + seed))
+                engine.run()
+                times.append(engine.interactions)
+            return float(np.median(times))
+
+        jump = median_time(JumpEngine, 1000)
+        seq = median_time(SequentialEngine, 2000)
+        assert abs(jump / seq - 1) < 0.15

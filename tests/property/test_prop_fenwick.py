@@ -1,0 +1,58 @@
+"""Property-based tests for the Fenwick tree."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fenwick import FenwickTree
+
+weights = st.lists(st.integers(min_value=0, max_value=100), min_size=1,
+                   max_size=50)
+
+
+class TestFenwickProperties:
+    @given(weights)
+    def test_total_is_sum(self, values):
+        tree = FenwickTree.from_values(values)
+        assert tree.total == sum(values)
+
+    @given(weights)
+    def test_prefix_sums_match_naive(self, values):
+        tree = FenwickTree.from_values(values)
+        for i in range(len(values) + 1):
+            assert tree.prefix_sum(i) == sum(values[:i])
+
+    @given(weights)
+    def test_find_inverts_prefix_sum(self, values):
+        tree = FenwickTree.from_values(values)
+        for target in range(tree.total):
+            slot = tree.find(target)
+            assert values[slot] > 0
+            assert tree.prefix_sum(slot) <= target < tree.prefix_sum(slot + 1)
+
+    @given(
+        weights,
+        st.lists(
+            st.tuples(st.integers(0, 49), st.integers(0, 100)), max_size=30
+        ),
+    )
+    @settings(max_examples=50)
+    def test_updates_keep_invariants(self, values, updates):
+        tree = FenwickTree.from_values(values)
+        reference = list(values)
+        for index, new_value in updates:
+            if index >= len(reference):
+                continue
+            tree.set(index, new_value)
+            reference[index] = new_value
+        assert tree.total == sum(reference)
+        for i in range(len(reference) + 1):
+            assert tree.prefix_sum(i) == sum(reference[:i])
+
+    @given(weights)
+    def test_find_distribution_weights(self, values):
+        """Each slot is selected by exactly `weight` many targets."""
+        tree = FenwickTree.from_values(values)
+        hits = [0] * len(values)
+        for target in range(tree.total):
+            hits[tree.find(target)] += 1
+        assert hits == values

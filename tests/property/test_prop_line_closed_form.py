@@ -1,0 +1,114 @@
+"""Property tests for the §4 line accounting (Lemmas 5, 6, 10)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import run_protocol
+from repro.analysis.potentials import (
+    LineVectors,
+    line_deficit,
+    line_excess_tokens,
+    line_surplus,
+    stabilise_line,
+)
+from repro.protocols.line import IsolatedLineProtocol
+
+
+def vectors_strategy(max_traps=4, max_cap=3, max_load=5):
+    @st.composite
+    def build(draw):
+        num_traps = draw(st.integers(1, max_traps))
+        cap = draw(st.integers(1, max_cap))
+        beta = tuple(
+            draw(st.integers(0, max_load)) for __ in range(num_traps)
+        )
+        gamma = tuple(
+            draw(st.integers(0, max_load)) for __ in range(num_traps)
+        )
+        return LineVectors(beta=beta, gamma=gamma,
+                           inner_caps=(cap,) * num_traps)
+
+    return build()
+
+
+class TestClosedFormProperties:
+    @given(vectors_strategy())
+    @settings(max_examples=100)
+    def test_conservation(self, vectors):
+        """Agents in = agents kept + agents released."""
+        final, surplus = stabilise_line(vectors)
+        assert final.num_agents + surplus == vectors.num_agents
+
+    @given(vectors_strategy())
+    @settings(max_examples=100)
+    def test_final_is_silent_shape(self, vectors):
+        """The stabilised line has no overloads: β̄ ≤ cap, γ̄ ∈ {0,1}."""
+        final, __ = stabilise_line(vectors)
+        for b, g, cap in zip(final.beta, final.gamma, final.inner_caps):
+            assert 0 <= b <= cap
+            assert g in (0, 1)
+
+    @given(vectors_strategy())
+    @settings(max_examples=100)
+    def test_stabilised_line_is_fixed_point(self, vectors):
+        final, surplus = stabilise_line(vectors)
+        again, more = stabilise_line(final)
+        assert more == 0
+        assert again == final
+
+    @given(vectors_strategy())
+    @settings(max_examples=100)
+    def test_surplus_bounded_by_tokens(self, vectors):
+        """s(C_l) <= r(C_l): releases are handled tokens (§4.2)."""
+        assert line_surplus(vectors) <= line_excess_tokens(vectors)
+
+    @given(vectors_strategy())
+    @settings(max_examples=100)
+    def test_deficit_nonnegative(self, vectors):
+        assert line_deficit(vectors) >= 0
+
+    @given(vectors_strategy(max_traps=3, max_cap=2, max_load=4))
+    @settings(max_examples=25, deadline=None)
+    def test_closed_form_matches_simulation(self, vectors):
+        """Lemma 5: the final vectors and surplus are schedule-independent
+        and equal the closed form — for *any* random schedule."""
+        if vectors.num_agents < 2:
+            return  # population protocols need two agents to interact
+        protocol = IsolatedLineProtocol(
+            num_traps=vectors.num_traps,
+            inner_cap=vectors.inner_caps[0],
+            num_agents=vectors.num_agents,
+        )
+        start = protocol.configuration_from_vectors(
+            list(vectors.beta), list(vectors.gamma)
+        )
+        expected_final, expected_surplus = stabilise_line(vectors)
+        result = run_protocol(protocol, start, seed=0)
+        assert result.silent
+        counts = result.final_configuration.counts_list()
+        assert counts[protocol.release_state] == expected_surplus
+        for a in range(1, vectors.num_traps + 1):
+            trap = protocol.trap(a)
+            assert counts[trap.gate] == expected_final.gamma[a - 1]
+            assert (
+                sum(counts[s] for s in trap.inner_states)
+                == expected_final.beta[a - 1]
+            )
+
+
+class TestLemma6:
+    @given(vectors_strategy(max_traps=3, max_cap=3, max_load=3))
+    @settings(max_examples=100)
+    def test_inserting_enough_agents_zeroes_the_deficit(self, vectors):
+        """Lemma 6: min(d + cap, 2d) extra agents at the entrance gate
+        make the line full (deficit 0)."""
+        d = line_deficit(vectors)
+        cap = vectors.inner_caps[0]
+        extra = min(d + cap, 2 * d)
+        gamma = list(vectors.gamma)
+        gamma[-1] += extra  # entrance gate is the last trap
+        boosted = LineVectors(
+            beta=vectors.beta, gamma=tuple(gamma),
+            inner_caps=vectors.inner_caps,
+        )
+        assert line_deficit(boosted) == 0

@@ -1,0 +1,125 @@
+"""Property-based stabilisation tests: stable + silent + correct, always.
+
+The paper's protocols are *stable* (correct with probability 1) and
+*silent*.  Hypothesis drives them from arbitrary configurations and
+random schedules; every run must end silent, correctly ranked, with a
+unique leader — no exceptions, not just whp.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    AGProtocol,
+    Configuration,
+    LineOfTrapsProtocol,
+    RingOfTrapsProtocol,
+    TreeRankingProtocol,
+    count_leaders,
+    run_protocol,
+)
+
+
+def arbitrary_configuration(num_states, num_agents):
+    """Strategy: any placement of `num_agents` over `num_states`."""
+    return st.lists(
+        st.integers(0, num_states - 1),
+        min_size=num_agents,
+        max_size=num_agents,
+    ).map(lambda states: Configuration.from_agents(states, num_states))
+
+
+class TestAGAlwaysCorrect:
+    @given(
+        st.integers(3, 24).flatmap(
+            lambda n: st.tuples(
+                st.just(n),
+                arbitrary_configuration(n, n),
+                st.integers(0, 2**31),
+            )
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_ag(self, case):
+        n, start, seed = case
+        protocol = AGProtocol(n)
+        result = run_protocol(protocol, start, seed=seed)
+        assert result.silent
+        assert protocol.is_ranked(result.final_configuration)
+        assert count_leaders(protocol, result.final_configuration) == 1
+
+
+class TestRingAlwaysCorrect:
+    @given(
+        st.integers(2, 5).flatmap(
+            lambda m: st.tuples(
+                st.just(m),
+                arbitrary_configuration(m * (m + 1), m * (m + 1)),
+                st.integers(0, 2**31),
+            )
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_ring(self, case):
+        m, start, seed = case
+        protocol = RingOfTrapsProtocol(m=m)
+        result = run_protocol(protocol, start, seed=seed)
+        assert result.silent
+        assert protocol.is_ranked(result.final_configuration)
+
+
+class TestTreeAlwaysCorrect:
+    @given(
+        st.tuples(st.integers(2, 20), st.integers(1, 4)).flatmap(
+            lambda nk: st.tuples(
+                st.just(nk),
+                arbitrary_configuration(nk[0] + 2 * nk[1], nk[0]),
+                st.integers(0, 2**31),
+            )
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_tree(self, case):
+        (n, k), start, seed = case
+        protocol = TreeRankingProtocol(n, k=k)
+        result = run_protocol(protocol, start, seed=seed)
+        assert result.silent
+        assert protocol.is_ranked(result.final_configuration)
+
+
+class TestLineAlwaysCorrect:
+    @given(
+        arbitrary_configuration(73, 72),
+        st.integers(0, 2**31),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_line_m2(self, start, seed):
+        protocol = LineOfTrapsProtocol(m=2)
+        result = run_protocol(protocol, start, seed=seed)
+        assert result.silent
+        assert protocol.is_ranked(result.final_configuration)
+
+
+class TestConservation:
+    """Population size is conserved by every transition of every protocol."""
+
+    @given(
+        st.sampled_from(["ag", "ring", "tree", "line"]),
+        st.integers(0, 2**31),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_agent_count_constant(self, which, seed):
+        protocol = {
+            "ag": lambda: AGProtocol(10),
+            "ring": lambda: RingOfTrapsProtocol(m=3),
+            "tree": lambda: TreeRankingProtocol(10, k=2),
+            "line": lambda: LineOfTrapsProtocol(m=2),
+        }[which]()
+        for si in range(protocol.num_states):
+            for sj in range(protocol.num_states):
+                out = protocol.delta(si, sj)
+                if out is None:
+                    continue
+                # two agents in, two agents out
+                assert len(out) == 2
+                assert all(0 <= s < protocol.num_states for s in out)

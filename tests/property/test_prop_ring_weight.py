@@ -1,0 +1,73 @@
+"""Property tests for the §3 ring invariants (Lemma 3 weight machinery)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Configuration, JumpEngine, RingOfTrapsProtocol
+from repro.analysis.potentials import ring_weight, ring_weight_components
+
+
+def ring_case():
+    """Strategy: (m, arbitrary configuration over the ring's states)."""
+
+    @st.composite
+    def build(draw):
+        m = draw(st.integers(2, 5))
+        n = m * (m + 1)
+        states = draw(
+            st.lists(st.integers(0, n - 1), min_size=n, max_size=n)
+        )
+        seed = draw(st.integers(0, 2**31))
+        return m, Configuration.from_agents(states, n), seed
+
+    return build()
+
+
+class TestRingWeightProperties:
+    @given(ring_case())
+    @settings(max_examples=40, deadline=None)
+    def test_weight_nonnegative_and_zero_iff_solved(self, case):
+        m, config, __ = case
+        protocol = RingOfTrapsProtocol(m=m)
+        weight = ring_weight(protocol, config.counts_list())
+        assert weight >= 0
+        if protocol.is_ranked(config):
+            assert weight == 0
+
+    @given(ring_case())
+    @settings(max_examples=25, deadline=None)
+    def test_weight_monotone_under_any_schedule(self, case):
+        """Lemma 3: K never increases, from any start, on any schedule."""
+        m, config, seed = case
+        protocol = RingOfTrapsProtocol(m=m)
+        engine = JumpEngine(protocol, config, np.random.default_rng(seed))
+        previous = ring_weight(protocol, engine.counts)
+        while True:
+            if engine.step() is None:
+                break
+            current = ring_weight(protocol, engine.counts)
+            assert current <= previous
+            previous = current
+        assert previous == 0  # silent ⟺ solved ⟺ K = 0
+
+    @given(ring_case())
+    @settings(max_examples=40, deadline=None)
+    def test_components_consistent(self, case):
+        m, config, __ = case
+        protocol = RingOfTrapsProtocol(m=m)
+        counts = config.counts_list()
+        k1, k2 = ring_weight_components(protocol, counts)
+        assert 0 <= k1 <= protocol.num_traps
+        assert 0 <= k2 <= sum(t.size - 1 for t in protocol.traps)
+        assert ring_weight(protocol, counts) == k1 + 2 * k2
+
+    @given(ring_case())
+    @settings(max_examples=40, deadline=None)
+    def test_weight_bounded_by_twice_distance(self, case):
+        """§3.2: K = k1 + 2k2 <= 2k for a k-distant configuration."""
+        m, config, __ = case
+        protocol = RingOfTrapsProtocol(m=m)
+        counts = config.counts_list()
+        k = sum(1 for c in counts if c == 0)
+        assert ring_weight(protocol, counts) <= 2 * k

@@ -1,0 +1,74 @@
+"""Property-based tests for perfectly balanced trees (§5)."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import NodeKind, PerfectlyBalancedTree
+
+sizes = st.integers(min_value=1, max_value=3000)
+
+
+class TestTreeProperties:
+    @given(sizes)
+    @settings(max_examples=80)
+    def test_preorder_numbering_is_contiguous(self, n):
+        tree = PerfectlyBalancedTree(n)
+        seen = set()
+        stack = [0]
+        while stack:
+            node = stack.pop()
+            seen.add(node)
+            stack.extend(tree.children(node))
+        assert seen == set(range(n))
+
+    @given(sizes)
+    @settings(max_examples=80)
+    def test_height_bound(self, n):
+        tree = PerfectlyBalancedTree(n)
+        if n > 1:
+            assert tree.height <= 2 * math.log2(n)
+        else:
+            assert tree.height == 0
+
+    @given(sizes)
+    @settings(max_examples=80)
+    def test_levels_uniform(self, n):
+        tree = PerfectlyBalancedTree(n)
+        for level_nodes in tree.iter_levels():
+            assert len(
+                {(tree.kind(p), tree.subtree_size(p)) for p in level_nodes}
+            ) <= 1
+
+    @given(sizes)
+    @settings(max_examples=80)
+    def test_kind_matches_subtree_parity(self, n):
+        tree = PerfectlyBalancedTree(n)
+        for p in range(n):
+            size = tree.subtree_size(p)
+            kind = tree.kind(p)
+            if size == 1:
+                assert kind == NodeKind.LEAF
+            elif size % 2 == 1:
+                assert kind == NodeKind.BRANCHING
+            else:
+                assert kind == NodeKind.NON_BRANCHING
+
+    @given(sizes)
+    @settings(max_examples=80)
+    def test_branching_splits_evenly(self, n):
+        tree = PerfectlyBalancedTree(n)
+        for p in range(n):
+            if tree.kind(p) == NodeKind.BRANCHING and tree.subtree_size(p) > 1:
+                left, right = tree.children(p)
+                assert tree.subtree_size(left) == tree.subtree_size(right)
+                assert tree.subtree_size(p) == 1 + 2 * tree.subtree_size(left)
+
+    @given(sizes)
+    @settings(max_examples=50)
+    def test_all_leaves_at_full_depth(self, n):
+        """Perfect balance ⟹ every root-to-leaf path has h+1 nodes."""
+        tree = PerfectlyBalancedTree(n)
+        for leaf in tree.leaves:
+            assert tree.level(leaf) == tree.height

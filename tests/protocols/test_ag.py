@@ -1,0 +1,92 @@
+"""Unit tests for the AG baseline protocol."""
+
+import pytest
+
+from repro import AGProtocol, Configuration, run_protocol
+from repro.exceptions import ProtocolError
+
+
+class TestStructure:
+    def test_state_space_is_exactly_n_ranks(self):
+        protocol = AGProtocol(7)
+        assert protocol.num_states == 7
+        assert protocol.num_extra_states == 0
+        assert list(protocol.rank_states) == list(range(7))
+
+    def test_minimum_population(self):
+        with pytest.raises(ProtocolError):
+            AGProtocol(1)
+
+    def test_labels(self):
+        assert AGProtocol(3).state_label(2) == "rank2"
+
+    def test_name(self):
+        assert AGProtocol(3).name == "AG"
+
+
+class TestTransitionFunction:
+    def test_same_state_rule(self):
+        protocol = AGProtocol(5)
+        assert protocol.delta(2, 2) == (2, 3)
+
+    def test_wraparound(self):
+        protocol = AGProtocol(5)
+        assert protocol.delta(4, 4) == (4, 0)
+
+    def test_distinct_states_null(self):
+        protocol = AGProtocol(5)
+        assert protocol.delta(1, 2) is None
+        assert protocol.delta(4, 0) is None
+
+    def test_exactly_n_rules(self):
+        """§2: every state-optimal ranking protocol has exactly n rules."""
+        protocol = AGProtocol(9)
+        rules = [
+            (i, j)
+            for i in range(9)
+            for j in range(9)
+            if protocol.delta(i, j) is not None
+        ]
+        assert rules == [(i, i) for i in range(9)]
+
+    def test_initiator_never_moves(self):
+        protocol = AGProtocol(6)
+        for s in range(6):
+            out_i, __ = protocol.delta(s, s)
+            assert out_i == s
+
+
+class TestStabilisation:
+    @pytest.mark.parametrize("n", [2, 3, 5, 8, 16])
+    def test_all_in_one_state_ranks(self, n):
+        protocol = AGProtocol(n)
+        result = run_protocol(
+            protocol, Configuration.all_in_state(0, n, n), seed=n
+        )
+        assert result.silent
+        assert protocol.is_ranked(result.final_configuration)
+
+    def test_already_solved_needs_zero_interactions(self):
+        protocol = AGProtocol(6)
+        result = run_protocol(protocol, Configuration([1] * 6), seed=0)
+        assert result.silent and result.interactions == 0
+
+    def test_silent_iff_ranked(self):
+        protocol = AGProtocol(4)
+        assert protocol.is_silent(Configuration([1, 1, 1, 1]))
+        assert not protocol.is_silent(Configuration([2, 0, 1, 1]))
+
+    def test_quadratic_growth_between_two_sizes(self):
+        """One coarse Θ(n²) spot check (full sweep lives in benchmarks)."""
+        times = {}
+        for n in (16, 64):
+            runs = [
+                run_protocol(
+                    AGProtocol(n), Configuration.all_in_state(0, n, n), seed=s
+                ).parallel_time
+                for s in range(3)
+            ]
+            times[n] = sorted(runs)[1]
+        ratio = times[64] / times[16]
+        # n grew 4×; Θ(n²) predicts ~16×; allow a generous band
+        assert 6 < ratio < 40

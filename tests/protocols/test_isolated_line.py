@@ -1,0 +1,123 @@
+"""Unit tests for the isolated single line (§4.1 testbed)."""
+
+import pytest
+
+from repro import run_protocol
+from repro.protocols.line import IsolatedLineProtocol
+from repro.analysis.potentials import LineVectors, stabilise_line
+from repro.exceptions import ProtocolError
+
+
+class TestLayout:
+    def test_state_count(self):
+        protocol = IsolatedLineProtocol(num_traps=4, inner_cap=3, num_agents=10)
+        assert protocol.num_states == 4 * 4 + 1
+        assert protocol.release_state == 16
+
+    def test_trap_ordering_exit_first(self):
+        protocol = IsolatedLineProtocol(num_traps=3, inner_cap=2, num_agents=5)
+        assert protocol.trap(1).base == 0
+        assert protocol.entrance_gate == protocol.trap(3).gate
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ProtocolError):
+            IsolatedLineProtocol(num_traps=0, inner_cap=2, num_agents=5)
+        with pytest.raises(ProtocolError):
+            IsolatedLineProtocol(num_traps=2, inner_cap=-1, num_agents=5)
+
+    def test_trap_index_bounds(self):
+        protocol = IsolatedLineProtocol(num_traps=2, inner_cap=1, num_agents=4)
+        with pytest.raises(ProtocolError):
+            protocol.trap(0)
+        with pytest.raises(ProtocolError):
+            protocol.trap(3)
+
+
+class TestRules:
+    protocol = IsolatedLineProtocol(num_traps=3, inner_cap=2, num_agents=6)
+
+    def test_inner_descent(self):
+        state = self.protocol.trap(2).base + 2
+        assert self.protocol.delta(state, state) == (state, state - 1)
+
+    def test_gate_forwards_toward_exit(self):
+        gate3 = self.protocol.trap(3).gate
+        assert self.protocol.delta(gate3, gate3) == (
+            self.protocol.trap(3).top,
+            self.protocol.trap(2).gate,
+        )
+
+    def test_exit_gate_releases(self):
+        gate1 = self.protocol.trap(1).gate
+        assert self.protocol.delta(gate1, gate1) == (
+            self.protocol.trap(1).top,
+            self.protocol.release_state,
+        )
+
+    def test_release_state_absorbing(self):
+        r = self.protocol.release_state
+        assert self.protocol.delta(r, r) is None
+
+
+class TestConfigurationBuilder:
+    def test_vectors_realised(self):
+        protocol = IsolatedLineProtocol(num_traps=3, inner_cap=2, num_agents=7)
+        config = protocol.configuration_from_vectors(
+            beta=[2, 1, 0], gamma=[1, 3, 0]
+        )
+        counts = config.counts_list()
+        assert counts[protocol.trap(1).gate] == 1
+        assert sum(counts[s] for s in protocol.trap(1).inner_states) == 2
+        assert counts[protocol.trap(2).gate] == 3
+
+    def test_builder_is_tidy_packing(self):
+        protocol = IsolatedLineProtocol(num_traps=1, inner_cap=3, num_agents=5)
+        config = protocol.configuration_from_vectors(beta=[5], gamma=[0])
+        counts = config.counts_list()
+        # bottom-up: 1,1,3 across inner states (overload on top)
+        assert [counts[s] for s in protocol.trap(1).inner_states] == [1, 1, 3]
+
+    def test_wrong_agent_total_rejected(self):
+        protocol = IsolatedLineProtocol(num_traps=2, inner_cap=2, num_agents=5)
+        with pytest.raises(ProtocolError):
+            protocol.configuration_from_vectors(beta=[1, 1], gamma=[1, 1])
+
+    def test_wrong_vector_length_rejected(self):
+        protocol = IsolatedLineProtocol(num_traps=2, inner_cap=2, num_agents=4)
+        with pytest.raises(ProtocolError):
+            protocol.configuration_from_vectors(beta=[4], gamma=[0])
+
+
+class TestLemma5ClosedForm:
+    """Simulation must match the schedule-independent closed form."""
+
+    @pytest.mark.parametrize(
+        "beta,gamma",
+        [
+            ((0, 0, 0), (0, 0, 9)),     # all at entrance gate
+            ((2, 2, 2), (1, 1, 1)),     # solved-ish
+            ((3, 0, 0), (0, 4, 2)),     # overloads and gaps
+            ((2, 1, 0), (1, 3, 0)),
+            ((0, 0, 0), (3, 3, 3)),
+        ],
+    )
+    def test_final_vectors_and_surplus(self, beta, gamma):
+        inner_cap = 2
+        num_agents = sum(beta) + sum(gamma)
+        protocol = IsolatedLineProtocol(
+            num_traps=3, inner_cap=inner_cap, num_agents=num_agents
+        )
+        start = protocol.configuration_from_vectors(beta, gamma)
+        expected_final, expected_surplus = stabilise_line(
+            LineVectors(beta=beta, gamma=gamma, inner_caps=(inner_cap,) * 3)
+        )
+        for seed in range(3):  # several schedules, same outcome
+            result = run_protocol(protocol, start, seed=seed)
+            assert result.silent
+            counts = result.final_configuration.counts_list()
+            assert counts[protocol.release_state] == expected_surplus
+            for a in range(1, 4):
+                trap = protocol.trap(a)
+                assert counts[trap.gate] == expected_final.gamma[a - 1]
+                inner_total = sum(counts[s] for s in trap.inner_states)
+                assert inner_total == expected_final.beta[a - 1]

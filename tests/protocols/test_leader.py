@@ -1,0 +1,64 @@
+"""Unit tests for the leader-election wrapper."""
+
+import pytest
+
+from repro import (
+    AGProtocol,
+    Configuration,
+    RingOfTrapsProtocol,
+    TreeRankingProtocol,
+    count_leaders,
+    elect_leader,
+    random_configuration,
+)
+
+
+class TestCountLeaders:
+    def test_counts_rank_zero(self):
+        protocol = AGProtocol(5)
+        assert count_leaders(protocol, Configuration([3, 1, 1, 0, 0])) == 3
+        assert count_leaders(protocol, Configuration([0, 2, 1, 1, 1])) == 0
+
+
+class TestElectLeader:
+    @pytest.mark.parametrize(
+        "protocol",
+        [AGProtocol(10), RingOfTrapsProtocol(m=3), TreeRankingProtocol(10, k=3)],
+        ids=lambda p: p.name,
+    )
+    def test_unique_leader_elected(self, protocol):
+        start = random_configuration(protocol, seed=8)
+        outcome = elect_leader(protocol, start, seed=8)
+        assert outcome.unique_leader
+        assert outcome.run.silent
+        assert outcome.election_parallel_time == outcome.run.parallel_time
+        assert outcome.interactions == outcome.run.interactions
+
+    def test_budget_exhaustion_reported(self):
+        protocol = AGProtocol(32)
+        start = Configuration.all_in_state(0, 32, 32)
+        outcome = elect_leader(protocol, start, seed=0, max_interactions=5)
+        assert not outcome.unique_leader
+        assert not outcome.run.silent
+
+    def test_already_elected(self):
+        protocol = AGProtocol(6)
+        outcome = elect_leader(protocol, Configuration([1] * 6), seed=0)
+        assert outcome.unique_leader
+        assert outcome.interactions == 0
+
+    def test_sequential_engine(self):
+        protocol = AGProtocol(8)
+        start = Configuration.all_in_state(2, 8, 8)
+        outcome = elect_leader(protocol, start, seed=1, engine="sequential")
+        assert outcome.unique_leader
+
+    def test_leader_is_stable_across_reruns(self):
+        """Silence is absorbing: re-running from the final configuration
+        changes nothing (the 'silent' guarantee)."""
+        protocol = RingOfTrapsProtocol(m=3)
+        start = random_configuration(protocol, seed=2)
+        first = elect_leader(protocol, start, seed=2)
+        again = elect_leader(protocol, first.run.final_configuration, seed=3)
+        assert again.interactions == 0
+        assert again.unique_leader

@@ -1,0 +1,219 @@
+"""Unit tests for the line-of-traps protocol (§4)."""
+
+import pytest
+
+from repro import (
+    Configuration,
+    LineOfTrapsProtocol,
+    line_lattice_size,
+    line_parameter_for,
+    random_configuration,
+    run_protocol,
+)
+from repro.exceptions import ProtocolError
+
+
+class TestParameters:
+    def test_lattice_sizes(self):
+        assert line_lattice_size(2) == 72
+        assert line_lattice_size(4) == 960
+
+    def test_parameter_for_exact(self):
+        assert line_parameter_for(72) == 2
+        assert line_parameter_for(960) == 4
+
+    def test_parameter_for_scattered(self):
+        # 72 + up to 2·24 = 120 still fits m=2
+        assert line_parameter_for(100) == 2
+
+    def test_gap_rejected(self):
+        with pytest.raises(ProtocolError):
+            line_parameter_for(500)  # between m=2 (≤120) and m=4 (≥960)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ProtocolError):
+            line_parameter_for(10)
+
+    def test_odd_m_rejected(self):
+        with pytest.raises(ProtocolError):
+            LineOfTrapsProtocol(m=3)
+
+
+class TestLayout:
+    protocol = LineOfTrapsProtocol(m=2)
+
+    def test_counts(self):
+        assert self.protocol.num_agents == 72
+        assert self.protocol.num_states == 73
+        assert self.protocol.num_extra_states == 1
+        assert self.protocol.num_lines == 4
+        assert self.protocol.traps_per_line == 6
+
+    def test_states_partition_into_lines(self):
+        seen = []
+        for line in range(self.protocol.num_lines):
+            seen.extend(self.protocol.line_states(line))
+        assert seen == list(range(72))
+
+    def test_traps_partition_lines(self):
+        for line in range(self.protocol.num_lines):
+            states = []
+            for a in range(1, self.protocol.traps_per_line + 1):
+                states.extend(self.protocol.trap(line, a).states)
+            assert states == list(self.protocol.line_states(line))
+
+    def test_entrance_and_exit_gates(self):
+        assert self.protocol.exit_gate(0) == self.protocol.trap(0, 1).gate
+        assert (
+            self.protocol.entrance_gate(0)
+            == self.protocol.trap(0, 6).gate
+        )
+
+    def test_line_of_state(self):
+        for line in range(4):
+            for state in self.protocol.line_states(line):
+                assert self.protocol.line_of_state(state) == line
+
+    def test_scattered_population(self):
+        protocol = LineOfTrapsProtocol(num_agents=100)
+        assert protocol.m == 2
+        assert protocol.num_agents == 100
+        assert sum(t.size for t in protocol.line_traps(0)) + sum(
+            t.size for t in protocol.line_traps(1)
+        ) + sum(t.size for t in protocol.line_traps(2)) + sum(
+            t.size for t in protocol.line_traps(3)
+        ) == 100
+
+    def test_trap_index_bounds(self):
+        with pytest.raises(ProtocolError):
+            self.protocol.trap(0, 0)
+        with pytest.raises(ProtocolError):
+            self.protocol.trap(0, 7)
+
+    def test_labels(self):
+        assert self.protocol.state_label(self.protocol.x_state) == "X"
+        assert self.protocol.state_label(0) == "(1,1,0)"
+
+
+class TestPointing:
+    def test_traps_point_to_graph_neighbours(self):
+        protocol = LineOfTrapsProtocol(m=4)
+        graph = protocol.routing_graph
+        for line in range(protocol.num_lines):
+            expected = tuple(v - 1 for v in graph.neighbours(line + 1))
+            pointed = {
+                protocol.pointed_line(line, a)
+                for a in range(1, protocol.traps_per_line + 1)
+            }
+            assert pointed == set(expected)
+
+    def test_all_states_of_a_trap_point_alike(self):
+        """§4.2: 'all states belonging to one trap direct agents to the
+        same line' — check via the routing rule itself."""
+        protocol = LineOfTrapsProtocol(m=2)
+        x = protocol.x_state
+        for line in range(protocol.num_lines):
+            for a in range(1, protocol.traps_per_line + 1):
+                trap = protocol.trap(line, a)
+                targets = {
+                    protocol.delta(state, x)[1] for state in trap.states
+                }
+                assert len(targets) == 1
+
+    def test_thirds_rule(self):
+        """Traps a in (im, (i+1)m] point to neighbour i."""
+        protocol = LineOfTrapsProtocol(m=2)
+        graph = protocol.routing_graph
+        for line in range(protocol.num_lines):
+            nbrs = tuple(v - 1 for v in graph.neighbours(line + 1))
+            for a in range(1, 7):
+                i = (a - 1) // 2
+                assert protocol.pointed_line(line, a) == nbrs[i]
+
+
+class TestTransitionFunction:
+    protocol = LineOfTrapsProtocol(m=2)
+
+    def test_inner_rule(self):
+        trap = self.protocol.trap(1, 3)
+        state = trap.base + 2
+        assert self.protocol.delta(state, state) == (state, state - 1)
+
+    def test_gate_rule_moves_down_the_line(self):
+        trap3 = self.protocol.trap(2, 3)
+        trap2 = self.protocol.trap(2, 2)
+        assert self.protocol.delta(trap3.gate, trap3.gate) == (
+            trap3.top,
+            trap2.gate,
+        )
+
+    def test_exit_gate_releases_to_x(self):
+        exit_trap = self.protocol.trap(1, 1)
+        assert self.protocol.delta(exit_trap.gate, exit_trap.gate) == (
+            exit_trap.top,
+            self.protocol.x_state,
+        )
+
+    def test_x_meets_x_routes_to_line_one(self):
+        x = self.protocol.x_state
+        assert self.protocol.delta(x, x) == (
+            x,
+            self.protocol.entrance_gate(0),
+        )
+
+    def test_routing_rule_initiator_unchanged(self):
+        x = self.protocol.x_state
+        state = self.protocol.trap(3, 5).base + 1
+        out = self.protocol.delta(state, x)
+        assert out[0] == state
+        target_line = self.protocol.pointed_line(3, 5)
+        assert out[1] == self.protocol.entrance_gate(target_line)
+
+    def test_x_initiator_with_rank_responder_null(self):
+        assert self.protocol.delta(self.protocol.x_state, 5) is None
+
+    def test_distinct_ranks_null(self):
+        assert self.protocol.delta(3, 4) is None
+
+
+class TestStabilisation:
+    def test_random_start(self):
+        protocol = LineOfTrapsProtocol(m=2)
+        start = random_configuration(protocol, seed=4)
+        result = run_protocol(protocol, start, seed=4)
+        assert result.silent
+        assert protocol.is_ranked(result.final_configuration)
+
+    def test_all_in_x(self):
+        protocol = LineOfTrapsProtocol(m=2)
+        start = Configuration.all_in_state(
+            protocol.x_state, 72, protocol.num_states
+        )
+        result = run_protocol(protocol, start, seed=5)
+        assert result.silent
+        assert protocol.is_ranked(result.final_configuration)
+
+    def test_pileup_on_exit_gate(self):
+        protocol = LineOfTrapsProtocol(m=2)
+        start = Configuration.all_in_state(
+            protocol.exit_gate(0), 72, protocol.num_states
+        )
+        result = run_protocol(protocol, start, seed=6)
+        assert result.silent
+        assert protocol.is_ranked(result.final_configuration)
+
+    def test_scattered_population_stabilises(self):
+        protocol = LineOfTrapsProtocol(num_agents=90)
+        start = random_configuration(protocol, seed=7)
+        result = run_protocol(protocol, start, seed=7)
+        assert result.silent
+        assert protocol.is_ranked(result.final_configuration)
+
+    def test_silent_iff_ranked(self):
+        protocol = LineOfTrapsProtocol(m=2)
+        assert protocol.is_silent(protocol.solved_configuration())
+        # one agent moved onto X keeps the protocol live
+        live = protocol.solved_configuration().with_move(
+            10, protocol.x_state
+        )
+        assert not protocol.is_silent(live)

@@ -1,0 +1,150 @@
+"""Unit tests for the modified (all-green) tree protocol (Thm 3 proof).
+
+The modified protocol is a *proof device*: it matches the real protocol
+until a red agent touches the tree, stabilises from balanced
+configurations, and — crucially — is **not** self-stabilising in
+general.  The tests pin down all three behaviours; the last one is the
+ablation demonstrating why the red reset phase exists.
+"""
+
+import pytest
+
+from repro import (
+    Configuration,
+    ModifiedTreeProtocol,
+    TreeRankingProtocol,
+    run_protocol,
+)
+
+
+class TestModifiedRules:
+    protocol = ModifiedTreeProtocol(9, k=2)
+
+    def test_r4_always_green(self):
+        x = self.protocol.line_state
+        # red indices behave green in the modified protocol
+        assert self.protocol.delta(x(1), 4) == (0, 4)
+        assert self.protocol.delta(x(2), 7) == (0, 7)
+        assert self.protocol.delta(x(3), 4) == (0, 4)
+
+    def test_other_rules_unchanged(self):
+        original = TreeRankingProtocol(9, k=2)
+        for si in range(self.protocol.num_states):
+            for sj in range(self.protocol.num_states):
+                if si >= 9 and sj < 9:
+                    continue  # R4 is the only difference
+                assert self.protocol.delta(si, sj) == original.delta(si, sj)
+
+    def test_coupling_until_red_contact(self):
+        """The real and modified protocols differ exactly on
+        (red line state, rank) pairs — the coupling of the Thm 3 proof."""
+        real = TreeRankingProtocol(9, k=2)
+        modified = ModifiedTreeProtocol(9, k=2)
+        differing = [
+            (si, sj)
+            for si in range(real.num_states)
+            for sj in range(real.num_states)
+            if real.delta(si, sj) != modified.delta(si, sj)
+        ]
+        assert differing == [
+            (si, sj)
+            for si in range(real.num_states)
+            for sj in range(real.num_states)
+            if real.is_red(si) and sj < real.num_ranks
+        ]
+
+    def test_name(self):
+        assert "ModifiedTree" in self.protocol.name
+
+
+class TestBalancedStabilisation:
+    """The half of the coupling the proof uses: balanced starts rank."""
+
+    @pytest.mark.parametrize("n", [5, 9, 17])
+    def test_solved_is_silent(self, n):
+        protocol = ModifiedTreeProtocol(n, k=3)
+        assert protocol.is_silent(protocol.solved_configuration())
+
+    @pytest.mark.parametrize("n", [5, 9, 17])
+    def test_all_at_root_ranks(self, n):
+        """All agents at the root is balanced (Lemma 19 dispersal)."""
+        protocol = ModifiedTreeProtocol(n, k=3)
+        start = Configuration.all_in_state(0, n, protocol.num_states)
+        result = run_protocol(protocol, start, seed=n)
+        assert result.silent
+        assert protocol.is_ranked(result.final_configuration)
+
+    def test_all_on_line_ranks(self):
+        """Everyone on the line drains to the root, then disperses —
+        balanced, so the modified protocol finishes the job."""
+        protocol = ModifiedTreeProtocol(9, k=2)
+        start = Configuration.all_in_state(
+            protocol.line_state(1), 9, protocol.num_states
+        )
+        result = run_protocol(protocol, start, seed=3)
+        assert result.silent
+        assert protocol.is_ranked(result.final_configuration)
+
+
+class TestNotSelfStabilising:
+    """The ablation: without red resets, unbalanced starts can livelock.
+
+    With n = 3 (root + two leaves) and both agents of a pair on a leaf,
+    the modified protocol cycles forever: R2 sends the pair to the line,
+    the pair re-enters at the root, and R1 dumps both agents back onto
+    the two leaves — the ranked configuration is unreachable.  The real
+    protocol with its red phase ranks the same start easily.
+    """
+
+    def _unbalanced_start(self, protocol):
+        counts = [0] * protocol.num_states
+        counts[1] = 2  # leaf 1 doubled
+        counts[2] = 1  # leaf 2 single, root empty
+        return Configuration(counts)
+
+    def test_modified_livelocks(self):
+        protocol = ModifiedTreeProtocol(3, k=1)
+        start = self._unbalanced_start(protocol)
+        result = run_protocol(
+            protocol, start, seed=0, max_interactions=200_000
+        )
+        assert not result.silent  # still churning after a huge budget
+
+    def test_real_protocol_ranks_the_same_start(self):
+        protocol = TreeRankingProtocol(3, k=1)
+        start = self._unbalanced_start(protocol)
+        result = run_protocol(protocol, start, seed=0)
+        assert result.silent
+        assert protocol.is_ranked(result.final_configuration)
+
+    def test_livelock_configurations_form_a_cycle(self):
+        """Exhaustively verify the n=3 reachability argument: the silent
+        configuration is not reachable from the unbalanced start."""
+        protocol = ModifiedTreeProtocol(3, k=1)
+        start = self._unbalanced_start(protocol)
+        solved = protocol.solved_configuration().as_tuple()
+        seen = set()
+        frontier = [start.as_tuple()]
+        while frontier:
+            counts = frontier.pop()
+            if counts in seen:
+                continue
+            seen.add(counts)
+            for si in range(protocol.num_states):
+                if counts[si] == 0:
+                    continue
+                for sj in range(protocol.num_states):
+                    available = counts[sj] - (1 if si == sj else 0)
+                    if available <= 0:
+                        continue
+                    out = protocol.delta(si, sj)
+                    if out is None:
+                        continue
+                    nxt = list(counts)
+                    nxt[si] -= 1
+                    nxt[sj] -= 1
+                    nxt[out[0]] += 1
+                    nxt[out[1]] += 1
+                    frontier.append(tuple(nxt))
+        assert solved not in seen
+        assert len(seen) > 1  # it moves, it just never ranks

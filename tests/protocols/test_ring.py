@@ -1,0 +1,140 @@
+"""Unit tests for the ring-of-traps protocol (§3)."""
+
+import pytest
+
+from repro import (
+    Configuration,
+    RingOfTrapsProtocol,
+    k_distant_configuration,
+    run_protocol,
+)
+from repro.protocols.ring import ring_parameter_for
+from repro.exceptions import ProtocolError
+
+
+class TestParameterSelection:
+    def test_exact_lattice(self):
+        assert ring_parameter_for(20) == 4  # 4·5 = 20
+
+    def test_between_lattices_rounds_up(self):
+        assert ring_parameter_for(21) == 5  # 5·6 = 30 ≥ 21
+
+    def test_tiny_population(self):
+        assert ring_parameter_for(2) == 1
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ProtocolError):
+            ring_parameter_for(1)
+
+
+class TestLayout:
+    def test_exact_lattice_layout(self):
+        protocol = RingOfTrapsProtocol(m=4)
+        assert protocol.num_agents == 20
+        assert protocol.num_states == 20
+        assert protocol.num_extra_states == 0
+        assert protocol.num_traps == 4
+        assert all(t.size == 5 for t in protocol.traps)
+
+    def test_states_partition_into_traps(self):
+        protocol = RingOfTrapsProtocol(m=5)
+        seen = []
+        for trap in protocol.traps:
+            seen.extend(trap.states)
+        assert seen == list(range(protocol.num_states))
+
+    def test_shrunken_layout_total(self):
+        protocol = RingOfTrapsProtocol(num_agents=17)  # m=4 lattice is 20
+        assert protocol.num_states == 17
+        assert protocol.num_traps == 4
+        assert sum(t.size for t in protocol.traps) == 17
+        assert all(t.size >= 1 for t in protocol.traps)
+
+    def test_trap_of_state(self):
+        protocol = RingOfTrapsProtocol(m=3)
+        for index, trap in enumerate(protocol.traps):
+            for state in trap.states:
+                assert protocol.trap_of(state) == index
+
+    def test_m_and_agents_consistency_enforced(self):
+        with pytest.raises(ProtocolError):
+            RingOfTrapsProtocol(num_agents=25, m=4)  # 4·5 = 20 < 25
+
+    def test_requires_some_parameter(self):
+        with pytest.raises(ProtocolError):
+            RingOfTrapsProtocol()
+
+    def test_label(self):
+        protocol = RingOfTrapsProtocol(m=3)
+        assert protocol.state_label(0) == "(0,0)"
+        assert protocol.state_label(4) == "(1,0)"
+
+
+class TestTransitionFunction:
+    def test_inner_rule(self):
+        protocol = RingOfTrapsProtocol(m=3)
+        trap1 = protocol.trap(1)
+        state = trap1.base + 2
+        assert protocol.delta(state, state) == (state, state - 1)
+
+    def test_gate_rule_forwards_around_ring(self):
+        protocol = RingOfTrapsProtocol(m=3)
+        for a in range(3):
+            gate = protocol.trap(a).gate
+            next_gate = protocol.trap((a + 1) % 3).gate
+            assert protocol.delta(gate, gate) == (protocol.trap(a).top, next_gate)
+
+    def test_last_trap_wraps_to_first(self):
+        protocol = RingOfTrapsProtocol(m=4)
+        gate = protocol.trap(3).gate
+        assert protocol.delta(gate, gate)[1] == protocol.trap(0).gate
+
+    def test_exactly_n_rules(self):
+        protocol = RingOfTrapsProtocol(m=3)
+        n = protocol.num_states
+        productive = [
+            (i, j) for i in range(n) for j in range(n)
+            if protocol.delta(i, j) is not None
+        ]
+        assert productive == [(i, i) for i in range(n)]
+
+    def test_rules_stay_within_state_space(self):
+        protocol = RingOfTrapsProtocol(num_agents=17)  # shrunken traps
+        for s in range(protocol.num_states):
+            out = protocol.delta(s, s)
+            assert out is not None
+            assert 0 <= out[0] < protocol.num_states
+            assert 0 <= out[1] < protocol.num_states
+
+
+class TestStabilisation:
+    @pytest.mark.parametrize("m", [1, 2, 3, 4])
+    def test_from_pileup(self, m):
+        protocol = RingOfTrapsProtocol(m=m)
+        n = protocol.num_agents
+        result = run_protocol(
+            protocol, Configuration.all_in_state(0, n, n), seed=m,
+        )
+        assert result.silent
+        assert protocol.is_ranked(result.final_configuration)
+
+    @pytest.mark.parametrize("k", [0, 1, 3, 7])
+    def test_from_k_distant(self, k):
+        protocol = RingOfTrapsProtocol(m=4)
+        start = k_distant_configuration(protocol, k, seed=k)
+        result = run_protocol(protocol, start, seed=k)
+        assert result.silent
+        assert protocol.is_ranked(result.final_configuration)
+
+    def test_shrunken_ring_stabilises(self):
+        protocol = RingOfTrapsProtocol(num_agents=17)
+        start = Configuration.all_in_state(5, 17, 17)
+        result = run_protocol(protocol, start, seed=17)
+        assert result.silent
+        assert protocol.is_ranked(result.final_configuration)
+
+    def test_silent_iff_ranked(self):
+        protocol = RingOfTrapsProtocol(m=3)
+        assert protocol.is_silent(protocol.solved_configuration())
+        near = protocol.solved_configuration().with_move(3, 4)
+        assert not protocol.is_silent(near)

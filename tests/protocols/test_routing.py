@@ -1,0 +1,112 @@
+"""Unit tests for the cubic routing graph G (§4.2, Figure 1)."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro import build_routing_graph
+from repro.exceptions import ProtocolError
+
+
+def _to_networkx(graph):
+    g = nx.Graph()
+    g.add_nodes_from(graph.vertices)
+    g.add_edges_from(graph.edges())
+    return g
+
+
+class TestConstruction:
+    def test_paper_worked_example(self):
+        """Under Figure 1: for m²=16, line 1 has l0=2, l1=3, l2=8."""
+        graph = build_routing_graph(16)
+        assert graph.neighbours(1) == (2, 3, 8)
+
+    def test_k4_special_case(self):
+        graph = build_routing_graph(4)
+        assert graph.num_vertices == 4
+        assert graph.is_cubic()
+        assert graph.diameter() == 1
+
+    @pytest.mark.parametrize("m", [2, 4, 6, 8, 10])
+    def test_cubic_for_even_squares(self, m):
+        graph = build_routing_graph(m * m)
+        assert graph.is_cubic()
+
+    @pytest.mark.parametrize("m", [4, 6, 8, 10])
+    def test_connected(self, m):
+        graph = build_routing_graph(m * m)
+        assert graph.is_connected()
+
+    @pytest.mark.parametrize("m", [4, 6, 8, 10, 12])
+    def test_diameter_bound(self, m):
+        """Paper: G has diameter 4·⌈log m⌉."""
+        graph = build_routing_graph(m * m)
+        assert graph.diameter() <= 4 * math.ceil(math.log2(m))
+
+    def test_odd_vertex_count_rejected(self):
+        with pytest.raises(ProtocolError):
+            build_routing_graph(9)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ProtocolError):
+            build_routing_graph(2)
+
+    def test_degenerate_six_rejected(self):
+        with pytest.raises(ProtocolError):
+            build_routing_graph(6)
+
+    def test_neighbour_triples_sorted(self):
+        graph = build_routing_graph(16)
+        for v in graph.vertices:
+            nbrs = graph.neighbours(v)
+            assert nbrs == tuple(sorted(nbrs))
+
+    def test_edge_count_matches_cubic(self):
+        graph = build_routing_graph(36)
+        assert len(graph.edges()) == 3 * 36 // 2
+
+    def test_edges_symmetric(self):
+        graph = build_routing_graph(16)
+        for v in graph.vertices:
+            for w in graph.neighbours(v):
+                assert v in graph.neighbours(w)
+
+
+class TestAgainstNetworkx:
+    """Cross-validate our pure-python graph algorithms with networkx."""
+
+    @pytest.mark.parametrize("m", [4, 6, 8])
+    def test_diameter_matches_networkx(self, m):
+        graph = build_routing_graph(m * m)
+        assert graph.diameter() == nx.diameter(_to_networkx(graph))
+
+    def test_connectivity_matches_networkx(self):
+        graph = build_routing_graph(16)
+        assert graph.is_connected() == nx.is_connected(_to_networkx(graph))
+
+    def test_simple_graph_no_loops_or_multiedges(self):
+        graph = build_routing_graph(64)
+        g = _to_networkx(graph)
+        assert nx.number_of_selfloops(g) == 0
+        # every vertex degree exactly 3 in the simple graph
+        assert all(d == 3 for __, d in g.degree())
+
+
+class TestStructureRecipe:
+    """The construction steps of the paper, re-checked on m=4."""
+
+    def test_leaf_cycle_present(self):
+        """Leaves of the tree G' (minus the merged one) form a cycle."""
+        graph = build_routing_graph(16)
+        g = _to_networkx(graph)
+        # heap tree on 17 nodes: leaves are 9..17; 17 merged into 1
+        cycle_leaves = list(range(9, 17))
+        sub = g.subgraph(cycle_leaves)
+        assert nx.is_connected(sub)
+        assert all(d == 2 for __, d in sub.degree())
+
+    def test_merged_vertex_inherits_tree_edge(self):
+        """Vertex 1 picked up the merged leaf's edge to its parent (8)."""
+        graph = build_routing_graph(16)
+        assert 8 in graph.neighbours(1)

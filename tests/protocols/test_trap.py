@@ -1,0 +1,168 @@
+"""Unit tests for the agent trap gadget (§2.1, Facts 1–3, Lemma 1)."""
+
+import numpy as np
+import pytest
+
+from repro import Configuration, JumpEngine, SingleTrapProtocol, run_protocol
+from repro.protocols.trap import (
+    TrapLayout,
+    trap_gaps,
+    trap_is_flat,
+    trap_is_full,
+    trap_is_saturated,
+    trap_is_tidy,
+    trap_surplus,
+)
+from repro.exceptions import ProtocolError
+
+
+class TestTrapLayout:
+    def test_basic_geometry(self):
+        trap = TrapLayout(base=10, size=4)
+        assert trap.gate == 10
+        assert trap.top == 13
+        assert list(trap.inner_states) == [11, 12, 13]
+        assert list(trap.states) == [10, 11, 12, 13]
+
+    def test_degenerate_single_state(self):
+        trap = TrapLayout(base=0, size=1)
+        assert trap.gate == trap.top == 0
+        assert list(trap.inner_states) == []
+
+    def test_contains_and_index(self):
+        trap = TrapLayout(base=5, size=3)
+        assert trap.contains(5) and trap.contains(7)
+        assert not trap.contains(8)
+        assert trap.inner_index(6) == 1
+        with pytest.raises(ProtocolError):
+            trap.inner_index(8)
+
+    def test_invalid_size(self):
+        with pytest.raises(ProtocolError):
+            TrapLayout(base=0, size=0)
+
+
+class TestTrapPredicates:
+    trap = TrapLayout(base=0, size=4)  # gate 0, inner 1..3
+
+    def test_gaps(self):
+        assert trap_gaps([1, 1, 0, 1], self.trap) == 1
+        assert trap_gaps([0, 0, 0, 0], self.trap) == 3
+
+    def test_surplus(self):
+        assert trap_surplus([1, 1, 1, 1], self.trap) == 0
+        assert trap_surplus([3, 1, 1, 1], self.trap) == 2
+        assert trap_surplus([0, 0, 1, 0], self.trap) == -3
+
+    def test_saturated_and_full(self):
+        assert trap_is_saturated([0, 1, 1, 1], self.trap)
+        assert not trap_is_full([0, 1, 1, 1], self.trap)  # only 3 agents
+        assert trap_is_full([1, 1, 1, 1], self.trap)
+        assert trap_is_full([5, 1, 1, 1], self.trap)
+
+    def test_flat(self):
+        assert trap_is_flat([9, 1, 1, 0], self.trap)  # gate load irrelevant
+        assert not trap_is_flat([0, 2, 1, 0], self.trap)
+
+    def test_tidy(self):
+        # overload above gap → tidy
+        assert trap_is_tidy([0, 0, 1, 2], self.trap)
+        # overload below gap → untidy
+        assert not trap_is_tidy([0, 2, 0, 1], self.trap)
+        # no overloads → always tidy
+        assert trap_is_tidy([0, 0, 1, 0], self.trap)
+
+
+class TestSingleTrapProtocol:
+    def test_transition_rules(self):
+        protocol = SingleTrapProtocol(inner_size=3, num_agents=5)
+        # inner descent
+        assert protocol.delta(2, 2) == (2, 1)
+        # gate: keep one at top, release one
+        assert protocol.delta(0, 0) == (3, protocol.exit_state)
+        # exit state absorbing, cross-state null
+        assert protocol.delta(4, 4) is None
+        assert protocol.delta(1, 2) is None
+
+    def test_degenerate_trap_rule(self):
+        protocol = SingleTrapProtocol(inner_size=0, num_agents=3)
+        # paper: m = 0 trap degenerates; gate keeps one agent in place
+        assert protocol.delta(0, 0) == (0, protocol.exit_state)
+
+    def test_fact1_gaps_stay_occupied(self):
+        """Fact 1: once an inner state is occupied it stays occupied."""
+        protocol = SingleTrapProtocol(inner_size=4, num_agents=9)
+        counts = [0] * protocol.num_states
+        counts[protocol.trap.top] = 9
+        engine = JumpEngine(
+            protocol, Configuration(counts), np.random.default_rng(0)
+        )
+        ever_occupied = set()
+        while True:
+            for state in protocol.trap.inner_states:
+                if engine.counts[state] > 0:
+                    ever_occupied.add(state)
+            for state in ever_occupied:
+                assert engine.counts[state] > 0, "Fact 1 violated"
+            if engine.step() is None:
+                break
+
+    def test_fact3_fullness_absorbing(self):
+        """Fact 3: once full, a trap stays full."""
+        protocol = SingleTrapProtocol(inner_size=3, num_agents=8)
+        counts = [0] * protocol.num_states
+        counts[protocol.trap.top] = 8
+        engine = JumpEngine(
+            protocol, Configuration(counts), np.random.default_rng(1)
+        )
+        was_full = False
+        while True:
+            full = trap_is_full(engine.counts, protocol.trap)
+            if was_full:
+                assert full, "Fact 3 violated"
+            was_full = was_full or full
+            if engine.step() is None:
+                break
+        assert was_full  # 8 agents >> size 4: the trap must fill
+
+    def test_fact2_saturation_arithmetic(self):
+        """Fact 2: 2d arrivals saturate d gaps (gate ejects every other)."""
+        protocol = SingleTrapProtocol(inner_size=3, num_agents=6)
+        # d = 3 gaps, 6 agents at the gate → exactly enough to saturate
+        counts = [0] * protocol.num_states
+        counts[protocol.trap.gate] = 6
+        result = run_protocol(protocol, Configuration(counts), seed=3)
+        assert result.silent
+        final = result.final_configuration.counts_list()
+        assert trap_is_saturated(final, protocol.trap)
+
+    def test_surplus_eventually_released(self):
+        protocol = SingleTrapProtocol(inner_size=4, num_agents=5 + 3)
+        counts = [0] * protocol.num_states
+        counts[protocol.trap.top] = 8  # size-5 trap + surplus 3
+        result = run_protocol(protocol, Configuration(counts), seed=4)
+        assert result.silent
+        assert protocol.released(result.final_configuration) == 3
+        # trap retains exactly one agent per state
+        final = result.final_configuration
+        assert all(final.count(s) == 1 for s in protocol.trap.states)
+
+    def test_silent_configuration_shape(self):
+        """Silence ⟺ no state holds 2+ agents (exit state may hold many)."""
+        protocol = SingleTrapProtocol(inner_size=2, num_agents=7)
+        counts = [0] * protocol.num_states
+        counts[protocol.trap.top] = 7
+        result = run_protocol(protocol, Configuration(counts), seed=5)
+        final = result.final_configuration.counts_list()
+        assert all(final[s] <= 1 for s in protocol.trap.states)
+        assert final[protocol.exit_state] == 7 - 3
+
+    def test_negative_inner_size_rejected(self):
+        with pytest.raises(ProtocolError):
+            SingleTrapProtocol(inner_size=-1, num_agents=4)
+
+    def test_labels(self):
+        protocol = SingleTrapProtocol(inner_size=2, num_agents=4)
+        assert protocol.state_label(0) == "gate"
+        assert protocol.state_label(1) == "inner1"
+        assert protocol.state_label(3) == "exit"

@@ -1,0 +1,180 @@
+"""Unit tests for the tree ranking protocol (§5, rules R1–R5)."""
+
+import pytest
+
+from repro import (
+    Configuration,
+    TreeDispersalProtocol,
+    TreeRankingProtocol,
+    all_in_extras_configuration,
+    random_configuration,
+    run_protocol,
+)
+from repro.protocols.tree_protocol import default_line_half_length
+from repro.exceptions import ProtocolError
+
+
+class TestConstruction:
+    def test_extra_state_count(self):
+        protocol = TreeRankingProtocol(50, k=5)
+        assert protocol.num_extra_states == 10
+        assert protocol.k == 5
+
+    def test_default_k_is_logarithmic(self):
+        assert default_line_half_length(2) >= 2
+        assert default_line_half_length(1024) == 20
+        protocol = TreeRankingProtocol(1024)
+        assert protocol.num_extra_states == 40
+
+    def test_invalid_k(self):
+        with pytest.raises(ProtocolError):
+            TreeRankingProtocol(10, k=0)
+
+    def test_line_state_indexing(self):
+        protocol = TreeRankingProtocol(10, k=3)
+        assert protocol.line_state(1) == 10
+        assert protocol.line_state(6) == 15
+        assert protocol.line_index(12) == 3
+        with pytest.raises(ProtocolError):
+            protocol.line_state(7)
+        with pytest.raises(ProtocolError):
+            protocol.line_index(5)
+
+    def test_red_green_split(self):
+        protocol = TreeRankingProtocol(10, k=3)
+        reds = [s for s in protocol.line_states if protocol.is_red(s)]
+        greens = [s for s in protocol.line_states if protocol.is_green(s)]
+        assert reds == [10, 11, 12]
+        assert greens == [13, 14, 15]
+
+
+class TestRules:
+    protocol = TreeRankingProtocol(9, k=2)  # ranks 0..8, X1..X4 = 9..12
+
+    def test_r1_non_branching(self):
+        # node 1 is non-branching in the n=9 tree
+        assert self.protocol.delta(1, 1) == (1, 2)
+
+    def test_r1_branching_both_vacate(self):
+        # node 0 branches to 1 and 5
+        assert self.protocol.delta(0, 0) == (1, 5)
+
+    def test_r2_leaf_reset(self):
+        leaf = self.protocol.tree.leaves[0]
+        x1 = self.protocol.line_state(1)
+        assert self.protocol.delta(leaf, leaf) == (x1, x1)
+
+    def test_r3_line_progression(self):
+        x = self.protocol.line_state
+        assert self.protocol.delta(x(1), x(3)) == (x(2), x(2))
+        assert self.protocol.delta(x(2), x(2)) == (x(3), x(3))
+        # initiator above responder: null
+        assert self.protocol.delta(x(3), x(1)) is None
+
+    def test_r3_top_is_excluded(self):
+        x = self.protocol.line_state
+        # i = 2k has no R3 rule; (2k, 2k) is R5
+        assert self.protocol.delta(x(4), x(4)) == (0, 0)
+        assert self.protocol.delta(x(4), x(2)) is None
+
+    def test_r4_red_resets_both(self):
+        x = self.protocol.line_state
+        assert self.protocol.delta(x(1), 4) == (x(1), x(1))
+        assert self.protocol.delta(x(2), 0) == (x(1), x(1))
+
+    def test_r4_green_moves_to_root(self):
+        x = self.protocol.line_state
+        assert self.protocol.delta(x(3), 4) == (0, 4)
+        assert self.protocol.delta(x(4), 7) == (0, 7)
+
+    def test_rank_initiator_with_line_responder_is_null(self):
+        x = self.protocol.line_state
+        assert self.protocol.delta(4, x(1)) is None
+
+    def test_distinct_ranks_null(self):
+        assert self.protocol.delta(3, 4) is None
+
+    def test_labels(self):
+        assert self.protocol.state_label(0) == "rank0"
+        assert self.protocol.state_label(9) == "X1"
+
+
+class TestStabilisation:
+    @pytest.mark.parametrize("n", [2, 3, 5, 9, 16, 33])
+    def test_random_starts_rank(self, n):
+        protocol = TreeRankingProtocol(n, k=3)
+        start = random_configuration(protocol, seed=n)
+        result = run_protocol(protocol, start, seed=n)
+        assert result.silent
+        assert protocol.is_ranked(result.final_configuration)
+
+    def test_all_in_extras_recovers(self):
+        protocol = TreeRankingProtocol(12, k=3)
+        start = all_in_extras_configuration(protocol, seed=1)
+        result = run_protocol(protocol, start, seed=1)
+        assert result.silent
+        assert protocol.is_ranked(result.final_configuration)
+
+    def test_leaf_pileup_triggers_reset_and_recovers(self):
+        protocol = TreeRankingProtocol(17, k=3)
+        leaf = protocol.tree.leaves[-1]
+        start = Configuration.all_in_state(leaf, 17, protocol.num_states)
+        result = run_protocol(protocol, start, seed=2)
+        assert result.silent
+        assert protocol.is_ranked(result.final_configuration)
+
+    @pytest.mark.parametrize("k", [1, 2, 6])
+    def test_stabilises_for_any_line_length(self, k):
+        """Stability holds for every k (whp speed needs k = Θ(log n))."""
+        protocol = TreeRankingProtocol(8, k=k)
+        start = random_configuration(protocol, seed=k)
+        result = run_protocol(protocol, start, seed=k)
+        assert result.silent
+        assert protocol.is_ranked(result.final_configuration)
+
+    def test_odd_population_in_line_does_not_deadlock(self):
+        """An odd number of agents stuck on the line must still exit
+        (R4-green handles the straggler once any rank is occupied)."""
+        protocol = TreeRankingProtocol(7, k=2)
+        start = all_in_extras_configuration(protocol, seed=3)
+        result = run_protocol(protocol, start, seed=3)
+        assert result.silent
+        assert protocol.is_ranked(result.final_configuration)
+
+    def test_silent_iff_ranked(self):
+        protocol = TreeRankingProtocol(9, k=2)
+        assert protocol.is_silent(protocol.solved_configuration())
+        # a lone agent on the line keeps the protocol live
+        live = protocol.solved_configuration().with_move(
+            3, protocol.line_state(4)
+        )
+        assert not protocol.is_silent(live)
+
+
+class TestTreeDispersal:
+    def test_leaf_pairs_are_dead_ends(self):
+        protocol = TreeDispersalProtocol(9)
+        leaf = protocol.tree.leaves[0]
+        assert protocol.delta(leaf, leaf) is None
+
+    @pytest.mark.parametrize("n", [2, 5, 9, 20, 64])
+    def test_lemma19_perfect_dispersal_from_root(self, n):
+        """Lemma 19: all agents at the root rank perfectly under R1."""
+        protocol = TreeDispersalProtocol(n)
+        start = Configuration.all_in_state(0, n, n)
+        result = run_protocol(protocol, start, seed=n)
+        assert result.silent
+        assert protocol.is_ranked(result.final_configuration)
+
+    def test_not_self_stabilising_without_reset(self):
+        """Ablation: a leaf pile-up goes silent *incorrectly* under R1
+        alone — exactly the failure mode R2–R5 exist to repair."""
+        protocol = TreeDispersalProtocol(9)
+        leaf = protocol.tree.leaves[0]
+        start = Configuration.all_in_state(leaf, 9, 9)
+        result = run_protocol(protocol, start, seed=1)
+        assert result.silent
+        assert not protocol.is_ranked(result.final_configuration)
+
+    def test_no_extra_states(self):
+        assert TreeDispersalProtocol(9).num_extra_states == 0

@@ -1,0 +1,145 @@
+"""Unit tests for perfectly balanced binary trees (§5, Figure 2)."""
+
+import math
+
+import pytest
+
+from repro import NodeKind, PerfectlyBalancedTree
+from repro.exceptions import ProtocolError
+
+
+class TestFigure2:
+    """The n=9 instance drawn in the paper."""
+
+    tree = PerfectlyBalancedTree(9)
+
+    def test_root_is_branching_with_children_1_and_5(self):
+        assert self.tree.kind(0) == NodeKind.BRANCHING
+        assert self.tree.left_child(0) == 1
+        assert self.tree.right_child(0) == 5
+
+    def test_unary_spine_nodes(self):
+        for node, child in [(1, 2), (5, 6)]:
+            assert self.tree.kind(node) == NodeKind.NON_BRANCHING
+            assert self.tree.left_child(node) == child
+            assert self.tree.right_child(node) == -1
+
+    def test_inner_branching_nodes(self):
+        assert self.tree.children(2) == [3, 4]
+        assert self.tree.children(6) == [7, 8]
+
+    def test_leaves(self):
+        assert self.tree.leaves == [3, 4, 7, 8]
+
+    def test_height(self):
+        assert self.tree.height == 3
+
+
+class TestRecursiveDefinition:
+    def test_size_one_is_leaf(self):
+        tree = PerfectlyBalancedTree(1)
+        assert tree.kind(0) == NodeKind.LEAF
+        assert tree.height == 0
+
+    def test_even_root_is_non_branching(self):
+        for n in (2, 4, 6, 100):
+            assert PerfectlyBalancedTree(n).kind(0) == NodeKind.NON_BRANCHING
+
+    def test_odd_root_is_branching(self):
+        for n in (3, 5, 9, 101):
+            assert PerfectlyBalancedTree(n).kind(0) == NodeKind.BRANCHING
+
+    def test_branching_children_identical_subtrees(self):
+        tree = PerfectlyBalancedTree(25)
+        for node in range(25):
+            if tree.kind(node) == NodeKind.BRANCHING and tree.subtree_size(node) > 1:
+                left = tree.left_child(node)
+                right = tree.right_child(node)
+                assert tree.subtree_size(left) == tree.subtree_size(right)
+
+    def test_preorder_child_formula(self):
+        """Children of branching p are p+1 and p+l+1 (paper's numbering)."""
+        tree = PerfectlyBalancedTree(33)
+        for node in range(33):
+            kind = tree.kind(node)
+            if kind == NodeKind.BRANCHING:
+                half = (tree.subtree_size(node) - 1) // 2
+                assert tree.left_child(node) == node + 1
+                assert tree.right_child(node) == node + half + 1
+            elif kind == NodeKind.NON_BRANCHING:
+                assert tree.left_child(node) == node + 1
+
+    def test_invalid_size(self):
+        with pytest.raises(ProtocolError):
+            PerfectlyBalancedTree(0)
+
+
+class TestPaperProperties:
+    """Properties (1) and (2) stated in §5."""
+
+    @pytest.mark.parametrize("n", [2, 3, 7, 9, 16, 33, 100, 1234])
+    def test_levels_uniform(self, n):
+        """All nodes at the same level have the same kind and size."""
+        tree = PerfectlyBalancedTree(n)
+        for level_nodes in tree.iter_levels():
+            signatures = {
+                (tree.kind(p), tree.subtree_size(p)) for p in level_nodes
+            }
+            assert len(signatures) <= 1
+
+    @pytest.mark.parametrize("n", [2, 3, 9, 64, 100, 999, 4096, 100001])
+    def test_height_bound(self, n):
+        """h <= 2·log2(n)."""
+        tree = PerfectlyBalancedTree(n)
+        assert tree.height <= 2 * math.log2(n)
+
+    @pytest.mark.parametrize("n", [1, 2, 9, 40, 127])
+    def test_preorder_is_bijection(self, n):
+        """Every node id in [0, n) appears exactly once in the traversal."""
+        tree = PerfectlyBalancedTree(n)
+        visited = []
+
+        def visit(p):
+            visited.append(p)
+            for c in tree.children(p):
+                visit(c)
+
+        visit(0)
+        assert sorted(visited) == list(range(n))
+
+    @pytest.mark.parametrize("n", [1, 2, 9, 40, 127])
+    def test_subtree_sizes_consistent(self, n):
+        tree = PerfectlyBalancedTree(n)
+        for p in range(n):
+            children_total = sum(tree.subtree_size(c) for c in tree.children(p))
+            assert tree.subtree_size(p) == 1 + children_total
+
+    @pytest.mark.parametrize("n", [2, 9, 40, 127])
+    def test_parent_pointers(self, n):
+        tree = PerfectlyBalancedTree(n)
+        assert tree.parent(0) == -1
+        for p in range(n):
+            for c in tree.children(p):
+                assert tree.parent(c) == p
+
+
+class TestPaths:
+    def test_root_to_leaf_path(self):
+        tree = PerfectlyBalancedTree(9)
+        assert tree.root_to_leaf_path(7) == [0, 5, 6, 7]
+
+    def test_path_rejects_internal_node(self):
+        tree = PerfectlyBalancedTree(9)
+        with pytest.raises(ProtocolError):
+            tree.root_to_leaf_path(1)
+
+    def test_all_paths_have_height_length(self):
+        """Perfect balance: every root-to-leaf path has h+1 nodes."""
+        tree = PerfectlyBalancedTree(100)
+        lengths = {
+            len(tree.root_to_leaf_path(leaf)) for leaf in tree.leaves
+        }
+        assert lengths == {tree.height + 1}
+
+    def test_repr(self):
+        assert "size=9" in repr(PerfectlyBalancedTree(9))
