@@ -1,5 +1,6 @@
 """Measurement toolkit: potentials, fits, statistics, sweeps, tables."""
 
+from .bench import BenchCase, LegacyJumpEngine, bench_suite, run_bench
 from .fitting import PowerLawFit, bootstrap_exponent_interval, fit_power_law
 from .potentials import (
     LineVectors,
@@ -29,6 +30,8 @@ from .trajectories import (
 )
 
 __all__ = [
+    "BenchCase",
+    "LegacyJumpEngine",
     "LineVectors",
     "PhaseCensus",
     "PowerLawFit",
@@ -39,6 +42,7 @@ __all__ = [
     "Table",
     "TreePhaseRecorder",
     "all_traps_tidy",
+    "bench_suite",
     "bootstrap_exponent_interval",
     "fit_power_law",
     "format_value",
@@ -55,6 +59,7 @@ __all__ = [
     "measure_stabilisation",
     "ring_weight",
     "ring_weight_components",
+    "run_bench",
     "run_sweep",
     "stabilise_line",
     "summarise",

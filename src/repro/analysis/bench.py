@@ -1,0 +1,513 @@
+"""Hot-path throughput benchmark harness (``repro bench``).
+
+Measures productive-event throughput (events/sec) of the current
+:class:`~repro.core.jump.JumpEngine` against :class:`LegacyJumpEngine`
+— a frozen copy of the engine as it shipped in the seed commit — over a
+fixed suite of protocols and population sizes, and writes the numbers
+to ``BENCH_<timestamp>.json``.  Keeping the legacy engine in-tree means
+every benchmark run measures the baseline on the *same* hardware, so
+the recorded speedups are honest and future PRs inherit a perf
+trajectory instead of a stale absolute number.
+
+The suite covers both engine fast paths: same-state-only protocols
+(AG, single trap, ring of traps — the adaptive dual-sampler loop) and
+the reset-line tree protocol (the general multi-family loop).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.configuration import Configuration
+from ..core.engine import Recorder
+from ..core.jump import JumpEngine
+from ..core.protocol import PopulationProtocol
+from ..exceptions import SimulationError
+from ..configurations.generators import random_configuration
+from ..protocols.ag import AGProtocol
+from ..protocols.ring import RingOfTrapsProtocol
+from ..protocols.trap import SingleTrapProtocol
+from ..protocols.tree_protocol import TreeRankingProtocol
+
+__all__ = [
+    "BenchCase",
+    "LegacyJumpEngine",
+    "bench_suite",
+    "run_bench",
+    "write_bench_json",
+]
+
+# Fidelity bound of the seed engine's float-indexed sampling.
+_LEGACY_MAX_EXACT = 1 << 53
+
+_LEGACY_UNIFORM_BATCH = 8192
+
+
+class _LegacySameStatePairs:
+    """Seed-commit ``SameStatePairs`` (``on_count_change`` returns None)."""
+
+    __slots__ = ("_has_rule", "_fenwick")
+
+    def __init__(self, counts, rule_states) -> None:
+        num_states = len(counts)
+        self._has_rule = [False] * num_states
+        for state in rule_states:
+            self._has_rule[state] = True
+        weights = [
+            counts[s] * (counts[s] - 1) if self._has_rule[s] else 0
+            for s in range(num_states)
+        ]
+        from ..core.fenwick import FenwickTree
+
+        self._fenwick = FenwickTree.from_values(weights)
+
+    @property
+    def weight(self) -> int:
+        return self._fenwick.total
+
+    def on_count_change(self, state, old, new) -> None:
+        if self._has_rule[state]:
+            self._fenwick.set(state, new * (new - 1))
+
+    def sample(self, rand_below):
+        state = self._fenwick.find(rand_below(self._fenwick.total))
+        return state, state
+
+
+class _LegacyOrderedProduct:
+    """Seed-commit ``OrderedProduct`` (unconditional two-sided update)."""
+
+    __slots__ = ("_initiators", "_responders", "_init_pos", "_resp_pos",
+                 "_init_fenwick", "_resp_fenwick")
+
+    def __init__(self, counts, initiators, responders) -> None:
+        from ..core.fenwick import FenwickTree
+
+        self._initiators = list(initiators)
+        self._responders = list(responders)
+        num_states = len(counts)
+        self._init_pos = [-1] * num_states
+        self._resp_pos = [-1] * num_states
+        for pos, state in enumerate(self._initiators):
+            self._init_pos[state] = pos
+        for pos, state in enumerate(self._responders):
+            self._resp_pos[state] = pos
+        self._init_fenwick = FenwickTree.from_values(
+            counts[s] for s in self._initiators
+        )
+        self._resp_fenwick = FenwickTree.from_values(
+            counts[s] for s in self._responders
+        )
+
+    @property
+    def weight(self) -> int:
+        return self._init_fenwick.total * self._resp_fenwick.total
+
+    def on_count_change(self, state, old, new) -> None:
+        pos = self._init_pos[state]
+        if pos >= 0:
+            self._init_fenwick.set(pos, new)
+        pos = self._resp_pos[state]
+        if pos >= 0:
+            self._resp_fenwick.set(pos, new)
+
+    def sample(self, rand_below):
+        initiator_pos = self._init_fenwick.find(
+            rand_below(self._init_fenwick.total)
+        )
+        responder_pos = self._resp_fenwick.find(
+            rand_below(self._resp_fenwick.total)
+        )
+        return self._initiators[initiator_pos], self._responders[responder_pos]
+
+
+class _LegacyTriangularLine:
+    """Seed-commit ``TriangularLine`` (full recompute, no delta return)."""
+
+    __slots__ = ("_line", "_pos", "_counts", "_weight")
+
+    def __init__(self, counts, line_states) -> None:
+        self._line = list(line_states)
+        self._pos = {state: i for i, state in enumerate(self._line)}
+        self._counts = [counts[s] for s in self._line]
+        self._weight = self._recompute()
+
+    def _recompute(self) -> int:
+        total = 0
+        suffix = 0
+        for c in reversed(self._counts):
+            total += c * (c - 1) + c * suffix
+            suffix += c
+        return total
+
+    @property
+    def weight(self) -> int:
+        return self._weight
+
+    def on_count_change(self, state, old, new) -> None:
+        pos = self._pos.get(state)
+        if pos is None:
+            return
+        self._counts[pos] = new
+        self._weight = self._recompute()
+
+    def sample(self, rand_below):
+        target = rand_below(self._weight)
+        counts = self._counts
+        length = len(counts)
+        suffix = sum(counts)
+        for i in range(length):
+            c = counts[i]
+            suffix -= c
+            same = c * (c - 1)
+            if target < same:
+                return self._line[i], self._line[i]
+            target -= same
+            cross = c * suffix
+            if target < cross:
+                j_target = target // c
+                for j in range(i + 1, length):
+                    if j_target < counts[j]:
+                        return self._line[i], self._line[j]
+                    j_target -= counts[j]
+                raise SimulationError("TriangularLine sample overflow")
+            target -= cross
+        raise SimulationError("TriangularLine sample out of range")
+
+
+def _legacy_families(protocol: PopulationProtocol, counts: List[int]):
+    """The protocol's families, rebuilt from the frozen seed classes.
+
+    The live family classes evolve with the fast path (this PR already
+    made ``on_count_change`` return deltas); reconstructing their seed
+    equivalents keeps the baseline measurement from drifting when they
+    do.  Unknown custom family types are used as-is.
+    """
+    from ..core.families import OrderedProduct, SameStatePairs, TriangularLine
+
+    frozen = []
+    for family in protocol.build_families(counts):
+        if type(family) is SameStatePairs:
+            rule_states = [
+                s for s, has in enumerate(family._has_rule) if has
+            ]
+            frozen.append(_LegacySameStatePairs(counts, rule_states))
+        elif type(family) is OrderedProduct:
+            frozen.append(
+                _LegacyOrderedProduct(
+                    counts, family._initiators, family._responders
+                )
+            )
+        elif type(family) is TriangularLine:
+            frozen.append(_LegacyTriangularLine(counts, family._line))
+        else:
+            frozen.append(family)
+    return frozen
+
+
+class LegacyJumpEngine:
+    """The seed-commit jump engine, frozen as the benchmark baseline.
+
+    Verbatim hot path of the pre-optimisation engine: per-event family
+    weight re-summation, dynamic ``delta()`` dispatch, per-event count
+    delta dicts, and float-multiply pair indexing — running on frozen
+    copies of the seed weight families.  Do not optimise any of it —
+    its whole purpose is to stay slow the way the seed was.
+    """
+
+    def __init__(
+        self,
+        protocol: PopulationProtocol,
+        configuration: Configuration,
+        rng: np.random.Generator,
+    ) -> None:
+        protocol.validate_configuration(configuration)
+        n = protocol.num_agents
+        if n * (n - 1) >= _LEGACY_MAX_EXACT:
+            raise SimulationError(
+                f"population {n} too large for exact float-indexed sampling"
+            )
+        self._protocol = protocol
+        self._rng = rng
+        self.counts: List[int] = configuration.counts_list()
+        self._families = _legacy_families(protocol, self.counts)
+        self._total_pairs = n * (n - 1)
+        self.interactions = 0
+        self.events = 0
+        self._uniforms = rng.random(_LEGACY_UNIFORM_BATCH)
+        self._uniform_pos = 0
+
+    def _next_uniform(self) -> float:
+        pos = self._uniform_pos
+        if pos == _LEGACY_UNIFORM_BATCH:
+            self._uniforms = self._rng.random(_LEGACY_UNIFORM_BATCH)
+            pos = 0
+        self._uniform_pos = pos + 1
+        return self._uniforms[pos]
+
+    def rand_below(self, bound: int) -> int:
+        """Seed-era float-multiply draw in ``[0, bound)`` (biased near 2⁵³)."""
+        value = int(self._next_uniform() * bound)
+        return bound - 1 if value >= bound else value
+
+    def _geometric_skip(self, weight: int) -> int:
+        p = weight / self._total_pairs
+        if p >= 1.0:
+            return 1
+        u = 1.0 - self._next_uniform()
+        skip = math.ceil(math.log(u) / math.log1p(-p))
+        return skip if skip >= 1 else 1
+
+    def _sample_pair(self, weight: int) -> tuple:
+        target = self.rand_below(weight)
+        for family in self._families:
+            fw = family.weight
+            if target < fw:
+                return family.sample(self.rand_below)
+            target -= fw
+        raise SimulationError("family weights changed during sampling")
+
+    def _apply(self, si: int, sj: int, ti: int, tj: int) -> None:
+        counts = self._counts_delta(si, sj, ti, tj)
+        for state, delta in counts:
+            old = self.counts[state]
+            new = old + delta
+            if new < 0:
+                raise SimulationError(
+                    f"state {state} count went negative applying "
+                    f"({si},{sj})→({ti},{tj})"
+                )
+            self.counts[state] = new
+            for family in self._families:
+                family.on_count_change(state, old, new)
+
+    @staticmethod
+    def _counts_delta(si: int, sj: int, ti: int, tj: int):
+        delta: dict = {}
+        delta[si] = delta.get(si, 0) - 1
+        delta[sj] = delta.get(sj, 0) - 1
+        delta[ti] = delta.get(ti, 0) + 1
+        delta[tj] = delta.get(tj, 0) + 1
+        return [(s, d) for s, d in delta.items() if d != 0]
+
+    def run(
+        self,
+        max_interactions: Optional[int] = None,
+        recorder: Optional[Recorder] = None,
+        max_events: Optional[int] = None,
+    ) -> bool:
+        """Run until silence or budget exhaustion; True iff silent."""
+        if recorder is not None:
+            recorder.on_start(self.counts)
+        protocol = self._protocol
+        families = self._families
+        silent = False
+        while True:
+            if max_events is not None and self.events >= max_events:
+                break
+            weight = 0
+            for family in families:
+                weight += family.weight
+            if weight == 0:
+                silent = True
+                break
+            skip = self._geometric_skip(weight)
+            if (
+                max_interactions is not None
+                and self.interactions + skip > max_interactions
+            ):
+                self.interactions = max_interactions
+                break
+            self.interactions += skip
+            si, sj = self._sample_pair(weight)
+            out = protocol.delta(si, sj)
+            if out is None:
+                raise SimulationError(
+                    f"families sampled null pair ({si}, {sj}) — "
+                    "family coverage does not match delta"
+                )
+            ti, tj = out
+            self._apply(si, sj, ti, tj)
+            self.events += 1
+        if recorder is not None:
+            recorder.on_finish(silent, self.interactions, self.counts)
+        return silent
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One suite entry: a protocol/start builder plus an event budget."""
+
+    case_id: str
+    protocol_name: str
+    num_agents: int
+    max_events: int
+    build: Callable[[], Tuple[PopulationProtocol, Configuration]]
+
+
+def _ag_case(n: int, max_events: int) -> BenchCase:
+    def build():
+        protocol = AGProtocol(n)
+        return protocol, Configuration.all_in_state(0, n, n)
+
+    return BenchCase(f"ag-n{n}", "AG", n, max_events, build)
+
+
+def _trap_case(inner: int, n: int, max_events: int) -> BenchCase:
+    def build():
+        protocol = SingleTrapProtocol(inner, n)
+        return protocol, Configuration.all_in_state(
+            protocol.trap.top, n, protocol.num_states
+        )
+
+    return BenchCase(f"trap-m{inner}-n{n}", f"SingleTrap(m={inner})", n,
+                     max_events, build)
+
+
+def _ring_case(m: int, max_events: int) -> BenchCase:
+    def build():
+        protocol = RingOfTrapsProtocol(m=m)
+        n = protocol.num_agents
+        return protocol, Configuration.all_in_state(0, n, n)
+
+    return BenchCase(f"ring-m{m}", f"RingOfTraps(m={m})", m * (m + 1),
+                     max_events, build)
+
+
+def _tree_case(n: int, max_events: int, seed: int = 11) -> BenchCase:
+    def build():
+        protocol = TreeRankingProtocol(n)
+        return protocol, random_configuration(protocol, seed=seed)
+
+    return BenchCase(f"tree-n{n}", "TreeRanking", n, max_events, build)
+
+
+def bench_suite(quick: bool = False) -> List[BenchCase]:
+    """The fixed benchmark suite (smaller sizes/budgets when ``quick``)."""
+    if quick:
+        return [
+            _ag_case(256, 5_000),
+            _ag_case(1_000, 5_000),
+            _trap_case(16, 512, 5_000),
+            _ring_case(15, 5_000),
+            _tree_case(256, 5_000),
+        ]
+    return [
+        _ag_case(1_000, 200_000),
+        _ag_case(10_000, 200_000),
+        _trap_case(64, 4_096, 100_000),
+        _ring_case(99, 100_000),
+        _tree_case(4_096, 100_000),
+    ]
+
+
+def _measure(
+    engine_cls, case: BenchCase, seed: int, repeats: int = 2
+) -> Dict[str, object]:
+    """Best-of-``repeats`` timing (fresh engine per repeat, same seed).
+
+    Each repeat performs identical work, so taking the fastest one
+    filters out scheduler noise without flattering either engine.
+    """
+    best = None
+    for _ in range(max(1, repeats)):
+        protocol, start = case.build()
+        engine = engine_cls(protocol, start, np.random.default_rng(seed))
+        begin = time.perf_counter()
+        silent = engine.run(max_events=case.max_events)
+        wall = time.perf_counter() - begin
+        if best is None or wall < best["wall_time_s"]:
+            best = {
+                "events": engine.events,
+                "interactions": engine.interactions,
+                "silent": silent,
+                "wall_time_s": wall,
+                "events_per_sec": (
+                    engine.events / wall if wall > 0 else float("inf")
+                ),
+            }
+    return best
+
+
+def run_bench(
+    quick: bool = False, seed: int = 7, repeats: int = 2
+) -> Dict[str, object]:
+    """Run the suite with both engines; return the comparison record.
+
+    The legacy (seed) engine is measured first for every case, then the
+    current engine, so both numbers come from the same process on the
+    same hardware and the recorded speedup is apples-to-apples.
+    """
+    cases = []
+    for case in bench_suite(quick=quick):
+        legacy = _measure(LegacyJumpEngine, case, seed, repeats=repeats)
+        current = _measure(JumpEngine, case, seed, repeats=repeats)
+        cases.append(
+            {
+                "case": case.case_id,
+                "protocol": case.protocol_name,
+                "n": case.num_agents,
+                "max_events": case.max_events,
+                "seed": seed,
+                "legacy": legacy,
+                "current": current,
+                "speedup": (
+                    current["events_per_sec"] / legacy["events_per_sec"]
+                ),
+            }
+        )
+    headline = next(
+        (c for c in cases if c["case"] == "ag-n10000"), cases[0]
+    )
+    return {
+        "timestamp": time.strftime("%Y%m%dT%H%M%S"),
+        "quick": quick,
+        "repeats": repeats,
+        "cases": cases,
+        "headline": {
+            "case": headline["case"],
+            "legacy_events_per_sec": headline["legacy"]["events_per_sec"],
+            "current_events_per_sec": headline["current"]["events_per_sec"],
+            "speedup": headline["speedup"],
+        },
+    }
+
+
+def write_bench_json(record: Dict[str, object], output_dir: str = ".") -> str:
+    """Write the record to ``<output_dir>/BENCH_<timestamp>.json``."""
+    path = os.path.join(output_dir, f"BENCH_{record['timestamp']}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
+    return path
+
+
+def render_bench(record: Dict[str, object]) -> str:
+    """Fixed-width text table of one benchmark record."""
+    lines = [
+        f"{'case':<16} {'n':>6} {'events':>8} "
+        f"{'legacy ev/s':>12} {'current ev/s':>13} {'speedup':>8}"
+    ]
+    for case in record["cases"]:
+        lines.append(
+            f"{case['case']:<16} {case['n']:>6} "
+            f"{case['current']['events']:>8} "
+            f"{case['legacy']['events_per_sec']:>12,.0f} "
+            f"{case['current']['events_per_sec']:>13,.0f} "
+            f"{case['speedup']:>7.2f}x"
+        )
+    head = record["headline"]
+    lines.append(
+        f"headline [{head['case']}]: "
+        f"{head['legacy_events_per_sec']:,.0f} -> "
+        f"{head['current_events_per_sec']:,.0f} events/s "
+        f"({head['speedup']:.2f}x)"
+    )
+    return "\n".join(lines)

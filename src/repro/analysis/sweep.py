@@ -5,11 +5,14 @@ point (a population size, a distance ``k``, ...) build a fresh protocol
 and starting configuration, run to silence, repeat with independent
 seeds, and summarise.  This module owns the seed bookkeeping
 (``numpy.random.SeedSequence.spawn`` so repetitions are independent yet
-the whole sweep is reproducible from one root seed) and the aggregation.
+the whole sweep is reproducible from one root seed), the aggregation,
+and the optional process-pool fan-out (``workers=N``), which preserves
+the one-root-seed reproducibility guarantee bit-for-bit.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -65,6 +68,26 @@ class SweepPoint:
         return self.time_summary().maximum
 
 
+def _run_sweep_job(job: tuple) -> RunResult:
+    """One repetition, self-contained so worker processes can run it.
+
+    The repetition's generator is derived from its own
+    ``SeedSequence`` child, so the result is a pure function of the job
+    — bit-identical whether executed inline or in any worker process.
+    """
+    params, child, build, engine, max_interactions, max_events = job
+    rng = np.random.default_rng(child)
+    protocol, configuration = build(dict(params), rng)
+    return run_protocol(
+        protocol,
+        configuration,
+        seed=rng,
+        engine=engine,
+        max_interactions=max_interactions,
+        max_events=max_events,
+    )
+
+
 def run_sweep(
     points: Sequence[Dict[str, object]],
     build: Builder,
@@ -73,36 +96,54 @@ def run_sweep(
     engine: str = "jump",
     max_interactions: Optional[int] = None,
     max_events: Optional[int] = None,
+    workers: Optional[int] = None,
 ) -> List[SweepPoint]:
     """Run ``repetitions`` independent runs per parameter point.
 
     ``build(params, rng)`` must construct both the protocol and its
     starting configuration from the given generator, so the whole sweep
     is a pure function of ``seed``.
+
+    ``workers`` > 1 fans the repetitions out over a process pool.  Each
+    repetition's generator is spawned from the root ``SeedSequence`` in
+    a fixed order before dispatch, so results are bit-identical to a
+    serial sweep with the same ``seed`` regardless of the worker count
+    (only ``RunResult.wall_time_s`` varies).  ``build`` must then be
+    picklable, i.e. a module-level callable.  The default (``None`` or
+    1) runs serially in-process.
     """
     if repetitions < 1:
         raise ExperimentError(f"repetitions must be >= 1, got {repetitions}")
+    if workers is not None and workers < 1:
+        raise ExperimentError(f"workers must be >= 1, got {workers}")
     root = np.random.SeedSequence(seed)
     children = root.spawn(len(points) * repetitions)
+    jobs = [
+        (
+            dict(params),
+            children[point_index * repetitions + rep],
+            build,
+            engine,
+            max_interactions,
+            max_events,
+        )
+        for point_index, params in enumerate(points)
+        for rep in range(repetitions)
+    ]
+    if workers is not None and workers > 1 and jobs:
+        with ProcessPoolExecutor(max_workers=workers) as executor:
+            runs = list(executor.map(_run_sweep_job, jobs))
+    else:
+        runs = [_run_sweep_job(job) for job in jobs]
     results = []
-    child_index = 0
-    for params in points:
-        point = SweepPoint(params=dict(params))
-        for __ in range(repetitions):
-            rng = np.random.default_rng(children[child_index])
-            child_index += 1
-            protocol, configuration = build(dict(params), rng)
-            point.runs.append(
-                run_protocol(
-                    protocol,
-                    configuration,
-                    seed=rng,
-                    engine=engine,
-                    max_interactions=max_interactions,
-                    max_events=max_events,
-                )
+    for point_index, params in enumerate(points):
+        start = point_index * repetitions
+        results.append(
+            SweepPoint(
+                params=dict(params),
+                runs=runs[start : start + repetitions],
             )
-        results.append(point)
+        )
     return results
 
 

@@ -7,7 +7,9 @@ Subcommands:
 * ``simulate`` — run one protocol from a chosen start and report the
   stabilisation time (and leader);
 * ``render`` — print the paper's structures (Figure 1 graph, Figure 2
-  tree, ring/line occupancy).
+  tree, ring/line occupancy);
+* ``bench`` — measure hot-path events/sec against the frozen seed
+  engine and write ``BENCH_<timestamp>.json``.
 """
 
 from __future__ import annotations
@@ -103,6 +105,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", default="EXPERIMENTS.md",
         help="path to write (use '-' for stdout)",
     )
+
+    ben = sub.add_parser(
+        "bench",
+        help="measure hot-path throughput vs the frozen seed engine",
+    )
+    ben.add_argument(
+        "--quick", action="store_true",
+        help="small populations and budgets (seconds, for CI smoke)",
+    )
+    ben.add_argument("--seed", type=int, default=7)
+    ben.add_argument(
+        "--output-dir", default=".",
+        help="directory for BENCH_<timestamp>.json ('-' to skip writing)",
+    )
     return parser
 
 
@@ -160,6 +176,23 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import os
+
+    from .analysis.bench import render_bench, run_bench, write_bench_json
+
+    # Validate before measuring — the suite takes a while and the JSON
+    # is its whole point.
+    if args.output_dir != "-" and not os.path.isdir(args.output_dir):
+        raise ReproError(f"output directory {args.output_dir!r} does not exist")
+    record = run_bench(quick=args.quick, seed=args.seed)
+    print(render_bench(record))
+    if args.output_dir != "-":
+        path = write_bench_json(record, output_dir=args.output_dir)
+        print(f"wrote {path}")
+    return 0
+
+
 def _cmd_render(args: argparse.Namespace) -> int:
     if args.structure == "figure1":
         print(render_routing_graph(build_routing_graph(16)))
@@ -189,6 +222,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_simulate(args)
         if args.command == "report":
             return _cmd_report(args)
+        if args.command == "bench":
+            return _cmd_bench(args)
         return _cmd_render(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

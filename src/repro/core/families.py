@@ -23,7 +23,7 @@ incrementally on every agent count change.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Callable, Iterable, List, Sequence, Tuple
+from typing import Callable, Iterable, Iterator, List, Sequence, Tuple
 
 from ..exceptions import SimulationError
 from .fenwick import FenwickTree
@@ -49,8 +49,13 @@ class Family(ABC):
         """Number of productive ordered agent pairs in this family."""
 
     @abstractmethod
-    def on_count_change(self, state: int, old: int, new: int) -> None:
-        """Notify the family that ``state``'s agent count changed."""
+    def on_count_change(self, state: int, old: int, new: int) -> int:
+        """Notify the family that ``state``'s agent count changed.
+
+        Returns the resulting change of :attr:`weight`, so callers can
+        maintain the total productive weight ``W`` incrementally instead
+        of re-summing every family after every event.
+        """
 
     @abstractmethod
     def sample(self, rand_below: RandBelow) -> Tuple[int, int]:
@@ -63,6 +68,14 @@ class Family(ABC):
         ``covers(si, sj)`` is True iff the ordered pair ``(si, sj)``
         belongs to this family's pair set, i.e. it would be productive
         whenever enough agents occupy those states.
+        """
+
+    @abstractmethod
+    def pairs(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over every ordered state pair this family covers.
+
+        The enumeration is structural (count-independent) and finite;
+        engines use it to precompile transition tables.
         """
 
 
@@ -92,9 +105,14 @@ class SameStatePairs(Family):
     def weight(self) -> int:
         return self._fenwick.total
 
-    def on_count_change(self, state: int, old: int, new: int) -> None:
-        if self._has_rule[state]:
-            self._fenwick.set(state, new * (new - 1))
+    def on_count_change(self, state: int, old: int, new: int) -> int:
+        if not self._has_rule[state]:
+            return 0
+        fenwick = self._fenwick
+        new_weight = new * (new - 1)
+        delta = new_weight - fenwick.get(state)
+        fenwick.set(state, new_weight)
+        return delta
 
     def sample(self, rand_below: RandBelow) -> Tuple[int, int]:
         state = self._fenwick.find(rand_below(self._fenwick.total))
@@ -103,6 +121,11 @@ class SameStatePairs(Family):
     def covers(self, initiator: int, responder: int) -> bool:
         """True iff the pair is a same-state pair with a rule."""
         return initiator == responder and self._has_rule[initiator]
+
+    def pairs(self) -> Iterator[Tuple[int, int]]:
+        for state, has_rule in enumerate(self._has_rule):
+            if has_rule:
+                yield state, state
 
 
 class OrderedProduct(Family):
@@ -150,13 +173,17 @@ class OrderedProduct(Family):
     def weight(self) -> int:
         return self._init_fenwick.total * self._resp_fenwick.total
 
-    def on_count_change(self, state: int, old: int, new: int) -> None:
+    def on_count_change(self, state: int, old: int, new: int) -> int:
+        # The two groups are disjoint, so the state is on one side at most.
         pos = self._init_pos[state]
         if pos >= 0:
             self._init_fenwick.set(pos, new)
+            return (new - old) * self._resp_fenwick.total
         pos = self._resp_pos[state]
         if pos >= 0:
             self._resp_fenwick.set(pos, new)
+            return self._init_fenwick.total * (new - old)
+        return 0
 
     def sample(self, rand_below: RandBelow) -> Tuple[int, int]:
         initiator_pos = self._init_fenwick.find(
@@ -171,6 +198,11 @@ class OrderedProduct(Family):
         return (
             self._init_pos[initiator] >= 0 and self._resp_pos[responder] >= 0
         )
+
+    def pairs(self) -> Iterator[Tuple[int, int]]:
+        for initiator in self._initiators:
+            for responder in self._responders:
+                yield initiator, responder
 
 
 class TriangularLine(Family):
@@ -207,12 +239,14 @@ class TriangularLine(Family):
     def weight(self) -> int:
         return self._weight
 
-    def on_count_change(self, state: int, old: int, new: int) -> None:
+    def on_count_change(self, state: int, old: int, new: int) -> int:
         pos = self._pos.get(state)
         if pos is None:
-            return
+            return 0
+        before = self._weight
         self._counts[pos] = new
         self._weight = self._recompute()
+        return self._weight - before
 
     def sample(self, rand_below: RandBelow) -> Tuple[int, int]:
         target = rand_below(self._weight)
@@ -246,14 +280,21 @@ class TriangularLine(Family):
             return False
         return pos_i <= pos_j
 
+    def pairs(self) -> Iterator[Tuple[int, int]]:
+        line = self._line
+        for i, initiator in enumerate(line):
+            for responder in line[i:]:
+                yield initiator, responder
+
 
 def check_family_coverage(protocol, counts: Sequence[int] | None = None) -> None:
     """Verify families exactly cover the productive support of ``delta``.
 
     Enumerates all ordered state pairs (quadratic — test-sized protocols
     only) and checks that a pair is productive under the transition
-    function iff exactly one family covers it.  Raises
-    :class:`SimulationError` on any mismatch.
+    function iff exactly one family covers it, and that each family's
+    :meth:`Family.pairs` enumeration agrees with its ``covers``
+    predicate.  Raises :class:`SimulationError` on any mismatch.
     """
     if counts is None:
         counts = [1] * protocol.num_states
@@ -261,8 +302,6 @@ def check_family_coverage(protocol, counts: Sequence[int] | None = None) -> None
     num_states = protocol.num_states
     for si in range(num_states):
         for sj in range(num_states):
-            if si == sj and counts[si] < 2:
-                pass  # structural check is still meaningful
             productive = protocol.delta(si, sj) is not None
             covering = sum(1 for f in families if f.covers(si, sj))
             if productive and covering != 1:
@@ -273,4 +312,10 @@ def check_family_coverage(protocol, counts: Sequence[int] | None = None) -> None
             if not productive and covering != 0:
                 raise SimulationError(
                     f"pair ({si}, {sj}) null but covered by {covering} families"
+                )
+    for family in families:
+        for si, sj in family.pairs():
+            if not family.covers(si, sj):
+                raise SimulationError(
+                    f"family enumerates pair ({si}, {sj}) it does not cover"
                 )

@@ -7,59 +7,166 @@ interaction is geometric with success probability ``p = W/T`` (``W`` =
 current number of productive ordered pairs), and the productive pair
 itself is uniform over the ``W`` possibilities.  The jump engine samples
 exactly that: a geometric skip via inverse-CDF from a uniform, then a
-weighted pair draw from the protocol's weight families.  The resulting
-joint distribution of (trajectory, interaction counts) is identical to
-the naive process — there is no approximation.
+weighted pair draw.  The resulting joint distribution of (trajectory,
+interaction counts) is identical to the naive process — there is no
+approximation.
 
-Cost is ``O(log N)`` per *productive* event, independent of how many
-null interactions are skipped, which is what makes the paper's
+Hot-path layout
+---------------
+
+The engine keeps the total productive weight ``W`` as a cached integer,
+updated incrementally from the per-family weight deltas returned by
+:meth:`~repro.core.families.Family.on_count_change`, and precompiles the
+protocol's transition function into lookup tables (per-state for
+same-state-only protocols, a lazily filled per-pair dict otherwise) so
+the inner loop never re-sums family weights or re-enters ``delta()``.
+Protocols whose ``delta`` is not a pure function opt out via
+:attr:`~repro.core.protocol.PopulationProtocol.compile_transitions`.
+
+For protocols whose productive pairs are all same-state (every
+state-optimal protocol in the paper), the recorder-free ``run()``
+additionally dispatches between two exact samplers:
+
+* a *proposal* sampler — draw a uniform agent (state ``s`` w.p.
+  ``c_s/n``), accept with probability ``(c_s − 1)/M̂`` where ``M̂`` is an
+  upper bound on the maximum count, yielding state ``s`` with
+  probability exactly ``c_s(c_s − 1)/W``.  O(1) per proposal, efficient
+  while the configuration is far from silent;
+* a *Fenwick* sampler — the classic ``O(log N)`` weighted draw, which
+  stays cheap as ``W`` drains toward silence.
+
+Both are exact, so the engine switches between them adaptively (with
+hysteresis) based on the acceptance rate ``W/(n·M̂)``.
+
+All pair draws use exact integer rejection sampling from batched 64-bit
+draws, so selection is unbiased for any ``W < 2^62``.  Cost is
+``O(log N)`` (or amortised O(1)) per *productive* event, independent of
+how many null interactions are skipped, which is what makes the paper's
 ``Θ(n²)``-interaction protocols simulatable.
 """
 
 from __future__ import annotations
 
 import math
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..exceptions import SimulationError
 from .configuration import Configuration
 from .engine import Event, Recorder
+from .families import SameStatePairs
+from .fenwick import FenwickTree
 from .protocol import PopulationProtocol
 
 __all__ = ["JumpEngine"]
 
-# Above this bound a float64 mantissa can no longer index pairs exactly.
-_MAX_EXACT = 1 << 53
+# Above this bound rejection sampling from 64-bit draws gets inefficient
+# (and the float64 geometric-skip probability loses resolution).
+_MAX_EXACT = 1 << 62
+
+# Exclusive upper bound of one raw 64-bit draw.
+_RAW_SPAN = 1 << 64
 
 _UNIFORM_BATCH = 8192
+_RAW_BATCH = 8192
+_AGENT_BATCH = 8192
+
+# How often (in productive events) the fast loop recomputes the exact
+# maximum count and re-evaluates its sampler choice.
+_REFRESH_EVENTS = 8192
+
+# A same-state transition's net effect: ((state, count_delta, weight
+# coefficient), ...) — the coefficient is count_delta for states whose
+# (s, s) pair is a rule and 0 otherwise, so the productive-weight change
+# of moving a count c0 → c1 is coefficient · (c0 + c1 − 1).
+_Ops = Tuple[Tuple[int, int, int], ...]
+
+
+def _transition_ops(si: int, sj: int, ti: int, tj: int):
+    """Net per-state count changes of one transition, deduplicated."""
+    delta: Dict[int, int] = {}
+    delta[si] = delta.get(si, 0) - 1
+    delta[sj] = delta.get(sj, 0) - 1
+    delta[ti] = delta.get(ti, 0) + 1
+    delta[tj] = delta.get(tj, 0) + 1
+    return tuple((s, d) for s, d in delta.items() if d != 0)
 
 
 class JumpEngine:
-    """Drives one protocol run; create a new engine per run."""
+    """Drives one protocol run; create a new engine per run.
+
+    ``debug=True`` re-verifies after every productive event that the
+    cached total weight matches the weights re-summed from the families
+    (and routes ``run()`` through the instrumented general loop).
+    """
 
     def __init__(
         self,
         protocol: PopulationProtocol,
         configuration: Configuration,
         rng: np.random.Generator,
+        debug: bool = False,
     ) -> None:
         protocol.validate_configuration(configuration)
         n = protocol.num_agents
         if n * (n - 1) >= _MAX_EXACT:
             raise SimulationError(
-                f"population {n} too large for exact float-indexed sampling"
+                f"population {n} too large for exact pair sampling"
             )
         self._protocol = protocol
         self._rng = rng
+        self._debug = bool(debug)
         self.counts: List[int] = configuration.counts_list()
         self._families = protocol.build_families(self.counts)
+        self._num_states = protocol.num_states
         self._total_pairs = n * (n - 1)
         self.interactions = 0
         self.events = 0
+        weight = 0
+        for family in self._families:
+            weight += family.weight
+        self._weight = weight
         self._uniforms = rng.random(_UNIFORM_BATCH)
         self._uniform_pos = 0
+        self._raws: List[int] = []
+        self._raw_pos = 0
+        self._pair_table: Optional[Dict[int, tuple]] = (
+            {} if protocol.compile_transitions else None
+        )
+        self._ss_table = self._compile_same_state_table()
+
+    def _compile_same_state_table(self):
+        """Per-state transition table for same-state-only protocols.
+
+        Returns ``None`` when the protocol opts out of compilation, has
+        cross-state families, or (defensively) claims a same-state pair
+        its ``delta`` reports as null — the dynamic path then raises the
+        coverage error lazily, exactly like the general sampler.
+        """
+        if not self._protocol.compile_transitions:
+            return None
+        if len(self._families) != 1:
+            return None
+        family = self._families[0]
+        if type(family) is not SameStatePairs:
+            return None
+        rule_states = {s for s, _ in family.pairs()}
+        table: List[Optional[tuple]] = [None] * self._num_states
+        for s in rule_states:
+            out = self._protocol.delta(s, s)
+            if out is None:
+                return None
+            ti, tj = out
+            # Third field: weight coefficient — Δ(c(c−1)) for a count
+            # move c0 → c1 = c0+d is d·(c0+c1−1), and 0 for states
+            # without a same-state rule (they never contribute to W).
+            ops: _Ops = tuple(
+                (st, d, d if st in rule_states else 0)
+                for st, d in _transition_ops(s, s, ti, tj)
+            )
+            table[s] = (ti, tj, ops)
+        return table
 
     # ------------------------------------------------------------------
     # Randomness helpers
@@ -72,32 +179,68 @@ class JumpEngine:
         self._uniform_pos = pos + 1
         return self._uniforms[pos]
 
+    def _next_raw(self) -> int:
+        """One uniform integer in ``[0, 2^64)`` from a batched draw."""
+        pos = self._raw_pos
+        if pos >= len(self._raws):
+            self._raws = self._rng.integers(
+                0, _RAW_SPAN, size=_RAW_BATCH, dtype=np.uint64
+            ).tolist()
+            pos = 0
+        self._raw_pos = pos + 1
+        return self._raws[pos]
+
     def rand_below(self, bound: int) -> int:
-        """Uniform integer in ``[0, bound)``; ``bound`` must be positive."""
-        value = int(self._next_uniform() * bound)
-        # Guard the (measure-zero, float-rounding) edge value == bound.
-        return bound - 1 if value >= bound else value
+        """Uniform integer in ``[0, bound)``, exact for any ``bound < 2^62``.
+
+        Rejection sampling from 64-bit draws: a draw is accepted iff it
+        falls in a complete bucket of ``bound`` values, so the result is
+        unbiased — unlike float multiplication, which misweights values
+        once ``bound`` approaches 2⁵³.
+        """
+        limit = _RAW_SPAN - bound
+        while True:
+            raw = self._next_raw()
+            value = raw % bound
+            if raw - value <= limit:
+                return value
+
+    # ------------------------------------------------------------------
+    # Weight bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def productive_weight(self) -> int:
+        """Current number of productive ordered pairs ``W`` (cached)."""
+        return self._weight
+
+    def recomputed_weight(self) -> int:
+        """``W`` re-summed from the families (debug / test cross-check)."""
+        return sum(family.weight for family in self._families)
+
+    def _assert_weight_sync(self) -> None:
+        recomputed = self.recomputed_weight()
+        if self._weight != recomputed:
+            raise AssertionError(
+                f"cached weight {self._weight} != recomputed {recomputed} "
+                f"after {self.events} events"
+            )
+
+    def is_silent(self) -> bool:
+        """True iff no productive interaction exists."""
+        return self._weight == 0
 
     # ------------------------------------------------------------------
     # Simulation
     # ------------------------------------------------------------------
-    @property
-    def productive_weight(self) -> int:
-        """Current number of productive ordered pairs ``W``."""
-        return sum(family.weight for family in self._families)
-
-    def is_silent(self) -> bool:
-        """True iff no productive interaction exists."""
-        return self.productive_weight == 0
-
     def _geometric_skip(self, weight: int) -> int:
         """Steps until the next productive interaction (>= 1), exact."""
         p = weight / self._total_pairs
         if p >= 1.0:
             return 1
-        # Inverse CDF of Geometric(p) on {1, 2, ...} from u in (0, 1].
-        u = 1.0 - self._next_uniform()
-        skip = math.ceil(math.log(u) / math.log1p(-p))
+        u = self._next_uniform()
+        if u <= p:
+            return 1  # ceil(log(1-u)/log(1-p)) == 1 iff u <= p
+        skip = math.ceil(math.log(1.0 - u) / math.log1p(-p))
         return skip if skip >= 1 else 1
 
     def _sample_pair(self, weight: int) -> tuple:
@@ -109,41 +252,13 @@ class JumpEngine:
             target -= fw
         raise SimulationError("family weights changed during sampling")
 
-    def _apply(self, si: int, sj: int, ti: int, tj: int) -> None:
-        """Move initiator ``si→ti`` and responder ``sj→tj`` with notifications."""
-        counts = self._counts_delta(si, sj, ti, tj)
-        for state, delta in counts:
-            old = self.counts[state]
-            new = old + delta
-            if new < 0:
-                raise SimulationError(
-                    f"state {state} count went negative applying "
-                    f"({si},{sj})→({ti},{tj})"
-                )
-            self.counts[state] = new
-            for family in self._families:
-                family.on_count_change(state, old, new)
-
-    @staticmethod
-    def _counts_delta(si: int, sj: int, ti: int, tj: int):
-        """Net per-state count changes of one transition, deduplicated."""
-        delta: dict = {}
-        delta[si] = delta.get(si, 0) - 1
-        delta[sj] = delta.get(sj, 0) - 1
-        delta[ti] = delta.get(ti, 0) + 1
-        delta[tj] = delta.get(tj, 0) + 1
-        return [(s, d) for s, d in delta.items() if d != 0]
-
-    def step(self) -> Optional[Event]:
-        """Advance to (and apply) the next productive interaction.
-
-        Returns ``None`` when the configuration is silent.
-        """
-        weight = self.productive_weight
-        if weight == 0:
-            return None
-        self.interactions += self._geometric_skip(weight)
-        si, sj = self._sample_pair(weight)
+    def _transition(self, si: int, sj: int) -> tuple:
+        """``(ti, tj, ops)`` for a productive pair, via the compiled table."""
+        table = self._pair_table
+        if table is not None:
+            entry = table.get(si * self._num_states + sj)
+            if entry is not None:
+                return entry
         out = self._protocol.delta(si, sj)
         if out is None:
             raise SimulationError(
@@ -151,8 +266,43 @@ class JumpEngine:
                 "family coverage does not match delta"
             )
         ti, tj = out
-        self._apply(si, sj, ti, tj)
+        entry = (ti, tj, _transition_ops(si, sj, ti, tj))
+        if table is not None:
+            table[si * self._num_states + sj] = entry
+        return entry
+
+    def _apply_ops(self, ops) -> None:
+        """Apply precomputed count deltas, keeping families and ``W`` synced."""
+        counts = self.counts
+        families = self._families
+        delta_w = 0
+        for state, delta in ops:
+            old = counts[state]
+            new = old + delta
+            if new < 0:
+                raise SimulationError(
+                    f"state {state} count went negative applying transition"
+                )
+            counts[state] = new
+            for family in families:
+                delta_w += family.on_count_change(state, old, new)
+        self._weight += delta_w
+
+    def step(self) -> Optional[Event]:
+        """Advance to (and apply) the next productive interaction.
+
+        Returns ``None`` when the configuration is silent.
+        """
+        weight = self._weight
+        if weight == 0:
+            return None
+        self.interactions += self._geometric_skip(weight)
+        si, sj = self._sample_pair(weight)
+        ti, tj, ops = self._transition(si, sj)
+        self._apply_ops(ops)
         self.events += 1
+        if self._debug:
+            self._assert_weight_sync()
         return Event(self.interactions, si, sj, ti, tj)
 
     def run(
@@ -169,20 +319,35 @@ class JumpEngine:
         ``max_events`` additionally bounds the number of *productive*
         events — the engine's actual work — which is the effective guard
         for runs that churn without converging.
+
+        The common recorder-free, unbounded-interaction case dispatches
+        to allocation-free specialised loops; a recorder, an interaction
+        budget, or ``debug`` mode selects the instrumented general loop.
         """
+        if recorder is None and max_interactions is None and not self._debug:
+            if self._ss_table is not None:
+                return self._run_fast_same_state(max_events)
+            return self._run_fast_general(max_events)
+        return self._run_general(max_interactions, recorder, max_events)
+
+    # ------------------------------------------------------------------
+    # General (instrumented) loop — recorders, budgets, debug
+    # ------------------------------------------------------------------
+    def _run_general(
+        self,
+        max_interactions: Optional[int],
+        recorder: Optional[Recorder],
+        max_events: Optional[int],
+    ) -> bool:
         if recorder is not None:
             recorder.on_start(self.counts)
-        protocol = self._protocol
-        families = self._families
         silent = False
         while True:
-            if max_events is not None and self.events >= max_events:
-                break
-            weight = 0
-            for family in families:
-                weight += family.weight
+            weight = self._weight
             if weight == 0:
                 silent = True
+                break
+            if max_events is not None and self.events >= max_events:
                 break
             skip = self._geometric_skip(weight)
             if (
@@ -193,15 +358,11 @@ class JumpEngine:
                 break
             self.interactions += skip
             si, sj = self._sample_pair(weight)
-            out = protocol.delta(si, sj)
-            if out is None:
-                raise SimulationError(
-                    f"families sampled null pair ({si}, {sj}) — "
-                    "family coverage does not match delta"
-                )
-            ti, tj = out
-            self._apply(si, sj, ti, tj)
+            ti, tj, ops = self._transition(si, sj)
+            self._apply_ops(ops)
             self.events += 1
+            if self._debug:
+                self._assert_weight_sync()
             if recorder is not None:
                 recorder.on_event(
                     Event(self.interactions, si, sj, ti, tj), self.counts
@@ -209,3 +370,270 @@ class JumpEngine:
         if recorder is not None:
             recorder.on_finish(silent, self.interactions, self.counts)
         return silent
+
+    # ------------------------------------------------------------------
+    # Fast loops — no recorder, no interaction budget, no Event objects
+    # ------------------------------------------------------------------
+    def _run_fast_general(self, max_events: Optional[int]) -> bool:
+        """Streamlined loop for protocols with cross-state families."""
+        counts = self.counts
+        families = self._families
+        total_pairs = self._total_pairs
+        log, log1p, ceil = math.log, math.log1p, math.ceil
+        weight = self._weight
+        interactions = self.interactions
+        events = self.events
+        # max(0, ...): an already-exhausted budget must stop immediately,
+        # not underflow past the -1 "unlimited" sentinel.
+        remaining = -1 if max_events is None else max(0, max_events - events)
+        while remaining != 0 and weight:
+            p = weight / total_pairs
+            u = self._next_uniform()
+            if u <= p:
+                interactions += 1
+            else:
+                skip = ceil(log(1.0 - u) / log1p(-p))
+                interactions += skip if skip >= 1 else 1
+            target = self.rand_below(weight)
+            for family in families:
+                fw = family.weight
+                if target < fw:
+                    si, sj = family.sample(self.rand_below)
+                    break
+                target -= fw
+            else:
+                raise SimulationError("family weights changed during sampling")
+            ti, tj, ops = self._transition(si, sj)
+            for state, delta in ops:
+                old = counts[state]
+                new = old + delta
+                if new < 0:
+                    raise SimulationError(
+                        f"state {state} count went negative applying transition"
+                    )
+                counts[state] = new
+                for family in families:
+                    weight += family.on_count_change(state, old, new)
+            events += 1
+            remaining -= 1
+        self._weight = weight
+        self.interactions = interactions
+        self.events = events
+        return weight == 0
+
+    def _run_fast_same_state(self, max_events: Optional[int]) -> bool:
+        """Adaptive dual-sampler loop for same-state-only protocols.
+
+        Alternates between the O(1) proposal sampler (efficient while
+        the acceptance rate ``W/(n·M̂)`` is high) and an inlined Fenwick
+        sampler (efficient in the low-weight drain toward silence), with
+        a 2× hysteresis band so mode switches — each O(n) to rebuild the
+        active sampler's structure — stay rare.  Both samplers draw from
+        the exact jump-chain distribution; only the constant factor
+        differs.  Family weight structures are left stale inside the
+        loop and rebuilt from the final counts on exit.
+        """
+        protocol = self._protocol
+        rng = self._rng
+        counts = self.counts
+        table = self._ss_table
+        num_states = self._num_states
+        n = protocol.num_agents
+        total_pairs = self._total_pairs
+        log1p, ceil = math.log1p, math.ceil
+
+        weight = self._weight
+        interactions = self.interactions
+        events = self.events
+        # max(0, ...): an already-exhausted budget must stop immediately,
+        # not underflow past the -1 "unlimited" sentinel.
+        remaining = -1 if max_events is None else max(0, max_events - events)
+
+        # Skip draws are consumed as precomputed log(1-u): the geometric
+        # inverse-CDF needs only ceil(log(1-u)/log(1-p)), and batching
+        # the numerator log through numpy is ~3x cheaper than math.log
+        # per event.  log(1-u) >= log(1-p) iff skip == 1.
+        lus: List[float] = []
+        upos = _UNIFORM_BATCH  # empty buffer — filled on first use
+        raws: List[int] = []
+        rpos = 0
+
+        mhat = max(counts)  # upper bound on the maximum count
+        while remaining != 0 and weight:
+            if 4 * weight >= n * mhat:
+                # ---- proposal sampler ------------------------------------
+                # Agent identities are exchangeable: any assignment
+                # consistent with the counts yields the exact law of the
+                # counts process, so members lists are (re)built freely.
+                agent_state = np.repeat(
+                    np.arange(num_states), counts
+                ).tolist()
+                members: List[List[int]] = []
+                next_id = 0
+                for c in counts:
+                    members.append(list(range(next_id, next_id + c)))
+                    next_id += c
+                # One draw v in [0, n*mhat) fuses the proposal with its
+                # acceptance test: a = v // mhat is a uniform agent and
+                # t = v % mhat an independent uniform threshold, so
+                # accepting iff t < c_a - 1 hits state s with probability
+                # exactly c_s(c_s - 1)/(n*mhat) — proportional to its
+                # weight.  Batches are discarded whenever mhat changes.
+                prop_bound = n * mhat
+                demote_bound = (prop_bound + 7) // 8  # weight < this ⇔ 8W < n·mhat
+                props: List[int] = []
+                ppos = 0
+                refresh = _REFRESH_EVENTS
+                while remaining != 0 and weight:
+                    if weight < demote_bound:
+                        break  # acceptance too low — switch to Fenwick
+                    if refresh == 0:
+                        refresh = _REFRESH_EVENTS
+                        exact_max = max(counts)
+                        if exact_max != mhat:
+                            mhat = exact_max
+                            prop_bound = n * mhat
+                            demote_bound = (prop_bound + 7) // 8
+                            ppos = len(props)
+                    # Geometric skip.
+                    if weight >= total_pairs:
+                        interactions += 1
+                    else:
+                        if upos == _UNIFORM_BATCH:
+                            lus = np.log1p(
+                                -rng.random(_UNIFORM_BATCH)
+                            ).tolist()
+                            upos = 0
+                        lu = lus[upos]
+                        upos += 1
+                        lp = log1p(-weight / total_pairs)
+                        if lu >= lp:
+                            interactions += 1
+                        else:
+                            interactions += ceil(lu / lp)
+                    # Propose until acceptance.
+                    while True:
+                        if ppos == len(props):
+                            props = rng.integers(
+                                0, prop_bound, size=_AGENT_BATCH
+                            ).tolist()
+                            ppos = 0
+                        v = props[ppos]
+                        ppos += 1
+                        s = agent_state[v // mhat]
+                        if v % mhat < counts[s] - 1:
+                            entry = table[s]
+                            if entry is not None:
+                                break
+                    ti, tj, ops = entry
+                    for st, d, w in ops:
+                        c0 = counts[st]
+                        c1 = c0 + d
+                        counts[st] = c1
+                        if w:
+                            weight += w * (c0 + c1 - 1)
+                        if c1 > mhat:
+                            mhat = c1
+                            prop_bound = n * mhat
+                            demote_bound = (prop_bound + 7) // 8
+                            ppos = len(props)
+                    moved = members[s]
+                    a1 = moved.pop()
+                    a2 = moved.pop()
+                    members[ti].append(a1)
+                    agent_state[a1] = ti
+                    members[tj].append(a2)
+                    agent_state[a2] = tj
+                    events += 1
+                    remaining -= 1
+                    refresh -= 1
+            else:
+                # ---- Fenwick sampler -------------------------------------
+                fenwick = FenwickTree.from_values(
+                    counts[s] * (counts[s] - 1)
+                    if table[s] is not None else 0
+                    for s in range(num_states)
+                )
+                tree = fenwick._tree
+                values = fenwick._values
+                highbit = 1 << (num_states.bit_length() - 1)
+                refresh = _REFRESH_EVENTS
+                while remaining != 0 and weight:
+                    if refresh == 0:
+                        refresh = _REFRESH_EVENTS
+                        mhat = max(counts)
+                        if 4 * weight >= n * mhat:
+                            break  # acceptance recovered — switch back
+                    # Geometric skip.
+                    if weight >= total_pairs:
+                        interactions += 1
+                    else:
+                        if upos == _UNIFORM_BATCH:
+                            lus = np.log1p(
+                                -rng.random(_UNIFORM_BATCH)
+                            ).tolist()
+                            upos = 0
+                        lu = lus[upos]
+                        upos += 1
+                        lp = log1p(-weight / total_pairs)
+                        if lu >= lp:
+                            interactions += 1
+                        else:
+                            interactions += ceil(lu / lp)
+                    # Exact uniform target in [0, weight).
+                    while True:
+                        if rpos == len(raws):
+                            raws = rng.integers(
+                                0, _RAW_SPAN, size=_RAW_BATCH,
+                                dtype=np.uint64,
+                            ).tolist()
+                            rpos = 0
+                        raw = raws[rpos]
+                        rpos += 1
+                        target = raw % weight
+                        if raw - target <= _RAW_SPAN - weight:
+                            break
+                    # Inlined FenwickTree.find.
+                    pos = 0
+                    bit = highbit
+                    while bit:
+                        nxt = pos + bit
+                        if nxt <= num_states:
+                            below = tree[nxt]
+                            if below <= target:
+                                target -= below
+                                pos = nxt
+                        bit >>= 1
+                    ti, tj, ops = table[pos]
+                    for st, d, w in ops:
+                        c0 = counts[st]
+                        c1 = c0 + d
+                        counts[st] = c1
+                        if w:
+                            dw = w * (c0 + c1 - 1)
+                            if dw:
+                                values[st] += dw
+                                weight += dw
+                                node = st + 1
+                                while node <= num_states:
+                                    tree[node] += dw
+                                    node += node & -node
+                    events += 1
+                    remaining -= 1
+                    refresh -= 1
+            mhat = max(counts)
+
+        self.interactions = interactions
+        self.events = events
+        self._weight = weight
+        # The loop mutated counts without notifying the families; rebuild
+        # them so step()/recorders stay usable after a fast run.
+        self._families = protocol.build_families(counts)
+        # Discard any shared buffered draws so later step() calls start
+        # from fresh batches of the (advanced) generator stream.
+        self._uniform_pos = _UNIFORM_BATCH
+        self._raws = []
+        self._raw_pos = 0
+        if self._debug:
+            self._assert_weight_sync()
+        return weight == 0

@@ -37,6 +37,13 @@ class PopulationProtocol(ABC):
     cross-state rules override it.
     """
 
+    #: Engines may precompile ``delta`` into per-pair lookup tables (the
+    #: transition function must then be pure: the same ``(si, sj)``
+    #: always maps to the same outcome).  Every protocol in the paper is
+    #: pure; set this to False on subclasses whose ``delta`` is stateful
+    #: or randomised, forcing the engines back onto dynamic dispatch.
+    compile_transitions: bool = True
+
     def __init__(self, num_states: int, num_agents: int) -> None:
         if num_states <= 0:
             raise ProtocolError(f"num_states must be positive, got {num_states}")

@@ -46,6 +46,7 @@ class SequentialEngine:
             self.agent_states.extend([state] * count)
         self._n = protocol.num_agents
         self._families = protocol.build_families(self.counts)
+        self._weight = sum(family.weight for family in self._families)
         self.interactions = 0
         self.events = 0
         self._pair_buffer = np.empty((0, 2), dtype=np.int64)
@@ -65,25 +66,27 @@ class SequentialEngine:
 
     @property
     def productive_weight(self) -> int:
-        """Current number of productive ordered pairs ``W``."""
-        return sum(family.weight for family in self._families)
+        """Current number of productive ordered pairs ``W`` (cached)."""
+        return self._weight
 
     def is_silent(self) -> bool:
         """True iff no productive interaction exists."""
-        return self.productive_weight == 0
+        return self._weight == 0
 
     def _move_agent(self, agent: int, new_state: int) -> None:
         old_state = self.agent_states[agent]
         if old_state == new_state:
             return
         self.agent_states[agent] = new_state
+        delta_w = 0
         for state, old, new in (
             (old_state, self.counts[old_state], self.counts[old_state] - 1),
             (new_state, self.counts[new_state], self.counts[new_state] + 1),
         ):
             self.counts[state] = new
             for family in self._families:
-                family.on_count_change(state, old, new)
+                delta_w += family.on_count_change(state, old, new)
+        self._weight += delta_w
 
     def step(self) -> Optional[Event]:
         """One scheduler step; returns the event if it was productive."""

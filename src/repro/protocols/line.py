@@ -119,10 +119,11 @@ class LineOfTrapsProtocol(RankingProtocol):
             base += size
         assert base == num_agents
 
+        # Plain list so hot-path lookups return unboxed Python ints.
         trap_of_state = np.empty(num_agents, dtype=np.int32)
         for index, layout in enumerate(self._traps):
             trap_of_state[layout.base : layout.base + layout.size] = index
-        self._trap_of_state = trap_of_state
+        self._trap_of_state = trap_of_state.tolist()
         self._base = [t.base for t in self._traps]
         self._top = [t.top for t in self._traps]
 
@@ -188,7 +189,7 @@ class LineOfTrapsProtocol(RankingProtocol):
 
     def line_of_state(self, state: int) -> int:
         """0-based line owning a rank state."""
-        return int(self._trap_of_state[state]) // self._traps_per_line
+        return self._trap_of_state[state] // self._traps_per_line
 
     def entrance_gate(self, line: int) -> int:
         """State ``(l, 3m, 0)`` — where routed agents enter the line."""
@@ -211,7 +212,7 @@ class LineOfTrapsProtocol(RankingProtocol):
             if initiator == x:
                 # X + X → X + (1, 3m, 0): route to line 1's entrance.
                 return x, self.entrance_gate(0)
-            trap_index = int(self._trap_of_state[initiator])
+            trap_index = self._trap_of_state[initiator]
             base = self._base[trap_index]
             if initiator != base:
                 # Inner rule: responder descends.
@@ -225,7 +226,7 @@ class LineOfTrapsProtocol(RankingProtocol):
         if responder == x and initiator < x:
             # Routing rule: the rank agent directs the X agent to the
             # entrance gate of the line its trap points to.
-            trap_index = int(self._trap_of_state[initiator])
+            trap_index = self._trap_of_state[initiator]
             line = trap_index // self._traps_per_line
             a = trap_index % self._traps_per_line + 1
             target = self._neighbours[line][(a - 1) // self._m]
@@ -248,7 +249,7 @@ class LineOfTrapsProtocol(RankingProtocol):
     def state_label(self, state: int) -> str:
         if state == self.x_state:
             return "X"
-        trap_index = int(self._trap_of_state[state])
+        trap_index = self._trap_of_state[state]
         line = trap_index // self._traps_per_line
         a = trap_index % self._traps_per_line + 1
         b = state - self._base[trap_index]

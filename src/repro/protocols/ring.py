@@ -98,11 +98,12 @@ class RingOfTrapsProtocol(RankingProtocol):
             base += size
         assert base == num_agents
 
-        # Per-state decode tables (hot path of delta()).
+        # Per-state decode tables (hot path of delta()); plain lists so
+        # lookups return unboxed Python ints.
         trap_of_state = np.empty(num_agents, dtype=np.int32)
         for index, layout in enumerate(self._traps):
             trap_of_state[layout.base : layout.base + layout.size] = index
-        self._trap_of_state = trap_of_state
+        self._trap_of_state = trap_of_state.tolist()
         self._gate = [layout.gate for layout in self._traps]
         self._top = [layout.top for layout in self._traps]
 
@@ -130,7 +131,7 @@ class RingOfTrapsProtocol(RankingProtocol):
 
     def trap_of(self, state: int) -> int:
         """Ring index of the trap containing ``state``."""
-        return int(self._trap_of_state[state])
+        return self._trap_of_state[state]
 
     # ------------------------------------------------------------------
     # Transition function — exactly n rules, one per state
@@ -139,7 +140,7 @@ class RingOfTrapsProtocol(RankingProtocol):
         if initiator != responder:
             return None
         state = initiator
-        trap_index = int(self._trap_of_state[state])
+        trap_index = self._trap_of_state[state]
         if state != self._gate[trap_index]:
             # Inner rule R_i: responder descends toward the gate.
             return state, state - 1
@@ -152,7 +153,7 @@ class RingOfTrapsProtocol(RankingProtocol):
         return list(range(self.num_ranks))
 
     def state_label(self, state: int) -> str:
-        trap_index = int(self._trap_of_state[state])
+        trap_index = self._trap_of_state[state]
         b = state - self._traps[trap_index].base
         return f"({trap_index},{b})"
 

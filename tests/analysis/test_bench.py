@@ -1,0 +1,75 @@
+"""Unit tests for the hot-path benchmark harness (``repro bench``)."""
+
+import json
+
+import numpy as np
+
+from repro import AGProtocol, Configuration
+from repro.analysis.bench import (
+    LegacyJumpEngine,
+    bench_suite,
+    render_bench,
+    run_bench,
+    write_bench_json,
+)
+
+
+class TestLegacyJumpEngine:
+    def test_frozen_baseline_still_correct(self):
+        """The baseline must stay a *correct* engine, just a slow one."""
+        protocol = AGProtocol(12)
+        engine = LegacyJumpEngine(
+            protocol,
+            Configuration.all_in_state(0, 12, 12),
+            np.random.default_rng(3),
+        )
+        assert engine.run() is True
+        assert engine.counts == [1] * 12
+
+    def test_budget_semantics_match_current_engine(self):
+        protocol = AGProtocol(32)
+        start = Configuration.all_in_state(0, 32, 32)
+        engine = LegacyJumpEngine(protocol, start, np.random.default_rng(0))
+        assert engine.run(max_events=7) is False
+        assert engine.events == 7
+
+
+class TestBenchSuite:
+    def test_quick_suite_cases(self):
+        cases = bench_suite(quick=True)
+        assert len(cases) >= 3
+        assert all(case.max_events <= 10_000 for case in cases)
+
+    def test_full_suite_includes_acceptance_case(self):
+        cases = bench_suite(quick=False)
+        by_id = {case.case_id: case for case in cases}
+        assert "ag-n10000" in by_id
+        assert by_id["ag-n10000"].num_agents == 10_000
+        protocols = {case.protocol_name.split("(")[0] for case in cases}
+        assert {"AG", "SingleTrap", "RingOfTraps", "TreeRanking"} <= protocols
+
+
+class TestRunBench:
+    def test_record_shape_and_json_roundtrip(self, tmp_path):
+        record = run_bench(quick=True, seed=5, repeats=1)
+        assert record["quick"] is True
+        assert len(record["cases"]) == len(bench_suite(quick=True))
+        for case in record["cases"]:
+            for side in ("legacy", "current"):
+                assert case[side]["events"] > 0
+                assert case[side]["events_per_sec"] > 0
+            assert case["speedup"] > 0
+        assert record["headline"]["speedup"] > 0
+
+        path = write_bench_json(record, output_dir=str(tmp_path))
+        with open(path, encoding="utf-8") as handle:
+            loaded = json.load(handle)
+        assert loaded["headline"] == record["headline"]
+        assert path.endswith(f"BENCH_{record['timestamp']}.json")
+
+    def test_render_mentions_every_case(self):
+        record = run_bench(quick=True, seed=1, repeats=1)
+        text = render_bench(record)
+        for case in record["cases"]:
+            assert case["case"] in text
+        assert "headline" in text

@@ -54,6 +54,50 @@ class TestRunSweep:
             run_sweep([{"n": 8}], _builder, repetitions=0)
 
 
+class TestParallelSweep:
+    @staticmethod
+    def _fingerprint(points):
+        """Everything stochastic about a sweep (wall time excluded)."""
+        return [
+            (
+                point.params,
+                [
+                    (
+                        run.silent,
+                        run.interactions,
+                        run.events,
+                        run.final_configuration.counts_list(),
+                        run.protocol_name,
+                    )
+                    for run in point.runs
+                ],
+            )
+            for point in points
+        ]
+
+    def test_workers_bit_identical_to_serial(self):
+        kwargs = dict(repetitions=4, seed=11)
+        serial = run_sweep([{"n": 10}, {"n": 14}], _builder, **kwargs)
+        parallel = run_sweep(
+            [{"n": 10}, {"n": 14}], _builder, workers=4, **kwargs
+        )
+        assert self._fingerprint(serial) == self._fingerprint(parallel)
+
+    def test_workers_one_is_serial_path(self):
+        a = run_sweep([{"n": 10}], _builder, repetitions=3, seed=2, workers=1)
+        b = run_sweep([{"n": 10}], _builder, repetitions=3, seed=2)
+        assert self._fingerprint(a) == self._fingerprint(b)
+
+    def test_worker_count_does_not_change_results(self):
+        two = run_sweep([{"n": 12}], _builder, repetitions=6, seed=9, workers=2)
+        four = run_sweep([{"n": 12}], _builder, repetitions=6, seed=9, workers=4)
+        assert self._fingerprint(two) == self._fingerprint(four)
+
+    def test_invalid_workers(self):
+        with pytest.raises(ExperimentError):
+            run_sweep([{"n": 8}], _builder, repetitions=2, workers=0)
+
+
 class TestMeasureStabilisation:
     def test_x_name_wiring(self):
         points = measure_stabilisation(

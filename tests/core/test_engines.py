@@ -238,6 +238,164 @@ class TestRecorders:
         assert len(recorder.events) == result.events
 
 
+class TestCompiledTransitionTables:
+    def test_opt_out_falls_back_to_dynamic_delta(self):
+        class DynamicAG(AGProtocol):
+            compile_transitions = False
+
+        compiled = _engine(AGProtocol(10), Configuration.all_in_state(0, 10, 10))
+        dynamic = _engine(DynamicAG(10), Configuration.all_in_state(0, 10, 10))
+        assert compiled._ss_table is not None
+        assert dynamic._ss_table is None and dynamic._pair_table is None
+        # The table is a pure cache: step() consumes the identical RNG
+        # stream either way, so same-seed trajectories match exactly.
+        while True:
+            a, b = compiled.step(), dynamic.step()
+            assert a == b
+            if a is None:
+                break
+        assert compiled.counts == dynamic.counts == [1] * 10
+
+    def test_opt_out_run_still_stabilises(self):
+        class DynamicAG(AGProtocol):
+            compile_transitions = False
+
+        engine = _engine(DynamicAG(12), Configuration.all_in_state(0, 12, 12))
+        assert engine.run() is True
+        assert engine.counts == [1] * 12
+
+    def test_tree_protocol_uses_lazy_pair_table(self):
+        protocol = TreeRankingProtocol(9, k=2)
+        engine = _engine(protocol, Configuration.all_in_state(8, 9, protocol.num_states))
+        assert engine._ss_table is None  # cross-state families
+        assert engine._pair_table == {}
+        engine.step()
+        assert len(engine._pair_table) >= 1  # filled on demand
+
+    def test_broken_coverage_still_raises_lazily(self):
+        """A protocol whose delta contradicts its families must raise at
+        sampling time (not construction), with tables enabled."""
+
+        class Broken(AGProtocol):
+            def delta(self, initiator, responder):
+                return None
+
+        engine = _engine(Broken(4), Configuration([4, 0, 0, 0]))
+        assert engine._ss_table is None  # compilation detected the mismatch
+        with pytest.raises(SimulationError):
+            engine.run()
+
+
+class TestDebugMode:
+    def test_debug_run_checks_weight_sync(self):
+        engine = JumpEngine(
+            AGProtocol(16),
+            Configuration.all_in_state(0, 16, 16),
+            np.random.default_rng(0),
+            debug=True,
+        )
+        assert engine.run() is True
+
+    def test_debug_detects_desync(self):
+        engine = JumpEngine(
+            AGProtocol(16),
+            Configuration.all_in_state(0, 16, 16),
+            np.random.default_rng(0),
+            debug=True,
+        )
+        engine._weight += 1  # corrupt the cache
+        with pytest.raises(AssertionError):
+            engine.step()
+
+
+class TestExactSampling:
+    def test_rand_below_huge_bound_in_range(self):
+        engine = _engine(AGProtocol(4), Configuration([1] * 4))
+        bound = (1 << 60) + 3
+        draws = [engine.rand_below(bound) for _ in range(200)]
+        assert all(0 <= d < bound for d in draws)
+        # Float-multiply sampling would collapse to multiples of 128 up
+        # here; exact sampling must produce odd values too.
+        assert any(d % 2 == 1 for d in draws)
+
+    def test_rand_below_small_bound_uniform(self):
+        engine = _engine(AGProtocol(4), Configuration([1] * 4))
+        draws = [engine.rand_below(3) for _ in range(3000)]
+        for value in range(3):
+            share = draws.count(value) / len(draws)
+            assert abs(share - 1 / 3) < 0.05
+
+    def test_rand_below_bound_one(self):
+        engine = _engine(AGProtocol(4), Configuration([1] * 4))
+        assert engine.rand_below(1) == 0
+
+
+class TestFastLoop:
+    def test_max_events_honoured_exactly(self):
+        engine = _engine(AGProtocol(64), Configuration.all_in_state(0, 64, 64))
+        assert engine.run(max_events=10) is False
+        assert engine.events == 10
+
+    def test_resumable_after_budget(self):
+        engine = _engine(AGProtocol(32), Configuration.all_in_state(0, 32, 32))
+        engine.run(max_events=5)
+        assert engine.run() is True
+        assert engine.counts == [1] * 32
+
+    @pytest.mark.parametrize(
+        "protocol_factory",
+        [lambda: AGProtocol(64), lambda: TreeRankingProtocol(16, k=2)],
+        ids=["same-state", "general"],
+    )
+    def test_exhausted_budget_is_noop(self, protocol_factory):
+        """A second run() with a smaller/equal budget must not advance."""
+        protocol = protocol_factory()
+        start = Configuration.all_in_state(0, protocol.num_agents,
+                                           protocol.num_states)
+        engine = _engine(protocol, start)
+        engine.run(max_events=10)
+        before = (engine.events, engine.interactions, list(engine.counts))
+        assert engine.run(max_events=5) is False
+        assert (engine.events, engine.interactions, list(engine.counts)) == before
+        assert engine.run(max_events=10) is False
+        assert engine.events == 10
+
+    def test_large_population_pileup_ranks(self):
+        """Exercises the proposal sampler and the mode switch to Fenwick."""
+        n = 300
+        engine = _engine(AGProtocol(n), Configuration.all_in_state(0, n, n))
+        assert engine.run() is True
+        assert engine.counts == [1] * n
+
+    def test_near_silent_start_uses_fenwick_path(self):
+        """One duplicate among n agents: acceptance would be ~1/n, so the
+        fast loop must start in Fenwick mode and still be exact."""
+        n = 200
+        counts = [1] * n
+        counts[3] = 2
+        counts[n - 1] = 0
+        engine = _engine(AGProtocol(n), Configuration(counts))
+        assert engine.run() is True
+        assert engine.counts == [1] * n
+
+    def test_fast_and_general_loops_agree_distributionally(self):
+        protocol = AGProtocol(16)
+        start = Configuration.all_in_state(0, 16, 16)
+
+        def median(base, **kwargs):
+            times = []
+            for seed in range(60):
+                engine = _engine(protocol, start, seed=base + seed)
+                engine.run(**kwargs)
+                times.append(engine.interactions)
+            return float(np.median(times))
+
+        fast = median(0)
+        # max_interactions forces the instrumented general loop.
+        general = median(5000, max_interactions=1 << 40)
+        assert abs(fast / general - 1) < 0.15
+
+
 class TestJumpGeometricDistribution:
     @pytest.mark.slow
     def test_skip_distribution_matches_geometric(self):

@@ -65,6 +65,20 @@ class TestSameStatePairs:
         assert not family.covers(1, 1)
         assert not family.covers(0, 1)
 
+    def test_on_count_change_returns_weight_delta(self):
+        family = SameStatePairs([2, 2], rule_states=[0, 1])
+        assert family.on_count_change(0, 2, 4) == 4 * 3 - 2 * 1
+        assert family.on_count_change(1, 2, 0) == -2
+        assert family.on_count_change(0, 4, 4) == 0
+
+    def test_on_count_change_ruleless_state_returns_zero(self):
+        family = SameStatePairs([2, 2], rule_states=[0])
+        assert family.on_count_change(1, 2, 7) == 0
+
+    def test_pairs_enumeration(self):
+        family = SameStatePairs([1, 1, 1], rule_states=[0, 2])
+        assert list(family.pairs()) == [(0, 0), (2, 2)]
+
 
 class TestOrderedProduct:
     def test_weight_is_product(self):
@@ -95,6 +109,20 @@ class TestOrderedProduct:
         assert family.covers(0, 2)
         assert not family.covers(2, 0)
         assert not family.covers(0, 1)
+
+    def test_on_count_change_returns_weight_delta(self):
+        family = OrderedProduct([2, 3, 4], initiators=[0, 1], responders=[2])
+        assert family.on_count_change(0, 2, 5) == 3 * 4  # (5+3)·4 − (2+3)·4
+        assert family.on_count_change(2, 4, 1) == 8 * (1 - 4)
+        assert family.on_count_change(1, 3, 3) == 0
+
+    def test_on_count_change_foreign_state_returns_zero(self):
+        family = OrderedProduct([1, 1, 1, 9], initiators=[0], responders=[2])
+        assert family.on_count_change(3, 9, 0) == 0
+
+    def test_pairs_enumeration(self):
+        family = OrderedProduct([1] * 4, initiators=[0, 1], responders=[3])
+        assert sorted(family.pairs()) == [(0, 3), (1, 3)]
 
 
 class TestTriangularLine:
@@ -141,6 +169,18 @@ class TestTriangularLine:
         assert family.covers(6, 6)
         assert not family.covers(7, 5)
         assert not family.covers(5, 4)
+
+    def test_on_count_change_returns_weight_delta(self):
+        family = TriangularLine([2, 2], line_states=[0, 1])
+        assert family.weight == 8
+        assert family.on_count_change(0, 2, 0) == 2 - 8
+        assert family.on_count_change(2, 1, 5) == 0  # foreign state
+
+    def test_pairs_enumeration(self):
+        family = TriangularLine([0] * 8, line_states=[5, 6, 7])
+        assert list(family.pairs()) == [
+            (5, 5), (5, 6), (5, 7), (6, 6), (6, 7), (7, 7),
+        ]
 
 
 class TestCoverage:

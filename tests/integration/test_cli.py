@@ -80,6 +80,26 @@ class TestCommands:
         assert main(["render", "tree", "--size", "17"]) == 0
         assert "n=17" in capsys.readouterr().out
 
+    def test_bench_quick_writes_json(self, capsys, tmp_path):
+        code = main(["bench", "--quick", "--output-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "headline" in out and "speedup" in out
+        written = list(tmp_path.glob("BENCH_*.json"))
+        assert len(written) == 1
+
+    def test_bench_missing_output_dir_fails_fast(self, capsys):
+        code = main(["bench", "--quick", "--output-dir", "/nonexistent/dir"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "does not exist" in err
+
+    def test_bench_quick_no_output(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        code = main(["bench", "--quick", "--output-dir", "-"])
+        assert code == 0
+        assert not list(tmp_path.glob("BENCH_*.json"))
+
     def test_version(self, capsys):
         with pytest.raises(SystemExit) as excinfo:
             main(["--version"])

@@ -1,0 +1,130 @@
+"""Property tests: the engines' cached total weight never desyncs.
+
+The fast-path engines maintain the total productive weight ``W``
+incrementally (from per-family deltas, or inline in the specialised
+loops).  These tests re-sum the family weights from scratch after every
+productive event, across every shipped protocol, and require exact
+agreement — the invariant the whole jump-chain sampling rests on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    AGProtocol,
+    Configuration,
+    JumpEngine,
+    LineOfTrapsProtocol,
+    ModifiedTreeProtocol,
+    RingOfTrapsProtocol,
+    SequentialEngine,
+    SingleTrapProtocol,
+    TreeDispersalProtocol,
+    TreeRankingProtocol,
+    random_configuration,
+)
+from repro.protocols.line import IsolatedLineProtocol
+
+
+def _shipped_protocols():
+    return [
+        AGProtocol(12),
+        RingOfTrapsProtocol(m=4),
+        LineOfTrapsProtocol(m=2),
+        TreeRankingProtocol(13, k=3),
+        ModifiedTreeProtocol(13, k=3),
+        TreeDispersalProtocol(13),
+        SingleTrapProtocol(inner_size=4, num_agents=12),
+        IsolatedLineProtocol(num_traps=3, inner_cap=2, num_agents=12),
+    ]
+
+
+def _start(protocol, seed):
+    if isinstance(protocol, (SingleTrapProtocol, IsolatedLineProtocol)):
+        rng = np.random.default_rng(seed)
+        counts = rng.multinomial(
+            protocol.num_agents, [1 / protocol.num_states] * protocol.num_states
+        )
+        return Configuration(counts.tolist())
+    return random_configuration(protocol, seed=seed)
+
+
+class TestCachedWeightInvariant:
+    @pytest.mark.parametrize(
+        "protocol", _shipped_protocols(), ids=lambda p: p.name
+    )
+    def test_jump_cached_weight_matches_recomputed_after_every_event(
+        self, protocol
+    ):
+        for seed in range(3):
+            engine = JumpEngine(
+                protocol, _start(protocol, seed), np.random.default_rng(seed)
+            )
+            assert engine.productive_weight == engine.recomputed_weight()
+            for _ in range(400):
+                if engine.step() is None:
+                    break
+                assert (
+                    engine.productive_weight == engine.recomputed_weight()
+                ), f"desync after {engine.events} events on {protocol.name}"
+
+    @pytest.mark.parametrize(
+        "protocol", _shipped_protocols(), ids=lambda p: p.name
+    )
+    def test_debug_mode_run_asserts_weight_sync(self, protocol):
+        """debug=True re-checks the invariant inside run() itself."""
+        engine = JumpEngine(
+            protocol,
+            _start(protocol, 7),
+            np.random.default_rng(7),
+            debug=True,
+        )
+        engine.run(max_events=500)
+        assert engine.productive_weight == engine.recomputed_weight()
+
+    @pytest.mark.parametrize(
+        "protocol", _shipped_protocols(), ids=lambda p: p.name
+    )
+    def test_fast_run_leaves_weight_synced(self, protocol):
+        """The specialised loops must hand back a consistent engine."""
+        engine = JumpEngine(
+            protocol, _start(protocol, 11), np.random.default_rng(11)
+        )
+        engine.run(max_events=300)
+        assert engine.productive_weight == engine.recomputed_weight()
+        # And the engine must still be steppable afterwards.
+        event = engine.step()
+        if event is not None:
+            assert engine.productive_weight == engine.recomputed_weight()
+
+    def test_sequential_cached_weight_matches_recomputed(self):
+        protocol = RingOfTrapsProtocol(m=4)
+        engine = SequentialEngine(
+            protocol,
+            Configuration.all_in_state(0, 20, 20),
+            np.random.default_rng(5),
+        )
+        for _ in range(2000):
+            engine.step()
+            recomputed = sum(f.weight for f in engine._families)
+            assert engine.productive_weight == recomputed
+            if engine.is_silent():
+                break
+
+    @given(
+        st.lists(st.integers(0, 11), min_size=12, max_size=12),
+        st.integers(0, 2**31),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_fuzzed_ag_starts_never_desync(self, states, seed):
+        protocol = AGProtocol(12)
+        engine = JumpEngine(
+            protocol,
+            Configuration.from_agents(states, 12),
+            np.random.default_rng(seed),
+            debug=True,
+        )
+        assert engine.run() is True
+        assert engine.productive_weight == engine.recomputed_weight() == 0
