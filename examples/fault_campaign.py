@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Fault campaign: inject faults mid-run and measure recovery.
+
+Self-stabilisation means recovery from *any* transient fault, not just
+an adversarial start.  This example scripts a custom scenario — run to
+silence, corrupt a third of the agents, recover, then a churn wave that
+resizes the population — runs it as a seeded campaign, and prints the
+recovery-time distribution.  It also shows the scheduler hook: the same
+protocol runs under the clustered scheduler, where cross-block
+interactions are throttled 20x.
+
+Usage::
+
+    python examples/fault_campaign.py [--n 120] [--repetitions 5] [--seed 7]
+"""
+
+import argparse
+
+from repro import (
+    FaultPhase,
+    ProtocolSpec,
+    RunPhase,
+    Scenario,
+    SchedulerSpec,
+    StartSpec,
+    run_campaign,
+)
+from repro.analysis.recovery import (
+    phase_table,
+    recovery_records,
+    recovery_table,
+)
+
+
+def build_scenario(n: int) -> Scenario:
+    """Stabilise -> corrupt 33% -> recover -> churn -> recover, on AG."""
+    budget = 400 * n * n  # events; AG re-silences in O(n^2) parallel time
+    return Scenario(
+        name="example_fault_campaign",
+        description="AG: corruption then churn, clocked to re-silence",
+        protocol=ProtocolSpec(kind="ag", num_agents=n),
+        start=StartSpec(kind="random"),
+        phases=(
+            RunPhase(until="silence", max_events=budget, label="stabilise"),
+            FaultPhase(kind="corrupt", fraction=0.33, label="corrupt 33%"),
+            RunPhase(until="silence", max_events=budget, label="recover"),
+            FaultPhase(
+                kind="churn",
+                departures=n // 6,
+                arrivals=n // 12,
+                arrival_state="leader",
+                label=f"churn -{n // 6}/+{n // 12}",
+            ),
+            RunPhase(until="silence", max_events=budget, label="recover"),
+        ),
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=120, help="population size")
+    parser.add_argument("--repetitions", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    # 1. A campaign = many independently seeded runs of one scenario.
+    scenario = build_scenario(args.n)
+    campaign = run_campaign(
+        scenario, repetitions=args.repetitions, seed=args.seed
+    )
+    print(f"scenario        : {scenario.description}")
+    print(f"repetitions     : {campaign.repetitions} (seed {args.seed})")
+    print(f"all recovered   : {campaign.recovered_fraction == 1.0}")
+    print()
+    print(recovery_table(campaign).render())
+    print()
+    print(phase_table(campaign).render())
+
+    # 2. The worst recovery is what a whp bound talks about.
+    records = [r for r in recovery_records(campaign) if r.recovered]
+    worst = max(records, key=lambda r: r.recovery_time)
+    print()
+    print(f"slowest recovery: {worst.recovery_time:,.0f} parallel time "
+          f"after {worst.fault_label!r} (repetition {worst.repetition})")
+
+    # 3. Same protocol, non-uniform scheduler: cluster the state space
+    #    into 4 blocks and throttle cross-block pairs to 5%.  For AG
+    #    every productive pair is same-state — always intra-cluster —
+    #    so locality *helps* it in the scheduler's clock; protocols with
+    #    cross-state rules (line, tree) are the ones clustering starves.
+    adversarial = Scenario(
+        name="example_clustered",
+        description="AG under the clustered scheduler",
+        protocol=ProtocolSpec(kind="ag", num_agents=min(args.n, 48)),
+        start=StartSpec(kind="random"),
+        scheduler=SchedulerSpec(kind="clustered", num_clusters=4, across=0.05),
+        phases=(
+            RunPhase(
+                until="silence", max_interactions=5_000_000, label="stabilise"
+            ),
+        ),
+    )
+    slow = run_campaign(adversarial, repetitions=2, seed=args.seed)
+    times = [r.phase_logs[0].parallel_time for r in slow.results]
+    print()
+    print(f"clustered sched : silent={all(r.phase_logs[0].silent for r in slow.results)}, "
+          f"parallel time {min(times):,.0f}..{max(times):,.0f} "
+          "(AG's same-state rules dodge the throttle)")
+
+
+if __name__ == "__main__":
+    main()

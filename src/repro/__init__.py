@@ -23,14 +23,19 @@ from .core import (
     Event,
     JumpEngine,
     MetricRecorder,
+    PairScheduler,
     PopulationProtocol,
     RankingProtocol,
     Recorder,
     RunResult,
+    ScheduledEngine,
     SequentialEngine,
     TrajectoryRecorder,
+    UniformScheduler,
+    arrive_agents,
     corrupt_agents,
     crash_and_replace,
+    depart_agents,
     make_rng,
     run_protocol,
 )
@@ -71,54 +76,93 @@ from .protocols import (
     line_parameter_for,
     ring_parameter_for,
 )
+from .scenarios import (
+    CampaignResult,
+    CampaignRunner,
+    ClusteredScheduler,
+    FaultPhase,
+    PhaseLog,
+    ProtocolSpec,
+    RunPhase,
+    Scenario,
+    ScenarioResult,
+    SchedulerSpec,
+    StartSpec,
+    StateBiasedScheduler,
+    get_campaign,
+    list_campaigns,
+    run_campaign,
+    run_scenario,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AGProtocol",
+    "CampaignResult",
+    "CampaignRunner",
+    "ClusteredScheduler",
     "Configuration",
     "ConfigurationError",
     "Event",
     "ExperimentError",
+    "FaultPhase",
     "JumpEngine",
     "LeaderElectionResult",
     "LineOfTrapsProtocol",
     "MetricRecorder",
     "ModifiedTreeProtocol",
     "NodeKind",
+    "PairScheduler",
     "PerfectlyBalancedTree",
+    "PhaseLog",
     "PopulationProtocol",
     "ProtocolError",
+    "ProtocolSpec",
     "RankingProtocol",
     "Recorder",
     "ReproError",
     "RingOfTrapsProtocol",
     "RoutingGraph",
+    "RunPhase",
     "RunResult",
+    "Scenario",
+    "ScenarioResult",
+    "ScheduledEngine",
+    "SchedulerSpec",
     "SequentialEngine",
     "SimulationError",
     "SimulationLimitReached",
     "SingleTrapProtocol",
+    "StartSpec",
+    "StateBiasedScheduler",
     "TrajectoryRecorder",
     "TrapLayout",
     "TreeDispersalProtocol",
     "TreeRankingProtocol",
+    "UniformScheduler",
     "__version__",
     "all_in_extras_configuration",
     "all_in_state_configuration",
+    "arrive_agents",
     "build_routing_graph",
     "corrupt_agents",
     "count_leaders",
     "crash_and_replace",
+    "depart_agents",
     "distance_from_solved",
     "doubled_prefix_configuration",
     "elect_leader",
+    "get_campaign",
     "k_distant_configuration",
     "line_lattice_size",
     "line_parameter_for",
+    "list_campaigns",
     "make_rng",
     "random_configuration",
     "ring_parameter_for",
+    "run_campaign",
     "run_protocol",
+    "run_scenario",
     "solved_configuration",
 ]

@@ -19,8 +19,16 @@ from .potentials import (
     stabilise_line,
     tree_path_potential,
 )
+from .recovery import (
+    RecoveryRecord,
+    phase_table,
+    recovery_records,
+    recovery_table,
+    survival_curve,
+    survival_table,
+)
 from .stats import Summary, geometric_mean, summarise, wilson_interval
-from .sweep import SweepPoint, measure_stabilisation, run_sweep
+from .sweep import SweepPoint, fan_out, measure_stabilisation, run_sweep
 from .tables import Table, format_value
 from .trajectories import (
     PhaseCensus,
@@ -35,6 +43,7 @@ __all__ = [
     "LineVectors",
     "PhaseCensus",
     "PowerLawFit",
+    "RecoveryRecord",
     "ResetCounter",
     "SampledMetricRecorder",
     "Summary",
@@ -44,9 +53,11 @@ __all__ = [
     "all_traps_tidy",
     "bench_suite",
     "bootstrap_exponent_interval",
+    "fan_out",
     "fit_power_law",
     "format_value",
     "geometric_mean",
+    "phase_table",
     "global_deficit",
     "global_excess",
     "global_surplus",
@@ -57,12 +68,16 @@ __all__ = [
     "line_vectors",
     "max_tree_path_potential",
     "measure_stabilisation",
+    "recovery_records",
+    "recovery_table",
     "ring_weight",
     "ring_weight_components",
     "run_bench",
     "run_sweep",
     "stabilise_line",
     "summarise",
+    "survival_curve",
+    "survival_table",
     "tree_path_potential",
     "wilson_interval",
 ]

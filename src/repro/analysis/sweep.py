@@ -24,7 +24,7 @@ from ..core.protocol import PopulationProtocol
 from ..exceptions import ExperimentError
 from .stats import Summary, summarise
 
-__all__ = ["SweepPoint", "run_sweep", "measure_stabilisation"]
+__all__ = ["SweepPoint", "fan_out", "run_sweep", "measure_stabilisation"]
 
 # A builder maps (params, rng) to a ready-to-run (protocol, configuration).
 Builder = Callable[
@@ -66,6 +66,25 @@ class SweepPoint:
     def max_parallel_time(self) -> float:
         """Worst repetition — the relevant statistic for whp claims."""
         return self.time_summary().maximum
+
+
+def fan_out(worker, jobs: Sequence, workers: Optional[int] = None) -> List:
+    """Map ``worker`` over ``jobs``, optionally via a process pool.
+
+    The shared executor seam for every campaign/sweep in the repo:
+    ``workers`` of ``None`` or 1 runs serially in-process; more fans the
+    jobs out over a :class:`~concurrent.futures.ProcessPoolExecutor`.
+    Results keep job order, so any caller that derives each job's
+    randomness *before* dispatch (the ``SeedSequence.spawn`` pattern) is
+    bit-identical at every worker count.  ``worker`` and the jobs must
+    then be picklable, i.e. module-level callables and plain data.
+    """
+    if workers is not None and workers < 1:
+        raise ExperimentError(f"workers must be >= 1, got {workers}")
+    if workers is not None and workers > 1 and jobs:
+        with ProcessPoolExecutor(max_workers=workers) as executor:
+            return list(executor.map(worker, jobs))
+    return [worker(job) for job in jobs]
 
 
 def _run_sweep_job(job: tuple) -> RunResult:
@@ -114,8 +133,6 @@ def run_sweep(
     """
     if repetitions < 1:
         raise ExperimentError(f"repetitions must be >= 1, got {repetitions}")
-    if workers is not None and workers < 1:
-        raise ExperimentError(f"workers must be >= 1, got {workers}")
     root = np.random.SeedSequence(seed)
     children = root.spawn(len(points) * repetitions)
     jobs = [
@@ -130,11 +147,7 @@ def run_sweep(
         for point_index, params in enumerate(points)
         for rep in range(repetitions)
     ]
-    if workers is not None and workers > 1 and jobs:
-        with ProcessPoolExecutor(max_workers=workers) as executor:
-            runs = list(executor.map(_run_sweep_job, jobs))
-    else:
-        runs = [_run_sweep_job(job) for job in jobs]
+    runs = fan_out(_run_sweep_job, jobs, workers=workers)
     results = []
     for point_index, params in enumerate(points):
         start = point_index * repetitions
@@ -154,6 +167,7 @@ def measure_stabilisation(
     repetitions: int = 5,
     seed: int = 0,
     max_interactions: Optional[int] = None,
+    workers: Optional[int] = None,
 ) -> List[SweepPoint]:
     """Convenience sweep over a single integer parameter (usually ``n``)."""
     points = [{x_name: x} for x in xs]
@@ -163,4 +177,5 @@ def measure_stabilisation(
         repetitions=repetitions,
         seed=seed,
         max_interactions=max_interactions,
+        workers=workers,
     )

@@ -6,6 +6,9 @@ Subcommands:
 * ``experiment <id>`` — run one experiment and print its tables;
 * ``simulate`` — run one protocol from a chosen start and report the
   stabilisation time (and leader);
+* ``scenario`` — list or run scripted fault campaigns (mid-run
+  corruption, crashes, churn, adversarial schedulers) and print the
+  recovery-time tables;
 * ``render`` — print the paper's structures (Figure 1 graph, Figure 2
   tree, ring/line occupancy);
 * ``bench`` — measure hot-path events/sec against the frozen seed
@@ -66,6 +69,38 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--scale", choices=SCALES, default="small")
     exp.add_argument("--seed", type=int, default=0)
     exp.add_argument(
+        "--workers", type=int, default=None,
+        help="process-pool size for sweep repetitions (default: serial; "
+        "results are bit-identical at any worker count)",
+    )
+    exp.add_argument(
+        "--markdown", action="store_true",
+        help="emit Markdown tables instead of fixed-width text",
+    )
+
+    sce = sub.add_parser(
+        "scenario",
+        help="run scripted fault campaigns (mid-run faults, churn, "
+        "adversarial schedulers)",
+    )
+    sce_sub = sce.add_subparsers(dest="scenario_command", required=True)
+    sce_sub.add_parser("list", help="list all canned campaigns")
+    sce_run = sce_sub.add_parser("run", help="run one campaign")
+    sce_run.add_argument(
+        "campaign_id", help="campaign id (see `repro scenario list`)"
+    )
+    sce_run.add_argument("--scale", choices=SCALES, default="small")
+    sce_run.add_argument("--seed", type=int, default=0)
+    sce_run.add_argument(
+        "--repetitions", type=int, default=None,
+        help="override the campaign's per-scale repetition count",
+    )
+    sce_run.add_argument(
+        "--workers", type=int, default=None,
+        help="process-pool size for campaign repetitions (default: "
+        "serial; bit-identical at any worker count)",
+    )
+    sce_run.add_argument(
         "--markdown", action="store_true",
         help="emit Markdown tables instead of fixed-width text",
     )
@@ -102,6 +137,10 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--scale", choices=SCALES, default="small")
     rep.add_argument("--seed", type=int, default=0)
     rep.add_argument(
+        "--workers", type=int, default=None,
+        help="process-pool size for sweep repetitions (default: serial)",
+    )
+    rep.add_argument(
         "--output", default="EXPERIMENTS.md",
         help="path to write (use '-' for stdout)",
     )
@@ -130,9 +169,54 @@ def _cmd_list() -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    result = run_experiment(args.experiment_id, scale=args.scale, seed=args.seed)
+    result = run_experiment(
+        args.experiment_id,
+        scale=args.scale,
+        seed=args.seed,
+        workers=args.workers,
+    )
     print(result.to_markdown() if args.markdown else result.render())
     return 0
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from .analysis.recovery import phase_table, recovery_table, survival_table
+    from .scenarios import get_campaign, list_campaigns, run_campaign
+
+    if args.scenario_command == "list":
+        for campaign in list_campaigns():
+            print(f"{campaign.campaign_id:24s} {campaign.description}")
+        return 0
+
+    campaign = get_campaign(args.campaign_id)
+    scenario = campaign.build(args.scale)
+    repetitions = (
+        args.repetitions
+        if args.repetitions is not None
+        else campaign.repetitions_for(args.scale)
+    )
+    result = run_campaign(
+        scenario,
+        repetitions=repetitions,
+        seed=args.seed,
+        workers=args.workers,
+    )
+    tables = [recovery_table(result), phase_table(result),
+              survival_table(result)]
+    print(f"campaign     : {campaign.campaign_id}")
+    print(f"scenario     : {scenario.description or scenario.name}")
+    print(f"protocol     : {scenario.protocol.kind} "
+          f"(n={scenario.protocol.num_agents})")
+    print(f"scheduler    : {scenario.scheduler.kind}")
+    print(f"repetitions  : {repetitions} (seed {args.seed})")
+    print(f"recovered    : {result.recovered_fraction:.0%} of repetitions "
+          "re-silenced after every fault")
+    print()
+    print("\n\n".join(
+        table.to_markdown() if args.markdown else table.render()
+        for table in tables
+    ))
+    return 0 if result.recovered_fraction == 1.0 else 1
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -166,7 +250,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 def _cmd_report(args: argparse.Namespace) -> int:
     from .experiments.report import generate_report
 
-    content = generate_report(scale=args.scale, seed=args.seed)
+    content = generate_report(
+        scale=args.scale, seed=args.seed, workers=args.workers
+    )
     if args.output == "-":
         print(content)
     else:
@@ -220,6 +306,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_experiment(args)
         if args.command == "simulate":
             return _cmd_simulate(args)
+        if args.command == "scenario":
+            return _cmd_scenario(args)
         if args.command == "report":
             return _cmd_report(args)
         if args.command == "bench":

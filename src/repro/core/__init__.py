@@ -27,10 +27,17 @@ from .families import (
     TriangularLine,
     check_family_coverage,
 )
-from .faults import adversarial_swap, corrupt_agents, crash_and_replace
+from .faults import (
+    adversarial_swap,
+    arrive_agents,
+    corrupt_agents,
+    crash_and_replace,
+    depart_agents,
+)
 from .fenwick import FenwickTree
 from .jump import JumpEngine
 from .protocol import PopulationProtocol, RankingProtocol, Transition
+from .scheduler import PairScheduler, ScheduledEngine, UniformScheduler
 from .sequential import SequentialEngine
 
 __all__ = [
@@ -41,19 +48,24 @@ __all__ = [
     "JumpEngine",
     "MetricRecorder",
     "OrderedProduct",
+    "PairScheduler",
     "PopulationProtocol",
     "RankingProtocol",
     "Recorder",
     "RunResult",
     "SameStatePairs",
+    "ScheduledEngine",
     "SequentialEngine",
     "TrajectoryRecorder",
     "Transition",
     "TriangularLine",
+    "UniformScheduler",
     "adversarial_swap",
+    "arrive_agents",
     "check_family_coverage",
     "corrupt_agents",
     "crash_and_replace",
+    "depart_agents",
     "make_rng",
     "run_protocol",
 ]

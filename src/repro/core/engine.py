@@ -146,6 +146,7 @@ def run_protocol(
     recorder: Optional[Recorder] = None,
     require_silence: bool = False,
     max_events: Optional[int] = None,
+    scheduler: Optional["PairScheduler"] = None,
 ) -> RunResult:
     """Simulate ``protocol`` from ``configuration`` until silence.
 
@@ -164,18 +165,33 @@ def run_protocol(
     require_silence:
         If True, raise :class:`SimulationLimitReached` instead of
         returning a non-silent result.
+    scheduler:
+        Optional :class:`~repro.core.scheduler.PairScheduler` biasing
+        which pairs interact.  ``None`` or a uniform scheduler keeps the
+        paper's model and the allocation-free fast path; a non-uniform
+        scheduler routes the run through the per-interaction
+        :class:`~repro.core.scheduler.ScheduledEngine` (the jump chain's
+        geometric skip is only exact under the uniform scheduler).
     """
     # Imported here to avoid a circular import at module load time.
     from .jump import JumpEngine
     from .sequential import SequentialEngine
 
+    seed_value = seed if isinstance(seed, int) else None
     engines = {"jump": JumpEngine, "sequential": SequentialEngine}
     if engine not in engines:
         raise SimulationError(
             f"unknown engine {engine!r}; expected one of {sorted(engines)}"
         )
-    seed_value = seed if isinstance(seed, int) else None
-    driver = engines[engine](protocol, configuration, make_rng(seed))
+    if scheduler is not None and not scheduler.is_uniform:
+        from .scheduler import ScheduledEngine
+
+        driver = ScheduledEngine(
+            protocol, configuration, make_rng(seed), scheduler
+        )
+        engine = f"scheduled:{scheduler.name}"
+    else:
+        driver = engines[engine](protocol, configuration, make_rng(seed))
     start = time.perf_counter()
     silent = driver.run(
         max_interactions=max_interactions,

@@ -229,6 +229,39 @@ class JumpEngine:
         """True iff no productive interaction exists."""
         return self._weight == 0
 
+    def reset_configuration(self, configuration) -> None:
+        """Adopt an externally mutated configuration mid-run.
+
+        This is the fault-injection seam used by the scenario engine:
+        the population is corrupted *outside* the protocol's own
+        dynamics, so the families and the cached weight ``W`` are
+        rebuilt from the new counts.  The compiled transition tables are
+        count-independent and stay valid; the interaction/event counters
+        and the generator stream are deliberately preserved, so a run
+        continues exactly where it left off.  The population size and
+        state space must not change — churn rebuilds the engine instead.
+        """
+        counts = (
+            configuration.counts_list()
+            if isinstance(configuration, Configuration)
+            else [int(c) for c in configuration]
+        )
+        if len(counts) != self._num_states:
+            raise SimulationError(
+                f"reset configuration has {len(counts)} states, "
+                f"engine has {self._num_states}"
+            )
+        if any(c < 0 for c in counts):
+            raise SimulationError("reset configuration has negative counts")
+        if sum(counts) != self._protocol.num_agents:
+            raise SimulationError(
+                f"reset configuration has {sum(counts)} agents, "
+                f"engine has {self._protocol.num_agents}"
+            )
+        self.counts = counts
+        self._families = self._protocol.build_families(counts)
+        self._weight = sum(family.weight for family in self._families)
+
     # ------------------------------------------------------------------
     # Simulation
     # ------------------------------------------------------------------

@@ -1,0 +1,134 @@
+"""Pluggable pair-selection schedulers and the engine that honours them.
+
+The paper's model fixes the *uniform* scheduler: every step draws one
+ordered pair of distinct agents uniformly at random.  Self-stabilisation
+claims, however, are often stressed under *adversarial* schedulers that
+are still fair but bias which pairs meet (clustered populations, slow
+links, starved states).  This module is the engine-side seam:
+
+* :class:`PairScheduler` — a distribution over ordered agent pairs,
+  expressed as a relative weight ``pair_weight(si, sj) ∈ (0, 1]`` on the
+  *states* of the two agents (agents are anonymous, so state-level
+  weights are fully general for count-based protocols);
+* :class:`UniformScheduler` — the identity scheduler.  It is a pure
+  sentinel: :func:`repro.core.engine.run_protocol` routes uniform runs
+  to the allocation-free jump fast path, so selecting it costs nothing;
+* :class:`ScheduledEngine` — a sequential-style engine that realises an
+  arbitrary scheduler exactly by rejection: draw a uniform ordered
+  agent pair, accept it with probability ``pair_weight(si, sj)``.
+  Accepted draws are the scheduler's steps, so the step distribution is
+  exactly ``P(pair) ∝ pair_weight(state_i, state_j)`` at every instant.
+
+Concrete adversarial schedulers (state-biased, clustered) live in
+:mod:`repro.scenarios.schedulers`; anything implementing the ABC plugs
+in through the same ``run_protocol(..., scheduler=...)`` hook.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..exceptions import SimulationError
+from .configuration import Configuration
+from .protocol import PopulationProtocol
+from .sequential import SequentialEngine
+
+__all__ = ["PairScheduler", "UniformScheduler", "ScheduledEngine"]
+
+_ACCEPT_BATCH = 4096
+
+
+class PairScheduler(ABC):
+    """A fair scheduler biasing which ordered state pairs interact.
+
+    ``pair_weight`` must return a relative selection weight in
+    ``(0, 1]`` for every ordered state pair; the realised step
+    distribution is proportional to it.  Weights of exactly zero would
+    break fairness (a productive pair that can never fire stalls
+    silence), so implementations must keep every weight positive.
+    """
+
+    #: Uniform schedulers short-circuit to the jump fast path.
+    is_uniform: bool = False
+
+    @property
+    def name(self) -> str:
+        """Short scheduler name used in results and tables."""
+        return type(self).__name__
+
+    @abstractmethod
+    def pair_weight(self, initiator_state: int, responder_state: int) -> float:
+        """Relative weight of an ordered state pair, in ``(0, 1]``."""
+
+    def weight_matrix(self, num_states: int) -> np.ndarray:
+        """Dense ``pair_weight`` table (engine precomputation)."""
+        matrix = np.empty((num_states, num_states), dtype=np.float64)
+        for si in range(num_states):
+            for sj in range(num_states):
+                matrix[si, sj] = self.pair_weight(si, sj)
+        if matrix.min() <= 0.0 or matrix.max() > 1.0:
+            raise SimulationError(
+                f"{self.name}: pair weights must lie in (0, 1], got range "
+                f"[{matrix.min()}, {matrix.max()}]"
+            )
+        return matrix
+
+
+class UniformScheduler(PairScheduler):
+    """The paper's scheduler: every ordered pair equally likely."""
+
+    is_uniform = True
+
+    def pair_weight(self, initiator_state: int, responder_state: int) -> float:
+        return 1.0
+
+
+class ScheduledEngine(SequentialEngine):
+    """Per-interaction engine honouring an arbitrary pair scheduler.
+
+    Extends :class:`~repro.core.sequential.SequentialEngine` (explicit
+    agent identities, same run/recorder interface) with a rejection
+    filter on the uniform pair stream: each candidate pair is accepted
+    with probability ``scheduler.pair_weight(si, sj)``, so accepted
+    draws — the steps this engine counts — follow the scheduler's
+    distribution exactly.  Cost per step is ``O(1/acceptance-rate)``;
+    budgets (``max_interactions`` / ``max_events``) remain the guard
+    against schedulers that slow convergence arbitrarily.
+    """
+
+    def __init__(
+        self,
+        protocol: PopulationProtocol,
+        configuration: Configuration,
+        rng: np.random.Generator,
+        scheduler: PairScheduler,
+    ) -> None:
+        super().__init__(protocol, configuration, rng)
+        self._scheduler = scheduler
+        self._weights = scheduler.weight_matrix(protocol.num_states)
+        self._accepts = np.empty(0)
+        self._accept_pos = 0
+
+    @property
+    def scheduler(self) -> PairScheduler:
+        """The scheduler this engine realises."""
+        return self._scheduler
+
+    def _next_accept_threshold(self) -> float:
+        if self._accept_pos >= len(self._accepts):
+            self._accepts = self._rng.random(_ACCEPT_BATCH)
+            self._accept_pos = 0
+        u = self._accepts[self._accept_pos]
+        self._accept_pos += 1
+        return u
+
+    def _next_pair(self) -> tuple:
+        """One *accepted* ordered pair of distinct agent indices."""
+        weights = self._weights
+        states = self.agent_states
+        while True:
+            a, b = super()._next_pair()
+            if self._next_accept_threshold() < weights[states[a], states[b]]:
+                return a, b

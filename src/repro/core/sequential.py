@@ -18,6 +18,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from ..exceptions import SimulationError
 from .configuration import Configuration
 from .engine import Event, Recorder
 from .protocol import PopulationProtocol
@@ -87,6 +88,39 @@ class SequentialEngine:
             for family in self._families:
                 delta_w += family.on_count_change(state, old, new)
         self._weight += delta_w
+
+    def reset_configuration(self, configuration) -> None:
+        """Adopt an externally mutated configuration mid-run.
+
+        Fault-injection seam mirroring
+        :meth:`repro.core.jump.JumpEngine.reset_configuration`: counts,
+        agent array, families, and the cached weight are rebuilt; the
+        counters and the generator stream are preserved.  The population
+        size and state space must not change.
+        """
+        counts = (
+            configuration.counts_list()
+            if isinstance(configuration, Configuration)
+            else [int(c) for c in configuration]
+        )
+        if len(counts) != self._protocol.num_states:
+            raise SimulationError(
+                f"reset configuration has {len(counts)} states, "
+                f"engine has {self._protocol.num_states}"
+            )
+        if any(c < 0 for c in counts):
+            raise SimulationError("reset configuration has negative counts")
+        if sum(counts) != self._n:
+            raise SimulationError(
+                f"reset configuration has {sum(counts)} agents, "
+                f"engine has {self._n}"
+            )
+        self.counts = counts
+        self.agent_states = []
+        for state, count in enumerate(counts):
+            self.agent_states.extend([state] * count)
+        self._families = self._protocol.build_families(counts)
+        self._weight = sum(family.weight for family in self._families)
 
     def step(self) -> Optional[Event]:
         """One scheduler step; returns the event if it was productive."""

@@ -21,6 +21,8 @@ load-bearing.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import math
 
 import numpy as np
@@ -47,7 +49,9 @@ def _outcome(protocol, start, seed, budget):
     return result.silent, ranked
 
 
-def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+def run(
+    scale: str = "small", seed: int = 0, workers: Optional[int] = None
+) -> ExperimentResult:
     """Compare real vs ablated protocols from identical random starts."""
     n = pick(scale, smoke=16, small=64, paper=256)
     trials = pick(scale, smoke=8, small=20, paper=24)

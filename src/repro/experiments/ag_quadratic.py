@@ -9,6 +9,8 @@ baseline every other experiment compares against.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..analysis.fitting import fit_power_law
 from ..analysis.sweep import measure_stabilisation
 from ..analysis.tables import Table
@@ -27,7 +29,9 @@ def _build(params, rng):
     return protocol, start
 
 
-def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+def run(
+    scale: str = "small", seed: int = 0, workers: Optional[int] = None
+) -> ExperimentResult:
     """Sweep n, fit the exponent, and tabulate times and per-n² ratios."""
     ns = pick(
         scale,
@@ -37,7 +41,8 @@ def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
     )
     repetitions = pick(scale, smoke=2, small=3, paper=5)
     points = measure_stabilisation(
-        _build, ns, x_name="n", repetitions=repetitions, seed=seed
+        _build, ns, x_name="n", repetitions=repetitions, seed=seed,
+        workers=workers,
     )
 
     table = Table(

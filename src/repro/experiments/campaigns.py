@@ -1,0 +1,98 @@
+"""Experiments wrapping the canned scenario campaigns.
+
+Each experiment runs one registered fault campaign (see
+:mod:`repro.scenarios.catalog`) and reports the recovery-time tables —
+the dynamic counterpart of the static ``kdistant_*`` experiments: the
+same protocols, but with faults injected *mid-run* and recovery clocked
+from the fault onwards.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..analysis.recovery import (
+    phase_table,
+    recovery_records,
+    recovery_table,
+    survival_table,
+)
+from ..scenarios import get_campaign, run_campaign
+from .base import ExperimentResult
+
+DESCRIPTION_AG = (
+    "AG baseline: stabilise, corrupt 20%, crash 30%; recovery-time "
+    "distribution after each fault"
+)
+DESCRIPTION_TREE = (
+    "Tree protocol: mid-run corruption and a crash wave into the reset "
+    "line; recovery-time distribution"
+)
+DESCRIPTION_LINE = (
+    "Line of traps under churn: departures/arrivals resize n mid-run; "
+    "recovery-time distribution"
+)
+PAPER_REFERENCE = (
+    "self-stabilisation contract (§1); k-distant recovery regime (§3)"
+)
+
+
+def _run_campaign_experiment(
+    campaign_id: str,
+    experiment_id: str,
+    scale: str,
+    seed: int,
+    workers: Optional[int],
+) -> ExperimentResult:
+    campaign = get_campaign(campaign_id)
+    scenario = campaign.build(scale)
+    result = run_campaign(
+        scenario,
+        repetitions=campaign.repetitions_for(scale),
+        seed=seed,
+        workers=workers,
+    )
+    records = recovery_records(result)
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        scale=scale,
+        tables=[
+            recovery_table(result),
+            phase_table(result),
+            survival_table(result),
+        ],
+        raw={
+            "campaign_id": campaign_id,
+            "repetitions": result.repetitions,
+            "recovered_fraction": result.recovered_fraction,
+            "recovery_times": [r.recovery_time for r in records],
+            "recovered": [r.recovered for r in records],
+        },
+    )
+
+
+def run_ag(
+    scale: str = "small", seed: int = 0, workers: Optional[int] = None
+) -> ExperimentResult:
+    """Corrupt/crash campaign on the AG baseline."""
+    return _run_campaign_experiment(
+        "ag_corrupt_recover", "scenario_ag_recovery", scale, seed, workers
+    )
+
+
+def run_tree(
+    scale: str = "small", seed: int = 0, workers: Optional[int] = None
+) -> ExperimentResult:
+    """Corrupt/crash campaign on the tree protocol."""
+    return _run_campaign_experiment(
+        "tree_corrupt_recover", "scenario_tree_recovery", scale, seed, workers
+    )
+
+
+def run_line_churn(
+    scale: str = "small", seed: int = 0, workers: Optional[int] = None
+) -> ExperimentResult:
+    """Churn storm on the line-of-traps protocol."""
+    return _run_campaign_experiment(
+        "line_churn_storm", "scenario_line_churn", scale, seed, workers
+    )

@@ -21,6 +21,8 @@ beats in practice — so the empirical crossover sits at or beyond
 
 from __future__ import annotations
 
+from typing import Optional
+
 import math
 
 from ..analysis.sweep import run_sweep
@@ -59,7 +61,9 @@ def _build_ag_barrier(params, rng):
     )
 
 
-def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+def run(
+    scale: str = "small", seed: int = 0, workers: Optional[int] = None
+) -> ExperimentResult:
     """Sweep k at fixed n; chart the ring's advantage over the barrier."""
     m = pick(scale, smoke=8, small=16, paper=24)
     n = m * (m + 1)
@@ -77,18 +81,21 @@ def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
         _build_ring,
         repetitions=repetitions,
         seed=seed,
+        workers=workers,
     )
     ag_points = run_sweep(
         [{"n": n, "k": k} for k in ks],
         _build_ag_same_start,
         repetitions=repetitions,
         seed=seed + 1,
+        workers=workers,
     )
     barrier_point = run_sweep(
         [{"n": n}],
         _build_ag_barrier,
         repetitions=repetitions,
         seed=seed + 2,
+        workers=workers,
     )[0]
     barrier = barrier_point.median_parallel_time()
 

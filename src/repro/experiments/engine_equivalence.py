@@ -10,6 +10,8 @@ the acceptance criterion used throughout the reproduction.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from ..analysis.stats import summarise
@@ -42,7 +44,9 @@ def _distribution(protocol_factory, num_seeds: int, engine: str, seed: int):
     return summarise(times), ranked
 
 
-def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+def run(
+    scale: str = "small", seed: int = 0, workers: Optional[int] = None
+) -> ExperimentResult:
     """Compare per-engine stabilisation-time distributions."""
     num_seeds = pick(scale, smoke=10, small=60, paper=200)
     cases = [

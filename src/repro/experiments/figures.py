@@ -14,6 +14,8 @@ bound) across a sweep of sizes.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import math
 
 from ..analysis.tables import Table
@@ -40,7 +42,9 @@ FIGURE2_EXPECTED = [
 ]
 
 
-def run_figure1(scale: str = "small", seed: int = 0) -> ExperimentResult:
+def run_figure1(
+    scale: str = "small", seed: int = 0, workers: Optional[int] = None
+) -> ExperimentResult:
     """Rebuild G for the figure's size and check invariants over a sweep."""
     del seed  # deterministic construction
     ms = pick(scale, smoke=[2, 4], small=[2, 4, 6, 8], paper=[2, 4, 6, 8, 10, 12])
@@ -76,7 +80,9 @@ def run_figure1(scale: str = "small", seed: int = 0) -> ExperimentResult:
     )
 
 
-def run_figure2(scale: str = "small", seed: int = 0) -> ExperimentResult:
+def run_figure2(
+    scale: str = "small", seed: int = 0, workers: Optional[int] = None
+) -> ExperimentResult:
     """Rebuild the n=9 tree; check §5 structure claims across sizes."""
     del seed  # deterministic construction
     tree9 = PerfectlyBalancedTree(9)

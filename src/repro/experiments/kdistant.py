@@ -15,6 +15,8 @@ Three sub-experiments, all on the state-optimal ring of traps (§3):
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..analysis.fitting import fit_power_law
 from ..analysis.sweep import measure_stabilisation, run_sweep
 from ..analysis.tables import Table
@@ -47,7 +49,9 @@ def _build_random(params, rng):
     return protocol, start
 
 
-def run_vs_k(scale: str = "small", seed: int = 0) -> ExperimentResult:
+def run_vs_k(
+    scale: str = "small", seed: int = 0, workers: Optional[int] = None
+) -> ExperimentResult:
     """Fix n (= m(m+1)), sweep the number of missing ranks k."""
     m = pick(scale, smoke=8, small=16, paper=24)
     ks = pick(
@@ -63,6 +67,7 @@ def run_vs_k(scale: str = "small", seed: int = 0) -> ExperimentResult:
         _build_k_distant,
         repetitions=repetitions,
         seed=seed,
+        workers=workers,
     )
     table = Table(
         title=f"Ring of traps: time vs k at n={n} (m={m})",
@@ -94,7 +99,9 @@ def run_vs_k(scale: str = "small", seed: int = 0) -> ExperimentResult:
     )
 
 
-def run_vs_n(scale: str = "small", seed: int = 0) -> ExperimentResult:
+def run_vs_n(
+    scale: str = "small", seed: int = 0, workers: Optional[int] = None
+) -> ExperimentResult:
     """Fix k, sweep n through the m(m+1) lattice."""
     k = pick(scale, smoke=2, small=2, paper=4)
     ms = pick(
@@ -109,6 +116,7 @@ def run_vs_n(scale: str = "small", seed: int = 0) -> ExperimentResult:
         _build_k_distant,
         repetitions=repetitions,
         seed=seed,
+        workers=workers,
     )
     ns = [m * (m + 1) for m in ms]
     table = Table(
@@ -141,7 +149,9 @@ def run_vs_n(scale: str = "small", seed: int = 0) -> ExperimentResult:
     )
 
 
-def run_arbitrary(scale: str = "small", seed: int = 0) -> ExperimentResult:
+def run_arbitrary(
+    scale: str = "small", seed: int = 0, workers: Optional[int] = None
+) -> ExperimentResult:
     """Uniform random starts — the Lemma 4 regime."""
     ms = pick(
         scale,
@@ -156,6 +166,7 @@ def run_arbitrary(scale: str = "small", seed: int = 0) -> ExperimentResult:
         x_name="m",
         repetitions=repetitions,
         seed=seed,
+        workers=workers,
     )
     ns = [m * (m + 1) for m in ms]
     table = Table(

@@ -15,6 +15,8 @@ point where it remains affordable, for the who-wins comparison.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import math
 
 from ..analysis.fitting import fit_power_law
@@ -45,7 +47,9 @@ def _build_ag(params, rng):
     )
 
 
-def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+def run(
+    scale: str = "small", seed: int = 0, workers: Optional[int] = None
+) -> ExperimentResult:
     """Sweep the lattice parameter m; compare against AG where feasible."""
     ms = pick(scale, smoke=[2], small=[2, 4], paper=[2, 4, 6])
     repetitions = pick(scale, smoke=2, small=3, paper=3)
@@ -54,6 +58,7 @@ def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
         _build_line,
         repetitions=repetitions,
         seed=seed,
+        workers=workers,
     )
     ns = [line_lattice_size(m) for m in ms]
     ag_ns = [n for n in ns if n <= _AG_COMPARISON_LIMIT]
@@ -62,6 +67,7 @@ def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
         _build_ag,
         repetitions=repetitions,
         seed=seed + 1,
+        workers=workers,
     )
     ag_by_n = {
         n: point.median_parallel_time() for n, point in zip(ag_ns, ag_points)

@@ -8,12 +8,13 @@ resolve experiments exclusively through this registry.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from ..exceptions import ExperimentError
 from . import (
     ablation,
     ag_quadratic,
+    campaigns,
     crossover,
     engine_equivalence,
     figures,
@@ -87,6 +88,12 @@ REGISTRY: Dict[str, Experiment] = {
                tradeoff.PAPER_REFERENCE),
         _entry("reset_ablation", ablation.run, ablation.DESCRIPTION,
                ablation.PAPER_REFERENCE),
+        _entry("scenario_ag_recovery", campaigns.run_ag,
+               campaigns.DESCRIPTION_AG, campaigns.PAPER_REFERENCE),
+        _entry("scenario_tree_recovery", campaigns.run_tree,
+               campaigns.DESCRIPTION_TREE, campaigns.PAPER_REFERENCE),
+        _entry("scenario_line_churn", campaigns.run_line_churn,
+               campaigns.DESCRIPTION_LINE, campaigns.PAPER_REFERENCE),
     ]
 }
 
@@ -107,7 +114,17 @@ def get_experiment(experiment_id: str) -> Experiment:
 
 
 def run_experiment(
-    experiment_id: str, scale: str = "small", seed: int = 0
+    experiment_id: str,
+    scale: str = "small",
+    seed: int = 0,
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
-    """Resolve and run one experiment."""
-    return get_experiment(experiment_id).runner(scale=scale, seed=seed)
+    """Resolve and run one experiment.
+
+    ``workers`` > 1 fans the experiment's sweep repetitions out over a
+    process pool (bit-identical to serial; experiments that do not
+    sweep accept and ignore the knob).
+    """
+    return get_experiment(experiment_id).runner(
+        scale=scale, seed=seed, workers=workers
+    )

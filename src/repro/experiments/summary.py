@@ -10,6 +10,8 @@ time may fall meaningfully below ``c·n``.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import math
 
 from ..analysis.stats import summarise
@@ -30,7 +32,29 @@ DESCRIPTION = "headline table: protocol × (extra states, measured time) + Ω(n)
 PAPER_REFERENCE = "abstract, §1 contributions; lower bound [24,32]"
 
 
-def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+def _build(params, rng):
+    """Module-level sweep builder (picklable for ``workers`` pools)."""
+    kind = params["kind"]
+    if kind == "ag":
+        protocol = AGProtocol(int(params["n"]))
+        return protocol, random_configuration(
+            protocol, seed=rng, include_extras=False
+        )
+    if kind == "ring":
+        protocol = RingOfTrapsProtocol(m=int(params["m"]))
+        return protocol, k_distant_configuration(
+            protocol, int(params["k"]), seed=rng
+        )
+    if kind == "line":
+        protocol = LineOfTrapsProtocol(m=int(params["m"]))
+        return protocol, random_configuration(protocol, seed=rng)
+    protocol = TreeRankingProtocol(int(params["n"]))
+    return protocol, random_configuration(protocol, seed=rng)
+
+
+def run(
+    scale: str = "small", seed: int = 0, workers: Optional[int] = None
+) -> ExperimentResult:
     """Measure all four protocols; tabulate against the paper's claims."""
     repetitions = pick(scale, smoke=2, small=3, paper=5)
     ring_m = pick(scale, smoke=8, small=16, paper=24)
@@ -44,36 +68,22 @@ def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
     rows_spec = [
         (
             "AG (baseline)", 0, "Θ(n²)", ag_n, 2.0,
-            lambda params, rng: (
-                AGProtocol(ag_n),
-                random_configuration(AGProtocol(ag_n), seed=rng,
-                                     include_extras=False),
-            ),
+            {"kind": "ag", "n": ag_n},
         ),
         (
             f"Ring of traps ({k}-distant)", 0, "O(min(k·n^1.5, n²log²n))",
             ring_n, 1.5,
-            lambda params, rng: (
-                RingOfTrapsProtocol(m=ring_m),
-                k_distant_configuration(RingOfTrapsProtocol(m=ring_m), k,
-                                        seed=rng),
-            ),
+            {"kind": "ring", "m": ring_m, "k": k},
         ),
         (
             "Line of traps (x=1)", 1, "O(n^1.75·log²n)", line_n, 1.75,
-            lambda params, rng: (
-                LineOfTrapsProtocol(m=line_m),
-                random_configuration(LineOfTrapsProtocol(m=line_m), seed=rng),
-            ),
+            {"kind": "line", "m": line_m},
         ),
         (
             "Tree of ranks (x=O(log n))",
             TreeRankingProtocol(tree_n).num_extra_states,
             "O(n·log n)", tree_n, 1.0,
-            lambda params, rng: (
-                TreeRankingProtocol(tree_n),
-                random_configuration(TreeRankingProtocol(tree_n), seed=rng),
-            ),
+            {"kind": "tree", "n": tree_n},
         ),
     ]
 
@@ -86,9 +96,14 @@ def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
     )
     raw_rows = []
     floor_ok = True
-    for label, extra_states, bound, n, __, builder in rows_spec:
+    for row_index, (label, extra_states, bound, n, __, params) in enumerate(
+        rows_spec
+    ):
+        # Offset per row, NOT `hash(label)`: string hashes are salted
+        # per interpreter, which would break seed reproducibility.
         points = run_sweep(
-            [{}], builder, repetitions=repetitions, seed=seed + hash(label) % 997
+            [params], _build, repetitions=repetitions,
+            seed=seed + row_index, workers=workers,
         )
         point = points[0]
         ranked = point.all_silent and all(

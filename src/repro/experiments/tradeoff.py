@@ -26,6 +26,8 @@ design point.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import math
 
 from ..analysis.sweep import run_sweep
@@ -55,7 +57,9 @@ def _build_tree(params, rng):
     return protocol, random_configuration(protocol, seed=rng)
 
 
-def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+def run(
+    scale: str = "small", seed: int = 0, workers: Optional[int] = None
+) -> ExperimentResult:
     """Walk the x-vs-time curve at fixed n."""
     n = pick(scale, smoke=128, small=512, paper=2048)
     repetitions = pick(scale, smoke=2, small=5, paper=5)
@@ -72,7 +76,8 @@ def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
     })
 
     ag_point = run_sweep(
-        [{"n": n}], _build_ag, repetitions=repetitions, seed=seed
+        [{"n": n}], _build_ag, repetitions=repetitions, seed=seed,
+        workers=workers,
     )[0]
     tree_points = run_sweep(
         [{"n": n, "k": k} for k in ks],
@@ -80,6 +85,7 @@ def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
         repetitions=repetitions,
         seed=seed + 1,
         max_events=event_budget,
+        workers=workers,
     )
 
     table = Table(

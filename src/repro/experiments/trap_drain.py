@@ -18,6 +18,8 @@ verify tidiness never breaks afterwards, and normalise by ``m·n``.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import math
 
 import numpy as np
@@ -60,7 +62,9 @@ def _drain_times(m: int, surplus: int, seed: int) -> tuple:
     raise AssertionError("trap went silent before releasing its surplus")
 
 
-def run_drain(scale: str = "small", seed: int = 0) -> ExperimentResult:
+def run_drain(
+    scale: str = "small", seed: int = 0, workers: Optional[int] = None
+) -> ExperimentResult:
     """Sweep trap size m and surplus l; normalise release times."""
     ms = pick(scale, smoke=[8, 16], small=[16, 32, 64, 128],
               paper=[16, 32, 64, 128, 256])
@@ -135,7 +139,9 @@ def _tidy_time(m: int, seed: int) -> float:
     return tidy_at
 
 
-def run_tidy(scale: str = "small", seed: int = 0) -> ExperimentResult:
+def run_tidy(
+    scale: str = "small", seed: int = 0, workers: Optional[int] = None
+) -> ExperimentResult:
     """Sweep ring size; tabulate time-to-tidy normalised by m·n."""
     ms = pick(scale, smoke=[6, 8], small=[8, 12, 16, 24],
               paper=[8, 12, 16, 24, 32])

@@ -15,6 +15,8 @@ population then re-ranks.  We measure the epidemic phase directly.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import math
 
 import numpy as np
@@ -31,7 +33,9 @@ DESCRIPTION_RESET = "Lemma 21: the reset epidemic empties the tree in O(log n) t
 PAPER_REFERENCE = "§5.1–§5.2, Lemmas 19–21"
 
 
-def run_paths(scale: str = "small", seed: int = 0) -> ExperimentResult:
+def run_paths(
+    scale: str = "small", seed: int = 0, workers: Optional[int] = None
+) -> ExperimentResult:
     """All agents at the root; R1 only; measure perfect-dispersal time."""
     ns = pick(
         scale,
@@ -114,7 +118,9 @@ def _reset_phases(n: int, seed: int) -> tuple:
     return reset_time, tree_empty_time - reset_time, total
 
 
-def run_reset(scale: str = "small", seed: int = 0) -> ExperimentResult:
+def run_reset(
+    scale: str = "small", seed: int = 0, workers: Optional[int] = None
+) -> ExperimentResult:
     """Measure the reset epidemic on minimally corrupted configurations."""
     ns = pick(
         scale,

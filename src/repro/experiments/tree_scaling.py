@@ -14,6 +14,8 @@ shape checks:
 
 from __future__ import annotations
 
+from typing import Optional
+
 import math
 
 from ..analysis.fitting import fit_power_law
@@ -42,7 +44,9 @@ def _build_leaf_pileup(params, rng):
     return protocol, all_in_state_configuration(protocol, leaf)
 
 
-def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+def run(
+    scale: str = "small", seed: int = 0, workers: Optional[int] = None
+) -> ExperimentResult:
     """Sweep n for random and adversarial starts; fit n·log n growth."""
     ns = pick(
         scale,
@@ -56,12 +60,14 @@ def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
         _build_random,
         repetitions=repetitions,
         seed=seed,
+        workers=workers,
     )
     pileup_points = run_sweep(
         [{"n": n} for n in ns],
         _build_leaf_pileup,
         repetitions=repetitions,
         seed=seed + 1,
+        workers=workers,
     )
 
     table = Table(

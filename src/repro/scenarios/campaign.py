@@ -1,0 +1,120 @@
+"""Campaigns: many independently seeded instances of one scenario.
+
+A *campaign* repeats a scenario with independent randomness, so the
+recovery-time measurements in :mod:`repro.analysis.recovery` are
+distributions rather than anecdotes.  Seeding follows the repo-wide
+sweep discipline: one root ``SeedSequence`` is spawned into one child
+per repetition *before* dispatch, and the jobs run through the shared
+:func:`repro.analysis.sweep.fan_out` process-pool seam — so a campaign
+is bit-identical at every worker count, including serial.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..analysis.sweep import fan_out
+from ..exceptions import ExperimentError
+from .engine import ScenarioResult, run_scenario
+from .spec import Scenario
+
+__all__ = ["CampaignResult", "CampaignRunner", "run_campaign"]
+
+
+@dataclass
+class CampaignResult:
+    """All repetitions of one scenario campaign."""
+
+    scenario: Scenario
+    seed: int
+    results: List[ScenarioResult] = field(default_factory=list)
+
+    @property
+    def repetitions(self) -> int:
+        return len(self.results)
+
+    @property
+    def recovered_fraction(self) -> float:
+        """Fraction of repetitions whose every post-fault phase re-silenced."""
+        if not self.results:
+            return 0.0
+        recovered = sum(1 for r in self.results if r.recovered_all)
+        return recovered / len(self.results)
+
+    def __repr__(self) -> str:
+        return (
+            f"CampaignResult({self.scenario.name}, "
+            f"repetitions={self.repetitions}, "
+            f"recovered={self.recovered_fraction:.0%})"
+        )
+
+
+def _campaign_job(job: tuple) -> ScenarioResult:
+    """One scenario instance, self-contained for worker processes.
+
+    The repetition's randomness is its own pre-spawned ``SeedSequence``
+    child, so the result is a pure function of the job tuple —
+    bit-identical inline or in any worker process.
+    """
+    scenario, child, default_max_events = job
+    return run_scenario(
+        scenario, seed=child, default_max_events=default_max_events
+    )
+
+
+def run_campaign(
+    scenario: Scenario,
+    repetitions: int = 5,
+    seed: int = 0,
+    workers: Optional[int] = None,
+    default_max_events: Optional[int] = None,
+) -> CampaignResult:
+    """Run ``repetitions`` independent instances of ``scenario``.
+
+    ``workers`` > 1 fans the instances out over a process pool (the
+    scenario spec and its results are plain data, so they pickle);
+    ``default_max_events`` caps run phases that carry no budget of
+    their own.
+    """
+    if repetitions < 1:
+        raise ExperimentError(
+            f"repetitions must be >= 1, got {repetitions}"
+        )
+    children = np.random.SeedSequence(seed).spawn(repetitions)
+    jobs = [(scenario, child, default_max_events) for child in children]
+    results = fan_out(_campaign_job, jobs, workers=workers)
+    return CampaignResult(scenario=scenario, seed=seed, results=results)
+
+
+class CampaignRunner:
+    """Reusable campaign configuration (repetitions / seed / pool size).
+
+    Thin object wrapper over :func:`run_campaign` for callers that fire
+    several scenarios under one execution policy (the CLI and the
+    experiment registry do this).
+    """
+
+    def __init__(
+        self,
+        repetitions: int = 5,
+        seed: int = 0,
+        workers: Optional[int] = None,
+        default_max_events: Optional[int] = None,
+    ) -> None:
+        self.repetitions = repetitions
+        self.seed = seed
+        self.workers = workers
+        self.default_max_events = default_max_events
+
+    def run(self, scenario: Scenario) -> CampaignResult:
+        """Execute one scenario under this runner's policy."""
+        return run_campaign(
+            scenario,
+            repetitions=self.repetitions,
+            seed=self.seed,
+            workers=self.workers,
+            default_max_events=self.default_max_events,
+        )

@@ -1,0 +1,129 @@
+"""Concrete pair-selection schedulers for scenario campaigns.
+
+The engine-side seam (:class:`~repro.core.scheduler.PairScheduler`, the
+rejection-sampling :class:`~repro.core.scheduler.ScheduledEngine`, and
+the ``run_protocol(..., scheduler=...)`` hook) lives in
+:mod:`repro.core.scheduler`; this module provides the adversaries the
+scenario engine scripts against it:
+
+* :class:`StateBiasedScheduler` — per-state agent selection weights
+  (e.g. agents stuck in extra states are rarely scheduled, starving the
+  reset machinery);
+* :class:`ClusteredScheduler` — contiguous blocks of the state space
+  interact freely, cross-block pairs are throttled (an adversary
+  localising communication, the slow-mixing regime).
+
+Both keep every pair weight strictly positive, so they are fair:
+silence remains reachable, only slower.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..core.protocol import PopulationProtocol, RankingProtocol
+from ..core.scheduler import PairScheduler, UniformScheduler
+from ..exceptions import ExperimentError
+from .spec import SchedulerSpec
+
+__all__ = [
+    "ClusteredScheduler",
+    "StateBiasedScheduler",
+    "build_scheduler",
+]
+
+
+class StateBiasedScheduler(PairScheduler):
+    """Agents selected with probability proportional to a per-state weight.
+
+    An ordered pair's weight is the product of its endpoints' weights,
+    i.e. initiator and responder are chosen independently under the same
+    bias.  Weights must lie in ``(0, 1]``.
+    """
+
+    def __init__(self, state_weights: Sequence[float]) -> None:
+        weights = [float(w) for w in state_weights]
+        if not weights:
+            raise ExperimentError("state weights must be non-empty")
+        for state, weight in enumerate(weights):
+            if not 0.0 < weight <= 1.0:
+                raise ExperimentError(
+                    f"state {state} weight {weight} outside (0, 1]"
+                )
+        self._weights = weights
+
+    @property
+    def name(self) -> str:
+        return "state_biased"
+
+    def pair_weight(self, initiator_state: int, responder_state: int) -> float:
+        return self._weights[initiator_state] * self._weights[responder_state]
+
+
+class ClusteredScheduler(PairScheduler):
+    """Pairs inside a state cluster fire freely; cross-cluster rarely.
+
+    States are split into ``num_clusters`` contiguous blocks; a pair
+    whose endpoints fall in different blocks gets relative weight
+    ``across`` (``0 < across <= 1``).  With rank states laid out in
+    structural order (trap lines, tree levels), contiguous blocks are a
+    genuinely adversarial locality pattern.
+    """
+
+    def __init__(
+        self, num_states: int, num_clusters: int, across: float = 0.05
+    ) -> None:
+        if num_clusters < 1:
+            raise ExperimentError(
+                f"num_clusters must be >= 1, got {num_clusters}"
+            )
+        if not 0.0 < across <= 1.0:
+            raise ExperimentError(
+                f"across-cluster weight must be in (0, 1], got {across}"
+            )
+        num_clusters = min(num_clusters, num_states)
+        block = (num_states + num_clusters - 1) // num_clusters
+        self._cluster = [s // block for s in range(num_states)]
+        self._across = float(across)
+
+    @property
+    def name(self) -> str:
+        return "clustered"
+
+    def cluster_of(self, state: int) -> int:
+        """Cluster id of a state (exposed for tests/analysis)."""
+        return self._cluster[state]
+
+    def pair_weight(self, initiator_state: int, responder_state: int) -> float:
+        if self._cluster[initiator_state] == self._cluster[responder_state]:
+            return 1.0
+        return self._across
+
+
+def build_scheduler(
+    spec: Optional[SchedulerSpec], protocol: PopulationProtocol
+) -> Optional[PairScheduler]:
+    """Instantiate a scheduler spec against a concrete protocol.
+
+    Returns ``None`` for the uniform scheduler so
+    :func:`~repro.core.engine.run_protocol` keeps its allocation-free
+    fast path — selecting uniform must cost nothing.
+    """
+    if spec is None or spec.is_uniform:
+        return None
+    if spec.kind == "state_biased":
+        if isinstance(protocol, RankingProtocol):
+            weights = [spec.rank_weight] * protocol.num_ranks + [
+                spec.extra_weight
+            ] * protocol.num_extra_states
+        else:
+            weights = [spec.rank_weight] * protocol.num_states
+        return StateBiasedScheduler(weights)
+    if spec.kind == "clustered":
+        return ClusteredScheduler(
+            protocol.num_states, spec.num_clusters, across=spec.across
+        )
+    raise ExperimentError(f"unknown scheduler kind {spec.kind!r}")
+
+
+UNIFORM = UniformScheduler()

@@ -1,0 +1,398 @@
+"""Scenario specifications: scripted timelines of runs and faults.
+
+A :class:`Scenario` is a declarative, dict/YAML-loadable script for one
+self-stabilisation experiment: which protocol to build, where to start,
+which scheduler drives pair selection, and a timeline of *phases* —
+either :class:`RunPhase` (drive the engine until silence, a predicate,
+or a budget) or :class:`FaultPhase` (corrupt / crash / swap / churn the
+live configuration mid-run).  Specs are plain frozen dataclasses so
+they pickle cleanly into the campaign process pool and round-trip
+through ``to_dict``/``from_dict`` (and JSON/YAML files).
+
+Execution lives in :mod:`repro.scenarios.engine`; this module owns
+parsing, validation, and protocol construction.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, replace
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+from ..exceptions import ExperimentError
+from ..protocols.ag import AGProtocol
+from ..protocols.line import LineOfTrapsProtocol
+from ..protocols.modified_tree import ModifiedTreeProtocol
+from ..protocols.ring import RingOfTrapsProtocol
+from ..protocols.tree_protocol import TreeRankingProtocol
+
+__all__ = [
+    "FaultPhase",
+    "Phase",
+    "ProtocolSpec",
+    "RunPhase",
+    "Scenario",
+    "SchedulerSpec",
+    "StartSpec",
+]
+
+_FAULT_KINDS = ("corrupt", "crash", "swap", "churn")
+_RUN_UNTIL = ("silence", "events", "predicate")
+_PREDICATES = ("ranked", "leader")
+_START_KINDS = ("solved", "random", "k_distant", "pileup", "all_in_extras")
+_SCHEDULER_KINDS = ("uniform", "state_biased", "clustered")
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """Which protocol to build (and rebuild, under churn).
+
+    ``kind`` is one of ``ag`` / ``ring`` / ``line`` / ``tree`` /
+    ``modified_tree``; ``m`` (ring/line lattice parameter) and ``k``
+    (tree reset-line half-length) pin the structural parameters so a
+    churn-resized rebuild changes only the population size.
+    """
+
+    kind: str
+    num_agents: int
+    m: Optional[int] = None
+    k: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _PROTOCOL_BUILDERS:
+            raise ExperimentError(
+                f"unknown protocol kind {self.kind!r}; expected one of "
+                f"{sorted(_PROTOCOL_BUILDERS)}"
+            )
+        if self.num_agents < 2:
+            raise ExperimentError(
+                f"scenario populations need n >= 2, got {self.num_agents}"
+            )
+
+    def build(self, num_agents: Optional[int] = None):
+        """Construct the protocol, optionally at a churned size."""
+        n = self.num_agents if num_agents is None else num_agents
+        return _PROTOCOL_BUILDERS[self.kind](self, n)
+
+
+_PROTOCOL_BUILDERS = {
+    "ag": lambda spec, n: AGProtocol(n),
+    "ring": lambda spec, n: RingOfTrapsProtocol(num_agents=n, m=spec.m),
+    "line": lambda spec, n: LineOfTrapsProtocol(num_agents=n, m=spec.m),
+    "tree": lambda spec, n: TreeRankingProtocol(n, k=spec.k),
+    "modified_tree": lambda spec, n: ModifiedTreeProtocol(n, k=spec.k),
+}
+
+
+@dataclass(frozen=True)
+class StartSpec:
+    """Initial configuration family (see ``repro.configurations``)."""
+
+    kind: str = "random"
+    k: Optional[int] = None  # k_distant only
+    state: Optional[int] = None  # pileup only (default: highest rank)
+
+    def __post_init__(self) -> None:
+        if self.kind not in _START_KINDS:
+            raise ExperimentError(
+                f"unknown start kind {self.kind!r}; expected one of "
+                f"{_START_KINDS}"
+            )
+        if self.kind == "k_distant" and (self.k is None or self.k < 0):
+            raise ExperimentError("k_distant start needs a k >= 0")
+
+
+@dataclass(frozen=True)
+class SchedulerSpec:
+    """Pair-selection scheduler (built in ``repro.scenarios.schedulers``).
+
+    * ``uniform`` — the paper's scheduler; keeps the jump fast path.
+    * ``state_biased`` — agent selection weighted per state:
+      ``rank_weight`` for rank states, ``extra_weight`` for extras.
+    * ``clustered`` — the state space is split into ``num_clusters``
+      contiguous blocks; cross-block pairs fire with relative weight
+      ``across`` (an adversary localising interactions).
+    """
+
+    kind: str = "uniform"
+    rank_weight: float = 1.0
+    extra_weight: float = 1.0
+    num_clusters: int = 2
+    across: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.kind not in _SCHEDULER_KINDS:
+            raise ExperimentError(
+                f"unknown scheduler kind {self.kind!r}; expected one of "
+                f"{_SCHEDULER_KINDS}"
+            )
+        if self.kind == "state_biased":
+            for label, w in (("rank_weight", self.rank_weight),
+                             ("extra_weight", self.extra_weight)):
+                if not 0.0 < w <= 1.0:
+                    raise ExperimentError(
+                        f"state_biased {label} must be in (0, 1], got {w}"
+                    )
+        if self.kind == "clustered":
+            if self.num_clusters < 1:
+                raise ExperimentError(
+                    f"clustered scheduler needs num_clusters >= 1, "
+                    f"got {self.num_clusters}"
+                )
+            if not 0.0 < self.across <= 1.0:
+                raise ExperimentError(
+                    f"clustered across-weight must be in (0, 1], "
+                    f"got {self.across}"
+                )
+
+    @property
+    def is_uniform(self) -> bool:
+        return self.kind == "uniform"
+
+
+@dataclass(frozen=True)
+class RunPhase:
+    """Drive the engine until a stop condition.
+
+    ``until`` is ``silence`` (stop at weight 0), ``events`` (stop at the
+    ``max_events`` budget), or ``predicate`` (stop when the named
+    configuration predicate — ``ranked`` or ``leader`` — first holds,
+    checked every ``check_every`` productive events).  Budgets always
+    cap the phase regardless of ``until``.
+    """
+
+    until: str = "silence"
+    predicate: Optional[str] = None
+    max_events: Optional[int] = None
+    max_interactions: Optional[int] = None
+    check_every: int = 1024
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.until not in _RUN_UNTIL:
+            raise ExperimentError(
+                f"unknown run-until condition {self.until!r}; expected one "
+                f"of {_RUN_UNTIL}"
+            )
+        if self.until == "predicate":
+            if self.predicate not in _PREDICATES:
+                raise ExperimentError(
+                    f"run-until predicate must be one of {_PREDICATES}, "
+                    f"got {self.predicate!r}"
+                )
+            if self.check_every < 1:
+                raise ExperimentError(
+                    f"check_every must be >= 1, got {self.check_every}"
+                )
+        if self.until == "events" and self.max_events is None:
+            raise ExperimentError("run-until events needs max_events")
+        for name, budget in (("max_events", self.max_events),
+                             ("max_interactions", self.max_interactions)):
+            if budget is not None and budget < 0:
+                raise ExperimentError(f"{name} must be >= 0, got {budget}")
+
+
+@dataclass(frozen=True)
+class FaultPhase:
+    """One mid-run fault event.
+
+    Kinds (victim count is ``agents``, or ``fraction`` of the current
+    population, whichever is given):
+
+    * ``corrupt`` — victims land on uniformly random states
+      (``target_states`` restricts where);
+    * ``crash`` — victims reboot in ``replacement_state`` (an index, or
+      ``"first_extra"`` / ``"leader"`` resolved against the protocol);
+    * ``swap`` — deterministically swap the populations of ``state_a``
+      and ``state_b``;
+    * ``churn`` — ``departures`` agents leave, then ``arrivals`` agents
+      join in ``arrival_state`` (index or ``"first_extra"`` /
+      ``"leader"``; default leader), resizing the population.
+    """
+
+    kind: str
+    agents: Optional[int] = None
+    fraction: Optional[float] = None
+    target_states: Optional[Tuple[int, ...]] = None
+    replacement_state: Union[int, str] = 0
+    state_a: int = 0
+    state_b: int = 0
+    departures: int = 0
+    arrivals: int = 0
+    arrival_state: Union[int, str] = "leader"
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _FAULT_KINDS:
+            raise ExperimentError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{_FAULT_KINDS}"
+            )
+        if self.kind in ("corrupt", "crash"):
+            if self.agents is None and self.fraction is None:
+                raise ExperimentError(
+                    f"{self.kind} fault needs agents or fraction"
+                )
+            if self.fraction is not None and not 0.0 <= self.fraction <= 1.0:
+                raise ExperimentError(
+                    f"fault fraction must be in [0, 1], got {self.fraction}"
+                )
+            if self.agents is not None and self.agents < 0:
+                raise ExperimentError(
+                    f"fault agents must be >= 0, got {self.agents}"
+                )
+        if self.kind == "churn":
+            if self.departures < 0 or self.arrivals < 0:
+                raise ExperimentError(
+                    "churn departures/arrivals must be >= 0"
+                )
+            if self.departures == 0 and self.arrivals == 0:
+                raise ExperimentError("churn fault needs some churn")
+        if self.target_states is not None:
+            object.__setattr__(
+                self, "target_states", tuple(self.target_states)
+            )
+
+    def victim_count(self, num_agents: int) -> int:
+        """Resolve ``agents``/``fraction`` against the live population.
+
+        A positive fraction always claims at least one victim (so tiny
+        populations still see the fault); zero means zero.
+        """
+        if self.agents is not None:
+            return min(self.agents, num_agents)
+        if self.fraction == 0.0:
+            return 0
+        return min(num_agents, max(1, round(self.fraction * num_agents)))
+
+
+Phase = Union[RunPhase, FaultPhase]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, fully declarative fault-campaign script."""
+
+    name: str
+    protocol: ProtocolSpec
+    phases: Tuple[Phase, ...]
+    start: StartSpec = field(default_factory=StartSpec)
+    scheduler: SchedulerSpec = field(default_factory=SchedulerSpec)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ExperimentError(f"scenario {self.name!r} has no phases")
+        object.__setattr__(self, "phases", tuple(self.phases))
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form (inverse of :meth:`from_dict`)."""
+        phases = []
+        for phase in self.phases:
+            key = "run" if isinstance(phase, RunPhase) else "fault"
+            body = {
+                k: v for k, v in asdict(phase).items() if v is not None
+            }
+            if isinstance(phase, FaultPhase):
+                body["target_states"] = (
+                    list(phase.target_states)
+                    if phase.target_states is not None else None
+                )
+                body = {k: v for k, v in body.items() if v is not None}
+            phases.append({key: body})
+        return {
+            "name": self.name,
+            "description": self.description,
+            "protocol": {
+                k: v for k, v in asdict(self.protocol).items()
+                if v is not None
+            },
+            "start": {
+                k: v for k, v in asdict(self.start).items() if v is not None
+            },
+            "scheduler": asdict(self.scheduler),
+            "phases": phases,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Scenario":
+        """Parse the canonical dict form (also what YAML files hold)."""
+        if not isinstance(data, dict):
+            raise ExperimentError(
+                f"scenario spec must be a mapping, got {type(data).__name__}"
+            )
+        try:
+            name = str(data["name"])
+            protocol = ProtocolSpec(**dict(data["protocol"]))
+            raw_phases = data["phases"]
+        except KeyError as missing:
+            raise ExperimentError(
+                f"scenario spec missing required key {missing}"
+            ) from None
+        except TypeError as error:
+            raise ExperimentError(f"bad scenario spec: {error}") from None
+        phases = []
+        for index, entry in enumerate(raw_phases):
+            if not isinstance(entry, dict) or len(entry) != 1:
+                raise ExperimentError(
+                    f"phase {index} must be a single-key mapping "
+                    "{'run': ...} or {'fault': ...}"
+                )
+            (key, body), = entry.items()
+            try:
+                if key == "run":
+                    phases.append(RunPhase(**dict(body)))
+                elif key == "fault":
+                    phases.append(FaultPhase(**dict(body)))
+                else:
+                    raise ExperimentError(
+                        f"phase {index} key must be 'run' or 'fault', "
+                        f"got {key!r}"
+                    )
+            except TypeError as error:
+                raise ExperimentError(
+                    f"bad phase {index} spec: {error}"
+                ) from None
+        try:
+            start = StartSpec(**dict(data.get("start", {})))
+            scheduler = SchedulerSpec(**dict(data.get("scheduler", {})))
+        except TypeError as error:
+            raise ExperimentError(f"bad scenario spec: {error}") from None
+        return cls(
+            name=name,
+            protocol=protocol,
+            phases=tuple(phases),
+            start=start,
+            scheduler=scheduler,
+            description=str(data.get("description", "")),
+        )
+
+    @classmethod
+    def from_file(cls, path: str) -> "Scenario":
+        """Load a scenario from a ``.json`` or ``.yaml``/``.yml`` file.
+
+        YAML needs PyYAML; when it is not installed a clear error points
+        at the JSON alternative instead of an ImportError mid-campaign.
+        """
+        lowered = path.lower()
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        if lowered.endswith((".yaml", ".yml")):
+            try:
+                import yaml
+            except ImportError:
+                raise ExperimentError(
+                    f"{path}: loading YAML scenarios needs PyYAML "
+                    "(pip install pyyaml) — or use the JSON form"
+                ) from None
+            data = yaml.safe_load(text)
+        else:
+            data = json.loads(text)
+        return cls.from_dict(data)
+
+    def with_population(self, num_agents: int) -> "Scenario":
+        """A copy targeting a different population size."""
+        return replace(self, protocol=replace(self.protocol, num_agents=num_agents))

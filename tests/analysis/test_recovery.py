@@ -1,0 +1,117 @@
+"""Unit tests for recovery-time analysis of campaigns."""
+
+import pytest
+
+from repro.analysis.recovery import (
+    phase_table,
+    recovery_records,
+    recovery_table,
+    survival_curve,
+    survival_table,
+)
+from repro.exceptions import ExperimentError
+from repro.scenarios import (
+    FaultPhase,
+    ProtocolSpec,
+    RunPhase,
+    Scenario,
+    StartSpec,
+    run_campaign,
+)
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    scenario = Scenario(
+        name="recovery-test",
+        protocol=ProtocolSpec(kind="ag", num_agents=14),
+        start=StartSpec(kind="random"),
+        phases=(
+            RunPhase(until="silence", max_events=100_000, label="stabilise"),
+            FaultPhase(kind="corrupt", fraction=0.3, label="corrupt"),
+            RunPhase(until="silence", max_events=100_000, label="recover-1"),
+            FaultPhase(kind="crash", agents=4, label="crash"),
+            RunPhase(until="silence", max_events=100_000, label="recover-2"),
+        ),
+    )
+    return run_campaign(scenario, repetitions=4, seed=3)
+
+
+class TestRecoveryRecords:
+    def test_one_record_per_fault_per_repetition(self, campaign):
+        records = recovery_records(campaign)
+        assert len(records) == 2 * 4
+        assert {r.fault_label for r in records} == {"corrupt", "crash"}
+        assert all(r.recovered for r in records)
+        assert all(r.recovery_time >= 0 for r in records)
+
+    def test_trailing_fault_has_no_record(self):
+        scenario = Scenario(
+            name="trailing",
+            protocol=ProtocolSpec(kind="ag", num_agents=10),
+            phases=(
+                RunPhase(until="silence", max_events=50_000),
+                FaultPhase(kind="corrupt", agents=3),
+            ),
+        )
+        records = recovery_records(run_campaign(scenario, repetitions=2))
+        assert records == []
+
+    def test_unrecovered_runs_marked_censored(self):
+        scenario = Scenario(
+            name="censored",
+            protocol=ProtocolSpec(kind="ag", num_agents=14),
+            start=StartSpec(kind="pileup"),
+            phases=(
+                FaultPhase(kind="corrupt", agents=3),
+                RunPhase(until="silence", max_events=2),
+            ),
+        )
+        records = recovery_records(run_campaign(scenario, repetitions=2))
+        assert records and not any(r.recovered for r in records)
+
+
+class TestSurvivalCurve:
+    def test_monotone_nonincreasing_from_one_to_zero(self):
+        ts, fractions = survival_curve([1.0, 2.0, 3.0, 4.0])
+        assert fractions == sorted(fractions, reverse=True)
+        assert fractions[0] == 1.0
+        assert fractions[-1] == 0.0
+
+    def test_explicit_grid(self):
+        ts, fractions = survival_curve([1.0, 3.0], grid=[0.0, 2.0, 5.0])
+        assert ts == [0.0, 2.0, 5.0]
+        assert fractions == [1.0, 0.5, 0.0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            survival_curve([])
+
+
+class TestTables:
+    def test_recovery_table_rows_per_fault(self, campaign):
+        table = recovery_table(campaign)
+        assert len(table.rows) == 2
+        rendered = table.render()
+        assert "corrupt" in rendered and "crash" in rendered
+        assert "4/4" in rendered
+
+    def test_phase_table_covers_all_phases(self, campaign):
+        table = phase_table(campaign)
+        assert len(table.rows) == 5
+        kinds = [row[1] for row in table.rows]
+        assert kinds == ["run", "fault", "run", "fault", "run"]
+
+    def test_survival_table_renders(self, campaign):
+        table = survival_table(campaign)
+        assert len(table.rows) == 9  # 8 steps + both endpoints
+        assert table.rows[0][1] == 1.0
+        assert table.rows[-1][1] == 0.0
+
+    def test_tables_render_markdown(self, campaign):
+        for table in (
+            recovery_table(campaign),
+            phase_table(campaign),
+            survival_table(campaign),
+        ):
+            assert table.to_markdown().startswith("###")

@@ -1,13 +1,16 @@
 """Unit tests for fault injection helpers."""
 
+import numpy as np
 import pytest
 
 from repro import (
     AGProtocol,
     Configuration,
     RingOfTrapsProtocol,
+    arrive_agents,
     corrupt_agents,
     crash_and_replace,
+    depart_agents,
     distance_from_solved,
     run_protocol,
     solved_configuration,
@@ -65,6 +68,73 @@ class TestCrashAndReplace:
         config = solved_configuration(protocol)
         replaced = crash_and_replace(config, 5, replacement_state=0, seed=7)
         assert distance_from_solved(protocol, replaced) <= 5
+
+
+class TestVectorisedVictimDraw:
+    """The hypergeometric draw must behave like per-agent sampling."""
+
+    def test_all_agents_corrupted_empties_no_state_below_zero(self):
+        config = Configuration([5, 3, 2])
+        corrupted = corrupt_agents(config, 10, seed=4, target_states=[1])
+        assert corrupted.as_tuple() == (0, 10, 0)
+
+    def test_skewed_counts_weight_victim_selection(self):
+        # With 90% of agents in state 0, most victims come from state 0.
+        config = Configuration([90, 10])
+        replaced = crash_and_replace(config, 50, replacement_state=1, seed=0)
+        assert replaced.count(0) >= 30  # ≥ 40 of 50 victims from state 0 whp
+        assert replaced.num_agents == 100
+
+    def test_generator_seed_and_int_seed_agree(self):
+        config = Configuration([4] * 8)
+        from_int = corrupt_agents(config, 6, seed=123)
+        from_gen = corrupt_agents(config, 6, seed=np.random.default_rng(123))
+        assert from_int == from_gen
+
+    def test_negative_victims_rejected(self):
+        with pytest.raises(ConfigurationError):
+            corrupt_agents(Configuration([2, 2]), -1, seed=0)
+
+
+class TestChurn:
+    def test_depart_shrinks_population(self):
+        config = Configuration([3, 3, 3])
+        smaller = depart_agents(config, 4, seed=1)
+        assert smaller.num_agents == 5
+        assert smaller.num_states == 3
+        assert config.num_agents == 9  # input untouched
+
+    def test_depart_everyone(self):
+        empty = depart_agents(Configuration([2, 1]), 3, seed=0)
+        assert empty.num_agents == 0
+
+    def test_depart_too_many_rejected(self):
+        with pytest.raises(ConfigurationError):
+            depart_agents(Configuration([1, 1]), 3, seed=0)
+
+    def test_arrive_grows_population_in_given_states(self):
+        config = Configuration([1, 1, 0])
+        bigger = arrive_agents(config, 5, arrival_states=2, seed=1)
+        assert bigger.num_agents == 7
+        assert bigger.count(2) == 5
+
+    def test_arrive_spreads_over_state_set(self):
+        config = Configuration([0, 0, 0, 0])
+        grown = arrive_agents(config, 40, arrival_states=[1, 2], seed=2)
+        assert grown.count(0) == 0 and grown.count(3) == 0
+        assert grown.count(1) > 0 and grown.count(2) > 0
+
+    def test_arrive_bad_state_rejected(self):
+        with pytest.raises(ConfigurationError):
+            arrive_agents(Configuration([1, 1]), 1, arrival_states=5, seed=0)
+        with pytest.raises(ConfigurationError):
+            arrive_agents(Configuration([1, 1]), 1, arrival_states=[], seed=0)
+
+    def test_churn_round_trip_is_deterministic(self):
+        config = Configuration([2] * 10)
+        a = arrive_agents(depart_agents(config, 5, seed=7), 5, 0, seed=8)
+        b = arrive_agents(depart_agents(config, 5, seed=7), 5, 0, seed=8)
+        assert a == b
 
 
 class TestAdversarialSwap:

@@ -104,3 +104,50 @@ class TestCommands:
         with pytest.raises(SystemExit) as excinfo:
             main(["--version"])
         assert excinfo.value.code == 0
+
+
+class TestScenarioCommand:
+    def test_scenario_list(self, capsys):
+        assert main(["scenario", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "ag_corrupt_recover" in out
+        assert "line_churn_storm" in out
+
+    def test_scenario_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenario"])
+
+    def test_scenario_run_smoke(self, capsys):
+        code = main([
+            "scenario", "run", "ag_corrupt_recover",
+            "--scale", "smoke", "--seed", "3",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "recovered    : 100%" in out
+        assert "Recovery after faults" in out
+        assert "Phase timeline" in out
+
+    def test_scenario_run_markdown_and_overrides(self, capsys):
+        code = main([
+            "scenario", "run", "line_churn_storm", "--scale", "smoke",
+            "--repetitions", "1", "--workers", "1", "--markdown",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "### Recovery after faults" in out
+        assert "repetitions  : 1" in out
+
+    def test_scenario_run_matches_across_worker_counts(self, capsys):
+        argv = ["scenario", "run", "tree_corrupt_recover",
+                "--scale", "smoke", "--seed", "5"]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--workers", "2"]) == 0
+        pooled = capsys.readouterr().out
+        assert serial == pooled
+
+    def test_scenario_unknown_campaign_exits_2(self, capsys):
+        code = main(["scenario", "run", "bogus"])
+        assert code == 2
+        assert "unknown campaign" in capsys.readouterr().err

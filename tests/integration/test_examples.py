@@ -35,6 +35,15 @@ class TestExamples:
         assert "correctly ranked: True" in out
         assert "unique leader   : True" in out
 
+    def test_fault_campaign(self):
+        out = run_example(
+            "fault_campaign.py", "--n", "48", "--repetitions", "2",
+            "--seed", "2",
+        )
+        assert "all recovered   : True" in out
+        assert "Recovery after faults" in out
+        assert "slowest recovery" in out
+
     def test_sensor_network_recovery(self):
         out = run_example(
             "sensor_network_recovery.py", "--m", "6", "--repetitions", "3"

@@ -29,6 +29,9 @@ EXPECTED_IDS = {
     "engine_equivalence",
     "state_time_tradeoff",
     "reset_ablation",
+    "scenario_ag_recovery",
+    "scenario_tree_recovery",
+    "scenario_line_churn",
 }
 
 # Cheap experiments run per-test below; the heavier ones are grouped.
@@ -66,6 +69,21 @@ class TestSmokeRuns:
     def test_invalid_scale_rejected(self):
         with pytest.raises(ExperimentError):
             run_experiment("figure1", scale="galactic")
+
+    def test_workers_knob_is_bit_identical(self):
+        # The registry threads `workers` into run_sweep; the results
+        # must not depend on the pool size.
+        serial = run_experiment("kdistant_vs_k", scale="smoke", seed=3)
+        pooled = run_experiment(
+            "kdistant_vs_k", scale="smoke", seed=3, workers=2
+        )
+        assert serial.raw == pooled.raw
+        assert serial.render() == pooled.render()
+
+    def test_scenario_experiment_smoke(self):
+        result = run_experiment("scenario_ag_recovery", scale="smoke", seed=1)
+        assert result.raw["recovered_fraction"] == 1.0
+        assert len(result.tables) == 3
 
 
 class TestFigureExperiments:

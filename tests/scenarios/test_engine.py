@@ -1,0 +1,284 @@
+"""Tests for scenario execution: phases, faults, churn, predicates."""
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.scenarios import (
+    FaultPhase,
+    ProtocolSpec,
+    RunPhase,
+    Scenario,
+    SchedulerSpec,
+    StartSpec,
+    get_campaign,
+    list_campaigns,
+    run_scenario,
+)
+
+
+def _scenario(phases, *, kind="ag", n=16, scheduler=None, start=None):
+    return Scenario(
+        name="t",
+        protocol=ProtocolSpec(kind=kind, num_agents=n),
+        phases=tuple(phases),
+        start=start or StartSpec(kind="random"),
+        scheduler=scheduler or SchedulerSpec(),
+    )
+
+
+class TestRunPhases:
+    def test_stabilise_logs_silence(self):
+        result = run_scenario(
+            _scenario([RunPhase(until="silence", max_events=100_000)]),
+            seed=1,
+        )
+        (log,) = result.phase_logs
+        assert log.kind == "run"
+        assert log.silent and log.stop_reason == "silence"
+        assert log.distance == 0
+        assert result.final_configuration.is_ranked(16)
+
+    def test_event_budget_stops_run(self):
+        result = run_scenario(
+            _scenario(
+                [RunPhase(until="events", max_events=3)],
+                start=StartSpec(kind="pileup"),
+            ),
+            seed=1,
+        )
+        (log,) = result.phase_logs
+        assert not log.silent
+        assert log.stop_reason == "events"
+        assert log.events == 3
+
+    def test_default_max_events_caps_unbudgeted_phase(self):
+        result = run_scenario(
+            _scenario(
+                [RunPhase(until="silence")], start=StartSpec(kind="pileup")
+            ),
+            seed=1,
+            default_max_events=5,
+        )
+        (log,) = result.phase_logs
+        assert log.events == 5 and log.stop_reason == "events"
+
+    def test_predicate_phase_stops_at_ranked(self):
+        result = run_scenario(
+            _scenario(
+                [
+                    RunPhase(
+                        until="predicate",
+                        predicate="ranked",
+                        max_events=200_000,
+                        check_every=16,
+                    )
+                ]
+            ),
+            seed=3,
+        )
+        (log,) = result.phase_logs
+        assert log.stop_reason in ("predicate", "silence")
+        assert result.final_configuration.is_ranked(16)
+
+    def test_solved_start_is_instant_silence(self):
+        result = run_scenario(
+            _scenario(
+                [RunPhase(until="silence")], start=StartSpec(kind="solved")
+            ),
+            seed=0,
+        )
+        (log,) = result.phase_logs
+        assert log.silent and log.events == 0
+
+
+class TestFaultPhases:
+    def test_corrupt_then_recover(self):
+        result = run_scenario(
+            _scenario(
+                [
+                    RunPhase(until="silence", max_events=100_000),
+                    FaultPhase(kind="corrupt", fraction=0.5),
+                    RunPhase(until="silence", max_events=100_000),
+                ]
+            ),
+            seed=2,
+        )
+        run1, fault, run2 = result.phase_logs
+        assert fault.kind == "fault" and fault.stop_reason == "fault"
+        assert run2.silent
+        assert result.recovered_all
+        assert result.final_configuration.is_ranked(16)
+
+    def test_swap_fault_is_deterministic(self):
+        scenario = _scenario(
+            [
+                RunPhase(until="silence", max_events=100_000),
+                FaultPhase(kind="swap", state_a=0, state_b=1),
+                RunPhase(until="silence", max_events=100_000),
+            ]
+        )
+        a = run_scenario(scenario, seed=5)
+        b = run_scenario(scenario, seed=5)
+        assert (
+            a.final_configuration == b.final_configuration
+        )
+        assert a.total_interactions == b.total_interactions
+
+    def test_crash_symbolic_first_extra(self):
+        result = run_scenario(
+            _scenario(
+                [
+                    RunPhase(until="silence", max_events=200_000),
+                    FaultPhase(
+                        kind="crash",
+                        fraction=0.25,
+                        replacement_state="first_extra",
+                    ),
+                    RunPhase(until="silence", max_events=200_000),
+                ],
+                kind="tree",
+                n=13,
+            ),
+            seed=4,
+        )
+        assert result.recovered_all
+
+    def test_crash_first_extra_rejected_without_extras(self):
+        with pytest.raises(ExperimentError, match="no extra states"):
+            run_scenario(
+                _scenario(
+                    [
+                        FaultPhase(
+                            kind="crash",
+                            agents=2,
+                            replacement_state="first_extra",
+                        ),
+                        RunPhase(until="silence", max_events=1000),
+                    ]
+                ),
+                seed=1,
+            )
+
+    def test_recovery_pairs_share_trailing_run(self):
+        result = run_scenario(
+            _scenario(
+                [
+                    FaultPhase(kind="corrupt", agents=4),
+                    FaultPhase(kind="swap", state_a=0, state_b=2),
+                    RunPhase(until="silence", max_events=100_000),
+                    FaultPhase(kind="corrupt", agents=2),
+                ]
+            ),
+            seed=6,
+        )
+        pairs = result.recovery_pairs()
+        assert len(pairs) == 3
+        assert pairs[0][1] is pairs[1][1]  # both faults recover in one run
+        assert pairs[2][1] is None  # trailing fault has no recovery phase
+
+
+class TestChurn:
+    def test_churn_resizes_population(self):
+        result = run_scenario(
+            _scenario(
+                [
+                    RunPhase(until="silence", max_events=100_000),
+                    FaultPhase(kind="churn", departures=4, arrivals=10),
+                    RunPhase(until="silence", max_events=100_000),
+                ]
+            ),
+            seed=7,
+        )
+        run1, fault, run2 = result.phase_logs
+        assert run1.num_agents == 16
+        assert fault.num_agents == 22
+        assert run2.silent
+        assert result.final_configuration.num_agents == 22
+        # AG's state space tracks n, so the rebuilt protocol grew too.
+        assert result.final_configuration.num_states == 22
+        assert result.final_configuration.is_ranked(22)
+
+    def test_churn_on_line_protocol_stays_in_lattice_window(self):
+        result = run_scenario(
+            Scenario(
+                name="churn-line",
+                protocol=ProtocolSpec(kind="line", num_agents=96, m=2),
+                start=StartSpec(kind="random"),
+                phases=(
+                    RunPhase(until="silence", max_events=300_000),
+                    FaultPhase(
+                        kind="churn",
+                        departures=12,
+                        arrivals=2,
+                        arrival_state="first_extra",
+                    ),
+                    RunPhase(until="silence", max_events=300_000),
+                ),
+            ),
+            seed=8,
+        )
+        assert result.recovered_all
+        assert result.final_configuration.num_agents == 86
+
+    def test_churn_below_two_agents_fails_loudly(self):
+        # A scripted fault must not be silently weakened: departing more
+        # agents than the population can spare is a scenario bug.
+        with pytest.raises(ExperimentError, match="churn"):
+            run_scenario(
+                _scenario(
+                    [
+                        FaultPhase(kind="churn", departures=16, arrivals=0),
+                        RunPhase(until="silence", max_events=10_000),
+                    ],
+                    n=4,
+                ),
+                seed=1,
+            )
+
+    def test_churn_through_transient_tiny_population(self):
+        # Departures may dip the intermediate multiset below 2 as long
+        # as arrivals restore a viable population.
+        result = run_scenario(
+            _scenario(
+                [
+                    FaultPhase(kind="churn", departures=3, arrivals=4),
+                    RunPhase(until="silence", max_events=10_000),
+                ],
+                n=4,
+            ),
+            seed=1,
+        )
+        assert result.final_configuration.num_agents == 5
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "campaign_id", [c.campaign_id for c in list_campaigns()]
+    )
+    def test_canned_campaigns_smoke_and_reproduce(self, campaign_id):
+        scenario = get_campaign(campaign_id).build("smoke")
+        a = run_scenario(scenario, seed=11)
+        b = run_scenario(scenario, seed=11)
+        assert a.recovered_all
+        assert a.final_configuration == b.final_configuration
+        assert [
+            (log.interactions, log.events, log.stop_reason)
+            for log in a.phase_logs
+        ] == [
+            (log.interactions, log.events, log.stop_reason)
+            for log in b.phase_logs
+        ]
+
+    def test_scheduler_scenario_runs_scheduled_engine(self):
+        result = run_scenario(
+            _scenario(
+                [RunPhase(until="silence", max_interactions=2_000_000)],
+                n=12,
+                scheduler=SchedulerSpec(
+                    kind="clustered", num_clusters=3, across=0.1
+                ),
+            ),
+            seed=9,
+        )
+        (log,) = result.phase_logs
+        assert log.silent

@@ -1,0 +1,133 @@
+"""Tests for pair schedulers and the scheduled engine seam."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AGProtocol,
+    ScheduledEngine,
+    TreeRankingProtocol,
+    UniformScheduler,
+    random_configuration,
+    run_protocol,
+)
+from repro.exceptions import ExperimentError
+from repro.scenarios import SchedulerSpec, build_scheduler
+from repro.scenarios.schedulers import ClusteredScheduler, StateBiasedScheduler
+
+
+class TestSchedulerConstruction:
+    def test_uniform_resolves_to_none(self):
+        # None keeps run_protocol on the allocation-free jump fast path.
+        protocol = AGProtocol(10)
+        assert build_scheduler(SchedulerSpec(kind="uniform"), protocol) is None
+        assert build_scheduler(None, protocol) is None
+
+    def test_state_biased_splits_ranks_and_extras(self):
+        protocol = TreeRankingProtocol(13, k=3)
+        scheduler = build_scheduler(
+            SchedulerSpec(kind="state_biased", extra_weight=0.25), protocol
+        )
+        assert scheduler.pair_weight(0, 1) == 1.0
+        line_state = protocol.num_ranks
+        assert scheduler.pair_weight(0, line_state) == 0.25
+        assert scheduler.pair_weight(line_state, line_state) == 0.0625
+
+    def test_clustered_blocks(self):
+        scheduler = ClusteredScheduler(num_states=10, num_clusters=2,
+                                       across=0.1)
+        assert scheduler.pair_weight(0, 4) == 1.0
+        assert scheduler.pair_weight(0, 9) == 0.1
+        assert scheduler.cluster_of(0) != scheduler.cluster_of(9)
+
+    def test_weight_bounds_enforced(self):
+        with pytest.raises(ExperimentError):
+            StateBiasedScheduler([1.0, 0.0])
+        with pytest.raises(ExperimentError):
+            StateBiasedScheduler([])
+        with pytest.raises(ExperimentError):
+            ClusteredScheduler(num_states=4, num_clusters=0)
+
+    def test_weight_matrix_shape(self):
+        scheduler = ClusteredScheduler(num_states=6, num_clusters=3)
+        matrix = scheduler.weight_matrix(6)
+        assert matrix.shape == (6, 6)
+        assert matrix.min() > 0.0 and matrix.max() <= 1.0
+
+
+class TestScheduledEngine:
+    def test_trivial_bias_matches_sequential_engine_stream(self):
+        # A scheduler with every weight 1 accepts every draw, so the
+        # engine consumes pair draws exactly like SequentialEngine and
+        # must produce the same trajectory from the same seed.
+        from repro import SequentialEngine
+
+        protocol = AGProtocol(12)
+        start = random_configuration(protocol, seed=4)
+        biased = StateBiasedScheduler([1.0] * protocol.num_states)
+        a = ScheduledEngine(
+            protocol, start, np.random.default_rng(11), biased
+        )
+        b = SequentialEngine(protocol, start, np.random.default_rng(11))
+        assert a.run(max_events=200) == b.run(max_events=200)
+        assert a.counts == b.counts
+        assert a.interactions == b.interactions
+
+    def test_clustered_run_reaches_silence_and_ranks(self):
+        protocol = AGProtocol(16)
+        start = random_configuration(protocol, seed=1)
+        scheduler = ClusteredScheduler(
+            num_states=protocol.num_states, num_clusters=4, across=0.05
+        )
+        result = run_protocol(protocol, start, seed=1, scheduler=scheduler)
+        assert result.silent
+        assert protocol.is_ranked(result.final_configuration)
+        assert result.engine_name == "scheduled:clustered"
+
+    def test_bad_engine_name_still_rejected_with_scheduler(self):
+        from repro.exceptions import SimulationError
+
+        protocol = AGProtocol(8)
+        start = random_configuration(protocol, seed=0)
+        scheduler = ClusteredScheduler(protocol.num_states, 2)
+        with pytest.raises(SimulationError, match="unknown engine"):
+            run_protocol(
+                protocol, start, engine="sequentail", scheduler=scheduler
+            )
+
+    def test_uniform_scheduler_keeps_jump_engine(self):
+        protocol = AGProtocol(16)
+        start = random_configuration(protocol, seed=1)
+        result = run_protocol(
+            protocol, start, seed=1, scheduler=UniformScheduler()
+        )
+        assert result.engine_name == "jump"
+        baseline = run_protocol(protocol, start, seed=1)
+        assert result.final_configuration == baseline.final_configuration
+        assert result.interactions == baseline.interactions
+
+    def test_deterministic_given_seed(self):
+        protocol = TreeRankingProtocol(13, k=3)
+        start = random_configuration(protocol, seed=2)
+        scheduler = StateBiasedScheduler(
+            [1.0] * protocol.num_ranks + [0.3] * protocol.num_extra_states
+        )
+        runs = [
+            run_protocol(
+                protocol, start, seed=9, scheduler=scheduler,
+                max_events=10_000,
+            )
+            for _ in range(2)
+        ]
+        assert runs[0].final_configuration == runs[1].final_configuration
+        assert runs[0].interactions == runs[1].interactions
+
+    def test_biased_run_still_silences_tree(self):
+        protocol = TreeRankingProtocol(13, k=3)
+        start = random_configuration(protocol, seed=3)
+        scheduler = StateBiasedScheduler(
+            [1.0] * protocol.num_ranks + [0.2] * protocol.num_extra_states
+        )
+        result = run_protocol(protocol, start, seed=3, scheduler=scheduler)
+        assert result.silent
+        assert protocol.is_ranked(result.final_configuration)

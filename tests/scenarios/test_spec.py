@@ -1,0 +1,137 @@
+"""Unit tests for scenario specifications: parsing, validation, files."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.scenarios import (
+    FaultPhase,
+    ProtocolSpec,
+    RunPhase,
+    Scenario,
+    SchedulerSpec,
+    StartSpec,
+)
+
+def _minimal_dict():
+    return {
+        "name": "t",
+        "protocol": {"kind": "ag", "num_agents": 12},
+        "phases": [
+            {"run": {"until": "silence", "max_events": 1000}},
+            {"fault": {"kind": "corrupt", "fraction": 0.5}},
+            {"run": {"until": "silence", "max_events": 1000}},
+        ],
+    }
+
+
+class TestProtocolSpec:
+    def test_build_each_kind(self):
+        assert ProtocolSpec(kind="ag", num_agents=10).build().num_agents == 10
+        assert ProtocolSpec(kind="ring", num_agents=20).build().num_agents == 20
+        assert ProtocolSpec(kind="tree", num_agents=13, k=3).build().k == 3
+        line = ProtocolSpec(kind="line", num_agents=96, m=2).build()
+        assert line.num_agents == 96
+
+    def test_build_at_churned_size(self):
+        spec = ProtocolSpec(kind="line", num_agents=96, m=2)
+        assert spec.build(num_agents=110).num_agents == 110
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ExperimentError):
+            ProtocolSpec(kind="nope", num_agents=10)
+
+    def test_tiny_population_rejected(self):
+        with pytest.raises(ExperimentError):
+            ProtocolSpec(kind="ag", num_agents=1)
+
+
+class TestPhaseValidation:
+    def test_run_until_events_needs_budget(self):
+        with pytest.raises(ExperimentError):
+            RunPhase(until="events")
+
+    def test_predicate_name_validated(self):
+        with pytest.raises(ExperimentError):
+            RunPhase(until="predicate", predicate="nope")
+
+    def test_corrupt_needs_victims(self):
+        with pytest.raises(ExperimentError):
+            FaultPhase(kind="corrupt")
+
+    def test_fraction_range(self):
+        with pytest.raises(ExperimentError):
+            FaultPhase(kind="corrupt", fraction=1.5)
+
+    def test_churn_needs_churn(self):
+        with pytest.raises(ExperimentError):
+            FaultPhase(kind="churn")
+
+    def test_victim_count_resolution(self):
+        assert FaultPhase(kind="corrupt", agents=5).victim_count(100) == 5
+        assert FaultPhase(kind="corrupt", fraction=0.25).victim_count(100) == 25
+        # a tiny fraction still corrupts at least one agent
+        assert FaultPhase(kind="corrupt", fraction=0.001).victim_count(10) == 1
+        # never more victims than agents
+        assert FaultPhase(kind="corrupt", agents=99).victim_count(10) == 10
+
+    def test_scheduler_validation(self):
+        with pytest.raises(ExperimentError):
+            SchedulerSpec(kind="clustered", across=0.0)
+        with pytest.raises(ExperimentError):
+            SchedulerSpec(kind="state_biased", extra_weight=1.5)
+        assert SchedulerSpec().is_uniform
+
+    def test_start_validation(self):
+        with pytest.raises(ExperimentError):
+            StartSpec(kind="k_distant")
+        with pytest.raises(ExperimentError):
+            StartSpec(kind="nope")
+
+
+class TestScenarioSerialisation:
+    def test_round_trip(self):
+        scenario = Scenario.from_dict(_minimal_dict())
+        again = Scenario.from_dict(scenario.to_dict())
+        assert again == scenario
+
+    def test_empty_phases_rejected(self):
+        data = _minimal_dict()
+        data["phases"] = []
+        with pytest.raises(ExperimentError):
+            Scenario.from_dict(data)
+
+    def test_missing_key_reported(self):
+        with pytest.raises(ExperimentError, match="missing required key"):
+            Scenario.from_dict({"name": "t"})
+
+    def test_bad_phase_key_reported(self):
+        data = _minimal_dict()
+        data["phases"] = [{"jump": {}}]
+        with pytest.raises(ExperimentError, match="run.*fault"):
+            Scenario.from_dict(data)
+
+    def test_unknown_field_reported(self):
+        data = _minimal_dict()
+        data["phases"][0] = {"run": {"untl": "silence"}}
+        with pytest.raises(ExperimentError, match="bad phase"):
+            Scenario.from_dict(data)
+
+    def test_from_json_file(self, tmp_path):
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(_minimal_dict()), encoding="utf-8")
+        scenario = Scenario.from_file(str(path))
+        assert scenario.name == "t"
+        assert len(scenario.phases) == 3
+
+    def test_from_yaml_file(self, tmp_path):
+        yaml = pytest.importorskip("yaml")
+        path = tmp_path / "scenario.yaml"
+        path.write_text(yaml.safe_dump(_minimal_dict()), encoding="utf-8")
+        scenario = Scenario.from_file(str(path))
+        assert scenario == Scenario.from_dict(_minimal_dict())
+
+    def test_with_population(self):
+        scenario = Scenario.from_dict(_minimal_dict())
+        assert scenario.with_population(64).protocol.num_agents == 64
