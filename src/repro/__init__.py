@@ -32,6 +32,7 @@ from .core import (
     SequentialEngine,
     TrajectoryRecorder,
     UniformScheduler,
+    WeightedScheduledEngine,
     arrive_agents,
     corrupt_agents,
     crash_and_replace,
@@ -141,6 +142,7 @@ __all__ = [
     "TreeDispersalProtocol",
     "TreeRankingProtocol",
     "UniformScheduler",
+    "WeightedScheduledEngine",
     "__version__",
     "all_in_extras_configuration",
     "all_in_state_configuration",

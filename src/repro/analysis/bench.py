@@ -11,7 +11,16 @@ trajectory instead of a stale absolute number.
 
 The suite covers both engine fast paths: same-state-only protocols
 (AG, single trap, ring of traps — the adaptive dual-sampler loop) and
-the reset-line tree protocol (the general multi-family loop).
+the multi-family protocols (the §5 reset-line tree and the §4 line of
+traps — the fused-index general loop).  A separate scheduler section
+measures biased-scheduler runs three ways — the uniform jump baseline,
+the rejection :class:`~repro.core.scheduler.ScheduledEngine`, and the
+weighted jump fast path — so the cost of adversarial scheduling stays
+on the record.
+
+:func:`check_speedup_floors` turns a benchmark record into a pass/fail
+gate (used by CI smoke): a case regressing below its committed floor
+over the frozen seed baseline fails the run.
 """
 
 from __future__ import annotations
@@ -29,9 +38,15 @@ from ..core.configuration import Configuration
 from ..core.engine import Recorder
 from ..core.jump import JumpEngine
 from ..core.protocol import PopulationProtocol
+from ..core.scheduler import (
+    PairScheduler,
+    ScheduledEngine,
+    WeightedScheduledEngine,
+)
 from ..exceptions import SimulationError
 from ..configurations.generators import random_configuration
 from ..protocols.ag import AGProtocol
+from ..protocols.line import LineOfTrapsProtocol
 from ..protocols.ring import RingOfTrapsProtocol
 from ..protocols.trap import SingleTrapProtocol
 from ..protocols.tree_protocol import TreeRankingProtocol
@@ -39,8 +54,11 @@ from ..protocols.tree_protocol import TreeRankingProtocol
 __all__ = [
     "BenchCase",
     "LegacyJumpEngine",
+    "SchedulerBenchCase",
     "bench_suite",
+    "check_speedup_floors",
     "run_bench",
+    "scheduler_bench_suite",
     "write_bench_json",
 ]
 
@@ -389,6 +407,20 @@ def _tree_case(n: int, max_events: int, seed: int = 11) -> BenchCase:
     return BenchCase(f"tree-n{n}", "TreeRanking", n, max_events, build)
 
 
+def _line_case(m: int, max_events: int, seed: int = 13) -> BenchCase:
+    def build():
+        protocol = LineOfTrapsProtocol(m=m)
+        return protocol, random_configuration(
+            protocol, seed=seed, include_extras=True
+        )
+
+    protocol = LineOfTrapsProtocol(m=m)
+    return BenchCase(
+        f"line-m{m}", f"LineOfTraps(m={m})", protocol.num_agents,
+        max_events, build,
+    )
+
+
 def bench_suite(quick: bool = False) -> List[BenchCase]:
     """The fixed benchmark suite (smaller sizes/budgets when ``quick``)."""
     if quick:
@@ -398,6 +430,7 @@ def bench_suite(quick: bool = False) -> List[BenchCase]:
             _trap_case(16, 512, 5_000),
             _ring_case(15, 5_000),
             _tree_case(256, 5_000),
+            _line_case(2, 5_000),
         ]
     return [
         _ag_case(1_000, 200_000),
@@ -405,7 +438,112 @@ def bench_suite(quick: bool = False) -> List[BenchCase]:
         _trap_case(64, 4_096, 100_000),
         _ring_case(99, 100_000),
         _tree_case(4_096, 100_000),
+        _line_case(4, 100_000),
     ]
+
+
+@dataclass(frozen=True)
+class SchedulerBenchCase:
+    """One biased-scheduler entry: protocol/start plus the scheduler."""
+
+    case_id: str
+    protocol_name: str
+    scheduler_name: str
+    num_agents: int
+    max_events: int
+    build: Callable[[], Tuple[PopulationProtocol, Configuration]]
+    build_scheduler: Callable[[PopulationProtocol], PairScheduler]
+
+
+def _tree_biased_case(
+    n: int, max_events: int, extra_weight: float = 0.25, seed: int = 17
+) -> SchedulerBenchCase:
+    def build():
+        protocol = TreeRankingProtocol(n)
+        return protocol, random_configuration(
+            protocol, seed=seed, include_extras=True
+        )
+
+    def build_scheduler(protocol):
+        # Imported here: analysis must not hard-depend on scenarios.
+        from ..scenarios.schedulers import StateBiasedScheduler
+
+        return StateBiasedScheduler(
+            [1.0] * protocol.num_ranks
+            + [extra_weight] * protocol.num_extra_states
+        )
+
+    return SchedulerBenchCase(
+        f"tree-biased-n{n}", "TreeRanking", "state_biased", n, max_events,
+        build, build_scheduler,
+    )
+
+
+def scheduler_bench_suite(quick: bool = False) -> List[SchedulerBenchCase]:
+    """Biased-scheduler suite: uniform vs rejection vs weighted path."""
+    if quick:
+        return [_tree_biased_case(128, 2_000)]
+    return [_tree_biased_case(1_024, 20_000)]
+
+
+def _measure_scheduler_case(
+    case: SchedulerBenchCase, seed: int, repeats: int = 2
+) -> Dict[str, object]:
+    """Throughput of one biased case under all three realisations.
+
+    ``uniform`` (the unbiased jump baseline, for context), ``rejection``
+    (the exact :class:`ScheduledEngine`), and ``weighted`` (the fused
+    weighted jump path).  Rejection and weighted realise the same step
+    distribution, so their events/sec are directly comparable.
+    """
+
+    def best_of(make_engine) -> Dict[str, object]:
+        best = None
+        for _ in range(max(1, repeats)):
+            engine = make_engine()
+            begin = time.perf_counter()
+            engine.run(max_events=case.max_events)
+            wall = time.perf_counter() - begin
+            if best is None or wall < best["wall_time_s"]:
+                best = {
+                    "events": engine.events,
+                    "interactions": engine.interactions,
+                    "wall_time_s": wall,
+                    "events_per_sec": (
+                        engine.events / wall if wall > 0 else float("inf")
+                    ),
+                }
+        return best
+
+    protocol, start = case.build()
+    scheduler = case.build_scheduler(protocol)
+    uniform = best_of(
+        lambda: JumpEngine(protocol, start, np.random.default_rng(seed))
+    )
+    rejection = best_of(
+        lambda: ScheduledEngine(
+            protocol, start, np.random.default_rng(seed), scheduler
+        )
+    )
+    weighted = best_of(
+        lambda: WeightedScheduledEngine(
+            protocol, start, np.random.default_rng(seed), scheduler
+        )
+    )
+    return {
+        "case": case.case_id,
+        "protocol": case.protocol_name,
+        "scheduler": case.scheduler_name,
+        "n": case.num_agents,
+        "max_events": case.max_events,
+        "seed": seed,
+        "uniform": uniform,
+        "rejection": rejection,
+        "weighted": weighted,
+        "weighted_vs_rejection": (
+            weighted["events_per_sec"] / rejection["events_per_sec"]
+        ),
+    }
 
 
 def _measure(
@@ -463,6 +601,10 @@ def run_bench(
                 ),
             }
         )
+    scheduler_cases = [
+        _measure_scheduler_case(case, seed, repeats=repeats)
+        for case in scheduler_bench_suite(quick=quick)
+    ]
     headline = next(
         (c for c in cases if c["case"] == "ag-n10000"), cases[0]
     )
@@ -471,6 +613,7 @@ def run_bench(
         "quick": quick,
         "repeats": repeats,
         "cases": cases,
+        "scheduler_cases": scheduler_cases,
         "headline": {
             "case": headline["case"],
             "legacy_events_per_sec": headline["legacy"]["events_per_sec"],
@@ -478,6 +621,32 @@ def run_bench(
             "speedup": headline["speedup"],
         },
     }
+
+
+def check_speedup_floors(
+    record: Dict[str, object], floors: Dict[str, float]
+) -> None:
+    """Fail if any case's speedup over the frozen baseline regressed.
+
+    ``floors`` maps case ids to minimum acceptable ``speedup`` values
+    (current vs the frozen seed engine).  Raises
+    :class:`~repro.exceptions.SimulationError` on an unknown case id or
+    a floor violation — the CI smoke gate.
+    """
+    by_id = {case["case"]: case for case in record["cases"]}
+    for case_id, floor in floors.items():
+        case = by_id.get(case_id)
+        if case is None:
+            raise SimulationError(
+                f"speedup floor names unknown case {case_id!r}; "
+                f"suite has {sorted(by_id)}"
+            )
+        if case["speedup"] < floor:
+            raise SimulationError(
+                f"{case_id}: speedup {case['speedup']:.2f}x over the "
+                f"frozen seed baseline is below the committed floor "
+                f"{floor:.2f}x"
+            )
 
 
 def write_bench_json(record: Dict[str, object], output_dir: str = ".") -> str:
@@ -502,6 +671,16 @@ def render_bench(record: Dict[str, object]) -> str:
             f"{case['legacy']['events_per_sec']:>12,.0f} "
             f"{case['current']['events_per_sec']:>13,.0f} "
             f"{case['speedup']:>7.2f}x"
+        )
+    for case in record.get("scheduler_cases", ()):
+        lines.append(
+            f"{case['case']:<16} {case['n']:>6} "
+            f"{case['weighted']['events']:>8} "
+            f"{case['rejection']['events_per_sec']:>12,.0f} "
+            f"{case['weighted']['events_per_sec']:>13,.0f} "
+            f"{case['weighted_vs_rejection']:>7.2f}x"
+            f"   [{case['scheduler']}; uniform "
+            f"{case['uniform']['events_per_sec']:,.0f} ev/s]"
         )
     head = record["headline"]
     lines.append(

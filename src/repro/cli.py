@@ -158,6 +158,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--output-dir", default=".",
         help="directory for BENCH_<timestamp>.json ('-' to skip writing)",
     )
+    ben.add_argument(
+        "--require-speedup", action="append", default=[],
+        metavar="CASE:FLOOR",
+        help="fail unless CASE's speedup over the frozen seed baseline "
+        "is >= FLOOR (repeatable; the CI regression gate, e.g. "
+        "tree-n256:2.0)",
+    )
     return parser
 
 
@@ -265,17 +272,41 @@ def _cmd_report(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     import os
 
-    from .analysis.bench import render_bench, run_bench, write_bench_json
+    from .analysis.bench import (
+        check_speedup_floors,
+        render_bench,
+        run_bench,
+        write_bench_json,
+    )
 
     # Validate before measuring — the suite takes a while and the JSON
     # is its whole point.
     if args.output_dir != "-" and not os.path.isdir(args.output_dir):
         raise ReproError(f"output directory {args.output_dir!r} does not exist")
+    floors = {}
+    for spec in args.require_speedup:
+        case_id, sep, floor = spec.rpartition(":")
+        if not sep or not case_id:
+            raise ReproError(
+                f"--require-speedup expects CASE:FLOOR, got {spec!r}"
+            )
+        try:
+            floors[case_id] = float(floor)
+        except ValueError:
+            raise ReproError(
+                f"--require-speedup floor {floor!r} is not a number"
+            ) from None
     record = run_bench(quick=args.quick, seed=args.seed)
     print(render_bench(record))
     if args.output_dir != "-":
         path = write_bench_json(record, output_dir=args.output_dir)
         print(f"wrote {path}")
+    if floors:
+        check_speedup_floors(record, floors)
+        print(
+            "speedup floors ok: "
+            + ", ".join(f"{c}>={f}" for c, f in sorted(floors.items()))
+        )
     return 0
 
 

@@ -35,9 +35,16 @@ from .faults import (
     depart_agents,
 )
 from .fenwick import FenwickTree
+from .fused import FusedIndex, WeightedFusedIndex
 from .jump import JumpEngine
 from .protocol import PopulationProtocol, RankingProtocol, Transition
-from .scheduler import PairScheduler, ScheduledEngine, UniformScheduler
+from .scheduler import (
+    PairScheduler,
+    ScheduledEngine,
+    UniformScheduler,
+    WeightedScheduledEngine,
+    try_weighted_engine,
+)
 from .sequential import SequentialEngine
 
 __all__ = [
@@ -45,6 +52,7 @@ __all__ = [
     "Event",
     "Family",
     "FenwickTree",
+    "FusedIndex",
     "JumpEngine",
     "MetricRecorder",
     "OrderedProduct",
@@ -60,6 +68,8 @@ __all__ = [
     "Transition",
     "TriangularLine",
     "UniformScheduler",
+    "WeightedFusedIndex",
+    "WeightedScheduledEngine",
     "adversarial_swap",
     "arrive_agents",
     "check_family_coverage",
@@ -68,4 +78,5 @@ __all__ = [
     "depart_agents",
     "make_rng",
     "run_protocol",
+    "try_weighted_engine",
 ]

@@ -168,10 +168,16 @@ def run_protocol(
     scheduler:
         Optional :class:`~repro.core.scheduler.PairScheduler` biasing
         which pairs interact.  ``None`` or a uniform scheduler keeps the
-        paper's model and the allocation-free fast path; a non-uniform
-        scheduler routes the run through the per-interaction
-        :class:`~repro.core.scheduler.ScheduledEngine` (the jump chain's
-        geometric skip is only exact under the uniform scheduler).
+        paper's model and the allocation-free fast path.  A non-uniform
+        scheduler routes a ``"jump"`` run through the **weighted jump
+        fast path** (:class:`~repro.core.scheduler.WeightedScheduledEngine`
+        — geometric skips over a scheduler-scaled fused index; engine
+        name ``weighted:<scheduler>``) whenever the scheduler compiles
+        exactly; otherwise — and always for ``engine="sequential"`` —
+        the run uses the per-interaction rejection
+        :class:`~repro.core.scheduler.ScheduledEngine`
+        (``scheduled:<scheduler>``).  Both realise the identical step
+        distribution.
     """
     # Imported here to avoid a circular import at module load time.
     from .jump import JumpEngine
@@ -184,12 +190,20 @@ def run_protocol(
             f"unknown engine {engine!r}; expected one of {sorted(engines)}"
         )
     if scheduler is not None and not scheduler.is_uniform:
-        from .scheduler import ScheduledEngine
+        from .scheduler import ScheduledEngine, try_weighted_engine
 
-        driver = ScheduledEngine(
-            protocol, configuration, make_rng(seed), scheduler
-        )
-        engine = f"scheduled:{scheduler.name}"
+        driver = None
+        if engine == "jump":
+            driver = try_weighted_engine(
+                protocol, configuration, make_rng(seed), scheduler
+            )
+            if driver is not None:
+                engine = f"weighted:{scheduler.name}"
+        if driver is None:
+            driver = ScheduledEngine(
+                protocol, configuration, make_rng(seed), scheduler
+            )
+            engine = f"scheduled:{scheduler.name}"
     else:
         driver = engines[engine](protocol, configuration, make_rng(seed))
     start = time.perf_counter()

@@ -48,6 +48,23 @@ class Family(ABC):
     def weight(self) -> int:
         """Number of productive ordered agent pairs in this family."""
 
+    def states(self) -> Iterator[int]:
+        """Every state whose count can influence this family's weight.
+
+        Engines use this to precompile per-state dispatch maps (only the
+        families that actually touch a state get notified of its count
+        changes).  The default derives the set from :meth:`pairs`;
+        concrete families override it with their membership lists.
+        """
+        seen = set()
+        for si, sj in self.pairs():
+            if si not in seen:
+                seen.add(si)
+                yield si
+            if sj not in seen:
+                seen.add(sj)
+                yield sj
+
     @abstractmethod
     def on_count_change(self, state: int, old: int, new: int) -> int:
         """Notify the family that ``state``'s agent count changed.
@@ -127,6 +144,13 @@ class SameStatePairs(Family):
             if has_rule:
                 yield state, state
 
+    def states(self) -> Iterator[int]:
+        return (s for s, has_rule in enumerate(self._has_rule) if has_rule)
+
+    def rule_states(self) -> List[int]:
+        """The states carrying a same-state rule (fused-index compilation)."""
+        return [s for s, has_rule in enumerate(self._has_rule) if has_rule]
+
 
 class OrderedProduct(Family):
     """All pairs (initiator ∈ A, responder ∈ B) with A, B disjoint.
@@ -139,8 +163,11 @@ class OrderedProduct(Family):
     (A = reset-line states, B = rank states).
     """
 
-    __slots__ = ("_initiators", "_responders", "_init_pos", "_resp_pos",
+    __slots__ = ("_initiators", "_responders", "_side", "_pos_of",
                  "_init_fenwick", "_resp_fenwick")
+
+    #: ``_side`` codes: a state is on one side at most.
+    NONE, INITIATOR, RESPONDER = 0, 1, 2
 
     def __init__(
         self,
@@ -156,12 +183,17 @@ class OrderedProduct(Family):
         self._initiators = list(initiators)
         self._responders = list(responders)
         num_states = len(counts)
-        self._init_pos = [-1] * num_states
-        self._resp_pos = [-1] * num_states
+        # One fused membership map (side code + in-side position) so a
+        # count change resolves its side with a single lookup and states
+        # on neither side skip all Fenwick work.
+        self._side = [self.NONE] * num_states
+        self._pos_of = [-1] * num_states
         for pos, state in enumerate(self._initiators):
-            self._init_pos[state] = pos
+            self._side[state] = self.INITIATOR
+            self._pos_of[state] = pos
         for pos, state in enumerate(self._responders):
-            self._resp_pos[state] = pos
+            self._side[state] = self.RESPONDER
+            self._pos_of[state] = pos
         self._init_fenwick = FenwickTree.from_values(
             counts[s] for s in self._initiators
         )
@@ -173,17 +205,25 @@ class OrderedProduct(Family):
     def weight(self) -> int:
         return self._init_fenwick.total * self._resp_fenwick.total
 
+    @property
+    def initiators(self) -> List[int]:
+        """Initiator-side states, in Fenwick slot order."""
+        return list(self._initiators)
+
+    @property
+    def responders(self) -> List[int]:
+        """Responder-side states, in Fenwick slot order."""
+        return list(self._responders)
+
     def on_count_change(self, state: int, old: int, new: int) -> int:
-        # The two groups are disjoint, so the state is on one side at most.
-        pos = self._init_pos[state]
-        if pos >= 0:
-            self._init_fenwick.set(pos, new)
+        side = self._side[state]
+        if side == self.NONE:
+            return 0
+        if side == self.INITIATOR:
+            self._init_fenwick.set(self._pos_of[state], new)
             return (new - old) * self._resp_fenwick.total
-        pos = self._resp_pos[state]
-        if pos >= 0:
-            self._resp_fenwick.set(pos, new)
-            return self._init_fenwick.total * (new - old)
-        return 0
+        self._resp_fenwick.set(self._pos_of[state], new)
+        return self._init_fenwick.total * (new - old)
 
     def sample(self, rand_below: RandBelow) -> Tuple[int, int]:
         initiator_pos = self._init_fenwick.find(
@@ -196,13 +236,18 @@ class OrderedProduct(Family):
 
     def covers(self, initiator: int, responder: int) -> bool:
         return (
-            self._init_pos[initiator] >= 0 and self._resp_pos[responder] >= 0
+            self._side[initiator] == self.INITIATOR
+            and self._side[responder] == self.RESPONDER
         )
 
     def pairs(self) -> Iterator[Tuple[int, int]]:
         for initiator in self._initiators:
             for responder in self._responders:
                 yield initiator, responder
+
+    def states(self) -> Iterator[int]:
+        yield from self._initiators
+        yield from self._responders
 
 
 class TriangularLine(Family):
@@ -211,12 +256,18 @@ class TriangularLine(Family):
     This is the shape of §5's rule R3 on the reset line ``X_1..X_{2k}``
     (together with R5 at the top): an interaction is productive exactly
     when the initiator's line index does not exceed the responder's.
-    The line has only ``O(log n)`` states, so weights are recomputed
-    directly in ``O(len(line))`` per change — cheaper in practice than
-    maintaining a tree.
+
+    The weight has a closed form in the count moments: with
+    ``S = Σ c_i`` and ``Q = Σ c_i²``,
+
+        ``W = Σ c_i(c_i−1) + Σ_{i<j} c_i c_j = (Q − S) + (S² − Q)/2``
+
+    so a count change updates ``W`` in O(1) from running ``S``/``Q``
+    bookkeeping — no per-change recompute over the line.  Sampling still
+    scans the ``O(log n)`` line, but only when a draw lands here.
     """
 
-    __slots__ = ("_line", "_pos", "_counts", "_weight")
+    __slots__ = ("_line", "_pos", "_counts", "_sum", "_sumsq")
 
     def __init__(self, counts: Sequence[int], line_states: Sequence[int]) -> None:
         self._line = list(line_states)
@@ -224,35 +275,34 @@ class TriangularLine(Family):
         if len(self._pos) != len(self._line):
             raise SimulationError("TriangularLine states must be distinct")
         self._counts = [counts[s] for s in self._line]
-        self._weight = self._recompute()
-
-    def _recompute(self) -> int:
-        counts = self._counts
-        total = 0
-        suffix = 0
-        for c in reversed(counts):
-            total += c * (c - 1) + c * suffix
-            suffix += c
-        return total
+        self._sum = sum(self._counts)
+        self._sumsq = sum(c * c for c in self._counts)
 
     @property
     def weight(self) -> int:
-        return self._weight
+        # S² − Q is always even: S² = Q + 2·Σ_{i<j} c_i c_j.
+        s, q = self._sum, self._sumsq
+        return (q - s) + (s * s - q) // 2
+
+    def line_states(self) -> List[int]:
+        """The line's states in order (fused-index compilation)."""
+        return list(self._line)
 
     def on_count_change(self, state: int, old: int, new: int) -> int:
         pos = self._pos.get(state)
         if pos is None:
             return 0
-        before = self._weight
+        before = self.weight
         self._counts[pos] = new
-        self._weight = self._recompute()
-        return self._weight - before
+        self._sum += new - old
+        self._sumsq += new * new - old * old
+        return self.weight - before
 
     def sample(self, rand_below: RandBelow) -> Tuple[int, int]:
-        target = rand_below(self._weight)
+        target = rand_below(self.weight)
         counts = self._counts
         length = len(counts)
-        suffix = sum(counts)
+        suffix = self._sum
         for i in range(length):
             c = counts[i]
             suffix -= c
@@ -285,6 +335,9 @@ class TriangularLine(Family):
         for i, initiator in enumerate(line):
             for responder in line[i:]:
                 yield initiator, responder
+
+    def states(self) -> Iterator[int]:
+        return iter(self._line)
 
 
 def check_family_coverage(protocol, counts: Sequence[int] | None = None) -> None:

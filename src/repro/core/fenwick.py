@@ -13,9 +13,38 @@ is exact — no floating point drift can bias the sampler.
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Iterable, List, Sequence
 
-__all__ = ["FenwickTree"]
+__all__ = ["FenwickTree", "fill_tree"]
+
+
+def fill_tree(tree: List[int], size: int, values: Sequence[int]) -> int:
+    """(Re)build a raw Fenwick array in place; returns the total.
+
+    ``tree`` must have ``size + 1`` entries; ``values`` may be shorter
+    than ``size`` (missing slots count as zero — used for power-of-two
+    padded trees, whose top node is then the total).  In-place filling
+    matters: hot loops hold direct references to the list, so a resync
+    must not swap the object out from under them.  The classic O(N)
+    push-up: every node forwards its accumulated partial sum to its
+    parent, in index order.
+    """
+    for i in range(size + 1):
+        tree[i] = 0
+    total = 0
+    num_values = len(values)
+    for i in range(size):
+        pos = i + 1
+        if i < num_values:
+            value = values[i]
+            total += value
+            tree[pos] += value
+        acc = tree[pos]
+        if acc:
+            parent = pos + (pos & -pos)
+            if parent <= size:
+                tree[parent] += acc
+    return total
 
 
 class FenwickTree:
@@ -41,15 +70,7 @@ class FenwickTree:
         values = list(values)
         tree = cls(len(values))
         tree._values = values
-        tree._total = sum(values)
-        # Classic O(N) construction: each node pushes its partial sum up.
-        data = tree._tree
-        for i, value in enumerate(values):
-            pos = i + 1
-            data[pos] += value
-            parent = pos + (pos & -pos)
-            if parent <= len(values):
-                data[parent] += data[pos]
+        tree._total = fill_tree(tree._tree, len(values), values)
         return tree
 
     @property

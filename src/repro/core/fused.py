@@ -1,0 +1,870 @@
+"""Fused cross-family sampler: one compiled weight index per protocol.
+
+The jump engine's general loop used to dispatch every productive event
+across the protocol's :mod:`~repro.core.families` — re-walking the
+family list to locate the sampled pair, then notifying *every* family of
+*every* count change.  For the multi-family protocols (the §4 line and
+§5 tree constructions, the whole point of the paper) that dispatch, plus
+``TriangularLine``'s per-change recompute, dominated the hot path.
+
+:class:`FusedIndex` compiles the families once into a single flat
+integer weight index:
+
+* every same-state rule gets its **own slot** (weight ``c(c−1)``), so a
+  single weighted ``find`` yields the pair directly;
+* each :class:`~repro.core.families.OrderedProduct` family collapses to
+  **one slot** of weight ``A·B`` (the side sums), with the two side
+  draws decoded from the *residual* find target — no extra randomness;
+* each :class:`~repro.core.families.TriangularLine` family collapses to
+  **one slot** whose weight follows from the count moments ``S``/``Q``
+  in O(1) per change;
+* unknown :class:`~repro.core.families.Family` subclasses keep working
+  through an opaque one-slot adapter.
+
+Composite slots (product / triangular / opaque) are laid out *first*,
+so the engine's hot loop resolves the overwhelmingly common draws (the
+reset line during a §5 reset storm) with a couple of comparisons before
+falling back to the Fenwick walk over the same-state block.  Side
+Fenwick trees are padded to powers of two so their top node *is* the
+side total — updates become bare add-delta walks with no bookkeeping.
+
+Per-state **update plans** are precompiled from the families' membership
+(:meth:`~repro.core.families.Family.states`), and whole transitions
+compile to straight-line programs (:meth:`FusedIndex.compile_transition`)
+that the engine's fast loop executes without any per-event family
+dispatch.  All weights stay exact Python integers.
+
+:class:`WeightedFusedIndex` extends the same machinery to *biased* pair
+schedulers: every slot weight is scaled by the scheduler's pair weight,
+kept exact as a dyadic rational numerator (denominator ``2⁵³`` — the
+resolution of the rejection engine's float acceptance test, so both
+engines realise the *identical* step distribution).  See
+:mod:`repro.core.scheduler` for the engine built on top of it.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Sequence, Tuple
+
+from ..exceptions import SimulationError
+from .families import Family, OrderedProduct, SameStatePairs, TriangularLine
+from .fenwick import FenwickTree, fill_tree
+
+__all__ = [
+    "FusedIndex",
+    "WeightedFusedIndex",
+    "WeightedIndexUnsupported",
+    "WEIGHT_DENOMINATOR",
+    "dyadic_weight_numerator",
+]
+
+
+class WeightedIndexUnsupported(SimulationError):
+    """The weighted fused index cannot realise this scheduler exactly.
+
+    Raised during compilation (custom family types, underivable state
+    classes, too many classes).  Callers fall back to the rejection
+    engine, which handles any scheduler.
+    """
+
+# Slot kinds (also the dispatch codes burned into compiled programs).
+SAME, PRODUCT, TRIANGULAR, OPAQUE = 0, 1, 2, 3
+# Step code for per-position weighted line slots (weighted index only).
+_WEIGHTED_LINE = 4
+
+#: Acceptance thresholds in the rejection engine are 53-bit uniforms
+#: (``k·2⁻⁵³``), so every float pair weight acts with effective
+#: probability ``ceil(w·2⁵³)/2⁵³``.  Scaling slot weights by the same
+#: dyadic numerators makes the weighted index *exactly* equivalent.
+WEIGHT_DENOMINATOR = 1 << 53
+
+
+def dyadic_weight_numerator(weight: float) -> int:
+    """``ceil(weight · 2⁵³)`` computed exactly (no float rounding).
+
+    This is the number of 53-bit uniform thresholds a rejection test
+    with probability ``weight`` accepts — the exact effective weight of
+    the pair under the rejection engine.
+    """
+    if not 0.0 < weight <= 1.0:
+        raise SimulationError(
+            f"scheduler pair weight {weight} outside (0, 1]"
+        )
+    scaled = Fraction(weight) * WEIGHT_DENOMINATOR
+    return -(-scaled.numerator // scaled.denominator)
+
+
+def _padded_tree(values: Sequence[int]) -> Tuple[List[int], int]:
+    """Fenwick array padded to a power-of-two size.
+
+    With ``size`` a power of two, ``tree[size]`` is the total weight, so
+    callers need no separate total bookkeeping; updates are bare
+    add-delta walks.
+    """
+    values = list(values)
+    size = 1
+    while size < len(values):
+        size <<= 1
+    tree = [0] * (size + 1)
+    fill_tree(tree, size, values)
+    return tree, size
+
+
+def _tree_find(tree: List[int], size: int, target: int) -> int:
+    """Weighted-draw slot of a padded Fenwick array (``size`` = pow2)."""
+    pos = 0
+    bit = size
+    while bit:
+        nxt = pos + bit
+        if nxt <= size:
+            below = tree[nxt]
+            if below <= target:
+                target -= below
+                pos = nxt
+        bit >>= 1
+    return pos
+
+
+class _ProductSlot:
+    """One fused slot for an ``OrderedProduct`` family (or class block).
+
+    Weight is ``factor · A · B`` where ``A``/``B`` are the side totals
+    of two private padded Fenwick arrays.  ``factor`` is 1 for the
+    uniform index and the scheduler's dyadic numerator otherwise.
+    """
+
+    __slots__ = ("initiators", "responders", "init_tree", "init_size",
+                 "resp_tree", "resp_size", "factor")
+
+    def __init__(
+        self,
+        counts: Sequence[int],
+        initiators: Sequence[int],
+        responders: Sequence[int],
+        factor: int = 1,
+    ) -> None:
+        self.initiators = list(initiators)
+        self.responders = list(responders)
+        self.init_tree, self.init_size = _padded_tree(
+            [counts[s] for s in self.initiators]
+        )
+        self.resp_tree, self.resp_size = _padded_tree(
+            [counts[s] for s in self.responders]
+        )
+        self.factor = factor
+
+    def weight(self) -> int:
+        return (
+            self.factor
+            * self.init_tree[self.init_size]
+            * self.resp_tree[self.resp_size]
+        )
+
+    def add(self, side: int, pos: int, delta: int) -> None:
+        """Add a count delta on one side (generic update path)."""
+        if side == OrderedProduct.INITIATOR:
+            tree, size = self.init_tree, self.init_size
+        else:
+            tree, size = self.resp_tree, self.resp_size
+        node = pos + 1
+        while node <= size:
+            tree[node] += delta
+            node += node & -node
+
+    def resync(self, counts: Sequence[int]) -> None:
+        """Reload both side trees from a counts list, in place.
+
+        Compiled transition programs hold direct references to the tree
+        lists, so a resync must refill rather than replace them.
+        """
+        fill_tree(
+            self.init_tree, self.init_size,
+            [counts[s] for s in self.initiators],
+        )
+        fill_tree(
+            self.resp_tree, self.resp_size,
+            [counts[s] for s in self.responders],
+        )
+
+    def pair_from_target(self, target: int) -> Tuple[int, int]:
+        """Decode both side draws from a residual target in ``[0, w)``.
+
+        ``target`` uniform on ``[0, f·A·B)`` factors into independent
+        uniforms for the two sides — an exact bijection, so no fresh
+        randomness is needed.
+        """
+        resp_total = self.resp_tree[self.resp_size]
+        span = self.factor * resp_total
+        initiator = self.initiators[
+            _tree_find(self.init_tree, self.init_size, target // span)
+        ]
+        responder = self.responders[
+            _tree_find(
+                self.resp_tree, self.resp_size, (target % span) // self.factor
+            )
+        ]
+        return initiator, responder
+
+
+class _TriangularSlot:
+    """One fused slot for a ``TriangularLine`` family.
+
+    Weight ``factor · [(Q − S) + (S² − Q)/2]`` from the running count
+    moments ``S = Σc``, ``Q = Σc²`` — O(1) per count change, the fix for
+    the old per-change O(len) recompute.  Only valid when the scheduler
+    weight is constant across the line (always true for the uniform
+    index); the weighted index falls back to per-position slots
+    otherwise.
+    """
+
+    __slots__ = ("line", "counts", "s", "q", "factor")
+
+    def __init__(
+        self, counts: Sequence[int], line: Sequence[int], factor: int = 1
+    ) -> None:
+        self.line = list(line)
+        self.counts = [counts[s] for s in self.line]
+        self.s = sum(self.counts)
+        self.q = sum(c * c for c in self.counts)
+        self.factor = factor
+
+    def weight(self) -> int:
+        s, q = self.s, self.q
+        return self.factor * ((q - s) + (s * s - q) // 2)
+
+    def resync(self, counts: Sequence[int]) -> None:
+        """Reload line counts and moments from a counts list, in place."""
+        line_counts = self.counts
+        for pos, state in enumerate(self.line):
+            line_counts[pos] = counts[state]
+        self.s = sum(line_counts)
+        self.q = sum(c * c for c in line_counts)
+
+    def pair_from_target(self, target: int) -> Tuple[int, int]:
+        """Decode a line pair from a residual target in ``[0, w)``."""
+        target //= self.factor
+        counts = self.counts
+        line = self.line
+        suffix = self.s
+        for i in range(len(counts)):
+            c = counts[i]
+            if c == 0:
+                continue
+            suffix -= c
+            block = c * (c - 1 + suffix)
+            if target < block:
+                same = c * (c - 1)
+                if target < same:
+                    return line[i], line[i]
+                j_target = (target - same) // c
+                for j in range(i + 1, len(counts)):
+                    if j_target < counts[j]:
+                        return line[i], line[j]
+                    j_target -= counts[j]
+                raise SimulationError("fused triangular sample overflow")
+            target -= block
+        raise SimulationError("fused triangular sample out of range")
+
+
+class FusedIndex:
+    """Flat integer weight index over all productive pair slots.
+
+    Built once per engine from ``protocol.build_families(counts)``; the
+    families are only *read* during compilation — the index owns all
+    mutable sampling state afterwards (the engine may let the family
+    objects go stale).
+
+    Layout: composite slots (product / triangular / opaque) occupy
+    ``0..num_composite-1`` and live *outside* the Fenwick tree — their
+    weights change on almost every event, the linear ``find`` pre-scan
+    resolves them anyway, and keeping them out makes their per-event
+    refresh an O(1) ``values[]`` write instead of a full tree walk.  The
+    Fenwick tree covers only the same-state block (slot ``s`` maps to
+    tree position ``s - num_composite``), whose per-slot weights change
+    far less often than the composite aggregates.
+
+    Attributes exposed for the engine's inlined hot loop: ``tree`` /
+    ``values``, ``num_slots``, ``num_composite``, ``fenwick_size``
+    (``num_slots - num_composite``), ``slot_kind``, ``slot_payload``,
+    and ``total`` (the cached total weight ``W``).
+    """
+
+    __slots__ = ("num_slots", "num_composite", "fenwick_size", "tree",
+                 "values", "total", "slot_kind", "slot_payload",
+                 "state_steps", "_num_states")
+
+    def __init__(
+        self,
+        families: Sequence[Family],
+        num_states: int,
+        counts: Sequence[int],
+    ) -> None:
+        self._num_states = num_states
+        kinds: List[int] = []
+        payloads: List[object] = []
+        weights: List[int] = []
+        steps: List[List[tuple]] = [[] for _ in range(num_states)]
+
+        # Composite slots first: the hot loop short-circuits the find
+        # for them, and a handful of comparisons resolves the draws that
+        # dominate reset-heavy runs.
+        same_state: List[SameStatePairs] = []
+        for family in families:
+            if type(family) is SameStatePairs:
+                same_state.append(family)
+            elif type(family) is OrderedProduct:
+                slot = len(kinds)
+                payload = _ProductSlot(
+                    counts, family.initiators, family.responders
+                )
+                kinds.append(PRODUCT)
+                payloads.append(payload)
+                weights.append(payload.weight())
+                for pos, state in enumerate(payload.initiators):
+                    steps[state].append(
+                        (PRODUCT, payload.init_tree, pos + 1,
+                         payload.init_size, slot, payload)
+                    )
+                for pos, state in enumerate(payload.responders):
+                    steps[state].append(
+                        (PRODUCT, payload.resp_tree, pos + 1,
+                         payload.resp_size, slot, payload)
+                    )
+            elif type(family) is TriangularLine:
+                slot = len(kinds)
+                payload = _TriangularSlot(counts, family.line_states())
+                kinds.append(TRIANGULAR)
+                payloads.append(payload)
+                weights.append(payload.weight())
+                for pos, state in enumerate(payload.line):
+                    steps[state].append((TRIANGULAR, payload, pos, slot))
+            else:
+                # Opaque adapter: the family keeps maintaining its own
+                # weight; the index mirrors it in one slot.
+                slot = len(kinds)
+                kinds.append(OPAQUE)
+                payloads.append(family)
+                weights.append(family.weight)
+                for state in family.states():
+                    steps[state].append((OPAQUE, family, slot))
+        num_composite = len(kinds)
+        self.num_composite = num_composite
+        for family in same_state:
+            for state in family.rule_states():
+                slot = len(kinds)
+                kinds.append(SAME)
+                payloads.append(state)
+                weights.append(counts[state] * (counts[state] - 1))
+                # Third field: the slot's first Fenwick node (the tree
+                # only spans the same-state block).
+                steps[state].append((SAME, slot, slot - num_composite + 1))
+
+        self.num_slots = len(kinds)
+        self.fenwick_size = self.num_slots - num_composite
+        self.slot_kind = kinds
+        self.slot_payload = payloads
+        self.values = weights
+        fenwick = FenwickTree.from_values(weights[num_composite:])
+        self.tree = fenwick._tree
+        self.total = sum(weights[:num_composite]) + fenwick.total
+        self.state_steps = [tuple(entries) for entries in steps]
+
+    # ------------------------------------------------------------------
+    # Slot-level primitives
+    # ------------------------------------------------------------------
+    def _set(self, slot: int, weight: int) -> int:
+        """Set one slot's weight; returns the delta applied."""
+        values = self.values
+        delta = weight - values[slot]
+        if delta == 0:
+            return 0
+        values[slot] = weight
+        self.total += delta
+        num_composite = self.num_composite
+        if slot >= num_composite:
+            tree = self.tree
+            node = slot - num_composite + 1
+            size = self.fenwick_size
+            while node <= size:
+                tree[node] += delta
+                node += node & -node
+        return delta
+
+    def find(self, target: int) -> Tuple[int, int]:
+        """Slot hit by a weighted draw, plus the residual target.
+
+        The handful of composite slots resolve with a linear scan; only
+        draws landing in the same-state block walk the Fenwick tree.
+        """
+        if not 0 <= target < self.total:
+            raise SimulationError(
+                f"fused find target {target} outside [0, {self.total})"
+            )
+        values = self.values
+        residual = target
+        for slot in range(self.num_composite):
+            value = values[slot]
+            if residual < value:
+                return slot, residual
+            residual -= value
+        tree = self.tree
+        size = self.fenwick_size
+        pos = 0
+        bit = 1 << (size.bit_length() - 1) if size else 0
+        while bit:
+            nxt = pos + bit
+            if nxt <= size:
+                below = tree[nxt]
+                if below <= residual:
+                    residual -= below
+                    pos = nxt
+            bit >>= 1
+        return pos + self.num_composite, residual
+
+    def pair_from_slot(
+        self, slot: int, residual: int, rand_below
+    ) -> Tuple[int, int]:
+        """Decode the sampled ordered state pair of one slot."""
+        kind = self.slot_kind[slot]
+        payload = self.slot_payload[slot]
+        if kind == SAME:
+            return payload, payload
+        if kind == PRODUCT or kind == TRIANGULAR:
+            return payload.pair_from_target(residual)
+        return payload.sample(rand_below)
+
+    def sample(self, rand_below) -> Tuple[int, int]:
+        """Draw a productive ordered state pair ∝ its slot weight."""
+        slot, residual = self.find(rand_below(self.total))
+        return self.pair_from_slot(slot, residual, rand_below)
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def resync(self, counts: Sequence[int]) -> bool:
+        """Reload every slot weight from a counts list, in place (O(n)).
+
+        The slot layout, payload objects, and any compiled transition
+        programs stay valid — only the weights move.  This is the
+        fault-injection seam: adopting an externally mutated
+        configuration costs one pass, with no program recompilation.
+        Returns ``False`` when the index contains opaque family slots
+        (their internal state cannot be resynced from counts — the
+        caller must rebuild the index from fresh families instead).
+        """
+        kinds = self.slot_kind
+        payloads = self.slot_payload
+        if any(kinds[slot] == OPAQUE for slot in range(self.num_composite)):
+            return False
+        values = self.values
+        total = 0
+        for slot in range(self.num_composite):
+            payload = payloads[slot]
+            payload.resync(counts)
+            weight = payload.weight()
+            values[slot] = weight
+            total += weight
+        for slot in range(self.num_composite, self.num_slots):
+            state = payloads[slot]
+            weight = counts[state] * (counts[state] - 1)
+            values[slot] = weight
+        total += fill_tree(
+            self.tree, self.fenwick_size, values[self.num_composite:]
+        )
+        self.total = total
+        return True
+
+    def apply_count_change(self, state: int, old: int, new: int) -> int:
+        """Route one count change to every structure touching ``state``.
+
+        Returns the total-weight delta (also applied to :attr:`total`).
+        This is the generic path used by ``step()`` and by protocols
+        that opt out of transition compilation; hot loops execute the
+        precompiled programs from :meth:`compile_transition` instead.
+        """
+        delta = new - old
+        delta_w = 0
+        for step in self.state_steps[state]:
+            kind = step[0]
+            if kind == SAME:
+                delta_w += self._set(step[1], new * (new - 1))
+            elif kind == PRODUCT:
+                tree, node, size, slot, payload = (
+                    step[1], step[2], step[3], step[4], step[5]
+                )
+                while node <= size:
+                    tree[node] += delta
+                    node += node & -node
+                delta_w += self._set(slot, payload.weight())
+            elif kind == TRIANGULAR:
+                payload, pos, slot = step[1], step[2], step[3]
+                payload.counts[pos] = new
+                payload.s += delta
+                payload.q += new * new - old * old
+                delta_w += self._set(slot, payload.weight())
+            else:
+                family, slot = step[1], step[2]
+                family.on_count_change(state, old, new)
+                delta_w += self._set(slot, family.weight)
+        return delta_w
+
+    def compile_transition(
+        self, ops: Sequence[Tuple[int, int]]
+    ) -> Tuple[tuple, tuple]:
+        """Compile one transition's count deltas into a (prog, refresh) pair.
+
+        ``prog`` lists ``(state, delta, steps)`` with each state's
+        precompiled update steps; ``refresh`` is the *deduplicated* set
+        of composite slots whose fused weight must be recomputed once
+        after all payload updates — so a transition touching three line
+        states costs one slot refresh, not three.  Refresh entries are
+        pre-resolved per kind:
+
+        * triangular — ``(slot, TRIANGULAR, payload)``
+        * product — ``(slot, PRODUCT, init_tree, init_size, resp_tree,
+          resp_size)`` (the weight is the product of the two top nodes)
+        * opaque — ``(slot, OPAQUE, family)``
+        """
+        prog = tuple(
+            (state, delta, self.state_steps[state]) for state, delta in ops
+        )
+        refresh: Dict[int, tuple] = {}
+        for state, _ in ops:
+            for step in self.state_steps[state]:
+                kind = step[0]
+                if kind == SAME:
+                    continue
+                if kind == PRODUCT:
+                    slot, payload = step[4], step[5]
+                    if slot not in refresh:
+                        refresh[slot] = (
+                            slot, PRODUCT, payload.init_tree,
+                            payload.init_size, payload.resp_tree,
+                            payload.resp_size,
+                        )
+                elif kind == TRIANGULAR:
+                    slot = step[3]
+                    if slot not in refresh:
+                        refresh[slot] = (slot, TRIANGULAR, step[1])
+                else:
+                    slot = step[2]
+                    if slot not in refresh:
+                        refresh[slot] = (slot, OPAQUE, step[1])
+        return prog, tuple(refresh.values())
+
+
+class WeightedFusedIndex:
+    """Fused index with every slot scaled by a scheduler's pair weight.
+
+    Exactness contract: pair weights enter as dyadic numerators
+    (:func:`dyadic_weight_numerator`), and the scheduler must be
+    *class-uniform* — its ``pair_weight`` depends only on the (state
+    class, state class) pair for a given partition of the state space
+    (see ``PairScheduler.state_classes``).  Slot layout per family:
+
+    * ``SameStatePairs`` — per-state slots, weight ``c(c−1)·u(s,s)``;
+    * ``OrderedProduct`` — the sides are split into per-class blocks and
+      every (initiator block, responder block) pair gets one slot of
+      weight ``u(p,q)·A_p·B_q`` — single-sided O(#classes) updates
+      instead of rejection;
+    * ``TriangularLine`` — one O(1) moment slot when the whole line
+      shares a class (the common case: reset-line states are all
+      "extra" states), else exact per-position slots.
+
+    The index also tracks the scheduler's **total step mass** over all
+    ordered agent pairs (productive or not) through per-class count
+    sums, which is what turns the rejection loop into a geometric jump:
+    the probability of a step being productive is
+    ``total / total_mass()``, both exact integers.
+    """
+
+    __slots__ = ("num_slots", "tree", "values", "total", "slot_kind",
+                 "slot_payload", "state_steps", "_num_states",
+                 "class_of", "class_counts", "_class_matrix", "_row_dot")
+
+    def __init__(
+        self,
+        families: Sequence[Family],
+        num_states: int,
+        counts: Sequence[int],
+        class_of: Sequence[int],
+        class_matrix: Sequence[Sequence[int]],
+    ) -> None:
+        if len(class_of) != num_states:
+            raise SimulationError(
+                f"state classes cover {len(class_of)} states, "
+                f"expected {num_states}"
+            )
+        self._num_states = num_states
+        self.class_of = list(class_of)
+        u = [[int(w) for w in row] for row in class_matrix]
+        self._class_matrix = u
+        num_classes = len(u)
+
+        kinds: List[int] = []
+        payloads: List[object] = []
+        weights: List[int] = []
+        steps: List[List[tuple]] = [[] for _ in range(num_states)]
+
+        for family in families:
+            if type(family) is SameStatePairs:
+                for state in family.rule_states():
+                    cls = self.class_of[state]
+                    slot = len(kinds)
+                    factor = u[cls][cls]
+                    kinds.append(SAME)
+                    payloads.append((state, factor))
+                    weights.append(
+                        factor * counts[state] * (counts[state] - 1)
+                    )
+                    steps[state].append((SAME, slot, factor))
+            elif type(family) is OrderedProduct:
+                self._compile_product(
+                    family, counts, u, kinds, payloads, weights, steps
+                )
+            elif type(family) is TriangularLine:
+                self._compile_triangular(
+                    family, counts, u, kinds, payloads, weights, steps
+                )
+            else:
+                raise WeightedIndexUnsupported(
+                    f"weighted fused index cannot scale custom family "
+                    f"{type(family).__name__} exactly; use the rejection "
+                    "engine for this protocol"
+                )
+
+        self.num_slots = len(kinds)
+        self.slot_kind = kinds
+        self.slot_payload = payloads
+        fenwick = FenwickTree.from_values(weights)
+        self.tree = fenwick._tree
+        self.values = fenwick._values
+        self.total = fenwick.total
+        self.state_steps = [tuple(entries) for entries in steps]
+
+        # Per-class count sums for the total step mass.
+        class_counts = [0] * num_classes
+        for state, count in enumerate(counts):
+            class_counts[self.class_of[state]] += count
+        self.class_counts = class_counts
+        self._row_dot = [
+            sum(u[p][q] * class_counts[q] for q in range(num_classes))
+            for p in range(num_classes)
+        ]
+
+    def _compile_product(
+        self, family, counts, u, kinds, payloads, weights, steps
+    ) -> None:
+        """Split an OrderedProduct's sides into per-class blocks."""
+        def blocks(states):
+            grouped: Dict[int, List[int]] = {}
+            for state in states:
+                grouped.setdefault(self.class_of[state], []).append(state)
+            return grouped
+
+        init_blocks = blocks(family.initiators)
+        resp_blocks = blocks(family.responders)
+        for p, initiators in init_blocks.items():
+            for q, responders in resp_blocks.items():
+                slot = len(kinds)
+                payload = _ProductSlot(
+                    counts, initiators, responders, factor=u[p][q]
+                )
+                kinds.append(PRODUCT)
+                payloads.append(payload)
+                weights.append(payload.weight())
+                for pos, state in enumerate(initiators):
+                    steps[state].append(
+                        (PRODUCT, payload, OrderedProduct.INITIATOR, pos,
+                         slot)
+                    )
+                for pos, state in enumerate(responders):
+                    steps[state].append(
+                        (PRODUCT, payload, OrderedProduct.RESPONDER, pos,
+                         slot)
+                    )
+
+    def _compile_triangular(
+        self, family, counts, u, kinds, payloads, weights, steps
+    ) -> None:
+        """One moment slot if the line is class-uniform, else per-position."""
+        line = family.line_states()
+        classes = {self.class_of[state] for state in line}
+        if len(classes) == 1:
+            cls = classes.pop()
+            slot = len(kinds)
+            payload = _TriangularSlot(counts, line, factor=u[cls][cls])
+            kinds.append(TRIANGULAR)
+            payloads.append(payload)
+            weights.append(payload.weight())
+            for pos, state in enumerate(line):
+                steps[state].append((TRIANGULAR, payload, pos, slot))
+            return
+        payload = _WeightedLine(
+            counts, line, [self.class_of[s] for s in line], u
+        )
+        base_slot = len(kinds)
+        for pos in range(len(line)):
+            kinds.append(TRIANGULAR)
+            payloads.append((payload, pos))
+            weights.append(payload.position_weight(pos))
+        for pos, state in enumerate(line):
+            steps[state].append((_WEIGHTED_LINE, payload, pos, base_slot))
+
+    # ------------------------------------------------------------------
+    # Sampling (method-based: the weighted engine replaces a rejection
+    # loop whose cost per step dwarfs a few Python calls)
+    # ------------------------------------------------------------------
+    def find(self, target: int) -> Tuple[int, int]:
+        """Slot hit by a weighted draw, plus the residual target."""
+        if not 0 <= target < self.total:
+            raise SimulationError(
+                f"fused find target {target} outside [0, {self.total})"
+            )
+        tree = self.tree
+        num_slots = self.num_slots
+        pos = 0
+        bit = 1 << (num_slots.bit_length() - 1) if num_slots else 0
+        while bit:
+            nxt = pos + bit
+            if nxt <= num_slots:
+                below = tree[nxt]
+                if below <= target:
+                    target -= below
+                    pos = nxt
+            bit >>= 1
+        return pos, target
+
+    def sample(self, rand_below) -> Tuple[int, int]:
+        """Draw a productive pair ∝ ``count-pairs · scheduler weight``."""
+        slot, residual = self.find(rand_below(self.total))
+        kind = self.slot_kind[slot]
+        payload = self.slot_payload[slot]
+        if kind == SAME:
+            return payload[0], payload[0]
+        if kind == PRODUCT:
+            return payload.pair_from_target(residual)
+        if isinstance(payload, tuple):  # weighted per-position line slot
+            line_payload, pos = payload
+            return line_payload.pair_from_target(pos, residual)
+        return payload.pair_from_target(residual)
+
+    def _set(self, slot: int, weight: int) -> int:
+        values = self.values
+        delta = weight - values[slot]
+        if delta == 0:
+            return 0
+        values[slot] = weight
+        self.total += delta
+        tree = self.tree
+        node = slot + 1
+        num_slots = self.num_slots
+        while node <= num_slots:
+            tree[node] += delta
+            node += node & -node
+        return delta
+
+    def apply_count_change(self, state: int, old: int, new: int) -> int:
+        """Route one count change through slots and class sums."""
+        delta = new - old
+        cls = self.class_of[state]
+        self.class_counts[cls] += delta
+        u = self._class_matrix
+        row_dot = self._row_dot
+        for q in range(len(row_dot)):
+            row_dot[q] += u[q][cls] * delta
+        delta_w = 0
+        for step in self.state_steps[state]:
+            kind = step[0]
+            if kind == SAME:
+                slot, factor = step[1], step[2]
+                delta_w += self._set(slot, factor * new * (new - 1))
+            elif kind == PRODUCT:
+                payload, side, pos, slot = step[1], step[2], step[3], step[4]
+                payload.add(side, pos, delta)
+                delta_w += self._set(slot, payload.weight())
+            elif kind == TRIANGULAR:
+                payload, pos, slot = step[1], step[2], step[3]
+                payload.counts[pos] = new
+                payload.s += delta
+                payload.q += new * new - old * old
+                delta_w += self._set(slot, payload.weight())
+            else:  # _WEIGHTED_LINE
+                payload, pos, base_slot = step[1], step[2], step[3]
+                for line_pos in payload.update(pos, new):
+                    delta_w += self._set(
+                        base_slot + line_pos,
+                        payload.position_weight(line_pos),
+                    )
+        return delta_w
+
+    def total_mass(self) -> int:
+        """Scheduler mass of *all* ordered agent pairs (incl. null ones).
+
+        ``Σ u(sᵢ,sⱼ)·cᵢ·cⱼ − Σ u(s,s)·c_s`` over classes — the weighted
+        analogue of ``n(n−1)``, and the denominator of the geometric
+        jump's success probability.  O(#classes) per call.
+        """
+        u = self._class_matrix
+        class_counts = self.class_counts
+        row_dot = self._row_dot
+        cross = 0
+        diagonal = 0
+        for p, count in enumerate(class_counts):
+            cross += count * row_dot[p]
+            diagonal += u[p][p] * count
+        return cross - diagonal
+
+
+class _WeightedLine:
+    """Per-position triangular slots for a non-class-uniform line.
+
+    Position ``i`` carries ``w_i = c_i·[(c_i−1)·u_ii + Σ_{j>i} c_j·u_ij]``
+    so Σ w_i is the family's exact weighted mass.  A count change at
+    position ``p`` touches positions ``i ≤ p`` (the line is O(log n)
+    states, so the O(len) update only ever runs on a short list).
+    """
+
+    __slots__ = ("line", "counts", "matrix")
+
+    def __init__(self, counts, line, line_classes, u) -> None:
+        self.line = list(line)
+        self.counts = [counts[s] for s in self.line]
+        length = len(self.line)
+        self.matrix = [
+            [u[line_classes[i]][line_classes[j]] for j in range(length)]
+            for i in range(length)
+        ]
+
+    def position_weight(self, i: int) -> int:
+        counts = self.counts
+        row = self.matrix[i]
+        c = counts[i]
+        if c == 0:
+            return 0
+        acc = (c - 1) * row[i]
+        for j in range(i + 1, len(counts)):
+            acc += counts[j] * row[j]
+        return c * acc
+
+    def update(self, pos: int, new: int) -> range:
+        """Adopt a new count; returns the positions whose weight moved."""
+        self.counts[pos] = new
+        return range(pos + 1)
+
+    def pair_from_target(self, i: int, target: int) -> Tuple[int, int]:
+        counts = self.counts
+        line = self.line
+        row = self.matrix[i]
+        c = counts[i]
+        same = c * (c - 1) * row[i]
+        if target < same:
+            return line[i], line[i]
+        target -= same
+        for j in range(i + 1, len(counts)):
+            cross = c * counts[j] * row[j]
+            if target < cross:
+                return line[i], line[j]
+            target -= cross
+        raise SimulationError("weighted line sample out of range")

@@ -14,13 +14,17 @@ approximation.
 Hot-path layout
 ---------------
 
-The engine keeps the total productive weight ``W`` as a cached integer,
-updated incrementally from the per-family weight deltas returned by
-:meth:`~repro.core.families.Family.on_count_change`, and precompiles the
-protocol's transition function into lookup tables (per-state for
-same-state-only protocols, a lazily filled per-pair dict otherwise) so
-the inner loop never re-sums family weights or re-enters ``delta()``.
-Protocols whose ``delta`` is not a pure function opt out via
+The engine compiles the protocol's weight families into one
+:class:`~repro.core.fused.FusedIndex` — a single flat integer weight
+index over all productive pair slots — so the general loop samples a
+productive ordered pair with one Fenwick ``find`` (the residual target
+decodes within-slot draws; no per-family dispatch) and updates weights
+through precompiled per-state plans with O(1)-amortised slot deltas.
+The protocol's transition function is precompiled into lookup tables
+(per-state for same-state-only protocols, a lazily filled per-pair dict
+of straight-line update programs otherwise) so the inner loop never
+re-sums family weights or re-enters ``delta()``.  Protocols whose
+``delta`` is not a pure function opt out via
 :attr:`~repro.core.protocol.PopulationProtocol.compile_transitions`.
 
 For protocols whose productive pairs are all same-state (every
@@ -57,6 +61,7 @@ from .configuration import Configuration
 from .engine import Event, Recorder
 from .families import SameStatePairs
 from .fenwick import FenwickTree
+from .fused import OPAQUE, PRODUCT, SAME, TRIANGULAR, FusedIndex
 from .protocol import PopulationProtocol
 
 __all__ = ["JumpEngine"]
@@ -118,15 +123,16 @@ class JumpEngine:
         self._rng = rng
         self._debug = bool(debug)
         self.counts: List[int] = configuration.counts_list()
-        self._families = protocol.build_families(self.counts)
         self._num_states = protocol.num_states
         self._total_pairs = n * (n - 1)
         self.interactions = 0
         self.events = 0
-        weight = 0
-        for family in self._families:
-            weight += family.weight
-        self._weight = weight
+        # The families are compiled into the fused index and then only
+        # serve as the structural description; all mutable sampling
+        # state lives in the index.
+        families = protocol.build_families(self.counts)
+        self._fused = FusedIndex(families, self._num_states, self.counts)
+        self._weight = self._fused.total
         self._uniforms = rng.random(_UNIFORM_BATCH)
         self._uniform_pos = 0
         self._raws: List[int] = []
@@ -134,9 +140,9 @@ class JumpEngine:
         self._pair_table: Optional[Dict[int, tuple]] = (
             {} if protocol.compile_transitions else None
         )
-        self._ss_table = self._compile_same_state_table()
+        self._ss_table = self._compile_same_state_table(families)
 
-    def _compile_same_state_table(self):
+    def _compile_same_state_table(self, families):
         """Per-state transition table for same-state-only protocols.
 
         Returns ``None`` when the protocol opts out of compilation, has
@@ -146,9 +152,9 @@ class JumpEngine:
         """
         if not self._protocol.compile_transitions:
             return None
-        if len(self._families) != 1:
+        if len(families) != 1:
             return None
-        family = self._families[0]
+        family = families[0]
         if type(family) is not SameStatePairs:
             return None
         rule_states = {s for s, _ in family.pairs()}
@@ -214,15 +220,22 @@ class JumpEngine:
         return self._weight
 
     def recomputed_weight(self) -> int:
-        """``W`` re-summed from the families (debug / test cross-check)."""
-        return sum(family.weight for family in self._families)
+        """``W`` re-summed from fresh families (debug / test cross-check).
+
+        Rebuilds the families from the live counts, so it checks the
+        fused index against an independent from-scratch computation.
+        """
+        return sum(
+            family.weight
+            for family in self._protocol.build_families(self.counts)
+        )
 
     def _assert_weight_sync(self) -> None:
         recomputed = self.recomputed_weight()
-        if self._weight != recomputed:
+        if not (self._weight == self._fused.total == recomputed):
             raise AssertionError(
-                f"cached weight {self._weight} != recomputed {recomputed} "
-                f"after {self.events} events"
+                f"cached weight {self._weight} (fused {self._fused.total}) "
+                f"!= recomputed {recomputed} after {self.events} events"
             )
 
     def is_silent(self) -> bool:
@@ -234,7 +247,7 @@ class JumpEngine:
 
         This is the fault-injection seam used by the scenario engine:
         the population is corrupted *outside* the protocol's own
-        dynamics, so the families and the cached weight ``W`` are
+        dynamics, so the fused index and the cached weight ``W`` are
         rebuilt from the new counts.  The compiled transition tables are
         count-independent and stay valid; the interaction/event counters
         and the generator stream are deliberately preserved, so a run
@@ -259,8 +272,26 @@ class JumpEngine:
                 f"engine has {self._protocol.num_agents}"
             )
         self.counts = counts
-        self._families = self._protocol.build_families(counts)
-        self._weight = sum(family.weight for family in self._families)
+        # In-place index resync keeps the compiled transition programs
+        # valid; only indexes with opaque family slots need a rebuild.
+        if self._fused.resync(counts):
+            self._weight = self._fused.total
+        else:
+            self._rebuild_fused(counts)
+
+    def _rebuild_fused(self, counts: List[int]) -> None:
+        """Recompile the fused index (and weight) from a counts list.
+
+        The compiled pair table holds straight-line programs bound to
+        the *old* index's payload objects, so it must be invalidated
+        whenever the index is rebuilt — entries recompile lazily.
+        """
+        self._fused = FusedIndex(
+            self._protocol.build_families(counts), self._num_states, counts
+        )
+        self._weight = self._fused.total
+        if self._pair_table is not None:
+            self._pair_table = {}
 
     # ------------------------------------------------------------------
     # Simulation
@@ -277,21 +308,14 @@ class JumpEngine:
         return skip if skip >= 1 else 1
 
     def _sample_pair(self, weight: int) -> tuple:
-        target = self.rand_below(weight)
-        for family in self._families:
-            fw = family.weight
-            if target < fw:
-                return family.sample(self.rand_below)
-            target -= fw
-        raise SimulationError("family weights changed during sampling")
+        return self._fused.sample(self.rand_below)
 
-    def _transition(self, si: int, sj: int) -> tuple:
-        """``(ti, tj, ops)`` for a productive pair, via the compiled table."""
-        table = self._pair_table
-        if table is not None:
-            entry = table.get(si * self._num_states + sj)
-            if entry is not None:
-                return entry
+    def _compile_pair(self, si: int, sj: int) -> tuple:
+        """``(ti, tj, ops, prog, refresh)`` — one transition, compiled.
+
+        ``prog``/``refresh`` are the fused index's straight-line update
+        program for the transition (executed inline by the fast loop).
+        """
         out = self._protocol.delta(si, sj)
         if out is None:
             raise SimulationError(
@@ -299,15 +323,34 @@ class JumpEngine:
                 "family coverage does not match delta"
             )
         ti, tj = out
-        entry = (ti, tj, _transition_ops(si, sj, ti, tj))
-        if table is not None:
+        ops = _transition_ops(si, sj, ti, tj)
+        prog, refresh = self._fused.compile_transition(ops)
+        return (ti, tj, ops, prog, refresh)
+
+    def _transition(self, si: int, sj: int) -> tuple:
+        """``(ti, tj, ops, ...)`` for a productive pair, via the table."""
+        table = self._pair_table
+        if table is None:
+            # Dynamic delta (compilation opted out): no point building
+            # the fused straight-line program only to discard it.
+            out = self._protocol.delta(si, sj)
+            if out is None:
+                raise SimulationError(
+                    f"families sampled null pair ({si}, {sj}) — "
+                    "family coverage does not match delta"
+                )
+            ti, tj = out
+            return (ti, tj, _transition_ops(si, sj, ti, tj))
+        entry = table.get(si * self._num_states + sj)
+        if entry is None:
+            entry = self._compile_pair(si, sj)
             table[si * self._num_states + sj] = entry
         return entry
 
     def _apply_ops(self, ops) -> None:
-        """Apply precomputed count deltas, keeping families and ``W`` synced."""
+        """Apply precomputed count deltas, keeping the index and ``W`` synced."""
         counts = self.counts
-        families = self._families
+        fused = self._fused
         delta_w = 0
         for state, delta in ops:
             old = counts[state]
@@ -317,8 +360,7 @@ class JumpEngine:
                     f"state {state} count went negative applying transition"
                 )
             counts[state] = new
-            for family in families:
-                delta_w += family.on_count_change(state, old, new)
+            delta_w += fused.apply_count_change(state, old, new)
         self._weight += delta_w
 
     def step(self) -> Optional[Event]:
@@ -331,7 +373,7 @@ class JumpEngine:
             return None
         self.interactions += self._geometric_skip(weight)
         si, sj = self._sample_pair(weight)
-        ti, tj, ops = self._transition(si, sj)
+        ti, tj, ops = self._transition(si, sj)[:3]
         self._apply_ops(ops)
         self.events += 1
         if self._debug:
@@ -391,7 +433,7 @@ class JumpEngine:
                 break
             self.interactions += skip
             si, sj = self._sample_pair(weight)
-            ti, tj, ops = self._transition(si, sj)
+            ti, tj, ops = self._transition(si, sj)[:3]
             self._apply_ops(ops)
             self.events += 1
             if self._debug:
@@ -408,50 +450,262 @@ class JumpEngine:
     # Fast loops — no recorder, no interaction budget, no Event objects
     # ------------------------------------------------------------------
     def _run_fast_general(self, max_events: Optional[int]) -> bool:
-        """Streamlined loop for protocols with cross-state families."""
+        """Fused-index loop for protocols with cross-state families.
+
+        One exact weighted draw per event resolves to a slot of the
+        fused index (inlined Fenwick ``find``); the residual target
+        decodes the within-slot pair, so same-state and product slots
+        need no further randomness.  Transitions execute as precompiled
+        straight-line programs: per-state payload updates (O(1) count
+        moments for the reset line, one-sided Fenwick writes for
+        products) followed by one deduplicated weight refresh per
+        composite slot — no per-event family dispatch anywhere.
+        """
+        protocol = self._protocol
+        rng = self._rng
         counts = self.counts
-        families = self._families
+        fused = self._fused
+        tree = fused.tree
+        values = fused.values
+        num_composite = fused.num_composite
+        fensize = fused.fenwick_size
+        highbit = 1 << (fensize.bit_length() - 1) if fensize else 0
+        slot_kind = fused.slot_kind
+        slot_payload = fused.slot_payload
+        num_states = self._num_states
         total_pairs = self._total_pairs
-        log, log1p, ceil = math.log, math.log1p, math.ceil
+        pair_table = self._pair_table
+        log1p, ceil = math.log1p, math.ceil
+
         weight = self._weight
         interactions = self.interactions
         events = self.events
         # max(0, ...): an already-exhausted budget must stop immediately,
         # not underflow past the -1 "unlimited" sentinel.
         remaining = -1 if max_events is None else max(0, max_events - events)
+
+        # Batched draws, as in the same-state loop: log(1-u) skip
+        # numerators through numpy, raw 64-bit integers for exact
+        # weighted targets.
+        lus: List[float] = []
+        upos = _UNIFORM_BATCH
+        raws: List[int] = []
+        raw_len = 0
+        rpos = 0
+
         while remaining != 0 and weight:
-            p = weight / total_pairs
-            u = self._next_uniform()
-            if u <= p:
+            # Geometric skip.
+            if weight >= total_pairs:
                 interactions += 1
             else:
-                skip = ceil(log(1.0 - u) / log1p(-p))
-                interactions += skip if skip >= 1 else 1
-            target = self.rand_below(weight)
-            for family in families:
-                fw = family.weight
-                if target < fw:
-                    si, sj = family.sample(self.rand_below)
+                if upos == _UNIFORM_BATCH:
+                    lus = np.log1p(-rng.random(_UNIFORM_BATCH)).tolist()
+                    upos = 0
+                lu = lus[upos]
+                upos += 1
+                lp = log1p(-weight / total_pairs)
+                if lu >= lp:
+                    interactions += 1
+                else:
+                    interactions += ceil(lu / lp)
+            # Exact uniform target in [0, weight).
+            while True:
+                if rpos == raw_len:
+                    raws = rng.integers(
+                        0, _RAW_SPAN, size=_RAW_BATCH, dtype=np.uint64
+                    ).tolist()
+                    raw_len = _RAW_BATCH
+                    rpos = 0
+                raw = raws[rpos]
+                rpos += 1
+                target = raw % weight
+                if raw - target <= _RAW_SPAN - weight:
                     break
-                target -= fw
-            else:
-                raise SimulationError("family weights changed during sampling")
-            ti, tj, ops = self._transition(si, sj)
-            for state, delta in ops:
-                old = counts[state]
-                new = old + delta
-                if new < 0:
+            # Fused-index find: the few composite slots short-circuit
+            # with a linear scan (they soak up nearly every draw during
+            # reset storms); same-state draws walk the Fenwick tree,
+            # which spans only the same-state block.
+            pos = -1
+            for ci in range(num_composite):
+                v = values[ci]
+                if target < v:
+                    pos = ci
+                    break
+                target -= v
+            if pos < 0:
+                pos = 0
+                bit = highbit
+                while bit:
+                    nxt = pos + bit
+                    if nxt <= fensize:
+                        below = tree[nxt]
+                        if below <= target:
+                            target -= below
+                            pos = nxt
+                    bit >>= 1
+                pos += num_composite
+            kind = slot_kind[pos]
+            if kind == TRIANGULAR:
+                # Inlined _TriangularSlot.pair_from_target (factor 1).
+                tri = slot_payload[pos]
+                tcounts = tri.counts
+                line = tri.line
+                suffix = tri.s
+                tlen = len(tcounts)
+                si = -1
+                for i in range(tlen):
+                    c = tcounts[i]
+                    if c == 0:
+                        continue
+                    suffix -= c
+                    block = c * (c - 1 + suffix)
+                    if target < block:
+                        same = c * (c - 1)
+                        if target < same:
+                            si = sj = line[i]
+                            break
+                        si = line[i]
+                        sj = -1
+                        j_target = (target - same) // c
+                        for j in range(i + 1, tlen):
+                            cj = tcounts[j]
+                            if j_target < cj:
+                                sj = line[j]
+                                break
+                            j_target -= cj
+                        break
+                    target -= block
+                if si < 0 or sj < 0:
                     raise SimulationError(
-                        f"state {state} count went negative applying transition"
+                        "fused triangular sample out of range"
                     )
-                counts[state] = new
-                for family in families:
-                    weight += family.on_count_change(state, old, new)
+            elif kind == SAME:
+                si = sj = slot_payload[pos]
+            elif kind == PRODUCT:
+                prod = slot_payload[pos]
+                rtree = prod.resp_tree
+                rsize = prod.resp_size
+                # Both side draws decode from the one residual target.
+                t1 = target // rtree[rsize]
+                t2 = target - t1 * rtree[rsize]
+                p1 = 0
+                bit = prod.init_size
+                itree = prod.init_tree
+                while bit:
+                    nxt = p1 + bit
+                    if nxt <= prod.init_size:
+                        below = itree[nxt]
+                        if below <= t1:
+                            t1 -= below
+                            p1 = nxt
+                    bit >>= 1
+                si = prod.initiators[p1]
+                p2 = 0
+                bit = rsize
+                while bit:
+                    nxt = p2 + bit
+                    if nxt <= rsize:
+                        below = rtree[nxt]
+                        if below <= t2:
+                            t2 -= below
+                            p2 = nxt
+                    bit >>= 1
+                sj = prod.responders[p2]
+            else:
+                si, sj = slot_payload[pos].sample(self.rand_below)
+            # Transition: precompiled program when the table is on.
+            if pair_table is not None:
+                key = si * num_states + sj
+                entry = pair_table.get(key)
+                if entry is None:
+                    entry = self._compile_pair(si, sj)
+                    pair_table[key] = entry
+                for state, delta, steps in entry[3]:
+                    old = counts[state]
+                    new = old + delta
+                    if new < 0:
+                        raise SimulationError(
+                            f"state {state} count went negative applying "
+                            "transition"
+                        )
+                    counts[state] = new
+                    for step in steps:
+                        code = step[0]
+                        if code == TRIANGULAR:
+                            tri = step[1]
+                            tri.counts[step[2]] = new
+                            tri.s += delta
+                            tri.q += new * new - old * old
+                        elif code == PRODUCT:
+                            # Bare add-delta walk on the padded side tree.
+                            ptree = step[1]
+                            node = step[2]
+                            psize = step[3]
+                            while node <= psize:
+                                ptree[node] += delta
+                                node += node & -node
+                        elif code == SAME:
+                            slot = step[1]
+                            w = new * (new - 1)
+                            dw = w - values[slot]
+                            if dw:
+                                values[slot] = w
+                                weight += dw
+                                node = step[2]
+                                while node <= fensize:
+                                    tree[node] += dw
+                                    node += node & -node
+                        else:
+                            step[1].on_count_change(state, old, new)
+                # One deferred weight refresh per touched composite
+                # slot — a plain values[] write, composite slots live
+                # outside the Fenwick tree.
+                for ref in entry[4]:
+                    rkind = ref[1]
+                    if rkind == TRIANGULAR:
+                        tri = ref[2]
+                        s_ = tri.s
+                        q_ = tri.q
+                        w = (q_ - s_) + (s_ * s_ - q_) // 2
+                    elif rkind == PRODUCT:
+                        w = ref[2][ref[3]] * ref[4][ref[5]]
+                    else:
+                        w = ref[2].weight
+                    slot = ref[0]
+                    weight += w - values[slot]
+                    values[slot] = w
+            else:
+                # Dynamic delta (compile_transitions opted out).
+                out = protocol.delta(si, sj)
+                if out is None:
+                    raise SimulationError(
+                        f"families sampled null pair ({si}, {sj}) — "
+                        "family coverage does not match delta"
+                    )
+                ti, tj = out
+                for state, delta in _transition_ops(si, sj, ti, tj):
+                    old = counts[state]
+                    new = old + delta
+                    if new < 0:
+                        raise SimulationError(
+                            f"state {state} count went negative applying "
+                            "transition"
+                        )
+                    counts[state] = new
+                    weight += fused.apply_count_change(state, old, new)
             events += 1
             remaining -= 1
         self._weight = weight
+        fused.total = weight
         self.interactions = interactions
         self.events = events
+        # Discard any shared buffered draws so later step() calls start
+        # from fresh batches of the (advanced) generator stream.
+        self._uniform_pos = _UNIFORM_BATCH
+        self._raws = []
+        self._raw_pos = 0
+        if self._debug:
+            self._assert_weight_sync()
         return weight == 0
 
     def _run_fast_same_state(self, max_events: Optional[int]) -> bool:
@@ -463,8 +717,8 @@ class JumpEngine:
         a 2× hysteresis band so mode switches — each O(n) to rebuild the
         active sampler's structure — stay rare.  Both samplers draw from
         the exact jump-chain distribution; only the constant factor
-        differs.  Family weight structures are left stale inside the
-        loop and rebuilt from the final counts on exit.
+        differs.  The fused index is left stale inside the loop and
+        rebuilt from the final counts on exit.
         """
         protocol = self._protocol
         rng = self._rng
@@ -658,10 +912,11 @@ class JumpEngine:
 
         self.interactions = interactions
         self.events = events
+        # The loop mutated counts without notifying the fused index;
+        # resync it so step()/recorders stay usable after a fast run.
+        if not self._fused.resync(counts):
+            self._rebuild_fused(counts)
         self._weight = weight
-        # The loop mutated counts without notifying the families; rebuild
-        # them so step()/recorders stay usable after a fast run.
-        self._families = protocol.build_families(counts)
         # Discard any shared buffered draws so later step() calls start
         # from fresh batches of the (advanced) generator stream.
         self._uniform_pos = _UNIFORM_BATCH

@@ -1,4 +1,4 @@
-"""Pluggable pair-selection schedulers and the engine that honours them.
+"""Pluggable pair-selection schedulers and the engines that honour them.
 
 The paper's model fixes the *uniform* scheduler: every step draws one
 ordered pair of distinct agents uniformly at random.  Self-stabilisation
@@ -13,11 +13,23 @@ links, starved states).  This module is the engine-side seam:
 * :class:`UniformScheduler` — the identity scheduler.  It is a pure
   sentinel: :func:`repro.core.engine.run_protocol` routes uniform runs
   to the allocation-free jump fast path, so selecting it costs nothing;
-* :class:`ScheduledEngine` — a sequential-style engine that realises an
-  arbitrary scheduler exactly by rejection: draw a uniform ordered
-  agent pair, accept it with probability ``pair_weight(si, sj)``.
-  Accepted draws are the scheduler's steps, so the step distribution is
-  exactly ``P(pair) ∝ pair_weight(state_i, state_j)`` at every instant.
+* :class:`WeightedScheduledEngine` — the **weighted jump fast path**: a
+  geometric-jump engine over a
+  :class:`~repro.core.fused.WeightedFusedIndex`, which scales every
+  productive pair slot by the scheduler weight (exact dyadic rationals)
+  and tracks the scheduler's total step mass, so biased runs sample
+  productive steps directly instead of rejecting draw after draw;
+* :class:`ScheduledEngine` — the rejection reference: a
+  sequential-style engine that realises an arbitrary scheduler exactly
+  by accepting uniform draws with probability ``pair_weight(si, sj)``.
+  Cost per step is ``O(1/acceptance-rate)``; it remains the fallback
+  for schedulers the weighted index cannot compile and the ground
+  truth the weighted path is property-tested against.
+
+Both biased engines realise the identical step distribution: the
+weighted index's slot weights use the dyadic numerators
+``ceil(w·2⁵³)`` — exactly the acceptance probability the rejection
+engine's 53-bit uniform threshold implements for a float weight ``w``.
 
 Concrete adversarial schedulers (state-biased, clustered) live in
 :mod:`repro.scenarios.schedulers`; anything implementing the ABC plugs
@@ -26,18 +38,44 @@ in through the same ``run_protocol(..., scheduler=...)`` hook.
 
 from __future__ import annotations
 
+import math
 from abc import ABC, abstractmethod
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..exceptions import SimulationError
 from .configuration import Configuration
+from .engine import Event, Recorder
+from .fused import (
+    WeightedFusedIndex,
+    WeightedIndexUnsupported,
+    dyadic_weight_numerator,
+)
 from .protocol import PopulationProtocol
 from .sequential import SequentialEngine
 
-__all__ = ["PairScheduler", "UniformScheduler", "ScheduledEngine"]
+__all__ = [
+    "PairScheduler",
+    "UniformScheduler",
+    "ScheduledEngine",
+    "WeightedScheduledEngine",
+    "try_weighted_engine",
+]
 
 _ACCEPT_BATCH = 4096
+_RAW_BATCH = 8192
+_UNIFORM_BATCH = 8192
+_RAW_SPAN = 1 << 64
+# Single-raw rejection sampling stays efficient below this bound;
+# larger bounds (weighted masses scale by 2⁵³) splice multiple raws.
+_SINGLE_RAW_MAX = 1 << 62
+# Beyond this many weight classes the blocked index stops paying off
+# (slots grow as classes², updates as classes); rejection takes over.
+_MAX_CLASSES = 64
+# Without declared classes they are derived from the dense weight
+# matrix, which is O(num_states²) — only worth it for modest spaces.
+_DENSE_CLASS_LIMIT = 2048
 
 
 class PairScheduler(ABC):
@@ -62,6 +100,19 @@ class PairScheduler(ABC):
     def pair_weight(self, initiator_state: int, responder_state: int) -> float:
         """Relative weight of an ordered state pair, in ``(0, 1]``."""
 
+    def state_classes(self, num_states: int) -> Optional[List[int]]:
+        """Partition of the state space under which weights are uniform.
+
+        Returns one class id per state such that ``pair_weight(si, sj)``
+        depends only on ``(class(si), class(sj))``, or ``None`` when no
+        such partition is declared.  Concrete schedulers override this
+        (per-state weights group by value, clustered schedulers return
+        their cluster map); the weighted jump engine then compiles its
+        index from class representatives without ever densifying the
+        ``num_states²`` weight matrix.
+        """
+        return None
+
     def weight_matrix(self, num_states: int) -> np.ndarray:
         """Dense ``pair_weight`` table (engine precomputation)."""
         matrix = np.empty((num_states, num_states), dtype=np.float64)
@@ -84,9 +135,351 @@ class UniformScheduler(PairScheduler):
     def pair_weight(self, initiator_state: int, responder_state: int) -> float:
         return 1.0
 
+    def state_classes(self, num_states: int) -> List[int]:
+        return [0] * num_states
+
+
+def _normalise_classes(raw: Sequence[int]) -> Tuple[List[int], List[int]]:
+    """Renumber class ids by first occurrence; returns (map, representatives)."""
+    remap: Dict[int, int] = {}
+    class_of: List[int] = []
+    reps: List[int] = []
+    for state, cls in enumerate(raw):
+        idx = remap.get(cls)
+        if idx is None:
+            idx = len(reps)
+            remap[cls] = idx
+            reps.append(state)
+        class_of.append(idx)
+    return class_of, reps
+
+
+def _derive_classes(
+    scheduler: PairScheduler, num_states: int
+) -> Tuple[List[int], List[int]]:
+    """State classes for a scheduler, declared or matrix-derived.
+
+    Raises :class:`~repro.core.fused.WeightedIndexUnsupported` when the
+    class structure cannot be obtained at acceptable cost.
+    """
+    declared = scheduler.state_classes(num_states)
+    if declared is not None:
+        if len(declared) != num_states:
+            raise SimulationError(
+                f"{scheduler.name}: state_classes returned "
+                f"{len(declared)} entries for {num_states} states"
+            )
+        class_of, reps = _normalise_classes(declared)
+    else:
+        if num_states > _DENSE_CLASS_LIMIT:
+            raise WeightedIndexUnsupported(
+                f"{scheduler.name} declares no state classes and the "
+                f"state space ({num_states}) is too large to derive them "
+                "from the dense weight matrix"
+            )
+        matrix = scheduler.weight_matrix(num_states)
+        # States with identical rows *and* columns are interchangeable:
+        # the weight of any block pair is then constant.
+        keys = [
+            (matrix[s].tobytes(), np.ascontiguousarray(matrix[:, s]).tobytes())
+            for s in range(num_states)
+        ]
+        remap: Dict[object, int] = {}
+        raw: List[int] = []
+        for key in keys:
+            raw.append(remap.setdefault(key, len(remap)))
+        class_of, reps = _normalise_classes(raw)
+    if len(reps) > _MAX_CLASSES:
+        raise WeightedIndexUnsupported(
+            f"{scheduler.name} induces {len(reps)} weight classes "
+            f"(cap {_MAX_CLASSES}); falling back to rejection"
+        )
+    return class_of, reps
+
+
+class WeightedScheduledEngine:
+    """Geometric-jump engine for biased schedulers (no rejection loop).
+
+    Same run/step/recorder interface as the other engines.  Conditioned
+    on the configuration, a scheduler step is *productive* with
+    probability ``W_w / T_w`` where ``W_w`` is the weighted productive
+    mass (the fused index total) and ``T_w`` the weighted mass of all
+    ordered agent pairs — both exact integers maintained incrementally —
+    so null steps collapse into a geometric skip exactly as in the
+    uniform jump chain, and the productive pair itself is drawn from
+    the weighted index in one ``find``.
+
+    Raises :class:`~repro.core.fused.WeightedIndexUnsupported` when the
+    scheduler/protocol combination cannot be compiled exactly (use
+    :func:`try_weighted_engine` for transparent fallback).
+    """
+
+    def __init__(
+        self,
+        protocol: PopulationProtocol,
+        configuration: Configuration,
+        rng: np.random.Generator,
+        scheduler: PairScheduler,
+    ) -> None:
+        protocol.validate_configuration(configuration)
+        self._protocol = protocol
+        self._rng = rng
+        self._scheduler = scheduler
+        self.counts: List[int] = configuration.counts_list()
+        self._num_states = protocol.num_states
+        self.interactions = 0
+        self.events = 0
+        class_of, reps = _derive_classes(scheduler, self._num_states)
+        matrix = [
+            [
+                dyadic_weight_numerator(scheduler.pair_weight(ri, rj))
+                for rj in reps
+            ]
+            for ri in reps
+        ]
+        self._class_of = class_of
+        self._class_matrix = matrix
+        self._index = WeightedFusedIndex(
+            protocol.build_families(self.counts),
+            self._num_states,
+            self.counts,
+            class_of,
+            matrix,
+        )
+        self._uniforms = rng.random(_UNIFORM_BATCH)
+        self._uniform_pos = 0
+        self._raws: List[int] = []
+        self._raw_pos = 0
+        self._pair_table: Optional[Dict[int, tuple]] = (
+            {} if protocol.compile_transitions else None
+        )
+
+    @property
+    def scheduler(self) -> PairScheduler:
+        """The scheduler this engine realises."""
+        return self._scheduler
+
+    @property
+    def productive_weight(self) -> int:
+        """Weighted mass of productive ordered pairs (scaled by 2⁵³)."""
+        return self._index.total
+
+    def total_mass(self) -> int:
+        """Weighted mass of all ordered pairs (scaled by 2⁵³)."""
+        return self._index.total_mass()
+
+    def is_silent(self) -> bool:
+        """True iff no productive interaction exists."""
+        return self._index.total == 0
+
+    # ------------------------------------------------------------------
+    # Randomness
+    # ------------------------------------------------------------------
+    def _next_uniform(self) -> float:
+        pos = self._uniform_pos
+        if pos == _UNIFORM_BATCH:
+            self._uniforms = self._rng.random(_UNIFORM_BATCH)
+            pos = 0
+        self._uniform_pos = pos + 1
+        return self._uniforms[pos]
+
+    def _next_raw(self) -> int:
+        pos = self._raw_pos
+        if pos >= len(self._raws):
+            self._raws = self._rng.integers(
+                0, _RAW_SPAN, size=_RAW_BATCH, dtype=np.uint64
+            ).tolist()
+            pos = 0
+        self._raw_pos = pos + 1
+        return self._raws[pos]
+
+    def rand_below(self, bound: int) -> int:
+        """Uniform integer in ``[0, bound)``, exact for arbitrary bounds.
+
+        Weighted masses carry the 2⁵³ scale, so bounds can exceed the
+        single-raw range; larger bounds splice multiple 64-bit raws and
+        reject into the largest multiple of ``bound``.
+        """
+        if bound < _SINGLE_RAW_MAX:
+            limit = _RAW_SPAN - bound
+            while True:
+                raw = self._next_raw()
+                value = raw % bound
+                if raw - value <= limit:
+                    return value
+        words = (bound.bit_length() + 63) // 64
+        span = 1 << (64 * words)
+        limit = span - span % bound
+        while True:
+            value = 0
+            for _ in range(words):
+                value = (value << 64) | self._next_raw()
+            if value < limit:
+                return value % bound
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+    def _geometric_skip(self, weight: int, mass: int) -> int:
+        """Accepted steps until the next productive one (>= 1), exact."""
+        p = weight / mass
+        if p >= 1.0:
+            return 1
+        u = self._next_uniform()
+        if u <= p:
+            return 1
+        skip = math.ceil(math.log(1.0 - u) / math.log1p(-p))
+        return skip if skip >= 1 else 1
+
+    def _transition(self, si: int, sj: int) -> tuple:
+        table = self._pair_table
+        if table is not None:
+            entry = table.get(si * self._num_states + sj)
+            if entry is not None:
+                return entry
+        out = self._protocol.delta(si, sj)
+        if out is None:
+            raise SimulationError(
+                f"weighted index sampled null pair ({si}, {sj}) — "
+                "family coverage does not match delta"
+            )
+        ti, tj = out
+        delta: Dict[int, int] = {}
+        for state, change in ((si, -1), (sj, -1), (ti, 1), (tj, 1)):
+            delta[state] = delta.get(state, 0) + change
+        entry = (ti, tj, tuple((s, d) for s, d in delta.items() if d != 0))
+        if table is not None:
+            table[si * self._num_states + sj] = entry
+        return entry
+
+    def _apply_ops(self, ops) -> None:
+        counts = self.counts
+        index = self._index
+        for state, delta in ops:
+            old = counts[state]
+            new = old + delta
+            if new < 0:
+                raise SimulationError(
+                    f"state {state} count went negative applying transition"
+                )
+            counts[state] = new
+            index.apply_count_change(state, old, new)
+
+    def reset_configuration(self, configuration) -> None:
+        """Adopt an externally mutated configuration mid-run.
+
+        Fault-injection seam mirroring the other engines: the weighted
+        index is recompiled from the new counts (classes and the dyadic
+        weight matrix are count-independent and reused); counters, the
+        compiled pair table, and the generator stream are preserved.
+        """
+        counts = (
+            configuration.counts_list()
+            if isinstance(configuration, Configuration)
+            else [int(c) for c in configuration]
+        )
+        if len(counts) != self._num_states:
+            raise SimulationError(
+                f"reset configuration has {len(counts)} states, "
+                f"engine has {self._num_states}"
+            )
+        if any(c < 0 for c in counts):
+            raise SimulationError("reset configuration has negative counts")
+        if sum(counts) != self._protocol.num_agents:
+            raise SimulationError(
+                f"reset configuration has {sum(counts)} agents, "
+                f"engine has {self._protocol.num_agents}"
+            )
+        self.counts = counts
+        self._index = WeightedFusedIndex(
+            self._protocol.build_families(counts),
+            self._num_states,
+            counts,
+            self._class_of,
+            self._class_matrix,
+        )
+
+    def step(self) -> Optional[Event]:
+        """Advance to (and apply) the next productive interaction."""
+        index = self._index
+        weight = index.total
+        if weight == 0:
+            return None
+        self.interactions += self._geometric_skip(weight, index.total_mass())
+        si, sj = index.sample(self.rand_below)
+        ti, tj, ops = self._transition(si, sj)
+        self._apply_ops(ops)
+        self.events += 1
+        return Event(self.interactions, si, sj, ti, tj)
+
+    def run(
+        self,
+        max_interactions: Optional[int] = None,
+        recorder: Optional[Recorder] = None,
+        max_events: Optional[int] = None,
+    ) -> bool:
+        """Run until silence or budget exhaustion; True iff silent.
+
+        ``interactions`` counts the scheduler's accepted steps (null
+        ones included) — the same clock the rejection engine reports.
+        A skip overshooting ``max_interactions`` clamps to the budget
+        without applying the pending event.
+        """
+        if recorder is not None:
+            recorder.on_start(self.counts)
+        index = self._index
+        silent = False
+        while True:
+            weight = index.total
+            if weight == 0:
+                silent = True
+                break
+            if max_events is not None and self.events >= max_events:
+                break
+            skip = self._geometric_skip(weight, index.total_mass())
+            if (
+                max_interactions is not None
+                and self.interactions + skip > max_interactions
+            ):
+                self.interactions = max_interactions
+                break
+            self.interactions += skip
+            si, sj = index.sample(self.rand_below)
+            ti, tj, ops = self._transition(si, sj)
+            self._apply_ops(ops)
+            self.events += 1
+            if recorder is not None:
+                recorder.on_event(
+                    Event(self.interactions, si, sj, ti, tj), self.counts
+                )
+        if recorder is not None:
+            recorder.on_finish(silent, self.interactions, self.counts)
+        return silent
+
+    def configuration(self) -> Configuration:
+        """Snapshot of the current configuration."""
+        return Configuration(self.counts)
+
+
+def try_weighted_engine(
+    protocol: PopulationProtocol,
+    configuration: Configuration,
+    rng: np.random.Generator,
+    scheduler: PairScheduler,
+) -> Optional[WeightedScheduledEngine]:
+    """Weighted jump engine, or ``None`` when it cannot apply exactly.
+
+    Callers fall back to the rejection :class:`ScheduledEngine`, which
+    handles any scheduler/protocol combination.
+    """
+    try:
+        return WeightedScheduledEngine(protocol, configuration, rng, scheduler)
+    except WeightedIndexUnsupported:
+        return None
+
 
 class ScheduledEngine(SequentialEngine):
-    """Per-interaction engine honouring an arbitrary pair scheduler.
+    """Per-interaction rejection engine honouring an arbitrary scheduler.
 
     Extends :class:`~repro.core.sequential.SequentialEngine` (explicit
     agent identities, same run/recorder interface) with a rejection
@@ -95,7 +488,9 @@ class ScheduledEngine(SequentialEngine):
     draws — the steps this engine counts — follow the scheduler's
     distribution exactly.  Cost per step is ``O(1/acceptance-rate)``;
     budgets (``max_interactions`` / ``max_events``) remain the guard
-    against schedulers that slow convergence arbitrarily.
+    against schedulers that slow convergence arbitrarily.  The weighted
+    jump engine above is the fast path; this engine is the obviously
+    correct reference and the fallback for exotic schedulers.
     """
 
     def __init__(

@@ -48,10 +48,24 @@ class SequentialEngine:
         self._n = protocol.num_agents
         self._families = protocol.build_families(self.counts)
         self._weight = sum(family.weight for family in self._families)
+        self._state_families = self._compile_state_families()
         self.interactions = 0
         self.events = 0
         self._pair_buffer = np.empty((0, 2), dtype=np.int64)
         self._pair_pos = 0
+
+    def _compile_state_families(self):
+        """Per-state tuple of the families whose weight the state touches.
+
+        Count-change notifications then skip families structurally
+        indifferent to a state (e.g. the reset line for rank moves)
+        instead of asking every family every time.
+        """
+        by_state = [[] for _ in range(self._protocol.num_states)]
+        for family in self._families:
+            for state in family.states():
+                by_state[state].append(family)
+        return [tuple(families) for families in by_state]
 
     def _next_pair(self) -> tuple:
         """Uniform ordered pair of distinct agent indices."""
@@ -80,12 +94,13 @@ class SequentialEngine:
             return
         self.agent_states[agent] = new_state
         delta_w = 0
+        state_families = self._state_families
         for state, old, new in (
             (old_state, self.counts[old_state], self.counts[old_state] - 1),
             (new_state, self.counts[new_state], self.counts[new_state] + 1),
         ):
             self.counts[state] = new
-            for family in self._families:
+            for family in state_families[state]:
                 delta_w += family.on_count_change(state, old, new)
         self._weight += delta_w
 
@@ -121,6 +136,7 @@ class SequentialEngine:
             self.agent_states.extend([state] * count)
         self._families = self._protocol.build_families(counts)
         self._weight = sum(family.weight for family in self._families)
+        self._state_families = self._compile_state_families()
 
     def step(self) -> Optional[Event]:
         """One scheduler step; returns the event if it was productive."""

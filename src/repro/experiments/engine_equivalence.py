@@ -19,6 +19,7 @@ from ..analysis.tables import Table
 from ..configurations.generators import random_configuration
 from ..core.engine import run_protocol
 from ..protocols.ag import AGProtocol
+from ..protocols.line import LineOfTrapsProtocol
 from ..protocols.ring import RingOfTrapsProtocol
 from ..protocols.tree_protocol import TreeRankingProtocol
 from .base import ExperimentResult, pick
@@ -49,10 +50,14 @@ def run(
 ) -> ExperimentResult:
     """Compare per-engine stabilisation-time distributions."""
     num_seeds = pick(scale, smoke=10, small=60, paper=200)
+    # The tree and line cases drive the jump engine's *fused general
+    # loop* (multi-family protocols: triangular reset line, ordered
+    # product routing) against the naive per-interaction reference.
     cases = [
         ("AG n=24", lambda: AGProtocol(24)),
         ("Ring m=4 (n=20)", lambda: RingOfTrapsProtocol(m=4)),
         ("Tree n=21 k=3", lambda: TreeRankingProtocol(21, k=3)),
+        ("Line m=2 (n=72)", lambda: LineOfTrapsProtocol(m=2)),
     ]
     table = Table(
         title="Engine equivalence: jump vs sequential (median parallel time)",

@@ -142,6 +142,10 @@ class LineOfTrapsProtocol(RankingProtocol):
             for l in range(self._num_lines)
         ]
 
+        # Structural family membership, built once (see build_families).
+        self._rank_state_list = list(range(self.num_ranks))
+        self._all_state_list = list(range(self.num_states))
+
     # ------------------------------------------------------------------
     # Structure
     # ------------------------------------------------------------------
@@ -237,11 +241,21 @@ class LineOfTrapsProtocol(RankingProtocol):
         return list(range(self.num_states))  # every state, including X
 
     def build_families(self, counts: Sequence[int]) -> List[Family]:
+        """Inner/gate/exit rules plus ``X + X`` as same-state pairs, the
+        §4 routing rule ``(rank, X)`` as one ordered product.
+
+        Under the fused weight index the routing family is a single
+        product slot, so an ``X``-count change costs one padded-tree
+        update instead of a per-family dispatch sweep.  The membership
+        lists are cached — ``build_families`` runs on every engine
+        construction and fault resync, and the list spans all ``n``
+        rank states.
+        """
         return [
-            SameStatePairs(counts, list(range(self.num_states))),
+            SameStatePairs(counts, self._all_state_list),
             OrderedProduct(
                 counts,
-                initiators=list(range(self.num_ranks)),
+                initiators=self._rank_state_list,
                 responders=[self.x_state],
             ),
         ]

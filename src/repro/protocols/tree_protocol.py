@@ -65,6 +65,12 @@ class TreeRankingProtocol(RankingProtocol):
         super().__init__(num_agents, num_extra_states=2 * k)
         self._k = k
         self._tree = PerfectlyBalancedTree(num_agents)
+        # Family membership lists are structural; build them once.
+        # ``build_families`` runs per engine construction *and* per
+        # fault-injection resync, and the weight-sync cross-checks call
+        # it per event.
+        self._rank_state_list = list(self.rank_states)
+        self._line_state_list = list(self.line_states)
 
     # ------------------------------------------------------------------
     # Structure
@@ -142,12 +148,20 @@ class TreeRankingProtocol(RankingProtocol):
     # Engine integration: three disjoint weight families
     # ------------------------------------------------------------------
     def build_families(self, counts: Sequence[int]) -> List[Family]:
-        line = list(self.line_states)
+        """R1/R2 as same-state pairs, R3/R5 as the triangular reset
+        line, R4 as the (line × rank) ordered product.
+
+        The jump engine compiles these into one fused weight index
+        (:class:`~repro.core.fused.FusedIndex`): the reset line updates
+        in O(1) from count moments and R4 collapses to one product
+        slot, which is what makes reset storms cheap to simulate.
+        """
+        line = self._line_state_list
         return [
-            SameStatePairs(counts, list(self.rank_states)),
+            SameStatePairs(counts, self._rank_state_list),
             TriangularLine(counts, line),
             OrderedProduct(counts, initiators=line,
-                           responders=list(self.rank_states)),
+                           responders=self._rank_state_list),
         ]
 
     def state_label(self, state: int) -> str:

@@ -2,7 +2,9 @@
 
 :func:`run_scenario` interprets a :class:`~repro.scenarios.spec.Scenario`
 against the simulation engines: run phases drive the engine (the jump
-fast path under the uniform scheduler, the
+fast path under the uniform scheduler, the weighted jump fast path
+(:class:`~repro.core.scheduler.WeightedScheduledEngine`) for biased
+schedulers it compiles exactly, and the rejection
 :class:`~repro.core.scheduler.ScheduledEngine` otherwise), fault phases
 mutate the live configuration through the fault-injection seam
 (:meth:`~repro.core.jump.JumpEngine.reset_configuration`) or — for
@@ -34,7 +36,7 @@ from ..core.faults import (
 )
 from ..core.jump import JumpEngine
 from ..core.protocol import PopulationProtocol, RankingProtocol
-from ..core.scheduler import ScheduledEngine
+from ..core.scheduler import ScheduledEngine, try_weighted_engine
 from ..configurations.generators import (
     all_in_extras_configuration,
     all_in_state_configuration,
@@ -214,6 +216,12 @@ def _distance(protocol, configuration) -> Optional[int]:
 def _make_engine(scenario, protocol, configuration, rng):
     scheduler = build_scheduler(scenario.scheduler, protocol)
     if scheduler is not None:
+        # Biased phases run on the weighted jump fast path whenever the
+        # scheduler compiles into the weighted fused index; the
+        # rejection engine remains the fallback for exotic schedulers.
+        engine = try_weighted_engine(protocol, configuration, rng, scheduler)
+        if engine is not None:
+            return engine
         return ScheduledEngine(protocol, configuration, rng, scheduler)
     return JumpEngine(protocol, configuration, rng)
 

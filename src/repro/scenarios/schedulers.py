@@ -19,7 +19,7 @@ silence remains reachable, only slower.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 from ..core.protocol import PopulationProtocol, RankingProtocol
 from ..core.scheduler import PairScheduler, UniformScheduler
@@ -58,6 +58,19 @@ class StateBiasedScheduler(PairScheduler):
 
     def pair_weight(self, initiator_state: int, responder_state: int) -> float:
         return self._weights[initiator_state] * self._weights[responder_state]
+
+    def state_classes(self, num_states: int) -> List[int]:
+        """States with the same selection weight are interchangeable."""
+        if num_states != len(self._weights):
+            raise ExperimentError(
+                f"scheduler has {len(self._weights)} state weights, "
+                f"protocol has {num_states} states"
+            )
+        by_weight: dict = {}
+        return [
+            by_weight.setdefault(weight, len(by_weight))
+            for weight in self._weights
+        ]
 
 
 class ClusteredScheduler(PairScheduler):
@@ -98,6 +111,15 @@ class ClusteredScheduler(PairScheduler):
         if self._cluster[initiator_state] == self._cluster[responder_state]:
             return 1.0
         return self._across
+
+    def state_classes(self, num_states: int) -> List[int]:
+        """Pair weights depend only on the endpoints' clusters."""
+        if num_states != len(self._cluster):
+            raise ExperimentError(
+                f"scheduler covers {len(self._cluster)} states, "
+                f"protocol has {num_states}"
+            )
+        return list(self._cluster)
 
 
 def build_scheduler(

@@ -2,7 +2,34 @@
 
 import pytest
 
-from repro.core.fenwick import FenwickTree
+from repro.core.fenwick import FenwickTree, fill_tree
+
+
+class TestFillTree:
+    def test_fill_matches_from_values(self):
+        values = [3, 0, 7, 1, 0, 2]
+        tree = [99] * (len(values) + 1)  # stale garbage must be cleared
+        total = fill_tree(tree, len(values), values)
+        assert total == sum(values)
+        assert tree == FenwickTree.from_values(values)._tree
+
+    def test_padded_fill_propagates_to_top_node(self):
+        # Padding slots count as zero, and the power-of-two top node
+        # must carry the full total (the fused index relies on it).
+        values = [5, 1, 2]
+        size = 4
+        tree = [0] * (size + 1)
+        total = fill_tree(tree, size, values)
+        assert total == 8
+        assert tree[size] == 8
+
+    def test_refill_in_place_preserves_aliases(self):
+        tree = [0] * 5
+        alias = tree
+        fill_tree(tree, 4, [1, 2, 3, 4])
+        fill_tree(tree, 4, [4, 3, 2, 1])
+        assert alias is tree
+        assert tree[4] == 10
 
 
 class TestConstruction:

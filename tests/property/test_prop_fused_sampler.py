@@ -1,0 +1,458 @@
+"""Property tests for the fused cross-family sampler.
+
+Three invariant groups:
+
+* the fused index's total weight equals the sum of the per-family
+  weights recomputed from scratch — after arbitrary count mutations
+  (driven through the engine seam) and after ``reset_configuration``;
+* the weighted index realises *exactly* the rejection engine's step
+  distribution: on small populations the per-pair masses enumerated
+  agent-by-agent (with the 53-bit dyadic acceptance probabilities the
+  rejection engine's float threshold implements) match the weighted
+  index slot weights, pair by pair, as exact integers;
+* sampling consistency: every pair the fused index produces is
+  productive under ``delta`` and covered by exactly one family.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    Configuration,
+    JumpEngine,
+    LineOfTrapsProtocol,
+    ModifiedTreeProtocol,
+    TreeRankingProtocol,
+    WeightedScheduledEngine,
+    random_configuration,
+    run_protocol,
+)
+from repro.core.fused import (
+    WEIGHT_DENOMINATOR,
+    FusedIndex,
+    WeightedFusedIndex,
+    dyadic_weight_numerator,
+)
+from repro.core.scheduler import ScheduledEngine, try_weighted_engine
+from repro.scenarios.schedulers import ClusteredScheduler, StateBiasedScheduler
+
+
+def _multi_family_protocols():
+    return [
+        TreeRankingProtocol(13, k=3),
+        ModifiedTreeProtocol(13, k=3),
+        LineOfTrapsProtocol(m=2),
+    ]
+
+
+def _fresh_weight(protocol, counts):
+    return sum(f.weight for f in protocol.build_families(counts))
+
+
+class TestFusedIndexWeightInvariant:
+    @pytest.mark.parametrize(
+        "protocol", _multi_family_protocols(), ids=lambda p: p.name
+    )
+    def test_fused_total_equals_family_sum_after_runs(self, protocol):
+        """The fused general loop never desyncs the flat index."""
+        for seed in range(3):
+            start = random_configuration(
+                protocol, seed=seed, include_extras=True
+            )
+            engine = JumpEngine(
+                protocol, start, np.random.default_rng(seed)
+            )
+            for _ in range(6):
+                engine.run(max_events=engine.events + 200)
+                assert engine.productive_weight == _fresh_weight(
+                    protocol, engine.counts
+                )
+                assert engine._fused.total == engine.productive_weight
+                if engine.is_silent():
+                    break
+
+    @given(
+        moves=st.lists(
+            st.tuples(st.integers(0, 18), st.integers(0, 18)),
+            min_size=1,
+            max_size=60,
+        ),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_fused_total_tracks_arbitrary_count_mutations(self, moves, seed):
+        """Moving agents between arbitrary states keeps the index exact."""
+        protocol = TreeRankingProtocol(13, k=3)
+        counts = random_configuration(
+            protocol, seed=seed, include_extras=True
+        ).counts_list()
+        fused = FusedIndex(
+            protocol.build_families(counts), protocol.num_states, counts
+        )
+        for source, destination in moves:
+            if counts[source] == 0 or source == destination:
+                continue
+            fused.apply_count_change(source, counts[source], counts[source] - 1)
+            counts[source] -= 1
+            fused.apply_count_change(
+                destination, counts[destination], counts[destination] + 1
+            )
+            counts[destination] += 1
+            assert fused.total == _fresh_weight(protocol, counts)
+
+    @given(seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_reset_configuration_resyncs_fused_index(self, seed):
+        protocol = TreeRankingProtocol(13, k=3)
+        engine = JumpEngine(
+            protocol,
+            random_configuration(protocol, seed=seed, include_extras=True),
+            np.random.default_rng(seed),
+        )
+        engine.run(max_events=150)
+        rng = np.random.default_rng(seed + 1)
+        scrambled = rng.multinomial(
+            protocol.num_agents,
+            [1 / protocol.num_states] * protocol.num_states,
+        ).tolist()
+        engine.reset_configuration(scrambled)
+        assert engine.productive_weight == _fresh_weight(protocol, scrambled)
+        # The engine must remain runnable with the recompiled index.
+        engine.run(max_events=engine.events + 200)
+        assert engine.productive_weight == _fresh_weight(
+            protocol, engine.counts
+        )
+
+    @pytest.mark.parametrize(
+        "protocol", _multi_family_protocols(), ids=lambda p: p.name
+    )
+    def test_sampled_pairs_are_productive(self, protocol):
+        """Every fused draw must be a productive pair under delta."""
+        start = random_configuration(protocol, seed=5, include_extras=True)
+        engine = JumpEngine(protocol, start, np.random.default_rng(5))
+        for _ in range(300):
+            weight = engine.productive_weight
+            if weight == 0:
+                break
+            si, sj = engine._fused.sample(engine.rand_below)
+            assert protocol.delta(si, sj) is not None
+            assert engine.counts[si] >= (2 if si == sj else 1)
+            if si != sj:
+                assert engine.counts[sj] >= 1
+            engine.step()
+
+
+def _pair_mass_from_rejection_model(protocol, counts, scheduler):
+    """Per-pair step mass enumerated the rejection engine's way.
+
+    For every ordered pair of *distinct agents* (enumerated through the
+    counts), a draw is accepted with the dyadic probability
+    ``ceil(pair_weight·2⁵³)/2⁵³``.  Returns (productive pair masses,
+    total mass over all pairs) as exact integers scaled by ``2⁵³``.
+    """
+    productive = {}
+    total = 0
+    for si in range(protocol.num_states):
+        if counts[si] == 0:
+            continue
+        for sj in range(protocol.num_states):
+            pairs = counts[si] * (
+                counts[sj] - 1 if si == sj else counts[sj]
+            )
+            if pairs == 0:
+                continue
+            mass = pairs * dyadic_weight_numerator(
+                scheduler.pair_weight(si, sj)
+            )
+            total += mass
+            if protocol.delta(si, sj) is not None:
+                productive[(si, sj)] = mass
+    return productive, total
+
+
+class TestWeightedIndexMatchesRejectionDistribution:
+    @pytest.mark.parametrize(
+        "make_scheduler",
+        [
+            lambda p: StateBiasedScheduler(
+                [1.0] * p.num_ranks + [0.3] * p.num_extra_states
+            ),
+            lambda p: StateBiasedScheduler(
+                [0.7] * p.num_ranks + [0.05] * p.num_extra_states
+            ),
+            lambda p: ClusteredScheduler(p.num_states, 3, across=0.05),
+        ],
+        ids=["biased-0.3", "biased-0.05", "clustered"],
+    )
+    @pytest.mark.parametrize("seed", [0, 3, 9])
+    def test_exhaustive_pair_masses_match(self, make_scheduler, seed):
+        """Weighted index ≡ rejection model, pair by pair, exactly."""
+        protocol = TreeRankingProtocol(9, k=2)
+        counts = random_configuration(
+            protocol, seed=seed, include_extras=True
+        ).counts_list()
+        scheduler = make_scheduler(protocol)
+        engine = WeightedScheduledEngine(
+            protocol,
+            Configuration(counts),
+            np.random.default_rng(seed),
+            scheduler,
+        )
+        expected, expected_total = _pair_mass_from_rejection_model(
+            protocol, counts, scheduler
+        )
+        assert engine.total_mass() == expected_total
+        assert engine.productive_weight == sum(expected.values())
+        # Pair-level check: decompose every slot's weight over the
+        # pairs it covers (families and class blocks are disjoint) and
+        # compare against the agent-enumerated masses, exactly.
+        reconstructed = {}
+        index = engine._index
+        for slot in range(index.num_slots):
+            kind = index.slot_kind[slot]
+            payload = index.slot_payload[slot]
+            if index.values[slot] == 0:
+                continue
+            if kind == 0:
+                state, factor = payload
+                pair_mass = factor * counts[state] * (counts[state] - 1)
+                reconstructed[(state, state)] = (
+                    reconstructed.get((state, state), 0) + pair_mass
+                )
+            elif kind == 1:
+                for initiator in payload.initiators:
+                    for responder in payload.responders:
+                        pair_mass = (
+                            payload.factor
+                            * counts[initiator]
+                            * counts[responder]
+                        )
+                        if pair_mass:
+                            key = (initiator, responder)
+                            reconstructed[key] = (
+                                reconstructed.get(key, 0) + pair_mass
+                            )
+            else:
+                if isinstance(payload, tuple):
+                    line_payload, pos = payload
+                    line = line_payload.line
+                    row = line_payload.matrix[pos]
+                    ci = line_payload.counts[pos]
+                    key = (line[pos], line[pos])
+                    pair_mass = row[pos] * ci * (ci - 1)
+                    if pair_mass:
+                        reconstructed[key] = (
+                            reconstructed.get(key, 0) + pair_mass
+                        )
+                    for j in range(pos + 1, len(line)):
+                        pair_mass = row[j] * ci * line_payload.counts[j]
+                        if pair_mass:
+                            key = (line[pos], line[j])
+                            reconstructed[key] = (
+                                reconstructed.get(key, 0) + pair_mass
+                            )
+                else:
+                    factor = payload.factor
+                    line = payload.line
+                    for i, initiator in enumerate(line):
+                        ci = payload.counts[i]
+                        if ci == 0:
+                            continue
+                        pair_mass = factor * ci * (ci - 1)
+                        if pair_mass:
+                            key = (initiator, initiator)
+                            reconstructed[key] = (
+                                reconstructed.get(key, 0) + pair_mass
+                            )
+                        for j in range(i + 1, len(line)):
+                            pair_mass = factor * ci * payload.counts[j]
+                            if pair_mass:
+                                key = (initiator, line[j])
+                                reconstructed[key] = (
+                                    reconstructed.get(key, 0) + pair_mass
+                                )
+        assert reconstructed == expected
+
+    def test_trivial_weights_reduce_to_uniform_masses(self):
+        """All-1.0 weights: every mass is count-pairs × 2⁵³ exactly."""
+        protocol = TreeRankingProtocol(9, k=2)
+        counts = random_configuration(
+            protocol, seed=2, include_extras=True
+        ).counts_list()
+        scheduler = StateBiasedScheduler([1.0] * protocol.num_states)
+        engine = WeightedScheduledEngine(
+            protocol, Configuration(counts), np.random.default_rng(0),
+            scheduler,
+        )
+        uniform = FusedIndex(
+            protocol.build_families(counts), protocol.num_states, counts
+        )
+        assert engine.productive_weight == uniform.total * WEIGHT_DENOMINATOR
+        n = protocol.num_agents
+        assert engine.total_mass() == n * (n - 1) * WEIGHT_DENOMINATOR
+
+    @given(
+        warmup=st.integers(0, 80),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_masses_stay_exact_along_biased_runs(self, warmup, seed):
+        """Incremental class sums / slots never drift from enumeration."""
+        protocol = TreeRankingProtocol(9, k=2)
+        scheduler = StateBiasedScheduler(
+            [1.0] * protocol.num_ranks + [0.2] * protocol.num_extra_states
+        )
+        engine = WeightedScheduledEngine(
+            protocol,
+            random_configuration(protocol, seed=seed, include_extras=True),
+            np.random.default_rng(seed),
+            scheduler,
+        )
+        engine.run(max_events=warmup)
+        expected, expected_total = _pair_mass_from_rejection_model(
+            protocol, engine.counts, scheduler
+        )
+        assert engine.total_mass() == expected_total
+        assert engine.productive_weight == sum(expected.values())
+
+    def test_reset_configuration_resyncs_weighted_index(self):
+        protocol = TreeRankingProtocol(9, k=2)
+        scheduler = StateBiasedScheduler(
+            [1.0] * protocol.num_ranks + [0.4] * protocol.num_extra_states
+        )
+        engine = WeightedScheduledEngine(
+            protocol,
+            random_configuration(protocol, seed=4, include_extras=True),
+            np.random.default_rng(4),
+            scheduler,
+        )
+        engine.run(max_events=50)
+        scrambled = np.random.default_rng(5).multinomial(
+            protocol.num_agents,
+            [1 / protocol.num_states] * protocol.num_states,
+        ).tolist()
+        engine.reset_configuration(scrambled)
+        expected, expected_total = _pair_mass_from_rejection_model(
+            protocol, scrambled, scheduler
+        )
+        assert engine.total_mass() == expected_total
+        assert engine.productive_weight == sum(expected.values())
+        assert engine.run(max_events=100_000)
+
+
+class TestWeightedEngineBehaviour:
+    def test_weighted_matches_rejection_medians(self):
+        """Both biased engines agree distributionally (small population)."""
+        protocol = TreeRankingProtocol(9, k=2)
+        scheduler = StateBiasedScheduler(
+            [1.0] * protocol.num_ranks + [0.25] * protocol.num_extra_states
+        )
+        start = random_configuration(protocol, seed=0, include_extras=True)
+        weighted, rejection = [], []
+        for seed in range(30):
+            w = run_protocol(protocol, start, seed=seed, scheduler=scheduler)
+            r = run_protocol(
+                protocol, start, seed=seed + 1000, engine="sequential",
+                scheduler=scheduler,
+            )
+            assert w.engine_name == "weighted:state_biased"
+            assert r.engine_name == "scheduled:state_biased"
+            assert w.silent and r.silent
+            weighted.append(w.parallel_time)
+            rejection.append(r.parallel_time)
+        ratio = np.median(weighted) / np.median(rejection)
+        assert 0.6 < ratio < 1.7, f"median parallel-time ratio {ratio}"
+
+    def test_weighted_engine_deterministic(self):
+        protocol = LineOfTrapsProtocol(m=2)
+        scheduler = StateBiasedScheduler(
+            [1.0] * protocol.num_ranks + [0.5]
+        )
+        start = random_configuration(protocol, seed=6, include_extras=True)
+        runs = [
+            run_protocol(
+                protocol, start, seed=11, scheduler=scheduler,
+                max_events=5_000,
+            )
+            for _ in range(2)
+        ]
+        assert runs[0].final_configuration == runs[1].final_configuration
+        assert runs[0].interactions == runs[1].interactions
+
+    def test_unsupported_scheduler_falls_back_to_rejection(self):
+        """A scheduler exceeding the class cap still runs (rejection)."""
+        from repro import AGProtocol
+
+        class AwkwardScheduler(StateBiasedScheduler):
+            # Distinct per-state weights and no declared classes: the
+            # dense derivation finds one class per state, blowing the
+            # weighted index's class cap.
+            def state_classes(self, num_states):
+                return None
+
+            def pair_weight(self, si, sj):
+                return (
+                    self._weights[si]
+                    * self._weights[sj]
+                )
+
+        protocol = AGProtocol(70)
+        scheduler = AwkwardScheduler(
+            [1.0 - 0.005 * s for s in range(protocol.num_states)]
+        )
+        engine = try_weighted_engine(
+            protocol,
+            random_configuration(protocol, seed=0),
+            np.random.default_rng(0),
+            scheduler,
+        )
+        # 70 distinct classes exceed the cap → weighted path refuses.
+        assert engine is None
+        result = run_protocol(
+            protocol,
+            random_configuration(protocol, seed=0),
+            seed=0,
+            scheduler=scheduler,
+            max_events=300,
+        )
+        assert result.engine_name.startswith("scheduled:")
+
+    def test_weighted_engine_rejects_custom_families(self):
+        """Opaque families cannot be weighted exactly → rejection."""
+        from repro.core.families import SameStatePairs
+
+        class Wrapped(SameStatePairs):
+            pass
+
+        class CustomFamilyProtocol(TreeRankingProtocol):
+            def build_families(self, counts):
+                return [
+                    Wrapped(counts, list(range(self.num_ranks)))
+                ] + super().build_families(counts)[1:]
+
+        protocol = CustomFamilyProtocol(9, k=2)
+        scheduler = StateBiasedScheduler([0.9] * protocol.num_states)
+        engine = try_weighted_engine(
+            protocol,
+            random_configuration(protocol, seed=1),
+            np.random.default_rng(1),
+            scheduler,
+        )
+        assert engine is None
+
+    def test_rejection_and_weighted_agree_under_scheduled_engine_model(self):
+        """ScheduledEngine's empirical acceptance matches the dyadics.
+
+        Spot-check the exactness premise itself: the probability that a
+        53-bit uniform threshold falls below a float weight w is
+        ceil(w·2⁵³)/2⁵³.
+        """
+        for weight in (0.05, 0.25, 1.0 / 3.0, 0.999, 1.0):
+            numerator = dyadic_weight_numerator(weight)
+            assert 1 <= numerator <= WEIGHT_DENOMINATOR
+            # k/2⁵³ < w  ⇔  k < w·2⁵³  ⇔  k <= ceil(w·2⁵³) − 1
+            below = numerator - 1
+            assert below / WEIGHT_DENOMINATOR < weight
+            assert numerator / WEIGHT_DENOMINATOR >= weight

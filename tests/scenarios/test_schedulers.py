@@ -82,6 +82,19 @@ class TestScheduledEngine:
         result = run_protocol(protocol, start, seed=1, scheduler=scheduler)
         assert result.silent
         assert protocol.is_ranked(result.final_configuration)
+        # Biased jump runs compile into the weighted fast path.
+        assert result.engine_name == "weighted:clustered"
+
+    def test_rejection_engine_still_reachable(self):
+        protocol = AGProtocol(16)
+        start = random_configuration(protocol, seed=1)
+        scheduler = ClusteredScheduler(
+            num_states=protocol.num_states, num_clusters=4, across=0.05
+        )
+        result = run_protocol(
+            protocol, start, seed=1, engine="sequential", scheduler=scheduler
+        )
+        assert result.silent
         assert result.engine_name == "scheduled:clustered"
 
     def test_bad_engine_name_still_rejected_with_scheduler(self):
