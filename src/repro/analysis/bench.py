@@ -479,11 +479,53 @@ def _tree_biased_case(
     )
 
 
+def _tree_epoch_case(n: int, max_events: int, seed: int = 19) -> SchedulerBenchCase:
+    """Epoch-switching adversary: the timeline swaps bias mid-run.
+
+    Segments alternate a state-biased and a clustered scheduler on
+    event-count boundaries sized so the run crosses several epoch
+    swaps — the case measures the weighted engine's hot-swap (index
+    resync at every boundary) against the rejection reference under
+    the identical timeline.
+    """
+
+    def build():
+        protocol = TreeRankingProtocol(n)
+        return protocol, random_configuration(
+            protocol, seed=seed, include_extras=True
+        )
+
+    def build_scheduler(protocol):
+        from ..core.scheduler import EpochBoundary, EpochScheduler
+        from ..scenarios.schedulers import (
+            ClusteredScheduler,
+            StateBiasedScheduler,
+        )
+
+        biased = StateBiasedScheduler(
+            [1.0] * protocol.num_ranks
+            + [0.25] * protocol.num_extra_states
+        )
+        clustered = ClusteredScheduler(protocol.num_states, 2, across=0.1)
+        segment = max(1, max_events // 8)
+        return EpochScheduler([
+            (EpochBoundary(kind="events", value=segment), biased),
+            (EpochBoundary(kind="events", value=segment), clustered),
+            (EpochBoundary(kind="events", value=segment), biased),
+            (None, clustered),
+        ])
+
+    return SchedulerBenchCase(
+        f"tree-epoch-n{n}", "TreeRanking", "epoch", n, max_events,
+        build, build_scheduler,
+    )
+
+
 def scheduler_bench_suite(quick: bool = False) -> List[SchedulerBenchCase]:
     """Biased-scheduler suite: uniform vs rejection vs weighted path."""
     if quick:
-        return [_tree_biased_case(128, 2_000)]
-    return [_tree_biased_case(1_024, 20_000)]
+        return [_tree_biased_case(128, 2_000), _tree_epoch_case(128, 2_000)]
+    return [_tree_biased_case(1_024, 20_000), _tree_epoch_case(1_024, 20_000)]
 
 
 def _measure_scheduler_case(
@@ -626,26 +668,37 @@ def run_bench(
 def check_speedup_floors(
     record: Dict[str, object], floors: Dict[str, float]
 ) -> None:
-    """Fail if any case's speedup over the frozen baseline regressed.
+    """Fail if any case's speedup regressed below its committed floor.
 
-    ``floors`` maps case ids to minimum acceptable ``speedup`` values
-    (current vs the frozen seed engine).  Raises
+    ``floors`` maps case ids to minimum acceptable speedups.  Engine
+    cases gate ``speedup`` (current vs the frozen seed engine);
+    scheduler cases (``tree-biased-*``, ``tree-epoch-*``) gate
+    ``weighted_vs_rejection`` — the weighted fast path against the
+    rejection reference running the identical step distribution, which
+    is the ratio a fast-path regression would erode.  Raises
     :class:`~repro.exceptions.SimulationError` on an unknown case id or
-    a floor violation — the CI smoke gate.
+    a floor violation — the CI gate.
     """
-    by_id = {case["case"]: case for case in record["cases"]}
+    by_id: Dict[str, Tuple[str, float]] = {
+        case["case"]: ("speedup vs frozen seed engine", case["speedup"])
+        for case in record["cases"]
+    }
+    for case in record.get("scheduler_cases", ()):
+        by_id[case["case"]] = (
+            "weighted vs rejection", case["weighted_vs_rejection"]
+        )
     for case_id, floor in floors.items():
-        case = by_id.get(case_id)
-        if case is None:
+        entry = by_id.get(case_id)
+        if entry is None:
             raise SimulationError(
                 f"speedup floor names unknown case {case_id!r}; "
                 f"suite has {sorted(by_id)}"
             )
-        if case["speedup"] < floor:
+        metric, speedup = entry
+        if speedup < floor:
             raise SimulationError(
-                f"{case_id}: speedup {case['speedup']:.2f}x over the "
-                f"frozen seed baseline is below the committed floor "
-                f"{floor:.2f}x"
+                f"{case_id}: {metric} speedup {speedup:.2f}x is below "
+                f"the committed floor {floor:.2f}x"
             )
 
 

@@ -12,7 +12,12 @@ measurements:
   ``S(t) = P(recovery time > t)``, the whp-bound shape check;
 * :func:`recovery_table` / :func:`survival_table` /
   :func:`phase_table` — rendered tables for the CLI, the experiment
-  registry, and EXPERIMENTS.md.
+  registry, and EXPERIMENTS.md;
+* :func:`epoch_table` — recovery times grouped by the scheduler
+  segment active during the recovery (the per-epoch view for
+  time-varying :class:`~repro.core.scheduler.EpochScheduler`
+  adversaries: the same fault can recover under different biases
+  depending on which epoch it lands in).
 """
 
 from __future__ import annotations
@@ -28,6 +33,7 @@ from .tables import Table
 
 __all__ = [
     "RecoveryRecord",
+    "epoch_table",
     "phase_table",
     "recovery_records",
     "recovery_table",
@@ -54,6 +60,8 @@ class RecoveryRecord:
     recovered: bool
     recovery_time: float
     recovery_events: int
+    #: Scheduler (or epoch segment) active when the recovery run ended.
+    scheduler: str = "uniform"
 
 
 def recovery_records(campaign) -> List[RecoveryRecord]:
@@ -77,6 +85,7 @@ def recovery_records(campaign) -> List[RecoveryRecord]:
                     recovered=run.silent,
                     recovery_time=run.parallel_time,
                     recovery_events=run.events,
+                    scheduler=getattr(run, "scheduler", "uniform"),
                 )
             )
     return records
@@ -186,6 +195,55 @@ def survival_table(campaign, points: int = 8) -> Table:
     table.add_note(
         f"{len(times)} completed recoveries pooled across "
         "faults and repetitions"
+    )
+    return table
+
+
+def epoch_table(campaign) -> Table:
+    """Recovery summary grouped by the scheduler segment doing the work.
+
+    Under an epoch-switching adversary the *same* scripted fault can be
+    recovered from under different biases (repetitions cross boundaries
+    at different times), so per-fault tables mix regimes; this table
+    regroups every (repetition, fault) record by the scheduler active
+    when its recovery phase ended.
+    """
+    records = recovery_records(campaign)
+    table = Table(
+        title=(
+            f"Recovery by scheduler epoch — campaign "
+            f"{campaign.scenario.name!r}"
+        ),
+        headers=[
+            "scheduler",
+            "runs",
+            "recovered",
+            "median time",
+            "p75 time",
+            "max time",
+        ],
+    )
+    if not records:
+        table.add_note("no fault phases with a following run phase")
+        return table
+    groups: Dict[str, List[RecoveryRecord]] = {}
+    for record in records:
+        groups.setdefault(record.scheduler, []).append(record)
+    for label in sorted(groups):
+        group = groups[label]
+        recovered = sum(1 for r in group if r.recovered)
+        times = summarise([r.recovery_time for r in group])
+        table.add_row(
+            label,
+            len(group),
+            f"{recovered}/{len(group)}",
+            times.median,
+            times.p75,
+            times.maximum,
+        )
+    table.add_note(
+        "grouped by the pair-selection bias active when the recovery "
+        "phase ended (epoch boundaries fire mid-run)"
     )
     return table
 

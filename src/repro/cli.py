@@ -186,8 +186,25 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _describe_epoch(epoch) -> str:
+    """One-line rendering of a timeline segment for `scenario run`."""
+    scheduler = epoch.label or epoch.scheduler.kind
+    if epoch.until is None:
+        return f"{scheduler} (until the run ends)"
+    if epoch.until in ("events", "interactions"):
+        return f"{scheduler} for {epoch.value} {epoch.until}"
+    if epoch.until == "predicate":
+        return f"{scheduler} until {epoch.predicate}"
+    return f"{scheduler} until {epoch.until}"
+
+
 def _cmd_scenario(args: argparse.Namespace) -> int:
-    from .analysis.recovery import phase_table, recovery_table, survival_table
+    from .analysis.recovery import (
+        epoch_table,
+        phase_table,
+        recovery_table,
+        survival_table,
+    )
     from .scenarios import get_campaign, list_campaigns, run_campaign
 
     if args.scenario_command == "list":
@@ -210,11 +227,19 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     )
     tables = [recovery_table(result), phase_table(result),
               survival_table(result)]
+    if scenario.timeline:
+        tables.append(epoch_table(result))
     print(f"campaign     : {campaign.campaign_id}")
     print(f"scenario     : {scenario.description or scenario.name}")
     print(f"protocol     : {scenario.protocol.kind} "
           f"(n={scenario.protocol.num_agents})")
-    print(f"scheduler    : {scenario.scheduler.kind}")
+    if scenario.timeline:
+        print("scheduler    : epoch timeline — "
+              + "; then ".join(
+                  _describe_epoch(epoch) for epoch in scenario.timeline
+              ))
+    else:
+        print(f"scheduler    : {scenario.scheduler.kind}")
     print(f"repetitions  : {repetitions} (seed {args.seed})")
     print(f"recovered    : {result.recovered_fraction:.0%} of repetitions "
           "re-silenced after every fault")

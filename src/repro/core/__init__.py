@@ -39,6 +39,10 @@ from .fused import FusedIndex, WeightedFusedIndex
 from .jump import JumpEngine
 from .protocol import PopulationProtocol, RankingProtocol, Transition
 from .scheduler import (
+    AgentScheduledEngine,
+    AgentScheduler,
+    EpochBoundary,
+    EpochScheduler,
     PairScheduler,
     ScheduledEngine,
     UniformScheduler,
@@ -48,7 +52,11 @@ from .scheduler import (
 from .sequential import SequentialEngine
 
 __all__ = [
+    "AgentScheduledEngine",
+    "AgentScheduler",
     "Configuration",
+    "EpochBoundary",
+    "EpochScheduler",
     "Event",
     "Family",
     "FenwickTree",

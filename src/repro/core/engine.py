@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -166,18 +166,22 @@ def run_protocol(
         If True, raise :class:`SimulationLimitReached` instead of
         returning a non-silent result.
     scheduler:
-        Optional :class:`~repro.core.scheduler.PairScheduler` biasing
-        which pairs interact.  ``None`` or a uniform scheduler keeps the
+        Optional :class:`~repro.core.scheduler.PairScheduler` (or
+        :class:`~repro.core.scheduler.EpochScheduler` timeline, or
+        :class:`~repro.core.scheduler.AgentScheduler`) biasing which
+        pairs interact.  ``None`` or a uniform scheduler keeps the
         paper's model and the allocation-free fast path.  A non-uniform
-        scheduler routes a ``"jump"`` run through the **weighted jump
-        fast path** (:class:`~repro.core.scheduler.WeightedScheduledEngine`
+        state-level scheduler (epoch timelines included) routes a
+        ``"jump"`` run through the **weighted jump fast path**
+        (:class:`~repro.core.scheduler.WeightedScheduledEngine`
         — geometric skips over a scheduler-scaled fused index; engine
         name ``weighted:<scheduler>``) whenever the scheduler compiles
         exactly; otherwise — and always for ``engine="sequential"`` —
         the run uses the per-interaction rejection
         :class:`~repro.core.scheduler.ScheduledEngine`
         (``scheduled:<scheduler>``).  Both realise the identical step
-        distribution.
+        distribution.  Agent-identity schedulers always run on the
+        explicit-agent engine (``agent:<scheduler>``).
     """
     # Imported here to avoid a circular import at module load time.
     from .jump import JumpEngine
@@ -190,10 +194,20 @@ def run_protocol(
             f"unknown engine {engine!r}; expected one of {sorted(engines)}"
         )
     if scheduler is not None and not scheduler.is_uniform:
-        from .scheduler import ScheduledEngine, try_weighted_engine
+        from .scheduler import (
+            AgentScheduledEngine,
+            AgentScheduler,
+            ScheduledEngine,
+            try_weighted_engine,
+        )
 
         driver = None
-        if engine == "jump":
+        if isinstance(scheduler, AgentScheduler):
+            driver = AgentScheduledEngine(
+                protocol, configuration, make_rng(seed), scheduler
+            )
+            engine = f"agent:{scheduler.name}"
+        if driver is None and engine == "jump":
             driver = try_weighted_engine(
                 protocol, configuration, make_rng(seed), scheduler
             )

@@ -799,6 +799,53 @@ class WeightedFusedIndex:
                     )
         return delta_w
 
+    def resync(self, counts: Sequence[int]) -> None:
+        """Reload every slot weight and class sum from a counts list, in place.
+
+        The slot layout and payload objects stay valid — only the
+        weights move.  One O(n + slots) pass serves two seams: adopting
+        an externally mutated configuration (fault injection) and
+        **epoch hot-swap** — an engine switching scheduler segments
+        resyncs the incoming precompiled index from the live counts
+        instead of recompiling it.
+        """
+        values = self.values
+        kinds = self.slot_kind
+        payloads = self.slot_payload
+        lines_done: set = set()
+        for slot in range(self.num_slots):
+            kind = kinds[slot]
+            payload = payloads[slot]
+            if kind == SAME:
+                state, factor = payload
+                values[slot] = factor * counts[state] * (counts[state] - 1)
+            elif kind == PRODUCT:
+                payload.resync(counts)
+                values[slot] = payload.weight()
+            elif isinstance(payload, tuple):  # weighted per-position line
+                line_payload, pos = payload
+                if id(line_payload) not in lines_done:
+                    line_payload.resync(counts)
+                    lines_done.add(id(line_payload))
+                values[slot] = line_payload.position_weight(pos)
+            else:
+                payload.resync(counts)
+                values[slot] = payload.weight()
+        self.total = fill_tree(self.tree, self.num_slots, values)
+        class_counts = self.class_counts
+        num_classes = len(class_counts)
+        for cls in range(num_classes):
+            class_counts[cls] = 0
+        class_of = self.class_of
+        for state, count in enumerate(counts):
+            class_counts[class_of[state]] += count
+        u = self._class_matrix
+        row_dot = self._row_dot
+        for p in range(num_classes):
+            row_dot[p] = sum(
+                u[p][q] * class_counts[q] for q in range(num_classes)
+            )
+
     def total_mass(self) -> int:
         """Scheduler mass of *all* ordered agent pairs (incl. null ones).
 
@@ -852,6 +899,12 @@ class _WeightedLine:
         """Adopt a new count; returns the positions whose weight moved."""
         self.counts[pos] = new
         return range(pos + 1)
+
+    def resync(self, counts) -> None:
+        """Reload line counts from a full counts list, in place."""
+        line_counts = self.counts
+        for pos, state in enumerate(self.line):
+            line_counts[pos] = counts[state]
 
     def pair_from_target(self, i: int, target: int) -> Tuple[int, int]:
         counts = self.counts

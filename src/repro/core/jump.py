@@ -61,7 +61,7 @@ from .configuration import Configuration
 from .engine import Event, Recorder
 from .families import SameStatePairs
 from .fenwick import FenwickTree
-from .fused import OPAQUE, PRODUCT, SAME, TRIANGULAR, FusedIndex
+from .fused import PRODUCT, SAME, TRIANGULAR, FusedIndex
 from .protocol import PopulationProtocol
 
 __all__ = ["JumpEngine"]

@@ -24,23 +24,42 @@ links, starved states).  This module is the engine-side seam:
   by accepting uniform draws with probability ``pair_weight(si, sj)``.
   Cost per step is ``O(1/acceptance-rate)``; it remains the fallback
   for schedulers the weighted index cannot compile and the ground
-  truth the weighted path is property-tested against.
+  truth the weighted path is property-tested against;
+* :class:`EpochScheduler` — a **time-varying** adversary: an ordered
+  timeline of ``(boundary, PairScheduler)`` segments whose bias
+  switches at boundaries on productive-event count, scheduler steps
+  (simulated time), silence, or a configuration predicate.  Both biased
+  engines accept it natively: the weighted engine precompiles one
+  :class:`~repro.core.fused.WeightedFusedIndex` per distinct segment
+  scheduler and hot-swaps via the in-place ``resync(counts)`` seam at
+  each boundary, so every segment still runs at full jump speed;
+* :class:`AgentScheduler` / :class:`AgentScheduledEngine` — adversaries
+  biasing *agent identities* rather than states (targeted suppression,
+  skewed contact rates).  Count-based engines cannot express these, so
+  they run on the explicit-agent :class:`SequentialEngine` via the same
+  rejection filter.
 
-Both biased engines realise the identical step distribution: the
+The biased engines realise the identical step distribution: the
 weighted index's slot weights use the dyadic numerators
 ``ceil(w·2⁵³)`` — exactly the acceptance probability the rejection
 engine's 53-bit uniform threshold implements for a float weight ``w``.
+Epoch switching preserves this: boundaries are stopping times of the
+step process, and the geometric skip is memoryless, so clamping an
+overshooting skip at a boundary and redrawing under the next segment's
+weights is exact.
 
-Concrete adversarial schedulers (state-biased, clustered) live in
-:mod:`repro.scenarios.schedulers`; anything implementing the ABC plugs
-in through the same ``run_protocol(..., scheduler=...)`` hook.
+Concrete adversarial schedulers (state-biased, clustered, targeted,
+degree-skewed) live in :mod:`repro.scenarios.schedulers`; anything
+implementing the ABCs plugs in through the same
+``run_protocol(..., scheduler=...)`` hook.
 """
 
 from __future__ import annotations
 
 import math
 from abc import ABC, abstractmethod
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -56,6 +75,10 @@ from .protocol import PopulationProtocol
 from .sequential import SequentialEngine
 
 __all__ = [
+    "AgentScheduledEngine",
+    "AgentScheduler",
+    "EpochBoundary",
+    "EpochScheduler",
     "PairScheduler",
     "UniformScheduler",
     "ScheduledEngine",
@@ -139,6 +162,285 @@ class UniformScheduler(PairScheduler):
         return [0] * num_states
 
 
+_BOUNDARY_KINDS = ("events", "interactions", "silence", "predicate")
+
+
+@dataclass(frozen=True)
+class EpochBoundary:
+    """When one epoch segment ends and the next scheduler takes over.
+
+    ``kind`` selects the trigger:
+
+    * ``events`` — the segment ends after ``value`` *productive* events
+      (counted from segment entry);
+    * ``interactions`` — after ``value`` accepted scheduler steps, the
+      simulated-time clock (parallel time is ``interactions / n``);
+    * ``silence`` — when the population goes silent under the segment's
+      scheduler (silence is scheduler-independent, so this matters for
+      timelines whose later segments govern post-fault recovery);
+    * ``predicate`` — when ``predicate(counts)`` first holds, checked
+      every ``check_every`` productive events (the scenario layer's
+      phase-stop machinery resolves named predicates into callables).
+    """
+
+    kind: str
+    value: Optional[int] = None
+    predicate: Optional[Callable[[Sequence[int]], bool]] = None
+    check_every: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.kind not in _BOUNDARY_KINDS:
+            raise SimulationError(
+                f"unknown epoch boundary kind {self.kind!r}; expected one "
+                f"of {_BOUNDARY_KINDS}"
+            )
+        if self.kind in ("events", "interactions"):
+            if self.value is None or self.value < 1:
+                raise SimulationError(
+                    f"epoch boundary on {self.kind} needs value >= 1, "
+                    f"got {self.value}"
+                )
+        if self.kind == "predicate":
+            if self.predicate is None:
+                raise SimulationError(
+                    "epoch boundary on predicate needs a predicate callable"
+                )
+            if self.check_every < 1:
+                raise SimulationError(
+                    f"check_every must be >= 1, got {self.check_every}"
+                )
+
+
+class EpochScheduler:
+    """A time-varying adversary: an ordered timeline of scheduler segments.
+
+    ``segments`` is a sequence of ``(boundary, scheduler)`` pairs; every
+    segment except the last needs an :class:`EpochBoundary` (the last
+    one may carry ``None`` and runs forever).  Segment schedulers are
+    ordinary :class:`PairScheduler` instances — uniform segments are
+    allowed and stay exact.
+
+    The timeline itself is immutable and engine-independent: epoch
+    progress (which segment is active) lives in the engine, so one
+    ``EpochScheduler`` can drive many engines concurrently.  Boundary
+    durations (``events`` / ``interactions``) count from segment entry.
+    """
+
+    #: Epoch timelines never short-circuit to the uniform fast path.
+    is_uniform: bool = False
+
+    def __init__(
+        self,
+        segments: Sequence[Tuple[Optional[EpochBoundary], PairScheduler]],
+        name: Optional[str] = None,
+        labels: Optional[Sequence[Optional[str]]] = None,
+    ) -> None:
+        segments = tuple(
+            (boundary, scheduler) for boundary, scheduler in segments
+        )
+        if not segments:
+            raise SimulationError("EpochScheduler needs at least one segment")
+        for index, (boundary, scheduler) in enumerate(segments):
+            if not isinstance(scheduler, PairScheduler):
+                raise SimulationError(
+                    f"epoch segment {index} scheduler must be a "
+                    f"PairScheduler, got {type(scheduler).__name__}"
+                )
+            if boundary is None and index != len(segments) - 1:
+                raise SimulationError(
+                    f"epoch segment {index} has no boundary but is not "
+                    "the last segment"
+                )
+        if labels is not None and len(labels) != len(segments):
+            raise SimulationError(
+                f"epoch timeline has {len(segments)} segments but "
+                f"{len(labels)} labels"
+            )
+        self.segments = segments
+        self._name = name
+        self._labels = tuple(labels) if labels is not None else None
+
+    @property
+    def name(self) -> str:
+        """Short timeline name used in results and tables."""
+        if self._name is not None:
+            return self._name
+        inner = "->".join(s.name for _, s in self.segments)
+        return f"epoch({inner})"
+
+    @property
+    def num_epochs(self) -> int:
+        return len(self.segments)
+
+    def schedulers(self) -> List[PairScheduler]:
+        """The segment schedulers, in timeline order."""
+        return [scheduler for _, scheduler in self.segments]
+
+    def segment_label(self, index: int) -> str:
+        """Human-readable name of one segment (its label, else the
+        segment scheduler's name) — what results and tables print."""
+        if self._labels is not None and self._labels[index]:
+            return self._labels[index]
+        return self.segments[index][1].name
+
+
+class _EpochCursor:
+    """Engine-side epoch bookkeeping, shared by both biased engines.
+
+    Tracks which segment is active and the counter values at segment
+    entry, so boundary durations are relative to the segment.  Keeping
+    the logic in one place is what makes the rejection engine an exact
+    reference for the weighted one: both consult the same cursor
+    semantics (``met`` / ``caps`` / ``advance``).
+    """
+
+    __slots__ = ("segments", "epoch", "start_events", "start_interactions",
+                 "next_predicate_check")
+
+    def __init__(
+        self,
+        scheduler: Union[PairScheduler, EpochScheduler],
+        start_epoch: int = 0,
+    ) -> None:
+        if isinstance(scheduler, EpochScheduler):
+            self.segments = scheduler.segments
+        else:
+            self.segments = ((None, scheduler),)
+        if not 0 <= start_epoch < len(self.segments):
+            raise SimulationError(
+                f"start_epoch {start_epoch} outside timeline of "
+                f"{len(self.segments)} segment(s)"
+            )
+        self.epoch = start_epoch
+        self.start_events = 0
+        self.start_interactions = 0
+        self.next_predicate_check = 0
+
+    @property
+    def last(self) -> bool:
+        return self.epoch == len(self.segments) - 1
+
+    @property
+    def boundary(self) -> Optional[EpochBoundary]:
+        return self.segments[self.epoch][0]
+
+    @property
+    def scheduler(self) -> PairScheduler:
+        return self.segments[self.epoch][1]
+
+    def met(self, events: int, interactions: int, counts, silent: bool) -> bool:
+        """Has the current (non-final) segment's boundary been reached?
+
+        Predicate boundaries are evaluated every ``check_every``
+        productive events, with the window tracked *here* so the
+        weighted engine and the rejection reference fire the boundary
+        at the identical evaluation points regardless of how their
+        loops chunk the run (a negative evaluation schedules the next
+        one — this method is deliberately stateful for that kind).
+        """
+        if self.last:
+            return False
+        boundary = self.segments[self.epoch][0]
+        if boundary is None:
+            return False
+        if boundary.kind == "events":
+            return events - self.start_events >= boundary.value
+        if boundary.kind == "interactions":
+            return interactions - self.start_interactions >= boundary.value
+        if boundary.kind == "silence":
+            return silent
+        if events < self.next_predicate_check:
+            return False
+        if boundary.predicate(counts):
+            return True
+        self.next_predicate_check = events + boundary.check_every
+        return False
+
+    def caps(
+        self,
+        events: int,
+        interactions: int,
+        max_interactions: Optional[int],
+        max_events: Optional[int],
+    ) -> Tuple[Optional[int], Optional[int]]:
+        """Effective ``(max_interactions, max_events)`` for one chunk.
+
+        Clamps the caller's budgets to the current segment's boundary
+        (or its predicate check window), so the engine's single-segment
+        loop can run at full speed between boundary checks.
+        """
+        boundary = self.segments[self.epoch][0]
+        if self.last or boundary is None or boundary.kind == "silence":
+            return max_interactions, max_events
+        if boundary.kind == "events":
+            seg = self.start_events + boundary.value
+            max_events = seg if max_events is None else min(max_events, seg)
+        elif boundary.kind == "interactions":
+            seg = self.start_interactions + boundary.value
+            max_interactions = (
+                seg if max_interactions is None
+                else min(max_interactions, seg)
+            )
+        elif boundary.kind == "predicate":
+            seg = max(self.next_predicate_check, events + 1)
+            max_events = seg if max_events is None else min(max_events, seg)
+        return max_interactions, max_events
+
+    def advance(self, events: int, interactions: int) -> PairScheduler:
+        """Enter the next segment; returns its scheduler."""
+        self.epoch += 1
+        self.start_events = events
+        self.start_interactions = interactions
+        # A fresh segment's predicate (if any) is checked immediately.
+        self.next_predicate_check = events
+        return self.segments[self.epoch][1]
+
+
+def _drive_epoch_timeline(
+    engine,
+    run_segment: Callable[[Optional[int], Optional[Recorder], Optional[int]], bool],
+    max_interactions: Optional[int],
+    recorder: Optional[Recorder],
+    max_events: Optional[int],
+) -> bool:
+    """The epoch-driver loop shared by both biased engines.
+
+    Alternates boundary checks / epoch advances with budget-clamped
+    chunks of ``run_segment`` (the engine's single-scheduler loop).
+    Living in one place is what keeps the rejection engine an *exact*
+    reference for the weighted one: any change to the boundary
+    semantics applies to both by construction.
+    """
+    cursor = engine._cursor
+    silent = False
+    while True:
+        if engine._boundary_met():
+            engine._advance_epoch()
+            continue
+        cap_interactions, cap_events = cursor.caps(
+            engine.events, engine.interactions, max_interactions, max_events
+        )
+        silent = run_segment(cap_interactions, recorder, cap_events)
+        if silent:
+            if engine._boundary_met():
+                # A silence (or satisfied-predicate) boundary fires on
+                # the way out; the remaining timeline segments matter
+                # to callers injecting faults afterwards.
+                engine._advance_epoch()
+                continue
+            break
+        if max_events is not None and engine.events >= max_events:
+            break
+        if (
+            max_interactions is not None
+            and engine.interactions >= max_interactions
+        ):
+            break
+        # Otherwise only a segment cap was hit; loop to re-check the
+        # boundary and advance.
+    return silent
+
+
 def _normalise_classes(raw: Sequence[int]) -> Tuple[List[int], List[int]]:
     """Renumber class ids by first occurrence; returns (map, representatives)."""
     remap: Dict[int, int] = {}
@@ -209,7 +511,17 @@ class WeightedScheduledEngine:
     uniform jump chain, and the productive pair itself is drawn from
     the weighted index in one ``find``.
 
-    Raises :class:`~repro.core.fused.WeightedIndexUnsupported` when the
+    Accepts an :class:`EpochScheduler` natively: one
+    :class:`~repro.core.fused.WeightedFusedIndex` is precompiled per
+    *distinct* segment scheduler, and epoch boundaries hot-swap the
+    active index via the in-place ``resync(counts)`` seam — no
+    recompilation, every segment runs the full-speed jump loop.
+    ``start_epoch`` resumes a timeline mid-way (the scenario engine uses
+    it to carry the epoch across churn-induced engine rebuilds; the
+    current segment's elapsed duration restarts with the new engine's
+    counters).
+
+    Raises :class:`~repro.core.fused.WeightedIndexUnsupported` when any
     scheduler/protocol combination cannot be compiled exactly (use
     :func:`try_weighted_engine` for transparent fallback).
     """
@@ -219,7 +531,8 @@ class WeightedScheduledEngine:
         protocol: PopulationProtocol,
         configuration: Configuration,
         rng: np.random.Generator,
-        scheduler: PairScheduler,
+        scheduler: Union[PairScheduler, EpochScheduler],
+        start_epoch: int = 0,
     ) -> None:
         protocol.validate_configuration(configuration)
         self._protocol = protocol
@@ -229,23 +542,41 @@ class WeightedScheduledEngine:
         self._num_states = protocol.num_states
         self.interactions = 0
         self.events = 0
-        class_of, reps = _derive_classes(scheduler, self._num_states)
-        matrix = [
-            [
-                dyadic_weight_numerator(scheduler.pair_weight(ri, rj))
-                for rj in reps
+        self._cursor = _EpochCursor(scheduler, start_epoch=start_epoch)
+        families = protocol.build_families(self.counts)
+        # Deduplicate on the *derived* (classes, dyadic matrix): the
+        # scenario layer builds a fresh scheduler object per timeline
+        # segment, so value-equal segments (the common "flip back"
+        # pattern) must still share one compiled index.
+        compiled: Dict[tuple, WeightedFusedIndex] = {}
+        self._indices: List[WeightedFusedIndex] = []
+        for _, segment_scheduler in self._cursor.segments:
+            class_of, reps = _derive_classes(
+                segment_scheduler, self._num_states
+            )
+            matrix = [
+                [
+                    dyadic_weight_numerator(
+                        segment_scheduler.pair_weight(ri, rj)
+                    )
+                    for rj in reps
+                ]
+                for ri in reps
             ]
-            for ri in reps
-        ]
-        self._class_of = class_of
-        self._class_matrix = matrix
-        self._index = WeightedFusedIndex(
-            protocol.build_families(self.counts),
-            self._num_states,
-            self.counts,
-            class_of,
-            matrix,
-        )
+            key = (
+                tuple(class_of),
+                tuple(tuple(row) for row in matrix),
+            )
+            if key not in compiled:
+                compiled[key] = WeightedFusedIndex(
+                    families,
+                    self._num_states,
+                    self.counts,
+                    class_of,
+                    matrix,
+                )
+            self._indices.append(compiled[key])
+        self._index = self._indices[self._cursor.epoch]
         self._uniforms = rng.random(_UNIFORM_BATCH)
         self._uniform_pos = 0
         self._raws: List[int] = []
@@ -255,9 +586,35 @@ class WeightedScheduledEngine:
         )
 
     @property
-    def scheduler(self) -> PairScheduler:
-        """The scheduler this engine realises."""
+    def scheduler(self) -> Union[PairScheduler, EpochScheduler]:
+        """The scheduler (or epoch timeline) this engine realises."""
         return self._scheduler
+
+    @property
+    def epoch(self) -> int:
+        """Index of the active timeline segment (0 for plain schedulers)."""
+        return self._cursor.epoch
+
+    @property
+    def current_scheduler(self) -> PairScheduler:
+        """The segment scheduler currently driving pair selection."""
+        return self._cursor.scheduler
+
+    def _advance_epoch(self) -> None:
+        """Enter the next segment, hot-swapping its precompiled index."""
+        self._cursor.advance(self.events, self.interactions)
+        index = self._indices[self._cursor.epoch]
+        if index is not self._index:
+            # The incoming index went stale while another segment ran;
+            # one in-place resync from the live counts revalidates it.
+            index.resync(self.counts)
+            self._index = index
+
+    def _boundary_met(self) -> bool:
+        return self._cursor.met(
+            self.events, self.interactions, self.counts,
+            self._index.total == 0,
+        )
 
     @property
     def productive_weight(self) -> int:
@@ -368,10 +725,12 @@ class WeightedScheduledEngine:
     def reset_configuration(self, configuration) -> None:
         """Adopt an externally mutated configuration mid-run.
 
-        Fault-injection seam mirroring the other engines: the weighted
-        index is recompiled from the new counts (classes and the dyadic
-        weight matrix are count-independent and reused); counters, the
+        Fault-injection seam mirroring the other engines: the *active*
+        weighted index is resynced in place from the new counts (slot
+        layouts are count-independent); counters, the epoch cursor, the
         compiled pair table, and the generator stream are preserved.
+        Inactive segment indexes stay stale — the epoch swap resyncs the
+        incoming index anyway.
         """
         counts = (
             configuration.counts_list()
@@ -391,26 +750,73 @@ class WeightedScheduledEngine:
                 f"engine has {self._protocol.num_agents}"
             )
         self.counts = counts
-        self._index = WeightedFusedIndex(
-            self._protocol.build_families(counts),
-            self._num_states,
-            counts,
-            self._class_of,
-            self._class_matrix,
-        )
+        self._index.resync(counts)
 
     def step(self) -> Optional[Event]:
-        """Advance to (and apply) the next productive interaction."""
+        """Advance to (and apply) the next productive interaction.
+
+        Epoch boundaries already met are crossed first; a geometric
+        skip overshooting an ``interactions`` boundary clamps there and
+        redraws under the next segment (exact, by memorylessness).
+        Predicate boundaries are evaluated every ``check_every``
+        productive events — the window lives in the cursor, so run- and
+        step-driven execution (and both engines) fire them identically.
+        """
+        while self._boundary_met():
+            self._advance_epoch()
         index = self._index
         weight = index.total
         if weight == 0:
             return None
-        self.interactions += self._geometric_skip(weight, index.total_mass())
+        skip = self._geometric_skip(weight, index.total_mass())
+        boundary = self._cursor.boundary
+        if (
+            not self._cursor.last
+            and boundary is not None
+            and boundary.kind == "interactions"
+        ):
+            limit = self._cursor.start_interactions + boundary.value
+            if self.interactions + skip > limit:
+                self.interactions = limit
+                self._advance_epoch()
+                return self.step()
+        self.interactions += skip
         si, sj = index.sample(self.rand_below)
         ti, tj, ops = self._transition(si, sj)
         self._apply_ops(ops)
         self.events += 1
         return Event(self.interactions, si, sj, ti, tj)
+
+    def _run_segment(
+        self,
+        max_interactions: Optional[int],
+        recorder: Optional[Recorder],
+        max_events: Optional[int],
+    ) -> bool:
+        """The single-scheduler jump loop (one epoch segment chunk)."""
+        index = self._index
+        while True:
+            weight = index.total
+            if weight == 0:
+                return True
+            if max_events is not None and self.events >= max_events:
+                return False
+            skip = self._geometric_skip(weight, index.total_mass())
+            if (
+                max_interactions is not None
+                and self.interactions + skip > max_interactions
+            ):
+                self.interactions = max_interactions
+                return False
+            self.interactions += skip
+            si, sj = index.sample(self.rand_below)
+            ti, tj, ops = self._transition(si, sj)
+            self._apply_ops(ops)
+            self.events += 1
+            if recorder is not None:
+                recorder.on_event(
+                    Event(self.interactions, si, sj, ti, tj), self.counts
+                )
 
     def run(
         self,
@@ -422,36 +828,17 @@ class WeightedScheduledEngine:
 
         ``interactions`` counts the scheduler's accepted steps (null
         ones included) — the same clock the rejection engine reports.
-        A skip overshooting ``max_interactions`` clamps to the budget
-        without applying the pending event.
+        A skip overshooting ``max_interactions`` (or an epoch boundary
+        on interactions) clamps there without applying the pending
+        event; at an epoch boundary the next draw then happens under
+        the new segment's weights, which is exact because the geometric
+        skip is memoryless.
         """
         if recorder is not None:
             recorder.on_start(self.counts)
-        index = self._index
-        silent = False
-        while True:
-            weight = index.total
-            if weight == 0:
-                silent = True
-                break
-            if max_events is not None and self.events >= max_events:
-                break
-            skip = self._geometric_skip(weight, index.total_mass())
-            if (
-                max_interactions is not None
-                and self.interactions + skip > max_interactions
-            ):
-                self.interactions = max_interactions
-                break
-            self.interactions += skip
-            si, sj = index.sample(self.rand_below)
-            ti, tj, ops = self._transition(si, sj)
-            self._apply_ops(ops)
-            self.events += 1
-            if recorder is not None:
-                recorder.on_event(
-                    Event(self.interactions, si, sj, ti, tj), self.counts
-                )
+        silent = _drive_epoch_timeline(
+            self, self._run_segment, max_interactions, recorder, max_events
+        )
         if recorder is not None:
             recorder.on_finish(silent, self.interactions, self.counts)
         return silent
@@ -465,17 +852,48 @@ def try_weighted_engine(
     protocol: PopulationProtocol,
     configuration: Configuration,
     rng: np.random.Generator,
-    scheduler: PairScheduler,
+    scheduler: Union[PairScheduler, EpochScheduler],
+    start_epoch: int = 0,
 ) -> Optional[WeightedScheduledEngine]:
     """Weighted jump engine, or ``None`` when it cannot apply exactly.
 
     Callers fall back to the rejection :class:`ScheduledEngine`, which
-    handles any scheduler/protocol combination.
+    handles any scheduler/protocol combination.  For an epoch timeline,
+    *every* segment scheduler must compile — a single unsupported
+    segment sends the whole timeline to the rejection engine, so the
+    step distribution never changes mid-run for engine reasons.
     """
     try:
-        return WeightedScheduledEngine(protocol, configuration, rng, scheduler)
+        return WeightedScheduledEngine(
+            protocol, configuration, rng, scheduler, start_epoch=start_epoch
+        )
     except WeightedIndexUnsupported:
         return None
+
+
+class _AcceptStream:
+    """Batched uniform thresholds for rejection acceptance tests.
+
+    One shared implementation for both rejection engines — the
+    acceptance-draw semantics (53-bit uniforms, batch refill order) are
+    part of the exactness contract with the weighted index's dyadic
+    numerators, so they must never diverge between engines.
+    """
+
+    __slots__ = ("_rng", "_accepts", "_pos")
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self._rng = rng
+        self._accepts = np.empty(0)
+        self._pos = 0
+
+    def next(self) -> float:
+        if self._pos >= len(self._accepts):
+            self._accepts = self._rng.random(_ACCEPT_BATCH)
+            self._pos = 0
+        u = self._accepts[self._pos]
+        self._pos += 1
+        return u
 
 
 class ScheduledEngine(SequentialEngine):
@@ -491,6 +909,13 @@ class ScheduledEngine(SequentialEngine):
     against schedulers that slow convergence arbitrarily.  The weighted
     jump engine above is the fast path; this engine is the obviously
     correct reference and the fallback for exotic schedulers.
+
+    Accepts an :class:`EpochScheduler` through the same seam as the
+    weighted engine: one dense weight matrix is precomputed per
+    distinct segment scheduler and the active matrix swaps at each
+    boundary (the same :class:`_EpochCursor` semantics, step by step —
+    which is what makes this the exact reference for the weighted
+    engine's epoch hot-swap).
     """
 
     def __init__(
@@ -498,32 +923,162 @@ class ScheduledEngine(SequentialEngine):
         protocol: PopulationProtocol,
         configuration: Configuration,
         rng: np.random.Generator,
-        scheduler: PairScheduler,
+        scheduler: Union[PairScheduler, EpochScheduler],
+        start_epoch: int = 0,
     ) -> None:
         super().__init__(protocol, configuration, rng)
         self._scheduler = scheduler
-        self._weights = scheduler.weight_matrix(protocol.num_states)
-        self._accepts = np.empty(0)
-        self._accept_pos = 0
+        self._cursor = _EpochCursor(scheduler, start_epoch=start_epoch)
+        # Value-level dedup (matrix bytes): value-equal segments built
+        # as distinct objects by the scenario layer share one matrix.
+        matrices: Dict[bytes, np.ndarray] = {}
+        self._matrices: List[np.ndarray] = []
+        for _, segment_scheduler in self._cursor.segments:
+            matrix = segment_scheduler.weight_matrix(protocol.num_states)
+            self._matrices.append(
+                matrices.setdefault(matrix.tobytes(), matrix)
+            )
+        self._weights = self._matrices[self._cursor.epoch]
+        self._accept = _AcceptStream(self._rng)
 
     @property
-    def scheduler(self) -> PairScheduler:
-        """The scheduler this engine realises."""
+    def scheduler(self) -> Union[PairScheduler, EpochScheduler]:
+        """The scheduler (or epoch timeline) this engine realises."""
         return self._scheduler
 
-    def _next_accept_threshold(self) -> float:
-        if self._accept_pos >= len(self._accepts):
-            self._accepts = self._rng.random(_ACCEPT_BATCH)
-            self._accept_pos = 0
-        u = self._accepts[self._accept_pos]
-        self._accept_pos += 1
-        return u
+    @property
+    def epoch(self) -> int:
+        """Index of the active timeline segment (0 for plain schedulers)."""
+        return self._cursor.epoch
+
+    @property
+    def current_scheduler(self) -> PairScheduler:
+        """The segment scheduler currently driving pair selection."""
+        return self._cursor.scheduler
+
+    def _advance_epoch(self) -> None:
+        self._cursor.advance(self.events, self.interactions)
+        self._weights = self._matrices[self._cursor.epoch]
+
+    def _boundary_met(self) -> bool:
+        return self._cursor.met(
+            self.events, self.interactions, self.counts, self.is_silent()
+        )
 
     def _next_pair(self) -> tuple:
         """One *accepted* ordered pair of distinct agent indices."""
         weights = self._weights
         states = self.agent_states
+        accept = self._accept
         while True:
             a, b = super()._next_pair()
-            if self._next_accept_threshold() < weights[states[a], states[b]]:
+            if accept.next() < weights[states[a], states[b]]:
+                return a, b
+
+    def step(self) -> Optional[Event]:
+        """One accepted scheduler step under the active epoch segment."""
+        while self._boundary_met():
+            self._advance_epoch()
+        return super().step()
+
+    def run(
+        self,
+        max_interactions: Optional[int] = None,
+        recorder: Optional[Recorder] = None,
+        max_events: Optional[int] = None,
+    ) -> bool:
+        """Run until silence or budget exhaustion; True iff silent."""
+        if recorder is not None:
+            recorder.on_start(self.counts)
+        silent = _drive_epoch_timeline(
+            self, self._run_loop, max_interactions, recorder, max_events
+        )
+        if recorder is not None:
+            recorder.on_finish(silent, self.interactions, self.counts)
+        return silent
+
+
+class AgentScheduler(ABC):
+    """A fair scheduler biasing which *agents* (by identity) interact.
+
+    State-level schedulers cannot express adversaries that care about
+    identity — a jammed sensor that is rarely scheduled regardless of
+    its state, or a contact graph where some agents are hubs.  An
+    ``AgentScheduler`` assigns each agent a selection weight in
+    ``(0, 1]``; an ordered pair ``(a, b)`` of distinct agents fires
+    with relative weight ``agent_weight(a) · agent_weight(b)``
+    (initiator and responder drawn independently under the same bias).
+
+    Count-based engines collapse agent identities away, so these
+    schedulers run on the explicit-agent
+    :class:`~repro.core.sequential.SequentialEngine` via
+    :class:`AgentScheduledEngine` — an exact rejection filter, the same
+    construction as :class:`ScheduledEngine` one level down.  Weights
+    must stay strictly positive: fairness (and therefore the
+    self-stabilisation contract) survives arbitrary slow-down but not
+    starvation.
+    """
+
+    #: Agent schedulers never short-circuit to the uniform fast path.
+    is_uniform: bool = False
+
+    @property
+    def name(self) -> str:
+        """Short scheduler name used in results and tables."""
+        return type(self).__name__
+
+    @abstractmethod
+    def agent_weight(self, agent: int, num_agents: int) -> float:
+        """Relative selection weight of one agent, in ``(0, 1]``."""
+
+    def weight_vector(self, num_agents: int) -> np.ndarray:
+        """Dense per-agent weight table (engine precomputation)."""
+        weights = np.empty(num_agents, dtype=np.float64)
+        for agent in range(num_agents):
+            weights[agent] = self.agent_weight(agent, num_agents)
+        if weights.min() <= 0.0 or weights.max() > 1.0:
+            raise SimulationError(
+                f"{self.name}: agent weights must lie in (0, 1], got range "
+                f"[{weights.min()}, {weights.max()}]"
+            )
+        return weights
+
+
+class AgentScheduledEngine(SequentialEngine):
+    """Rejection engine honouring an agent-identity scheduler.
+
+    Each uniform candidate pair ``(a, b)`` is accepted with probability
+    ``agent_weight(a) · agent_weight(b)``, so accepted steps follow the
+    agent-level distribution exactly.  Agent identities are positional:
+    agent ``i`` is the ``i``-th slot of the explicit agent array (the
+    initial configuration lays agents out in state order; faults through
+    ``reset_configuration`` relabel states but keep the weights attached
+    to positions, which is the point — the adversary targets devices,
+    not their current memory).
+    """
+
+    def __init__(
+        self,
+        protocol: PopulationProtocol,
+        configuration: Configuration,
+        rng: np.random.Generator,
+        scheduler: AgentScheduler,
+    ) -> None:
+        super().__init__(protocol, configuration, rng)
+        self._scheduler = scheduler
+        self._agent_weights = scheduler.weight_vector(protocol.num_agents)
+        self._accept = _AcceptStream(self._rng)
+
+    @property
+    def scheduler(self) -> AgentScheduler:
+        """The agent scheduler this engine realises."""
+        return self._scheduler
+
+    def _next_pair(self) -> tuple:
+        """One *accepted* ordered pair of distinct agent indices."""
+        weights = self._agent_weights
+        accept = self._accept
+        while True:
+            a, b = super()._next_pair()
+            if accept.next() < weights[a] * weights[b]:
                 return a, b

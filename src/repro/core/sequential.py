@@ -153,6 +153,29 @@ class SequentialEngine:
         self.events += 1
         return Event(self.interactions, si, sj, ti, tj)
 
+    def _run_loop(
+        self,
+        max_interactions: Optional[int],
+        recorder: Optional[Recorder],
+        max_events: Optional[int],
+    ) -> bool:
+        """The budgeted step loop, without the recorder start/finish hooks.
+
+        Factored out so subclasses driving several segments per run (the
+        epoch-switching rejection engine) can reuse it without firing
+        ``on_start``/``on_finish`` once per segment.
+        """
+        while True:
+            if self.is_silent():
+                return True
+            if max_interactions is not None and self.interactions >= max_interactions:
+                return False
+            if max_events is not None and self.events >= max_events:
+                return False
+            event = self.step()
+            if event is not None and recorder is not None:
+                recorder.on_event(event, self.counts)
+
     def run(
         self,
         max_interactions: Optional[int] = None,
@@ -162,18 +185,7 @@ class SequentialEngine:
         """Run until silence or budget exhaustion; True iff silent."""
         if recorder is not None:
             recorder.on_start(self.counts)
-        silent = False
-        while True:
-            if self.is_silent():
-                silent = True
-                break
-            if max_interactions is not None and self.interactions >= max_interactions:
-                break
-            if max_events is not None and self.events >= max_events:
-                break
-            event = self.step()
-            if event is not None and recorder is not None:
-                recorder.on_event(event, self.counts)
+        silent = self._run_loop(max_interactions, recorder, max_events)
         if recorder is not None:
             recorder.on_finish(silent, self.interactions, self.counts)
         return silent

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..analysis.recovery import (
+    epoch_table,
     phase_table,
     recovery_records,
     recovery_table,
@@ -31,6 +32,14 @@ DESCRIPTION_TREE = (
 DESCRIPTION_LINE = (
     "Line of traps under churn: departures/arrivals resize n mid-run; "
     "recovery-time distribution"
+)
+DESCRIPTION_EPOCH_AG = (
+    "AG under alternating cluster suppression (epoch-switching "
+    "adversary on the weighted fast path); per-epoch recovery times"
+)
+DESCRIPTION_EPOCH_TREE = (
+    "Tree protocol under a bias flip at silence: recovery from a crash "
+    "wave under the inverted bias; per-epoch recovery times"
 )
 PAPER_REFERENCE = (
     "self-stabilisation contract (§1); k-distant recovery regime (§3)"
@@ -53,20 +62,24 @@ def _run_campaign_experiment(
         workers=workers,
     )
     records = recovery_records(result)
+    tables = [
+        recovery_table(result),
+        phase_table(result),
+        survival_table(result),
+    ]
+    if scenario.timeline:
+        tables.append(epoch_table(result))
     return ExperimentResult(
         experiment_id=experiment_id,
         scale=scale,
-        tables=[
-            recovery_table(result),
-            phase_table(result),
-            survival_table(result),
-        ],
+        tables=tables,
         raw={
             "campaign_id": campaign_id,
             "repetitions": result.repetitions,
             "recovered_fraction": result.recovered_fraction,
             "recovery_times": [r.recovery_time for r in records],
             "recovered": [r.recovered for r in records],
+            "recovery_schedulers": [r.scheduler for r in records],
         },
     )
 
@@ -95,4 +108,22 @@ def run_line_churn(
     """Churn storm on the line-of-traps protocol."""
     return _run_campaign_experiment(
         "line_churn_storm", "scenario_line_churn", scale, seed, workers
+    )
+
+
+def run_epoch_ag(
+    scale: str = "small", seed: int = 0, workers: Optional[int] = None
+) -> ExperimentResult:
+    """Epoch-switching clustered adversary on the AG baseline."""
+    return _run_campaign_experiment(
+        "ag_epoch_cluster_flip", "scenario_epoch_ag", scale, seed, workers
+    )
+
+
+def run_epoch_tree(
+    scale: str = "small", seed: int = 0, workers: Optional[int] = None
+) -> ExperimentResult:
+    """Bias-flip-at-silence adversary on the tree protocol."""
+    return _run_campaign_experiment(
+        "tree_epoch_bias_flip", "scenario_epoch_tree", scale, seed, workers
     )

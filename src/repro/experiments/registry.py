@@ -94,6 +94,10 @@ REGISTRY: Dict[str, Experiment] = {
                campaigns.DESCRIPTION_TREE, campaigns.PAPER_REFERENCE),
         _entry("scenario_line_churn", campaigns.run_line_churn,
                campaigns.DESCRIPTION_LINE, campaigns.PAPER_REFERENCE),
+        _entry("scenario_epoch_ag", campaigns.run_epoch_ag,
+               campaigns.DESCRIPTION_EPOCH_AG, campaigns.PAPER_REFERENCE),
+        _entry("scenario_epoch_tree", campaigns.run_epoch_tree,
+               campaigns.DESCRIPTION_EPOCH_TREE, campaigns.PAPER_REFERENCE),
     ]
 }
 

@@ -99,6 +99,16 @@ PAPER_CLAIMS: Dict[str, str] = {
         "mid-run (within one lattice window) and the population "
         "re-silences after every wave."
     ),
+    "scenario_epoch_ag": (
+        "Self-stabilisation is adversary-agnostic (§1): the AG "
+        "baseline re-silences even when the fair scheduler's bias "
+        "switches mid-run (alternating cluster suppression)."
+    ),
+    "scenario_epoch_tree": (
+        "Thm 4's protocol recovers from a crash wave under a bias "
+        "inverted at the moment of first silence — recovery bounds "
+        "hold under any fair scheduler, time-varying included (§1)."
+    ),
 }
 
 

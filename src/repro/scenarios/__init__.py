@@ -26,10 +26,14 @@ from .catalog import CAMPAIGNS, Campaign, get_campaign, list_campaigns
 from .engine import PhaseLog, ScenarioResult, run_scenario
 from .schedulers import (
     ClusteredScheduler,
+    DegreeSkewedScheduler,
     StateBiasedScheduler,
+    TargetedSuppressionScheduler,
+    build_epoch_scheduler,
     build_scheduler,
 )
 from .spec import (
+    EpochSpec,
     FaultPhase,
     ProtocolSpec,
     RunPhase,
@@ -44,6 +48,8 @@ __all__ = [
     "CampaignResult",
     "CampaignRunner",
     "ClusteredScheduler",
+    "DegreeSkewedScheduler",
+    "EpochSpec",
     "FaultPhase",
     "PhaseLog",
     "ProtocolSpec",
@@ -53,6 +59,8 @@ __all__ = [
     "SchedulerSpec",
     "StartSpec",
     "StateBiasedScheduler",
+    "TargetedSuppressionScheduler",
+    "build_epoch_scheduler",
     "build_scheduler",
     "get_campaign",
     "list_campaigns",

@@ -17,6 +17,15 @@ the paper and its companion works stress:
 * ``ag_clustered_adversary`` — AG under the adversarially clustered
   scheduler: interactions are localised into state blocks, slowing
   mixing; corruption lands mid-run.
+* ``ag_epoch_cluster_flip`` — AG under an **epoch-switching** adversary
+  that re-draws its cluster boundaries on a fixed cadence (simulated
+  time), so no static locality assumption survives; corruption lands
+  mid-timeline.  Runs on the weighted jump fast path with one
+  precompiled index per segment.
+* ``tree_epoch_bias_flip`` — the tree protocol under a bias that flips
+  **at silence**: the reset machinery is starved while stabilising,
+  then a crash wave lands and recovery runs under the inverted bias
+  (ranks starved instead).
 """
 
 from __future__ import annotations
@@ -26,6 +35,7 @@ from typing import Callable, Dict, List, Tuple
 
 from ..exceptions import ExperimentError
 from .spec import (
+    EpochSpec,
     FaultPhase,
     ProtocolSpec,
     RunPhase,
@@ -196,6 +206,97 @@ def _ag_clustered_adversary(scale: str) -> Scenario:
     )
 
 
+def _ag_epoch_cluster_flip(scale: str) -> Scenario:
+    # Alternating cluster suppression: the adversary re-tiles the state
+    # space every `period` scheduler steps (2 blocks -> 4 blocks -> 2
+    # blocks), so pairs that interacted freely become throttled and
+    # vice versa.  Every segment compiles into the weighted fused
+    # index, so the whole timeline runs on the weighted fast path.
+    # Periods are tuned so every scale crosses at least one boundary
+    # mid-run (smoke runs spend ~6k scheduler steps in total).
+    n = _pick(scale, 24, 96, 256)
+    period = _pick(scale, 1_500, 150_000, 800_000)
+    budget = _pick(scale, 100_000, 600_000, 4_000_000)
+    return Scenario(
+        name="ag_epoch_cluster_flip",
+        description=(
+            "AG under alternating cluster suppression: the clustered "
+            "adversary re-draws its blocks (2 -> 4 -> 2) on a fixed "
+            "simulated-time cadence; corruption lands mid-timeline"
+        ),
+        protocol=ProtocolSpec(kind="ag", num_agents=n),
+        start=StartSpec(kind="random"),
+        timeline=(
+            EpochSpec(
+                scheduler=SchedulerSpec(
+                    kind="clustered", num_clusters=2, across=0.05
+                ),
+                until="interactions",
+                value=period,
+            ),
+            EpochSpec(
+                scheduler=SchedulerSpec(
+                    kind="clustered", num_clusters=4, across=0.05
+                ),
+                until="interactions",
+                value=period,
+            ),
+            EpochSpec(
+                scheduler=SchedulerSpec(
+                    kind="clustered", num_clusters=2, across=0.05
+                ),
+            ),
+        ),
+        phases=(
+            RunPhase(until="silence", max_events=budget, label="stabilise"),
+            FaultPhase(kind="corrupt", fraction=0.25, label="corrupt 25%"),
+            RunPhase(until="silence", max_events=budget, label="recover"),
+        ),
+    )
+
+
+def _tree_epoch_bias_flip(scale: str) -> Scenario:
+    # Bias flip at silence: while stabilising, agents in the reset line
+    # are starved (extra_weight 0.15); the moment the population first
+    # silences, the adversary inverts the bias (rank states starved),
+    # and the crash wave that follows must be absorbed under it.
+    n = _pick(scale, 16, 150, 600)
+    budget = _pick(scale, 100_000, 1_000_000, 4_000_000)
+    return Scenario(
+        name="tree_epoch_bias_flip",
+        description=(
+            "tree protocol under a bias that flips at silence: reset "
+            "line starved while stabilising, ranks starved during the "
+            "post-crash recovery"
+        ),
+        protocol=ProtocolSpec(kind="tree", num_agents=n),
+        start=StartSpec(kind="random"),
+        timeline=(
+            EpochSpec(
+                scheduler=SchedulerSpec(
+                    kind="state_biased", extra_weight=0.15
+                ),
+                until="silence",
+            ),
+            EpochSpec(
+                scheduler=SchedulerSpec(
+                    kind="state_biased", rank_weight=0.3, extra_weight=1.0
+                ),
+            ),
+        ),
+        phases=(
+            RunPhase(until="silence", max_events=budget, label="stabilise"),
+            FaultPhase(
+                kind="crash",
+                fraction=0.25,
+                replacement_state="first_extra",
+                label="crash 25% -> reset line",
+            ),
+            RunPhase(until="silence", max_events=budget, label="recover"),
+        ),
+    )
+
+
 CAMPAIGNS: Dict[str, Campaign] = {
     c.campaign_id: c
     for c in [
@@ -234,6 +335,25 @@ CAMPAIGNS: Dict[str, Campaign] = {
             ),
             build=_ag_clustered_adversary,
             repetitions=(2, 4, 5),
+        ),
+        Campaign(
+            campaign_id="ag_epoch_cluster_flip",
+            description=(
+                "AG under alternating cluster suppression (epoch-"
+                "switching clustered adversary on the weighted fast "
+                "path), corruption mid-timeline"
+            ),
+            build=_ag_epoch_cluster_flip,
+            repetitions=(2, 4, 6),
+        ),
+        Campaign(
+            campaign_id="tree_epoch_bias_flip",
+            description=(
+                "tree protocol under a bias flip at silence: reset line "
+                "starved before, ranks starved during post-crash recovery"
+            ),
+            build=_tree_epoch_bias_flip,
+            repetitions=(2, 4, 6),
         ),
     ]
 }

@@ -36,7 +36,13 @@ from ..core.faults import (
 )
 from ..core.jump import JumpEngine
 from ..core.protocol import PopulationProtocol, RankingProtocol
-from ..core.scheduler import ScheduledEngine, try_weighted_engine
+from ..core.scheduler import (
+    AgentScheduledEngine,
+    AgentScheduler,
+    EpochScheduler,
+    ScheduledEngine,
+    try_weighted_engine,
+)
 from ..configurations.generators import (
     all_in_extras_configuration,
     all_in_state_configuration,
@@ -47,7 +53,7 @@ from ..configurations.generators import (
 )
 from ..exceptions import ExperimentError
 from ..protocols.leader import count_leaders
-from .schedulers import build_scheduler
+from .schedulers import build_epoch_scheduler, build_scheduler
 from .spec import FaultPhase, RunPhase, Scenario
 
 __all__ = ["PhaseLog", "ScenarioResult", "run_scenario"]
@@ -61,6 +67,10 @@ class PhaseLog:
     steps / productive events), not cumulative totals; ``num_agents`` is
     the population size *during* the phase (after the fault, for fault
     phases), so ``parallel_time`` uses the right clock even under churn.
+    ``scheduler`` names the pair-selection bias active when the phase
+    ended — for epoch timelines it carries the segment and epoch index
+    (``clustered@epoch1``), which is what the per-epoch recovery tables
+    group by.
     """
 
     index: int
@@ -73,6 +83,7 @@ class PhaseLog:
     stop_reason: str  # silence | predicate | events | interactions | fault
     distance: Optional[int]
     wall_time_s: float
+    scheduler: str = "uniform"
 
     @property
     def parallel_time(self) -> float:
@@ -213,17 +224,45 @@ def _distance(protocol, configuration) -> Optional[int]:
 # ----------------------------------------------------------------------
 # Engine plumbing
 # ----------------------------------------------------------------------
-def _make_engine(scenario, protocol, configuration, rng):
-    scheduler = build_scheduler(scenario.scheduler, protocol)
-    if scheduler is not None:
-        # Biased phases run on the weighted jump fast path whenever the
-        # scheduler compiles into the weighted fused index; the
-        # rejection engine remains the fallback for exotic schedulers.
-        engine = try_weighted_engine(protocol, configuration, rng, scheduler)
+def _make_engine(scenario, protocol, configuration, rng, start_epoch=0):
+    if scenario.timeline:
+        # Time-varying adversary: the whole timeline compiles into the
+        # weighted jump fast path whenever every segment does; the
+        # rejection engine realises the identical step distribution
+        # otherwise.  ``start_epoch`` resumes the timeline after a
+        # churn-induced engine rebuild.
+        timeline = build_epoch_scheduler(scenario, protocol)
+        engine = try_weighted_engine(
+            protocol, configuration, rng, timeline, start_epoch=start_epoch
+        )
         if engine is not None:
             return engine
-        return ScheduledEngine(protocol, configuration, rng, scheduler)
-    return JumpEngine(protocol, configuration, rng)
+        return ScheduledEngine(
+            protocol, configuration, rng, timeline, start_epoch=start_epoch
+        )
+    scheduler = build_scheduler(scenario.scheduler, protocol)
+    if scheduler is None:
+        return JumpEngine(protocol, configuration, rng)
+    if isinstance(scheduler, AgentScheduler):
+        # Identity-level adversaries need explicit agents.
+        return AgentScheduledEngine(protocol, configuration, rng, scheduler)
+    # Biased phases run on the weighted jump fast path whenever the
+    # scheduler compiles into the weighted fused index; the
+    # rejection engine remains the fallback for exotic schedulers.
+    engine = try_weighted_engine(protocol, configuration, rng, scheduler)
+    if engine is not None:
+        return engine
+    return ScheduledEngine(protocol, configuration, rng, scheduler)
+
+
+def _scheduler_label(engine) -> str:
+    """Human-readable name of the bias currently driving an engine."""
+    scheduler = getattr(engine, "scheduler", None)
+    if scheduler is None:
+        return "uniform"
+    if isinstance(scheduler, EpochScheduler):
+        return f"{scheduler.segment_label(engine.epoch)}@epoch{engine.epoch}"
+    return scheduler.name
 
 
 def _remap_counts(
@@ -431,6 +470,7 @@ def run_scenario(
                     stop_reason=reason,
                     distance=_distance(protocol, config_after),
                     wall_time_s=time.perf_counter() - phase_wall,
+                    scheduler=_scheduler_label(engine),
                 )
             )
         else:
@@ -443,9 +483,14 @@ def run_scenario(
                 # tables / counters); just resync families and weight.
                 engine.reset_configuration(new_configuration)
             else:
+                # Churn rebuilt the protocol; the epoch timeline resumes
+                # at the segment the old engine had reached (the current
+                # segment's elapsed duration restarts with the rebuilt
+                # engine's counters).
                 protocol = new_protocol
                 engine = _make_engine(
-                    scenario, protocol, new_configuration, rng
+                    scenario, protocol, new_configuration, rng,
+                    start_epoch=getattr(engine, "epoch", 0),
                 )
             result.phase_logs.append(
                 PhaseLog(
@@ -459,6 +504,7 @@ def run_scenario(
                     stop_reason="fault",
                     distance=_distance(protocol, new_configuration),
                     wall_time_s=time.perf_counter() - phase_wall,
+                    scheduler=_scheduler_label(engine),
                 )
             )
     result.final_configuration = Configuration(engine.counts)

@@ -11,24 +11,42 @@ scenario engine scripts against it:
   reset machinery);
 * :class:`ClusteredScheduler` — contiguous blocks of the state space
   interact freely, cross-block pairs are throttled (an adversary
-  localising communication, the slow-mixing regime).
+  localising communication, the slow-mixing regime);
+* :class:`TargetedSuppressionScheduler` /
+  :class:`DegreeSkewedScheduler` — **agent-identity** adversaries
+  (:class:`~repro.core.scheduler.AgentScheduler`): a fixed set of
+  devices is jammed, or contact rates follow a skewed degree profile.
+  These run on the explicit-agent engine;
+* :func:`build_epoch_scheduler` — assembles a scenario's ``timeline``
+  into a :class:`~repro.core.scheduler.EpochScheduler`, resolving named
+  predicates against the concrete protocol.
 
-Both keep every pair weight strictly positive, so they are fair:
-silence remains reachable, only slower.
+All keep every weight strictly positive, so they are fair: silence
+remains reachable, only slower.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
+from ..core.configuration import Configuration
 from ..core.protocol import PopulationProtocol, RankingProtocol
-from ..core.scheduler import PairScheduler, UniformScheduler
+from ..core.scheduler import (
+    AgentScheduler,
+    EpochBoundary,
+    EpochScheduler,
+    PairScheduler,
+    UniformScheduler,
+)
 from ..exceptions import ExperimentError
-from .spec import SchedulerSpec
+from .spec import Scenario, SchedulerSpec
 
 __all__ = [
     "ClusteredScheduler",
+    "DegreeSkewedScheduler",
     "StateBiasedScheduler",
+    "TargetedSuppressionScheduler",
+    "build_epoch_scheduler",
     "build_scheduler",
 ]
 
@@ -122,14 +140,91 @@ class ClusteredScheduler(PairScheduler):
         return list(self._cluster)
 
 
-def build_scheduler(
-    spec: Optional[SchedulerSpec], protocol: PopulationProtocol
-) -> Optional[PairScheduler]:
+class TargetedSuppressionScheduler(AgentScheduler):
+    """A fixed set of agents is rarely scheduled; the rest fire freely.
+
+    Models jammed or duty-cycled devices: the adversary picks its
+    victims by *identity*, so whatever states those agents carry —
+    including the unique leader after a crash lands it on a suppressed
+    device — propagate slowly.  ``weight`` is the victims' relative
+    selection weight, in ``(0, 1]``.
+    """
+
+    def __init__(self, targets: Sequence[int], weight: float = 0.05) -> None:
+        targets = sorted({int(t) for t in targets})
+        if not targets:
+            raise ExperimentError("targeted suppression needs >= 1 target")
+        if targets[0] < 0:
+            raise ExperimentError(
+                f"agent ids must be >= 0, got {targets[0]}"
+            )
+        if not 0.0 < weight <= 1.0:
+            raise ExperimentError(
+                f"suppression weight must be in (0, 1], got {weight}"
+            )
+        self._targets = frozenset(targets)
+        self._max_target = targets[-1]
+        self._weight = float(weight)
+
+    @property
+    def name(self) -> str:
+        return "targeted"
+
+    @property
+    def targets(self) -> frozenset:
+        """The suppressed agent ids (exposed for tests/analysis)."""
+        return self._targets
+
+    def agent_weight(self, agent: int, num_agents: int) -> float:
+        if self._max_target >= num_agents:
+            raise ExperimentError(
+                f"targeted scheduler suppresses agent {self._max_target}, "
+                f"population has only {num_agents} agents"
+            )
+        return self._weight if agent in self._targets else 1.0
+
+
+class DegreeSkewedScheduler(AgentScheduler):
+    """Contact rates follow a skewed degree profile over agent ids.
+
+    Agent ``i`` is selected with weight
+    ``max(floor, ((i + 1) / n) ** exponent)`` — low-index agents are
+    near-isolated leaves, high-index agents are hubs.  ``exponent``
+    controls the skew (0 = uniform), ``floor > 0`` keeps the scheduler
+    fair.
+    """
+
+    def __init__(self, exponent: float = 1.0, floor: float = 0.05) -> None:
+        if exponent < 0.0:
+            raise ExperimentError(
+                f"degree exponent must be >= 0, got {exponent}"
+            )
+        if not 0.0 < floor <= 1.0:
+            raise ExperimentError(
+                f"degree floor must be in (0, 1], got {floor}"
+            )
+        self._exponent = float(exponent)
+        self._floor = float(floor)
+
+    @property
+    def name(self) -> str:
+        return "degree_skewed"
+
+    def agent_weight(self, agent: int, num_agents: int) -> float:
+        return max(
+            self._floor, ((agent + 1) / num_agents) ** self._exponent
+        )
+
+
+def build_scheduler(spec: Optional[SchedulerSpec], protocol: PopulationProtocol):
     """Instantiate a scheduler spec against a concrete protocol.
 
     Returns ``None`` for the uniform scheduler so
     :func:`~repro.core.engine.run_protocol` keeps its allocation-free
-    fast path — selecting uniform must cost nothing.
+    fast path — selecting uniform must cost nothing.  State-level kinds
+    yield a :class:`~repro.core.scheduler.PairScheduler`; agent-identity
+    kinds yield an :class:`~repro.core.scheduler.AgentScheduler` (the
+    scenario engine routes those to the explicit-agent engine).
     """
     if spec is None or spec.is_uniform:
         return None
@@ -145,7 +240,82 @@ def build_scheduler(
         return ClusteredScheduler(
             protocol.num_states, spec.num_clusters, across=spec.across
         )
+    if spec.kind == "targeted":
+        # A scripted adversary must do what it says or fail loudly — a
+        # silently clamped target set would mislabel the recovery
+        # tables (same rule as the churn fault).
+        if spec.targets >= protocol.num_agents:
+            raise ExperimentError(
+                f"targeted scheduler suppresses {spec.targets} agents "
+                f"but the population has only {protocol.num_agents}; "
+                "at least one agent must stay unsuppressed"
+            )
+        return TargetedSuppressionScheduler(
+            range(spec.targets), weight=spec.target_weight
+        )
+    if spec.kind == "degree_skewed":
+        return DegreeSkewedScheduler(
+            exponent=spec.exponent, floor=spec.floor
+        )
     raise ExperimentError(f"unknown scheduler kind {spec.kind!r}")
+
+
+def _epoch_predicate(
+    name: str, protocol: PopulationProtocol
+) -> Callable[[Sequence[int]], bool]:
+    """Resolve a named predicate into an engine-level counts callable."""
+    if name == "ranked":
+        if not isinstance(protocol, RankingProtocol):
+            raise ExperimentError(
+                f"'ranked' epoch boundary needs a ranking protocol, "
+                f"got {protocol.name}"
+            )
+        return lambda counts: protocol.is_ranked(Configuration(counts))
+    if name == "leader":
+        from ..protocols.leader import count_leaders
+
+        return (
+            lambda counts: count_leaders(protocol, Configuration(counts)) == 1
+        )
+    raise ExperimentError(f"unknown epoch predicate {name!r}")
+
+
+def build_epoch_scheduler(
+    scenario: Scenario, protocol: PopulationProtocol
+) -> EpochScheduler:
+    """Assemble a scenario's timeline into an :class:`EpochScheduler`.
+
+    Each segment's scheduler spec is built against the concrete
+    protocol (uniform segments become real
+    :class:`~repro.core.scheduler.UniformScheduler` instances — inside
+    a timeline there is no fast-path sentinel to preserve) and named
+    predicates resolve to counts-level callables.
+    """
+    if not scenario.timeline:
+        raise ExperimentError(
+            f"scenario {scenario.name!r} has no scheduler timeline"
+        )
+    segments = []
+    for epoch in scenario.timeline:
+        scheduler = build_scheduler(epoch.scheduler, protocol)
+        if scheduler is None:
+            scheduler = UniformScheduler()
+        boundary = None
+        if epoch.until is not None:
+            boundary = EpochBoundary(
+                kind=epoch.until,
+                value=epoch.value,
+                predicate=(
+                    _epoch_predicate(epoch.predicate, protocol)
+                    if epoch.until == "predicate"
+                    else None
+                ),
+                check_every=epoch.check_every,
+            )
+        segments.append((boundary, scheduler))
+    return EpochScheduler(
+        segments, labels=[epoch.label for epoch in scenario.timeline]
+    )
 
 
 UNIFORM = UniformScheduler()

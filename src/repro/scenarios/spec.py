@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import asdict, dataclass, field, replace
-from typing import Dict, Optional, Sequence, Tuple, Union
+from typing import Dict, Optional, Tuple, Union
 
 from ..exceptions import ExperimentError
 from ..protocols.ag import AGProtocol
@@ -27,6 +27,7 @@ from ..protocols.ring import RingOfTrapsProtocol
 from ..protocols.tree_protocol import TreeRankingProtocol
 
 __all__ = [
+    "EpochSpec",
     "FaultPhase",
     "Phase",
     "ProtocolSpec",
@@ -40,7 +41,10 @@ _FAULT_KINDS = ("corrupt", "crash", "swap", "churn")
 _RUN_UNTIL = ("silence", "events", "predicate")
 _PREDICATES = ("ranked", "leader")
 _START_KINDS = ("solved", "random", "k_distant", "pileup", "all_in_extras")
-_SCHEDULER_KINDS = ("uniform", "state_biased", "clustered")
+_STATE_SCHEDULER_KINDS = ("uniform", "state_biased", "clustered")
+_AGENT_SCHEDULER_KINDS = ("targeted", "degree_skewed")
+_SCHEDULER_KINDS = _STATE_SCHEDULER_KINDS + _AGENT_SCHEDULER_KINDS
+_EPOCH_UNTIL = ("events", "interactions", "silence", "predicate")
 
 
 @dataclass(frozen=True)
@@ -106,12 +110,26 @@ class StartSpec:
 class SchedulerSpec:
     """Pair-selection scheduler (built in ``repro.scenarios.schedulers``).
 
+    State-level kinds (count-based engines; the weighted jump fast path
+    applies whenever the scheduler compiles):
+
     * ``uniform`` — the paper's scheduler; keeps the jump fast path.
     * ``state_biased`` — agent selection weighted per state:
       ``rank_weight`` for rank states, ``extra_weight`` for extras.
     * ``clustered`` — the state space is split into ``num_clusters``
       contiguous blocks; cross-block pairs fire with relative weight
       ``across`` (an adversary localising interactions).
+
+    Agent-identity kinds (explicit-agent rejection engine — identities
+    matter, so these cannot run on count-based engines and cannot
+    appear in epoch timelines):
+
+    * ``targeted`` — the first ``targets`` agents are selected with
+      weight ``target_weight`` (a jammed / suppressed device set).
+    * ``degree_skewed`` — agent ``i``'s selection weight is
+      ``max(floor, ((i + 1) / n) ** exponent)``: a skewed contact
+      model where low-index agents are near-isolated and high-index
+      agents are hubs.
     """
 
     kind: str = "uniform"
@@ -119,6 +137,10 @@ class SchedulerSpec:
     extra_weight: float = 1.0
     num_clusters: int = 2
     across: float = 0.05
+    targets: int = 1
+    target_weight: float = 0.05
+    exponent: float = 1.0
+    floor: float = 0.05
 
     def __post_init__(self) -> None:
         if self.kind not in _SCHEDULER_KINDS:
@@ -144,10 +166,88 @@ class SchedulerSpec:
                     f"clustered across-weight must be in (0, 1], "
                     f"got {self.across}"
                 )
+        if self.kind == "targeted":
+            if self.targets < 1:
+                raise ExperimentError(
+                    f"targeted scheduler needs targets >= 1, "
+                    f"got {self.targets}"
+                )
+            if not 0.0 < self.target_weight <= 1.0:
+                raise ExperimentError(
+                    f"targeted target_weight must be in (0, 1], "
+                    f"got {self.target_weight}"
+                )
+        if self.kind == "degree_skewed":
+            if self.exponent < 0.0:
+                raise ExperimentError(
+                    f"degree_skewed exponent must be >= 0, "
+                    f"got {self.exponent}"
+                )
+            if not 0.0 < self.floor <= 1.0:
+                raise ExperimentError(
+                    f"degree_skewed floor must be in (0, 1], "
+                    f"got {self.floor}"
+                )
 
     @property
     def is_uniform(self) -> bool:
         return self.kind == "uniform"
+
+    @property
+    def is_agent_level(self) -> bool:
+        """True for schedulers biasing agent identities, not states."""
+        return self.kind in _AGENT_SCHEDULER_KINDS
+
+
+@dataclass(frozen=True)
+class EpochSpec:
+    """One segment of a time-varying scheduler timeline.
+
+    ``until`` says when the segment ends and the next one takes over:
+    ``events`` / ``interactions`` (a ``value`` duration counted from
+    segment entry), ``silence``, or ``predicate`` (a named
+    configuration predicate — ``ranked`` or ``leader`` — checked every
+    ``check_every`` productive events).  The last segment may omit
+    ``until`` and runs forever.  Only state-level scheduler kinds can
+    appear in a timeline (the epoch engines are count-based).
+    """
+
+    scheduler: SchedulerSpec
+    until: Optional[str] = None
+    value: Optional[int] = None
+    predicate: Optional[str] = None
+    check_every: int = 1024
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.scheduler.is_agent_level:
+            raise ExperimentError(
+                f"epoch timelines cannot contain agent-identity "
+                f"scheduler {self.scheduler.kind!r}"
+            )
+        if self.until is None:
+            return
+        if self.until not in _EPOCH_UNTIL:
+            raise ExperimentError(
+                f"unknown epoch boundary {self.until!r}; expected one of "
+                f"{_EPOCH_UNTIL}"
+            )
+        if self.until in ("events", "interactions"):
+            if self.value is None or self.value < 1:
+                raise ExperimentError(
+                    f"epoch boundary on {self.until} needs value >= 1, "
+                    f"got {self.value}"
+                )
+        if self.until == "predicate":
+            if self.predicate not in _PREDICATES:
+                raise ExperimentError(
+                    f"epoch predicate must be one of {_PREDICATES}, "
+                    f"got {self.predicate!r}"
+                )
+            if self.check_every < 1:
+                raise ExperimentError(
+                    f"check_every must be >= 1, got {self.check_every}"
+                )
 
 
 @dataclass(frozen=True)
@@ -271,19 +371,43 @@ Phase = Union[RunPhase, FaultPhase]
 
 @dataclass(frozen=True)
 class Scenario:
-    """A named, fully declarative fault-campaign script."""
+    """A named, fully declarative fault-campaign script.
+
+    ``scheduler`` fixes one pair-selection bias for the whole run;
+    ``timeline`` instead scripts a *time-varying* adversary — an
+    ordered sequence of :class:`EpochSpec` segments whose boundaries
+    fire mid-phase (they are engine state, independent of the phase
+    list, and epoch progress survives churn-induced engine rebuilds).
+    The two are mutually exclusive: a non-empty timeline requires the
+    scalar scheduler to stay uniform.
+    """
 
     name: str
     protocol: ProtocolSpec
     phases: Tuple[Phase, ...]
     start: StartSpec = field(default_factory=StartSpec)
     scheduler: SchedulerSpec = field(default_factory=SchedulerSpec)
+    timeline: Tuple[EpochSpec, ...] = ()
     description: str = ""
 
     def __post_init__(self) -> None:
         if not self.phases:
             raise ExperimentError(f"scenario {self.name!r} has no phases")
         object.__setattr__(self, "phases", tuple(self.phases))
+        object.__setattr__(self, "timeline", tuple(self.timeline))
+        if self.timeline:
+            if not self.scheduler.is_uniform:
+                raise ExperimentError(
+                    f"scenario {self.name!r} sets both a scheduler and a "
+                    "timeline; use one or the other"
+                )
+            for index, epoch in enumerate(self.timeline[:-1]):
+                if epoch.until is None:
+                    raise ExperimentError(
+                        f"scenario {self.name!r} timeline segment {index} "
+                        "has no 'until' boundary but is not the last "
+                        "segment"
+                    )
 
     # ------------------------------------------------------------------
     # Serialisation
@@ -303,7 +427,7 @@ class Scenario:
                 )
                 body = {k: v for k, v in body.items() if v is not None}
             phases.append({key: body})
-        return {
+        data = {
             "name": self.name,
             "description": self.description,
             "protocol": {
@@ -316,6 +440,16 @@ class Scenario:
             "scheduler": asdict(self.scheduler),
             "phases": phases,
         }
+        if self.timeline:
+            data["timeline"] = [
+                {
+                    k: (asdict(epoch.scheduler) if k == "scheduler" else v)
+                    for k, v in asdict(epoch).items()
+                    if v is not None
+                }
+                for epoch in self.timeline
+            ]
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "Scenario":
@@ -361,12 +495,31 @@ class Scenario:
             scheduler = SchedulerSpec(**dict(data.get("scheduler", {})))
         except TypeError as error:
             raise ExperimentError(f"bad scenario spec: {error}") from None
+        timeline = []
+        for index, entry in enumerate(data.get("timeline", ())):
+            if not isinstance(entry, dict):
+                raise ExperimentError(
+                    f"timeline segment {index} must be a mapping"
+                )
+            body = dict(entry)
+            try:
+                segment_scheduler = SchedulerSpec(
+                    **dict(body.pop("scheduler", {}))
+                )
+                timeline.append(
+                    EpochSpec(scheduler=segment_scheduler, **body)
+                )
+            except TypeError as error:
+                raise ExperimentError(
+                    f"bad timeline segment {index} spec: {error}"
+                ) from None
         return cls(
             name=name,
             protocol=protocol,
             phases=tuple(phases),
             start=start,
             scheduler=scheduler,
+            timeline=tuple(timeline),
             description=str(data.get("description", "")),
         )
 

@@ -1,9 +1,25 @@
-"""Shared fixtures for the repro test suite."""
+"""Shared fixtures and markers for the repro test suite.
+
+Markers (the CI tiers select on these):
+
+* ``slow`` — long-running statistical tests.  Skipped unless
+  ``--run-slow`` is given; the PR-gating tier-1 CI job additionally
+  deselects them with ``-m "not slow"``, while the full matrix job
+  passes ``--run-slow`` so nothing is skipped.
+* ``property`` — hypothesis/property-based tests.  Applied
+  automatically to everything under ``tests/property/``; select them
+  alone with ``-m property`` (the nightly workflow does) or exclude
+  them with ``-m "not property"`` for the fastest possible signal.
+"""
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import numpy as np
 import pytest
+
+_PROPERTY_DIR = Path(__file__).resolve().parent / "property"
 
 from repro import (
     AGProtocol,
@@ -50,9 +66,17 @@ def pytest_addoption(parser):
 
 def pytest_configure(config):
     config.addinivalue_line("markers", "slow: long-running statistical test")
+    config.addinivalue_line(
+        "markers",
+        "property: hypothesis/property-based test (auto-applied under "
+        "tests/property/)",
+    )
 
 
 def pytest_collection_modifyitems(config, items):
+    for item in items:
+        if _PROPERTY_DIR in Path(str(item.fspath)).parents:
+            item.add_marker(pytest.mark.property)
     if config.getoption("--run-slow"):
         return
     skip_slow = pytest.mark.skip(reason="needs --run-slow")

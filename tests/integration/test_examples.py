@@ -51,6 +51,15 @@ class TestExamples:
         assert "Recovery time after failure bursts" in out
         assert "Theorem 1" in out
 
+    def test_epoch_adversary(self):
+        out = run_example(
+            "epoch_adversary.py", "--n", "40", "--repetitions", "2",
+            "--seed", "4",
+        )
+        assert "all recovered   : True" in out
+        assert "Recovery by scheduler epoch" in out
+        assert "ranks starved@epoch1" in out
+
     def test_protocol_comparison(self):
         out = run_example(
             "protocol_comparison.py", "--repetitions", "2", "--seed", "3"

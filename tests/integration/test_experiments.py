@@ -32,6 +32,8 @@ EXPECTED_IDS = {
     "scenario_ag_recovery",
     "scenario_tree_recovery",
     "scenario_line_churn",
+    "scenario_epoch_ag",
+    "scenario_epoch_tree",
 }
 
 # Cheap experiments run per-test below; the heavier ones are grouped.

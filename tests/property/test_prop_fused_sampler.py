@@ -10,6 +10,12 @@ Three invariant groups:
   agent-by-agent (with the 53-bit dyadic acceptance probabilities the
   rejection engine's float threshold implements) match the weighted
   index slot weights, pair by pair, as exact integers;
+* the same exactness holds **across epoch boundaries**: an
+  :class:`~repro.core.scheduler.EpochScheduler` run on the weighted
+  engine switches to the next segment's step distribution at the
+  boundary, hot-swapping precompiled indexes via ``resync`` — the
+  swapped-in index must match the rejection model of the *active*
+  segment pair by pair, before and after the switch;
 * sampling consistency: every pair the fused index produces is
   productive under ``delta`` and covered by exactly one family.
 """
@@ -32,10 +38,14 @@ from repro import (
 from repro.core.fused import (
     WEIGHT_DENOMINATOR,
     FusedIndex,
-    WeightedFusedIndex,
     dyadic_weight_numerator,
 )
-from repro.core.scheduler import ScheduledEngine, try_weighted_engine
+from repro.core.scheduler import (
+    EpochBoundary,
+    EpochScheduler,
+    ScheduledEngine,
+    try_weighted_engine,
+)
 from repro.scenarios.schedulers import ClusteredScheduler, StateBiasedScheduler
 
 
@@ -144,6 +154,55 @@ class TestFusedIndexWeightInvariant:
             engine.step()
 
 
+def _reconstruct_pair_masses(index, counts):
+    """Decompose a weighted index's slot weights into per-pair masses.
+
+    Families and class blocks are disjoint, so summing each slot's
+    weight over the ordered pairs it covers recovers the index's whole
+    step distribution as exact integers.
+    """
+    reconstructed = {}
+
+    def add(key, mass):
+        if mass:
+            reconstructed[key] = reconstructed.get(key, 0) + mass
+
+    for slot in range(index.num_slots):
+        kind = index.slot_kind[slot]
+        payload = index.slot_payload[slot]
+        if index.values[slot] == 0:
+            continue
+        if kind == 0:  # same-state
+            state, factor = payload
+            add((state, state), factor * counts[state] * (counts[state] - 1))
+        elif kind == 1:  # product block
+            for initiator in payload.initiators:
+                for responder in payload.responders:
+                    add(
+                        (initiator, responder),
+                        payload.factor * counts[initiator] * counts[responder],
+                    )
+        elif isinstance(payload, tuple):  # weighted per-position line
+            line_payload, pos = payload
+            line = line_payload.line
+            row = line_payload.matrix[pos]
+            ci = line_payload.counts[pos]
+            add((line[pos], line[pos]), row[pos] * ci * (ci - 1))
+            for j in range(pos + 1, len(line)):
+                add((line[pos], line[j]), row[j] * ci * line_payload.counts[j])
+        else:  # class-uniform triangular line
+            factor = payload.factor
+            line = payload.line
+            for i, initiator in enumerate(line):
+                ci = payload.counts[i]
+                if ci == 0:
+                    continue
+                add((initiator, initiator), factor * ci * (ci - 1))
+                for j in range(i + 1, len(line)):
+                    add((initiator, line[j]), factor * ci * payload.counts[j])
+    return reconstructed
+
+
 def _pair_mass_from_rejection_model(protocol, counts, scheduler):
     """Per-pair step mass enumerated the rejection engine's way.
 
@@ -208,72 +267,7 @@ class TestWeightedIndexMatchesRejectionDistribution:
         # Pair-level check: decompose every slot's weight over the
         # pairs it covers (families and class blocks are disjoint) and
         # compare against the agent-enumerated masses, exactly.
-        reconstructed = {}
-        index = engine._index
-        for slot in range(index.num_slots):
-            kind = index.slot_kind[slot]
-            payload = index.slot_payload[slot]
-            if index.values[slot] == 0:
-                continue
-            if kind == 0:
-                state, factor = payload
-                pair_mass = factor * counts[state] * (counts[state] - 1)
-                reconstructed[(state, state)] = (
-                    reconstructed.get((state, state), 0) + pair_mass
-                )
-            elif kind == 1:
-                for initiator in payload.initiators:
-                    for responder in payload.responders:
-                        pair_mass = (
-                            payload.factor
-                            * counts[initiator]
-                            * counts[responder]
-                        )
-                        if pair_mass:
-                            key = (initiator, responder)
-                            reconstructed[key] = (
-                                reconstructed.get(key, 0) + pair_mass
-                            )
-            else:
-                if isinstance(payload, tuple):
-                    line_payload, pos = payload
-                    line = line_payload.line
-                    row = line_payload.matrix[pos]
-                    ci = line_payload.counts[pos]
-                    key = (line[pos], line[pos])
-                    pair_mass = row[pos] * ci * (ci - 1)
-                    if pair_mass:
-                        reconstructed[key] = (
-                            reconstructed.get(key, 0) + pair_mass
-                        )
-                    for j in range(pos + 1, len(line)):
-                        pair_mass = row[j] * ci * line_payload.counts[j]
-                        if pair_mass:
-                            key = (line[pos], line[j])
-                            reconstructed[key] = (
-                                reconstructed.get(key, 0) + pair_mass
-                            )
-                else:
-                    factor = payload.factor
-                    line = payload.line
-                    for i, initiator in enumerate(line):
-                        ci = payload.counts[i]
-                        if ci == 0:
-                            continue
-                        pair_mass = factor * ci * (ci - 1)
-                        if pair_mass:
-                            key = (initiator, initiator)
-                            reconstructed[key] = (
-                                reconstructed.get(key, 0) + pair_mass
-                            )
-                        for j in range(i + 1, len(line)):
-                            pair_mass = factor * ci * payload.counts[j]
-                            if pair_mass:
-                                key = (initiator, line[j])
-                                reconstructed[key] = (
-                                    reconstructed.get(key, 0) + pair_mass
-                                )
-        assert reconstructed == expected
+        assert _reconstruct_pair_masses(engine._index, counts) == expected
 
     def test_trivial_weights_reduce_to_uniform_masses(self):
         """All-1.0 weights: every mass is count-pairs × 2⁵³ exactly."""
@@ -456,3 +450,268 @@ class TestWeightedEngineBehaviour:
             below = numerator - 1
             assert below / WEIGHT_DENOMINATOR < weight
             assert numerator / WEIGHT_DENOMINATOR >= weight
+
+
+def _epoch_timeline(protocol, boundary_events):
+    """A two-segment timeline whose bias flips after `boundary_events`."""
+    before = StateBiasedScheduler(
+        [1.0] * protocol.num_ranks + [0.2] * protocol.num_extra_states
+    )
+    # Three clusters cut the reset line across class boundaries, so the
+    # swapped-in index exercises the per-position weighted-line slots.
+    after = ClusteredScheduler(protocol.num_states, 3, across=0.05)
+    timeline = EpochScheduler([
+        (EpochBoundary(kind="events", value=boundary_events), before),
+        (None, after),
+    ])
+    return before, after, timeline
+
+
+class TestEpochSchedulerExactness:
+    """The weighted engine ≡ the rejection reference across boundaries."""
+
+    @given(
+        post=st.integers(1, 60),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_step_distribution_switches_exactly_at_boundary(self, post, seed):
+        """Active masses match the active segment's rejection model.
+
+        Before the boundary the engine's exact step distribution must
+        be segment 1's; after crossing it (a hot-swap of precompiled
+        indexes via ``resync``) it must be segment 2's — both verified
+        by exhaustive agent-level enumeration, as exact integers.
+        """
+        protocol = TreeRankingProtocol(9, k=2)
+        boundary = 40
+        before, after, timeline = _epoch_timeline(protocol, boundary)
+        engine = WeightedScheduledEngine(
+            protocol,
+            random_configuration(protocol, seed=seed, include_extras=True),
+            np.random.default_rng(seed),
+            timeline,
+        )
+        engine.run(max_events=boundary // 2)
+        active = before if engine.epoch == 0 else after
+        expected, expected_total = _pair_mass_from_rejection_model(
+            protocol, engine.counts, active
+        )
+        assert engine.total_mass() == expected_total
+        assert engine.productive_weight == sum(expected.values())
+        assert (
+            _reconstruct_pair_masses(engine._index, engine.counts) == expected
+        )
+        # Cross the boundary (unless the run silenced first).
+        engine.run(max_events=boundary + post)
+        if engine.events < boundary:
+            assert engine.epoch == 0
+            return
+        assert engine.epoch == 1
+        expected, expected_total = _pair_mass_from_rejection_model(
+            protocol, engine.counts, after
+        )
+        assert engine.total_mass() == expected_total
+        assert engine.productive_weight == sum(expected.values())
+        assert (
+            _reconstruct_pair_masses(engine._index, engine.counts) == expected
+        )
+
+    @given(seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_hot_swapped_index_equals_fresh_compile(self, seed):
+        """resync-on-swap produces the same index a fresh build would."""
+        protocol = TreeRankingProtocol(9, k=2)
+        _, after, timeline = _epoch_timeline(protocol, 30)
+        engine = WeightedScheduledEngine(
+            protocol,
+            random_configuration(protocol, seed=seed, include_extras=True),
+            np.random.default_rng(seed),
+            timeline,
+        )
+        engine.run(max_events=45)
+        if engine.epoch != 1:
+            return
+        fresh = WeightedScheduledEngine(
+            protocol,
+            Configuration(engine.counts),
+            np.random.default_rng(0),
+            after,
+        )
+        assert engine.productive_weight == fresh.productive_weight
+        assert engine.total_mass() == fresh.total_mass()
+        assert _reconstruct_pair_masses(
+            engine._index, engine.counts
+        ) == _reconstruct_pair_masses(fresh._index, engine.counts)
+
+    def test_rejection_reference_swaps_at_the_same_boundary(self):
+        """The rejection engine's active matrix flips at the boundary."""
+        protocol = TreeRankingProtocol(9, k=2)
+        before, after, timeline = _epoch_timeline(protocol, 40)
+        engine = ScheduledEngine(
+            protocol,
+            random_configuration(protocol, seed=2, include_extras=True),
+            np.random.default_rng(2),
+            timeline,
+        )
+        engine.run(max_events=20)
+        assert engine.epoch == 0
+        assert np.array_equal(
+            engine._weights, before.weight_matrix(protocol.num_states)
+        )
+        engine.run(max_events=60)
+        if engine.events >= 40:
+            assert engine.epoch == 1
+            assert engine.current_scheduler is after
+            assert np.array_equal(
+                engine._weights, after.weight_matrix(protocol.num_states)
+            )
+
+    def test_fault_then_boundary_stays_exact(self):
+        """reset_configuration mid-timeline composes with the hot swap."""
+        protocol = TreeRankingProtocol(9, k=2)
+        _, after, timeline = _epoch_timeline(protocol, 50)
+        engine = WeightedScheduledEngine(
+            protocol,
+            random_configuration(protocol, seed=6, include_extras=True),
+            np.random.default_rng(6),
+            timeline,
+        )
+        engine.run(max_events=10)
+        scrambled = np.random.default_rng(7).multinomial(
+            protocol.num_agents,
+            [1 / protocol.num_states] * protocol.num_states,
+        ).tolist()
+        engine.reset_configuration(scrambled)
+        engine.run(max_events=80)
+        if engine.epoch != 1:
+            return
+        expected, expected_total = _pair_mass_from_rejection_model(
+            protocol, engine.counts, after
+        )
+        assert engine.total_mass() == expected_total
+        assert engine.productive_weight == sum(expected.values())
+        assert (
+            _reconstruct_pair_masses(engine._index, engine.counts) == expected
+        )
+
+    def test_weighted_matches_rejection_medians_across_boundary(self):
+        """Both engines agree distributionally under the same timeline."""
+        protocol = TreeRankingProtocol(9, k=2)
+        start = random_configuration(protocol, seed=0, include_extras=True)
+        weighted, rejection = [], []
+        for seed in range(30):
+            _, _, timeline = _epoch_timeline(protocol, 40)
+            w = WeightedScheduledEngine(
+                protocol, start, np.random.default_rng(seed), timeline
+            )
+            assert w.run(max_events=10**6)
+            _, _, timeline = _epoch_timeline(protocol, 40)
+            r = ScheduledEngine(
+                protocol, start, np.random.default_rng(seed + 1000), timeline
+            )
+            assert r.run(max_events=10**6)
+            weighted.append(w.interactions)
+            rejection.append(r.interactions)
+        ratio = np.median(weighted) / np.median(rejection)
+        assert 0.6 < ratio < 1.7, f"median interactions ratio {ratio}"
+
+    def test_unsupported_segment_sends_whole_timeline_to_rejection(self):
+        """One uncompilable segment -> rejection runs the full timeline."""
+        from repro import AGProtocol
+
+        class Opaque(StateBiasedScheduler):
+            def state_classes(self, num_states):
+                return None
+
+        protocol = AGProtocol(70)
+        fine = StateBiasedScheduler([0.5] * protocol.num_states)
+        awkward = Opaque([1.0 - 0.005 * s for s in range(protocol.num_states)])
+        timeline = EpochScheduler([
+            (EpochBoundary(kind="events", value=10), fine),
+            (None, awkward),
+        ])
+        engine = try_weighted_engine(
+            protocol,
+            random_configuration(protocol, seed=0),
+            np.random.default_rng(0),
+            timeline,
+        )
+        assert engine is None
+        result = run_protocol(
+            protocol,
+            random_configuration(protocol, seed=0),
+            seed=0,
+            scheduler=timeline,
+            max_events=50,
+        )
+        assert result.engine_name.startswith("scheduled:epoch(")
+
+    @pytest.mark.parametrize(
+        "engine_cls", [WeightedScheduledEngine, ScheduledEngine],
+        ids=["weighted", "rejection"],
+    )
+    def test_predicate_boundary_honours_check_every_on_both_engines(
+        self, engine_cls
+    ):
+        """Predicate evaluation points are the check_every grid, on both
+        engines — the window lives in the shared cursor, so neither the
+        per-step rejection loop nor the chunked jump loop checks more
+        often than the other."""
+        protocol = TreeRankingProtocol(9, k=2)
+        before, after, _ = _epoch_timeline(protocol, 1)
+        holder = {}
+        calls = []
+
+        def predicate(counts):
+            calls.append(holder["engine"].events)
+            return False
+
+        timeline = EpochScheduler([
+            (
+                EpochBoundary(
+                    kind="predicate", predicate=predicate, check_every=25
+                ),
+                before,
+            ),
+            (None, after),
+        ])
+        engine = engine_cls(
+            protocol,
+            random_configuration(protocol, seed=3, include_extras=True),
+            np.random.default_rng(3),
+            timeline,
+        )
+        holder["engine"] = engine
+        engine.run(max_events=100)
+        assert engine.epoch == 0  # predicate never held
+        assert calls and calls[0] == 0
+        assert all(b - a >= 25 for a, b in zip(calls, calls[1:]))
+
+    @pytest.mark.parametrize(
+        "engine_cls", [WeightedScheduledEngine, ScheduledEngine],
+        ids=["weighted", "rejection"],
+    )
+    def test_true_predicate_advances_immediately(self, engine_cls):
+        protocol = TreeRankingProtocol(9, k=2)
+        before, after, _ = _epoch_timeline(protocol, 1)
+        timeline = EpochScheduler([
+            (
+                EpochBoundary(
+                    kind="predicate",
+                    predicate=lambda counts: True,
+                    check_every=1024,
+                ),
+                before,
+            ),
+            (None, after),
+        ])
+        engine = engine_cls(
+            protocol,
+            random_configuration(protocol, seed=3, include_extras=True),
+            np.random.default_rng(3),
+            timeline,
+        )
+        engine.run(max_events=10)
+        assert engine.epoch == 1
+        assert engine.current_scheduler is after

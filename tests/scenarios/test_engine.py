@@ -282,3 +282,100 @@ class TestDeterminism:
         )
         (log,) = result.phase_logs
         assert log.silent
+
+
+class TestEpochTimelines:
+    def test_mid_phase_epoch_switch_composes_with_churn(self):
+        from repro.scenarios import EpochSpec
+
+        # Segment 0 flips to segment 1 after 40 events — *inside* the
+        # warm phase — then churn rebuilds protocol and engine; the
+        # timeline must resume at the segment already reached.
+        scenario = Scenario(
+            name="epoch_churn",
+            protocol=ProtocolSpec(kind="line", num_agents=96, m=2),
+            start=StartSpec(kind="random"),
+            timeline=(
+                EpochSpec(
+                    scheduler=SchedulerSpec(
+                        kind="state_biased", extra_weight=0.3
+                    ),
+                    until="events",
+                    value=40,
+                ),
+                EpochSpec(
+                    scheduler=SchedulerSpec(
+                        kind="clustered", num_clusters=2, across=0.2
+                    ),
+                ),
+            ),
+            phases=(
+                RunPhase(until="events", max_events=80, label="warm"),
+                FaultPhase(
+                    kind="churn",
+                    departures=12,
+                    arrivals=6,
+                    arrival_state="first_extra",
+                    label="churn -12/+6",
+                ),
+                RunPhase(
+                    until="silence", max_events=200_000, label="recover"
+                ),
+            ),
+        )
+        result = run_scenario(scenario, seed=4)
+        warm, fault, recover = result.phase_logs
+        assert warm.events == 80
+        # The boundary fired mid-phase, before the churn.
+        assert warm.scheduler == "clustered@epoch1"
+        # The rebuilt engine resumed the timeline at epoch 1.
+        assert fault.scheduler == "clustered@epoch1"
+        assert recover.scheduler == "clustered@epoch1"
+        assert recover.silent
+        assert result.recovered_all
+
+    def test_epoch_campaigns_are_canned(self):
+        ids = {c.campaign_id for c in list_campaigns()}
+        assert "ag_epoch_cluster_flip" in ids
+        assert "tree_epoch_bias_flip" in ids
+
+    def test_bias_flip_at_silence_recovers_under_flipped_bias(self):
+        campaign = get_campaign("tree_epoch_bias_flip")
+        result = run_scenario(campaign.build("smoke"), seed=1)
+        stabilise, crash, recover = result.phase_logs
+        # The silence boundary fired when the first phase silenced, so
+        # everything after it runs under the flipped bias.
+        assert stabilise.scheduler == "state_biased@epoch1"
+        assert recover.scheduler == "state_biased@epoch1"
+        assert result.recovered_all
+
+
+class TestAgentSchedulerScenarios:
+    def test_targeted_scenario_runs_on_agent_engine(self):
+        result = run_scenario(
+            _scenario(
+                [RunPhase(until="silence", max_events=100_000)],
+                scheduler=SchedulerSpec(
+                    kind="targeted", targets=3, target_weight=0.2
+                ),
+            ),
+            seed=5,
+        )
+        (log,) = result.phase_logs
+        assert log.silent
+        assert log.scheduler == "targeted"
+        assert result.final_configuration.is_ranked(16)
+
+    def test_degree_skewed_scenario_runs(self):
+        result = run_scenario(
+            _scenario(
+                [RunPhase(until="silence", max_events=100_000)],
+                scheduler=SchedulerSpec(
+                    kind="degree_skewed", exponent=1.5, floor=0.1
+                ),
+            ),
+            seed=6,
+        )
+        (log,) = result.phase_logs
+        assert log.silent
+        assert log.scheduler == "degree_skewed"

@@ -144,3 +144,98 @@ class TestScheduledEngine:
         result = run_protocol(protocol, start, seed=3, scheduler=scheduler)
         assert result.silent
         assert protocol.is_ranked(result.final_configuration)
+
+
+class TestAgentSchedulers:
+    def test_targeted_suppression_weights(self):
+        from repro.scenarios import TargetedSuppressionScheduler
+
+        scheduler = TargetedSuppressionScheduler([0, 2], weight=0.1)
+        vector = scheduler.weight_vector(5)
+        assert list(vector) == [0.1, 1.0, 0.1, 1.0, 1.0]
+        with pytest.raises(ExperimentError):
+            TargetedSuppressionScheduler([], weight=0.1)
+        with pytest.raises(ExperimentError):
+            TargetedSuppressionScheduler([0], weight=0.0)
+        # Targets outside the population fail loudly, not silently.
+        with pytest.raises(ExperimentError):
+            TargetedSuppressionScheduler([9], weight=0.5).weight_vector(5)
+
+    def test_degree_skewed_weights_bounded_and_monotone(self):
+        from repro.scenarios import DegreeSkewedScheduler
+
+        scheduler = DegreeSkewedScheduler(exponent=2.0, floor=0.05)
+        vector = scheduler.weight_vector(50)
+        assert vector.min() >= 0.05 and vector.max() <= 1.0
+        assert all(a <= b for a, b in zip(vector, vector[1:]))
+        assert vector[-1] == 1.0
+
+    def test_build_scheduler_returns_agent_schedulers(self):
+        from repro.core.scheduler import AgentScheduler
+
+        protocol = AGProtocol(12)
+        for kind in ("targeted", "degree_skewed"):
+            scheduler = build_scheduler(SchedulerSpec(kind=kind), protocol)
+            assert isinstance(scheduler, AgentScheduler)
+
+    def test_trivial_agent_bias_matches_sequential_engine_stream(self):
+        # All-1.0 agent weights accept every draw, so the engine must
+        # reproduce the SequentialEngine trajectory from the same seed.
+        from repro import AgentScheduledEngine, SequentialEngine
+        from repro.scenarios import TargetedSuppressionScheduler
+
+        protocol = AGProtocol(12)
+        start = random_configuration(protocol, seed=4)
+        scheduler = TargetedSuppressionScheduler([0], weight=1.0)
+        a = AgentScheduledEngine(
+            protocol, start, np.random.default_rng(11), scheduler
+        )
+        b = SequentialEngine(protocol, start, np.random.default_rng(11))
+        assert a.run(max_events=200) == b.run(max_events=200)
+        assert a.counts == b.counts
+        assert a.interactions == b.interactions
+
+    def test_run_protocol_routes_agent_schedulers(self):
+        from repro.scenarios import DegreeSkewedScheduler
+
+        protocol = AGProtocol(14)
+        result = run_protocol(
+            protocol,
+            random_configuration(protocol, seed=1),
+            seed=1,
+            scheduler=DegreeSkewedScheduler(exponent=1.0, floor=0.2),
+            max_events=100_000,
+        )
+        assert result.engine_name == "agent:degree_skewed"
+        assert result.silent
+
+    def test_suppressed_agents_slow_convergence(self):
+        # Suppressing a third of the population must cost real time:
+        # compare median parallel time against the uniform engine.
+        from repro import AgentScheduledEngine, SequentialEngine
+        from repro.scenarios import TargetedSuppressionScheduler
+
+        protocol = AGProtocol(12)
+        start = random_configuration(protocol, seed=2)
+        scheduler = TargetedSuppressionScheduler(range(4), weight=0.05)
+        suppressed, uniform = [], []
+        for seed in range(15):
+            a = AgentScheduledEngine(
+                protocol, start, np.random.default_rng(seed), scheduler
+            )
+            assert a.run(max_events=10**6)
+            b = SequentialEngine(
+                protocol, start, np.random.default_rng(seed + 500)
+            )
+            assert b.run(max_events=10**6)
+            suppressed.append(a.interactions)
+            uniform.append(b.interactions)
+        assert np.median(suppressed) > np.median(uniform)
+
+    def test_targeted_spec_exceeding_population_fails_loudly(self):
+        # A scripted adversary must do what it says — no silent clamp.
+        protocol = AGProtocol(10)
+        with pytest.raises(ExperimentError, match="unsuppressed"):
+            build_scheduler(
+                SchedulerSpec(kind="targeted", targets=10), protocol
+            )

@@ -135,3 +135,103 @@ class TestScenarioSerialisation:
     def test_with_population(self):
         scenario = Scenario.from_dict(_minimal_dict())
         assert scenario.with_population(64).protocol.num_agents == 64
+
+
+class TestTimelineSpecs:
+    def _timeline_scenario(self):
+        from repro.scenarios import EpochSpec, ProtocolSpec, RunPhase, Scenario, SchedulerSpec
+
+        return Scenario(
+            name="timeline",
+            protocol=ProtocolSpec(kind="tree", num_agents=20),
+            phases=(RunPhase(until="silence", max_events=1000),),
+            timeline=(
+                EpochSpec(
+                    scheduler=SchedulerSpec(
+                        kind="state_biased", extra_weight=0.2
+                    ),
+                    until="silence",
+                ),
+                EpochSpec(
+                    scheduler=SchedulerSpec(
+                        kind="clustered", num_clusters=3, across=0.1
+                    ),
+                    until="interactions",
+                    value=5000,
+                    label="mid",
+                ),
+                EpochSpec(scheduler=SchedulerSpec(kind="uniform")),
+            ),
+        )
+
+    def test_timeline_round_trips_through_dict_and_json(self):
+        import json
+
+        from repro.scenarios import Scenario
+
+        scenario = self._timeline_scenario()
+        data = json.loads(json.dumps(scenario.to_dict()))
+        assert Scenario.from_dict(data) == scenario
+
+    def test_non_last_segment_needs_boundary(self):
+        from repro.scenarios import EpochSpec, ProtocolSpec, RunPhase, Scenario, SchedulerSpec
+
+        with pytest.raises(ExperimentError, match="not the last"):
+            Scenario(
+                name="bad",
+                protocol=ProtocolSpec(kind="ag", num_agents=10),
+                phases=(RunPhase(until="silence", max_events=10),),
+                timeline=(
+                    EpochSpec(scheduler=SchedulerSpec(kind="uniform")),
+                    EpochSpec(scheduler=SchedulerSpec(kind="uniform")),
+                ),
+            )
+
+    def test_timeline_excludes_scalar_scheduler(self):
+        from repro.scenarios import EpochSpec, ProtocolSpec, RunPhase, Scenario, SchedulerSpec
+
+        with pytest.raises(ExperimentError, match="both a scheduler"):
+            Scenario(
+                name="bad",
+                protocol=ProtocolSpec(kind="ag", num_agents=10),
+                phases=(RunPhase(until="silence", max_events=10),),
+                scheduler=SchedulerSpec(kind="clustered"),
+                timeline=(
+                    EpochSpec(scheduler=SchedulerSpec(kind="uniform")),
+                ),
+            )
+
+    def test_agent_schedulers_cannot_join_timelines(self):
+        from repro.scenarios import EpochSpec, SchedulerSpec
+
+        with pytest.raises(ExperimentError, match="agent-identity"):
+            EpochSpec(
+                scheduler=SchedulerSpec(kind="targeted", targets=2),
+                until="silence",
+            )
+
+    def test_epoch_boundary_validation(self):
+        from repro.scenarios import EpochSpec, SchedulerSpec
+
+        with pytest.raises(ExperimentError, match="value"):
+            EpochSpec(
+                scheduler=SchedulerSpec(kind="uniform"), until="events"
+            )
+        with pytest.raises(ExperimentError, match="predicate"):
+            EpochSpec(
+                scheduler=SchedulerSpec(kind="uniform"),
+                until="predicate",
+                predicate="nonsense",
+            )
+
+    def test_agent_scheduler_spec_validation(self):
+        from repro.scenarios import SchedulerSpec
+
+        with pytest.raises(ExperimentError, match="targets"):
+            SchedulerSpec(kind="targeted", targets=0)
+        with pytest.raises(ExperimentError, match="target_weight"):
+            SchedulerSpec(kind="targeted", target_weight=0.0)
+        with pytest.raises(ExperimentError, match="floor"):
+            SchedulerSpec(kind="degree_skewed", floor=1.5)
+        assert SchedulerSpec(kind="degree_skewed").is_agent_level
+        assert not SchedulerSpec(kind="clustered").is_agent_level
