@@ -20,11 +20,20 @@ on the record.
 
 :func:`check_speedup_floors` turns a benchmark record into a pass/fail
 gate (used by CI smoke): a case regressing below its committed floor
-over the frozen seed baseline fails the run.
+over the frozen seed baseline fails the run.  :func:`compare_bench`
+gates the whole *trend*: it diffs a fresh record against the committed
+baseline record case by case and fails on any >15% regression of the
+machine-relative throughput ratios (speedup over the frozen seed engine
+for engine cases, weighted-over-rejection for scheduler cases — both
+numerator and denominator of every ratio run in the same process, so
+the comparison transfers across machines).  :func:`append_bench_history`
+accumulates per-case events/s into a CSV that the nightly workflow
+uploads and renders as an ASCII trend table.
 """
 
 from __future__ import annotations
 
+import csv
 import json
 import math
 import os
@@ -55,8 +64,13 @@ __all__ = [
     "BenchCase",
     "LegacyJumpEngine",
     "SchedulerBenchCase",
+    "append_bench_history",
+    "bench_ratios",
     "bench_suite",
     "check_speedup_floors",
+    "compare_bench",
+    "load_bench",
+    "read_bench_history",
     "run_bench",
     "scheduler_bench_suite",
     "write_bench_json",
@@ -422,7 +436,13 @@ def _line_case(m: int, max_events: int, seed: int = 13) -> BenchCase:
 
 
 def bench_suite(quick: bool = False) -> List[BenchCase]:
-    """The fixed benchmark suite (smaller sizes/budgets when ``quick``)."""
+    """The fixed benchmark suite (smaller sizes/budgets when ``quick``).
+
+    ``line-m4`` (the smallest §4 lattice the paper's construction is
+    honest at, n = 960) appears in *both* tiers: it is the hybrid
+    proposal/Fenwick sampler's headline workload, so the quick tier
+    gates it on every PR.
+    """
     if quick:
         return [
             _ag_case(256, 5_000),
@@ -431,6 +451,7 @@ def bench_suite(quick: bool = False) -> List[BenchCase]:
             _ring_case(15, 5_000),
             _tree_case(256, 5_000),
             _line_case(2, 5_000),
+            _line_case(4, 20_000),
         ]
     return [
         _ag_case(1_000, 200_000),
@@ -617,7 +638,7 @@ def _measure(
 
 
 def run_bench(
-    quick: bool = False, seed: int = 7, repeats: int = 2
+    quick: bool = False, seed: int = 7, repeats: int = 3
 ) -> Dict[str, object]:
     """Run the suite with both engines; return the comparison record.
 
@@ -700,6 +721,132 @@ def check_speedup_floors(
                 f"{case_id}: {metric} speedup {speedup:.2f}x is below "
                 f"the committed floor {floor:.2f}x"
             )
+
+
+def bench_ratios(record: Dict[str, object]) -> Dict[str, Tuple[str, float, float]]:
+    """Per-case ``(metric name, ratio, current events/s)`` of one record.
+
+    Engine cases report their speedup over the frozen seed engine,
+    scheduler cases the weighted-over-rejection ratio.  Both are
+    measured within one process, which is what makes them comparable
+    across machines and CI runners.
+    """
+    ratios: Dict[str, Tuple[str, float, float]] = {}
+    for case in record["cases"]:
+        ratios[case["case"]] = (
+            "speedup",
+            case["speedup"],
+            case["current"]["events_per_sec"],
+        )
+    for case in record.get("scheduler_cases", ()):
+        ratios[case["case"]] = (
+            "weighted_vs_rejection",
+            case["weighted_vs_rejection"],
+            case["weighted"]["events_per_sec"],
+        )
+    return ratios
+
+
+def load_bench(path: str) -> Dict[str, object]:
+    """Read a committed ``BENCH_*.json`` record."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def compare_bench(
+    record: Dict[str, object],
+    baseline: Dict[str, object],
+    tolerance: float = 0.15,
+) -> List[str]:
+    """Diff a fresh record against the committed baseline record.
+
+    Returns the human-readable comparison lines and raises
+    :class:`~repro.exceptions.SimulationError` when any case's
+    machine-relative ratio regressed more than ``tolerance`` below the
+    baseline's — the CI trend gate.  Raw events/s are reported for
+    context only: they do not transfer between machines, whereas each
+    ratio's numerator and denominator were measured in one process.
+    Cases present in only one record are reported but never fail the
+    gate (the suite may grow).
+    """
+    current = bench_ratios(record)
+    base = bench_ratios(baseline)
+    lines: List[str] = []
+    failures: List[str] = []
+    for case_id in sorted(set(current) | set(base)):
+        if case_id not in current:
+            lines.append(f"{case_id:<18} missing from this run (baseline only)")
+            continue
+        metric, ratio, eps = current[case_id]
+        if case_id not in base:
+            lines.append(
+                f"{case_id:<18} {metric} {ratio:6.2f}x (new case, "
+                f"{eps:,.0f} ev/s)"
+            )
+            continue
+        _, base_ratio, base_eps = base[case_id]
+        drift = ratio / base_ratio - 1.0
+        lines.append(
+            f"{case_id:<18} {metric} {base_ratio:6.2f}x -> {ratio:6.2f}x "
+            f"({drift:+.1%}; {base_eps:,.0f} -> {eps:,.0f} ev/s raw)"
+        )
+        if ratio < (1.0 - tolerance) * base_ratio:
+            failures.append(
+                f"{case_id}: {metric} {ratio:.2f}x regressed more than "
+                f"{tolerance:.0%} below the baseline {base_ratio:.2f}x"
+            )
+    if failures:
+        raise SimulationError(
+            "bench trend regression vs baseline "
+            f"{baseline.get('timestamp', '?')}:\n  " + "\n  ".join(failures)
+        )
+    return lines
+
+
+_HISTORY_FIELDS = (
+    "timestamp", "case", "metric", "ratio", "events_per_sec",
+    "reference_events_per_sec",
+)
+
+
+def append_bench_history(record: Dict[str, object], path: str) -> int:
+    """Append one record's per-case rows to a ``bench_history.csv``.
+
+    Creates the file (with a header) when missing; returns the number
+    of rows appended.  The nightly workflow keeps this CSV in its cache
+    so every run extends the same trend, uploads it as an artifact, and
+    renders it via :func:`repro.viz.ascii.render_trend_table`.
+    """
+    exists = os.path.exists(path) and os.path.getsize(path) > 0
+    rows = 0
+    with open(path, "a", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        if not exists:
+            writer.writerow(_HISTORY_FIELDS)
+        timestamp = record["timestamp"]
+        for case in record["cases"]:
+            writer.writerow([
+                timestamp, case["case"], "speedup",
+                f"{case['speedup']:.4f}",
+                f"{case['current']['events_per_sec']:.1f}",
+                f"{case['legacy']['events_per_sec']:.1f}",
+            ])
+            rows += 1
+        for case in record.get("scheduler_cases", ()):
+            writer.writerow([
+                timestamp, case["case"], "weighted_vs_rejection",
+                f"{case['weighted_vs_rejection']:.4f}",
+                f"{case['weighted']['events_per_sec']:.1f}",
+                f"{case['rejection']['events_per_sec']:.1f}",
+            ])
+            rows += 1
+    return rows
+
+
+def read_bench_history(path: str) -> List[Dict[str, str]]:
+    """Read a ``bench_history.csv`` back as a list of row dicts."""
+    with open(path, "r", encoding="utf-8", newline="") as handle:
+        return list(csv.DictReader(handle))
 
 
 def write_bench_json(record: Dict[str, object], output_dir: str = ".") -> str:

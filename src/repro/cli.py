@@ -165,6 +165,22 @@ def build_parser() -> argparse.ArgumentParser:
         "is >= FLOOR (repeatable; the CI regression gate, e.g. "
         "tree-n256:2.0)",
     )
+    ben.add_argument(
+        "--compare", default=None, metavar="BASELINE_JSON",
+        help="diff this run against a committed BENCH_*.json and fail "
+        "on any >15%% regression of the machine-relative throughput "
+        "ratios (the CI trend gate)",
+    )
+    ben.add_argument(
+        "--compare-tolerance", type=float, default=0.15,
+        help="allowed fractional ratio regression for --compare "
+        "(default 0.15)",
+    )
+    ben.add_argument(
+        "--history", default=None, metavar="CSV",
+        help="append this run's per-case events/s to a bench_history.csv "
+        "and print the ASCII trend table (the nightly trend artifact)",
+    )
     return parser
 
 
@@ -298,7 +314,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     import os
 
     from .analysis.bench import (
+        append_bench_history,
         check_speedup_floors,
+        compare_bench,
+        load_bench,
+        read_bench_history,
         render_bench,
         run_bench,
         write_bench_json,
@@ -308,6 +328,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     # is its whole point.
     if args.output_dir != "-" and not os.path.isdir(args.output_dir):
         raise ReproError(f"output directory {args.output_dir!r} does not exist")
+    baseline = None
+    if args.compare is not None:
+        if not os.path.isfile(args.compare):
+            raise ReproError(f"baseline record {args.compare!r} does not exist")
+        baseline = load_bench(args.compare)
     floors = {}
     for spec in args.require_speedup:
         case_id, sep, floor = spec.rpartition(":")
@@ -326,12 +351,28 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.output_dir != "-":
         path = write_bench_json(record, output_dir=args.output_dir)
         print(f"wrote {path}")
+    if args.history is not None:
+        rows = append_bench_history(record, args.history)
+        print(f"appended {rows} rows to {args.history}")
+        from .viz.ascii import render_trend_table
+
+        print(render_trend_table(read_bench_history(args.history)))
     if floors:
         check_speedup_floors(record, floors)
         print(
             "speedup floors ok: "
             + ", ".join(f"{c}>={f}" for c, f in sorted(floors.items()))
         )
+    if baseline is not None:
+        lines = compare_bench(
+            record, baseline, tolerance=args.compare_tolerance
+        )
+        print(
+            f"trend vs baseline {baseline.get('timestamp', '?')} "
+            f"(tolerance {args.compare_tolerance:.0%}):"
+        )
+        for line in lines:
+            print(f"  {line}")
     return 0
 
 

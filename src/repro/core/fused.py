@@ -34,6 +34,21 @@ compile to straight-line programs (:meth:`FusedIndex.compile_transition`)
 that the engine's fast loop executes without any per-event family
 dispatch.  All weights stay exact Python integers.
 
+**Hybrid proposal/Fenwick sampling.**  Same-state slots are further
+split into two pools.  Slots whose counts sit near the current maximum
+are *proposal-mode*: their combined mass lives in one pseudo-slot
+(:class:`_ProposalPool`) sampled by O(1) agent-proposal rejection — draw
+a uniform agent of the pool, accept against a per-pool count bound
+``m̂`` — and updated in O(1) per count change with no Fenwick writes at
+all.  The remaining *tree-mode* slots keep the Fenwick walk, which
+stays cheap as their mass drains toward silence.  The pseudo-slot sits
+in the composite block, so the index's one residual draw routes to the
+right regime with a single comparison.  Any partition is exact (the
+rejection draw realises ``c(c−1)/W_pool`` within the pool, and the
+top-level split weights the pools exactly); classification only moves
+constants, and is re-evaluated cheaply on :meth:`FusedIndex.resync` and
+by the engines' periodic :meth:`FusedIndex.reclassify` calls.
+
 :class:`WeightedFusedIndex` extends the same machinery to *biased* pair
 schedulers: every slot weight is scaled by the scheduler's pair weight,
 kept exact as a dyadic rational numerator (denominator ``2⁵³`` — the
@@ -45,7 +60,7 @@ engines realise the *identical* step distribution).  See
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..exceptions import SimulationError
 from .families import Family, OrderedProduct, SameStatePairs, TriangularLine
@@ -72,6 +87,18 @@ class WeightedIndexUnsupported(SimulationError):
 SAME, PRODUCT, TRIANGULAR, OPAQUE = 0, 1, 2, 3
 # Step code for per-position weighted line slots (weighted index only).
 _WEIGHTED_LINE = 4
+# Slot kind of a proposal-pool pseudo-slot (hybrid same-state sampling).
+PROPOSAL = 5
+
+#: Relative cost of serving one unit of same-state mass through the
+#: Fenwick walk versus one O(1) proposal — the constant in the window
+#: classifier's cost model (a find plus its update walks run a few
+#: dozen list ops, a proposal roughly a dozen).
+_POOL_TREE_COST_RATIO = 4
+#: Windows whose expected proposals per draw exceed this are never
+#: selected, so the classifier cannot install a partition that the
+#: engines' acceptance trigger would immediately tear down.
+_POOL_MAX_PROPOSALS = 16
 
 #: Acceptance thresholds in the rejection engine are 53-bit uniforms
 #: (``k·2⁻⁵³``), so every float pair weight acts with effective
@@ -126,16 +153,226 @@ def _tree_find(tree: List[int], size: int, target: int) -> int:
     return pos
 
 
+class _ProposalPool:
+    """Proposal-mode same-state slots, sampled by O(1) agent rejection.
+
+    The pool owns an explicit agent array over its *member* states
+    (agents are exchangeable, so any assignment consistent with the
+    counts realises the exact law): ``agents[p]`` is the state of the
+    agent at flat position ``p``, ``positions[s]`` lists the flat
+    positions currently holding state ``s`` (``None`` marks a candidate
+    state that is tree-mode right now), and ``where[p]`` is ``p``'s
+    index inside its state's position list — the indexed-multiset trick
+    that makes both insertion and swap-removal O(1).
+
+    Sampling: one draw ``v`` uniform on ``[0, N·m̂)`` fuses the agent
+    proposal with its acceptance test (``p = v // m̂`` is a uniform
+    pool agent, ``v % m̂`` an independent uniform threshold), so state
+    ``s`` is returned with probability exactly ``c_s(c_s−1)/(N·m̂)``
+    per attempt — proportional to its slot weight.  ``m̂`` only ever
+    grows between reclassifications (set on every count increase), so
+    the bound ``m̂ >= c_s`` can never be violated mid-run.
+
+    ``weight`` is the raw pooled mass ``Σ c(c−1)``; the owning index
+    scales it by ``factor`` (1 for the uniform index, the scheduler's
+    dyadic diagonal numerator for a weighted class group) when writing
+    the pseudo-slot value.
+    """
+
+    __slots__ = ("slot", "factor", "states", "positions", "agents",
+                 "where", "weight", "mhat", "lo", "hi")
+
+    def __init__(
+        self,
+        num_states: int,
+        candidate_states: Sequence[int],
+        factor: int = 1,
+    ) -> None:
+        self.slot = -1  # pseudo-slot id, assigned by the owning index
+        self.factor = factor
+        self.states = list(candidate_states)
+        self.positions: List[Optional[List[int]]] = [None] * num_states
+        self.agents: List[int] = []
+        self.where: List[int] = []
+        self.weight = 0
+        self.mhat = 1
+        self.lo = 2
+        self.hi = 0
+
+    def classify(self, counts: Sequence[int]) -> None:
+        """(Re)partition candidate states by count, in place.
+
+        Members are the count *window* ``[lo, hi]`` minimising the cost
+        model ``hi·Σc + R·(T − Σc(c−1))``: the first term is the
+        expected proposal work of serving the pooled mass (``hi`` is
+        the acceptance bound ``m̂``, ``Σc`` the proposal targets), the
+        second the Fenwick work for whatever is left tree-mode (``T``
+        the total same-state mass, ``R`` the relative walk cost).  A
+        window (rather than a plain threshold) matters: one high-count
+        outlier would otherwise inflate ``m̂`` for every small member,
+        while the Fenwick walk serves a lone fat slot perfectly well.
+        Counts drifting *into* the window after classification are
+        migrated eagerly by the update paths (see ``lo``/``hi``);
+        drifting out is harmless (drained members are expelled on the
+        spot and overgrown ones only stretch ``m̂``) until the next
+        reclassification re-balances.  The agent array is rebuilt via
+        in-place list mutation so hot loops holding references stay
+        valid.
+        """
+        positions = self.positions
+        agents = self.agents
+        # Histogram of candidate counts (counts >= 2 carry weight).
+        by_count: Dict[int, List[int]] = {}
+        for state in self.states:
+            count = counts[state]
+            if count >= 2:
+                by_count.setdefault(count, []).append(state)
+            else:
+                positions[state] = None
+        del agents[:]
+        del self.where[:]
+        window = None
+        if by_count:
+            distinct = sorted(by_count)
+            pair_mass = [
+                len(by_count[c]) * c * (c - 1) for c in distinct
+            ]
+            agent_mass = [len(by_count[c]) * c for c in distinct]
+            total_pairs = sum(pair_mass)
+            best = _POOL_TREE_COST_RATIO * total_pairs  # empty pool
+            # O(distinct²) window search — distinct counts are few (the
+            # profile at any moment clusters around a handful of
+            # values), and reclassification is off the per-event path.
+            for hi_idx in range(len(distinct) - 1, -1, -1):
+                hi = distinct[hi_idx]
+                pairs = 0
+                members = 0
+                for lo_idx in range(hi_idx, -1, -1):
+                    pairs += pair_mass[lo_idx]
+                    members += agent_mass[lo_idx]
+                    if hi * members > _POOL_MAX_PROPOSALS * pairs:
+                        break
+                    cost = (
+                        hi * members
+                        + _POOL_TREE_COST_RATIO * (total_pairs - pairs)
+                    )
+                    if cost < best:
+                        best = cost
+                        window = (distinct[lo_idx], hi)
+        weight = 0
+        if window is not None:
+            lo, hi = window
+            for count, bucket in by_count.items():
+                if not lo <= count <= hi:
+                    for state in bucket:
+                        positions[state] = None
+                    continue
+                for state in bucket:
+                    base = len(agents)
+                    positions[state] = list(range(base, base + count))
+                    agents.extend([state] * count)
+                    self.where.extend(range(count))
+                weight += len(bucket) * count * (count - 1)
+            self.lo, self.hi = lo, hi
+            self.mhat = hi
+        else:
+            for bucket in by_count.values():
+                for state in bucket:
+                    positions[state] = None
+            self.lo, self.hi = 2, 0  # empty window: nothing migrates in
+            self.mhat = 1
+        self.weight = weight
+
+    def count_change(self, state: int, old: int, new: int) -> Optional[int]:
+        """Adopt a member state's new count; returns the raw weight delta.
+
+        Returns ``None`` when ``state`` is tree-mode (caller falls back
+        to the Fenwick update).  Members draining below a pair are
+        expelled on the spot — a weightless member only dilutes the
+        proposal acceptance, and with eager expulsion the pool never
+        accumulates drag between reclassifications.
+        """
+        plist = self.positions[state]
+        if plist is None:
+            return None
+        agents = self.agents
+        where = self.where
+        if new > old:
+            for _ in range(new - old):
+                pos = len(agents)
+                where.append(len(plist))
+                plist.append(pos)
+                agents.append(state)
+            if new > self.mhat:
+                self.mhat = new
+        else:
+            removals = old - new if new >= 2 else old
+            for _ in range(removals):
+                pos = plist.pop()
+                last = len(agents) - 1
+                if pos != last:
+                    moved = agents[last]
+                    moved_where = where[last]
+                    agents[pos] = moved
+                    where[pos] = moved_where
+                    self.positions[moved][moved_where] = pos
+                agents.pop()
+                where.pop()
+            if new < 2:
+                self.positions[state] = None
+        delta = new * (new - 1) - old * (old - 1)
+        self.weight += delta
+        return delta
+
+    def migrate_in(self, state: int, count: int) -> int:
+        """Adopt a tree-mode state whose count drifted into the window.
+
+        Returns the raw weight gained by the pool; the caller zeroes the
+        state's Fenwick slot, so subsequent updates to this state are
+        O(1) member moves instead of tree walks.
+        """
+        agents = self.agents
+        base = len(agents)
+        self.positions[state] = list(range(base, base + count))
+        agents.extend([state] * count)
+        self.where.extend(range(count))
+        if count > self.mhat:
+            self.mhat = count
+        gained = count * (count - 1)
+        self.weight += gained
+        return gained
+
+    def sample_state(self, rand_below) -> int:
+        """One member state, drawn ∝ ``c(c−1)`` (callers ensure weight > 0)."""
+        agents = self.agents
+        positions = self.positions
+        mhat = self.mhat
+        bound = len(agents) * mhat
+        while True:
+            draw = rand_below(bound)
+            state = agents[draw // mhat]
+            if draw % mhat < len(positions[state]) - 1:
+                return state
+
+
 class _ProductSlot:
     """One fused slot for an ``OrderedProduct`` family (or class block).
 
-    Weight is ``factor · A · B`` where ``A``/``B`` are the side totals
-    of two private padded Fenwick arrays.  ``factor`` is 1 for the
-    uniform index and the scheduler's dyadic numerator otherwise.
+    Weight is ``factor · A · B`` where ``A``/``B`` are the side totals,
+    maintained as O(1) scalars.  ``factor`` is 1 for the uniform index
+    and the scheduler's dyadic numerator otherwise.  The two private
+    padded Fenwick arrays are needed only to *decode* a draw, so their
+    maintenance is **gated**: while the opposite side's total is zero
+    the slot cannot be sampled (weight 0), updates skip the tree walk
+    and mark the side stale, and the first decode after reactivation
+    rebuilds the stale side from the live counts — which turns the §4
+    line's per-event routing-tree writes into no-ops for the whole
+    X-empty drain toward silence.
     """
 
     __slots__ = ("initiators", "responders", "init_tree", "init_size",
-                 "resp_tree", "resp_size", "factor")
+                 "resp_tree", "resp_size", "init_total", "resp_total",
+                 "stale", "counts", "factor")
 
     def __init__(
         self,
@@ -152,40 +389,116 @@ class _ProductSlot:
         self.resp_tree, self.resp_size = _padded_tree(
             [counts[s] for s in self.responders]
         )
+        self.init_total = self.init_tree[self.init_size]
+        self.resp_total = self.resp_tree[self.resp_size]
+        self.stale = 0  # bit 1: init tree stale, bit 2: resp tree stale
+        self.counts = counts  # live engine counts (re-captured on resync)
         self.factor = factor
 
     def weight(self) -> int:
-        return (
-            self.factor
-            * self.init_tree[self.init_size]
-            * self.resp_tree[self.resp_size]
-        )
+        return self.factor * self.init_total * self.resp_total
 
     def add(self, side: int, pos: int, delta: int) -> None:
         """Add a count delta on one side (generic update path)."""
         if side == OrderedProduct.INITIATOR:
+            self.init_total += delta
+            if self.stale & 1 or self.resp_total == 0:
+                self.stale |= 1
+                return
             tree, size = self.init_tree, self.init_size
         else:
+            self.resp_total += delta
+            if self.stale & 2 or self.init_total == 0:
+                self.stale |= 2
+                return
             tree, size = self.resp_tree, self.resp_size
         node = pos + 1
         while node <= size:
             tree[node] += delta
             node += node & -node
 
+    def sample_stale(self, bound: int, rand_below) -> Tuple[int, int]:
+        """Decode a draw while some side tree is stale, without rebuilding.
+
+        Each stale side is sampled by rejection against ``bound`` (any
+        upper bound on every state count): propose a uniform side state,
+        accept with probability ``count/bound`` — exactly proportional
+        to the counts, which is all the tree find realises.  In the
+        steady gated cycle (a line drain whose X excursions reactivate
+        the slot for one event at a time) this replaces an O(side)
+        rebuild per excursion with a handful of O(1) proposals.  When
+        the count profile is too skewed for rejection (a reset storm
+        piling agents onto a few states) the escape hatch rebuilds the
+        trees once and the eager walks keep them live from then on.
+        A clean side keeps the ordinary tree find (fresh randomness is
+        fine: the two side draws just need to be independent and
+        count-proportional).
+        """
+        counts = self.counts
+        pair = []
+        for states, stale_bit, tree, size in (
+            (self.initiators, 1, self.init_tree, self.init_size),
+            (self.responders, 2, self.resp_tree, self.resp_size),
+        ):
+            if len(states) == 1:
+                pair.append(states[0])
+                continue
+            if self.stale & stale_bit:
+                span = len(states) * bound
+                proposals = 0
+                choice = -1
+                while True:
+                    draw = rand_below(span)
+                    state = states[draw // bound]
+                    if draw % bound < counts[state]:
+                        choice = state
+                        break
+                    proposals += 1
+                    if proposals > 64:
+                        # Rejection sampling is memoryless: abandoning
+                        # it for an exact tree draw is still exact.
+                        self.rebuild_stale()
+                        break
+                if choice >= 0:
+                    pair.append(choice)
+                    continue
+            total = tree[size]
+            pair.append(states[_tree_find(tree, size, rand_below(total))])
+        return pair[0], pair[1]
+
+    def rebuild_stale(self) -> None:
+        """Refill stale side trees from the live counts (decode guard)."""
+        counts = self.counts
+        if self.stale & 1:
+            fill_tree(
+                self.init_tree, self.init_size,
+                [counts[s] for s in self.initiators],
+            )
+        if self.stale & 2:
+            fill_tree(
+                self.resp_tree, self.resp_size,
+                [counts[s] for s in self.responders],
+            )
+        self.stale = 0
+
     def resync(self, counts: Sequence[int]) -> None:
         """Reload both side trees from a counts list, in place.
 
         Compiled transition programs hold direct references to the tree
-        lists, so a resync must refill rather than replace them.
+        lists, so a resync must refill rather than replace them.  The
+        counts reference is re-captured — this is the seam through
+        which engines adopt an externally supplied configuration.
         """
-        fill_tree(
+        self.counts = counts
+        self.init_total = fill_tree(
             self.init_tree, self.init_size,
             [counts[s] for s in self.initiators],
         )
-        fill_tree(
+        self.resp_total = fill_tree(
             self.resp_tree, self.resp_size,
             [counts[s] for s in self.responders],
         )
+        self.stale = 0
 
     def pair_from_target(self, target: int) -> Tuple[int, int]:
         """Decode both side draws from a residual target in ``[0, w)``.
@@ -194,8 +507,9 @@ class _ProductSlot:
         uniforms for the two sides — an exact bijection, so no fresh
         randomness is needed.
         """
-        resp_total = self.resp_tree[self.resp_size]
-        span = self.factor * resp_total
+        if self.stale:
+            self.rebuild_stale()
+        span = self.factor * self.resp_total
         initiator = self.initiators[
             _tree_find(self.init_tree, self.init_size, target // span)
         ]
@@ -292,7 +606,7 @@ class FusedIndex:
 
     __slots__ = ("num_slots", "num_composite", "fenwick_size", "tree",
                  "values", "total", "slot_kind", "slot_payload",
-                 "state_steps", "_num_states")
+                 "state_steps", "pool", "_num_states")
 
     def __init__(
         self,
@@ -324,12 +638,12 @@ class FusedIndex:
                 for pos, state in enumerate(payload.initiators):
                     steps[state].append(
                         (PRODUCT, payload.init_tree, pos + 1,
-                         payload.init_size, slot, payload)
+                         payload.init_size, slot, payload, True)
                     )
                 for pos, state in enumerate(payload.responders):
                     steps[state].append(
                         (PRODUCT, payload.resp_tree, pos + 1,
-                         payload.resp_size, slot, payload)
+                         payload.resp_size, slot, payload, False)
                     )
             elif type(family) is TriangularLine:
                 slot = len(kinds)
@@ -348,14 +662,36 @@ class FusedIndex:
                 weights.append(family.weight)
                 for state in family.states():
                     steps[state].append((OPAQUE, family, slot))
+        # Hybrid same-state sampling: one proposal-pool pseudo-slot at
+        # the end of the composite block carries the pooled mass; the
+        # per-state slots below hold only the tree-mode residue (value 0
+        # while pooled — exact for any partition).
+        rule_states = [
+            state
+            for family in same_state
+            for state in family.rule_states()
+        ]
+        pool: Optional[_ProposalPool] = None
+        if rule_states:
+            pool = _ProposalPool(num_states, rule_states)
+            pool.classify(counts)
+            pool.slot = len(kinds)
+            kinds.append(PROPOSAL)
+            payloads.append(pool)
+            weights.append(pool.weight)
+        self.pool = pool
         num_composite = len(kinds)
         self.num_composite = num_composite
+        pool_positions = pool.positions if pool is not None else None
         for family in same_state:
             for state in family.rule_states():
                 slot = len(kinds)
                 kinds.append(SAME)
                 payloads.append(state)
-                weights.append(counts[state] * (counts[state] - 1))
+                weights.append(
+                    0 if pool_positions[state] is not None
+                    else counts[state] * (counts[state] - 1)
+                )
                 # Third field: the slot's first Fenwick node (the tree
                 # only spans the same-state block).
                 steps[state].append((SAME, slot, slot - num_composite + 1))
@@ -430,6 +766,9 @@ class FusedIndex:
         payload = self.slot_payload[slot]
         if kind == SAME:
             return payload, payload
+        if kind == PROPOSAL:
+            state = payload.sample_state(rand_below)
+            return state, state
         if kind == PRODUCT or kind == TRIANGULAR:
             return payload.pair_from_target(residual)
         return payload.sample(rand_below)
@@ -458,22 +797,59 @@ class FusedIndex:
         if any(kinds[slot] == OPAQUE for slot in range(self.num_composite)):
             return False
         values = self.values
+        pool = self.pool
+        pool_positions = None
         total = 0
         for slot in range(self.num_composite):
             payload = payloads[slot]
-            payload.resync(counts)
-            weight = payload.weight()
+            if kinds[slot] == PROPOSAL:
+                # Resync doubles as reclassification: the new counts
+                # decide which same-state slots are proposal-mode.
+                payload.classify(counts)
+                pool_positions = payload.positions
+                weight = payload.weight
+            else:
+                payload.resync(counts)
+                weight = payload.weight()
             values[slot] = weight
             total += weight
         for slot in range(self.num_composite, self.num_slots):
             state = payloads[slot]
-            weight = counts[state] * (counts[state] - 1)
-            values[slot] = weight
+            if pool_positions is not None and pool_positions[state] is not None:
+                values[slot] = 0
+            else:
+                values[slot] = counts[state] * (counts[state] - 1)
         total += fill_tree(
             self.tree, self.fenwick_size, values[self.num_composite:]
         )
         self.total = total
         return True
+
+    def reclassify(self, counts: Sequence[int]) -> None:
+        """Re-partition same-state slots between the pools, in place.
+
+        Periodically called by the engines' fast loops so the proposal
+        pool tracks the drifting count profile (its members drain, new
+        mass grows in tree-mode slots).  Moves weight between the pool
+        pseudo-slot and the per-state Fenwick slots without changing
+        :attr:`total` — classification is a constant-factor choice, the
+        sampled distribution is identical for any partition.
+        """
+        pool = self.pool
+        if pool is None:
+            return
+        pool.classify(counts)
+        values = self.values
+        values[pool.slot] = pool.weight
+        positions = pool.positions
+        payloads = self.slot_payload
+        for slot in range(self.num_composite, self.num_slots):
+            state = payloads[slot]
+            if positions[state] is not None:
+                values[slot] = 0
+            else:
+                values[slot] = counts[state] * (counts[state] - 1)
+        fill_tree(self.tree, self.fenwick_size, values[self.num_composite:])
 
     def apply_count_change(self, state: int, old: int, new: int) -> int:
         """Route one count change to every structure touching ``state``.
@@ -485,14 +861,42 @@ class FusedIndex:
         """
         delta = new - old
         delta_w = 0
+        pool = self.pool
         for step in self.state_steps[state]:
             kind = step[0]
             if kind == SAME:
-                delta_w += self._set(step[1], new * (new - 1))
+                pooled = (
+                    pool.count_change(state, old, new)
+                    if pool is not None else None
+                )
+                if pooled is not None:
+                    if pooled:
+                        self.values[pool.slot] += pooled
+                        self.total += pooled
+                        delta_w += pooled
+                elif pool is not None and pool.lo <= new <= pool.hi:
+                    # Count drifted into the pool window: migrate now so
+                    # further updates are O(1) member moves.
+                    gained = pool.migrate_in(state, new)
+                    self.values[pool.slot] += gained
+                    self.total += gained
+                    delta_w += gained + self._set(step[1], 0)
+                else:
+                    delta_w += self._set(step[1], new * (new - 1))
             elif kind == PRODUCT:
                 tree, node, size, slot, payload = (
                     step[1], step[2], step[3], step[4], step[5]
                 )
+                if step[6]:
+                    payload.init_total += delta
+                    if payload.stale & 1 or payload.resp_total == 0:
+                        payload.stale |= 1
+                        node = size + 1  # gated: skip the walk
+                else:
+                    payload.resp_total += delta
+                    if payload.stale & 2 or payload.init_total == 0:
+                        payload.stale |= 2
+                        node = size + 1  # gated: skip the walk
                 while node <= size:
                     tree[node] += delta
                     node += node & -node
@@ -510,9 +914,9 @@ class FusedIndex:
         return delta_w
 
     def compile_transition(
-        self, ops: Sequence[Tuple[int, int]]
-    ) -> Tuple[tuple, tuple]:
-        """Compile one transition's count deltas into a (prog, refresh) pair.
+        self, ops: Sequence[Tuple[int, int]], full: bool = True
+    ) -> Tuple[Optional[tuple], Optional[tuple], Optional[tuple]]:
+        """Compile one transition into a (prog, refresh, fast) triple.
 
         ``prog`` lists ``(state, delta, steps)`` with each state's
         precompiled update steps; ``refresh`` is the *deduplicated* set
@@ -522,36 +926,86 @@ class FusedIndex:
         pre-resolved per kind:
 
         * triangular — ``(slot, TRIANGULAR, payload)``
-        * product — ``(slot, PRODUCT, init_tree, init_size, resp_tree,
-          resp_size)`` (the weight is the product of the two top nodes)
+        * product — ``(slot, PRODUCT, payload)`` (the weight is the
+          product of the two maintained side totals)
         * opaque — ``(slot, OPAQUE, family)``
+
+        ``fast`` is the transition's *same-state sprint* variant, or
+        ``None`` when it has no such variant.  It exists for
+        transitions touching only SAME and PRODUCT steps and compiles
+        to ``(sops, prods, transfer)`` with ``sops = ((state, delta,
+        slot, node), …)`` and ``prods = ((payload, net_init_delta,
+        net_resp_delta), …)``.  The engine may execute it *only* while
+        every listed product slot has ``net_resp_delta == 0`` and
+        ``resp_total == 0``: the slot then weighs zero throughout, so
+        the whole product update collapses to one stale-mark plus a
+        scalar add, and the refresh pass disappears — which is what
+        lets the §4 line's drain run at the same-state loop's
+        O(1)-per-event pace.  ``transfer`` additionally pre-resolves
+        the dominant −1/+1 shape (``(src, dst, src_slot, src_node,
+        dst_slot, dst_node)``): one agent moves between two states, so
+        when both are pool members the whole update is a single flat
+        re-label instead of a removal plus an insertion.
+
+        With ``full=False`` only ``fast`` is built (``prog``/``refresh``
+        come back ``None``) — engines compile the sprint variant up
+        front and fill in the general program lazily on the first draw
+        whose guard fails, which keeps the per-pair compile cost off
+        runs that never leave the sprint.
         """
-        prog = tuple(
-            (state, delta, self.state_steps[state]) for state, delta in ops
-        )
+        prog = None
+        if full:
+            prog = tuple(
+                (state, delta, self.state_steps[state])
+                for state, delta in ops
+            )
         refresh: Dict[int, tuple] = {}
-        for state, _ in ops:
+        fast_ok = True
+        sops: List[tuple] = []
+        prods: Dict[int, list] = {}
+        for state, delta in ops:
             for step in self.state_steps[state]:
                 kind = step[0]
                 if kind == SAME:
+                    sops.append((state, delta, step[1], step[2]))
                     continue
                 if kind == PRODUCT:
                     slot, payload = step[4], step[5]
-                    if slot not in refresh:
-                        refresh[slot] = (
-                            slot, PRODUCT, payload.init_tree,
-                            payload.init_size, payload.resp_tree,
-                            payload.resp_size,
-                        )
+                    if full and slot not in refresh:
+                        refresh[slot] = (slot, PRODUCT, payload)
+                    entry = prods.setdefault(slot, [payload, 0, 0])
+                    entry[1 if step[6] else 2] += delta
                 elif kind == TRIANGULAR:
+                    fast_ok = False
                     slot = step[3]
-                    if slot not in refresh:
+                    if full and slot not in refresh:
                         refresh[slot] = (slot, TRIANGULAR, step[1])
                 else:
+                    fast_ok = False
                     slot = step[2]
-                    if slot not in refresh:
+                    if full and slot not in refresh:
                         refresh[slot] = (slot, OPAQUE, step[1])
-        return prog, tuple(refresh.values())
+        fast = None
+        if fast_ok:
+            transfer = None
+            if len(sops) == 2:
+                deltas = (sops[0][1], sops[1][1])
+                if deltas == (-1, 1):
+                    src, dst = sops
+                elif deltas == (1, -1):
+                    dst, src = sops
+                else:
+                    src = None
+                if src is not None:
+                    transfer = (
+                        src[0], dst[0], src[2], src[3], dst[2], dst[3]
+                    )
+            fast = (
+                tuple(sops),
+                tuple((p, di, dr) for p, di, dr in prods.values()),
+                transfer,
+            )
+        return prog, tuple(refresh.values()) if full else None, fast
 
 
 class WeightedFusedIndex:
@@ -581,7 +1035,8 @@ class WeightedFusedIndex:
 
     __slots__ = ("num_slots", "tree", "values", "total", "slot_kind",
                  "slot_payload", "state_steps", "_num_states",
-                 "class_of", "class_counts", "_class_matrix", "_row_dot")
+                 "class_of", "class_counts", "_class_matrix", "_row_dot",
+                 "tree_dirty", "prog_cache")
 
     def __init__(
         self,
@@ -642,6 +1097,14 @@ class WeightedFusedIndex:
         self.values = fenwick._values
         self.total = fenwick.total
         self.state_steps = [tuple(entries) for entries in steps]
+        # Flat-update (thinned-segment) bookkeeping: per-slot values and
+        # the scalar totals stay exact while the Fenwick tree goes
+        # stale; the first find rebuilds it from the values.
+        self.tree_dirty = False
+        # Per-index cache of compiled transition programs (slot ids are
+        # index-specific, so the cache cannot live on the engine when a
+        # timeline compiles several indexes).
+        self.prog_cache: Dict[int, tuple] = {}
 
         # Per-class count sums for the total step mass.
         class_counts = [0] * num_classes
@@ -722,6 +1185,11 @@ class WeightedFusedIndex:
             raise SimulationError(
                 f"fused find target {target} outside [0, {self.total})"
             )
+        if self.tree_dirty:
+            # Flat updates (thinned segments) left the tree behind the
+            # per-slot values; one O(slots) refill revalidates it.
+            fill_tree(self.tree, self.num_slots, self.values)
+            self.tree_dirty = False
         tree = self.tree
         num_slots = self.num_slots
         pos = 0
@@ -799,6 +1267,99 @@ class WeightedFusedIndex:
                     )
         return delta_w
 
+    def _set_flat(self, slot: int, weight: int) -> int:
+        """Set one slot's weight without touching the (dirty) tree."""
+        values = self.values
+        delta = weight - values[slot]
+        if delta:
+            values[slot] = weight
+            self.total += delta
+        return delta
+
+    def apply_count_change_flat(self, state: int, old: int, new: int) -> int:
+        """Route one count change through values and class sums only.
+
+        The thinned-segment path: per-slot values, the scalar totals,
+        and the class sums stay exact while the Fenwick tree is left
+        dirty (callers set :attr:`tree_dirty`; the next ``find``
+        refills it).  This is what makes high-acceptance segments
+        cheap — no per-slot big-integer tree walks, just O(1) scalar
+        arithmetic per touched slot.
+        """
+        delta = new - old
+        cls = self.class_of[state]
+        self.class_counts[cls] += delta
+        u = self._class_matrix
+        row_dot = self._row_dot
+        for q in range(len(row_dot)):
+            row_dot[q] += u[q][cls] * delta
+        delta_w = 0
+        for step in self.state_steps[state]:
+            kind = step[0]
+            if kind == SAME:
+                slot, factor = step[1], step[2]
+                delta_w += self._set_flat(slot, factor * new * (new - 1))
+            elif kind == PRODUCT:
+                payload, side, pos, slot = step[1], step[2], step[3], step[4]
+                payload.add(side, pos, delta)
+                delta_w += self._set_flat(slot, payload.weight())
+            elif kind == TRIANGULAR:
+                payload, pos, slot = step[1], step[2], step[3]
+                payload.counts[pos] = new
+                payload.s += delta
+                payload.q += new * new - old * old
+                delta_w += self._set_flat(slot, payload.weight())
+            else:  # _WEIGHTED_LINE
+                payload, pos, base_slot = step[1], step[2], step[3]
+                for line_pos in payload.update(pos, new):
+                    delta_w += self._set_flat(
+                        base_slot + line_pos,
+                        payload.position_weight(line_pos),
+                    )
+        return delta_w
+
+    def compile_transition(
+        self, ops: Sequence[Tuple[int, int]]
+    ) -> Optional[Tuple[tuple, tuple]]:
+        """Compile one transition into a (prog, refresh) pair, or ``None``.
+
+        Mirrors :meth:`FusedIndex.compile_transition` for the weighted
+        index's inlined segment loop: ``prog`` lists ``(state, delta,
+        steps, cls, col)`` — the class-sum column ``col[q] = u[q][cls]``
+        is pre-resolved so the loop updates ``row_dot`` without matrix
+        indexing — and ``refresh`` deduplicates the composite slots to
+        recompute (``(slot, kind, payload, factor)``).  Transitions
+        touching per-position weighted-line slots are not compiled
+        (``None``): their fan-out refresh stays on the generic method
+        path.
+        """
+        u = self._class_matrix
+        num_classes = len(u)
+        prog: List[tuple] = []
+        refresh: Dict[int, tuple] = {}
+        for state, delta in ops:
+            steps = self.state_steps[state]
+            for step in steps:
+                kind = step[0]
+                if kind == SAME:
+                    continue
+                if kind == PRODUCT:
+                    payload, slot = step[1], step[4]
+                    if slot not in refresh:
+                        refresh[slot] = (slot, PRODUCT, payload,
+                                         payload.factor)
+                elif kind == TRIANGULAR:
+                    payload, slot = step[1], step[3]
+                    if slot not in refresh:
+                        refresh[slot] = (slot, TRIANGULAR, payload,
+                                         payload.factor)
+                else:
+                    return None  # weighted-line fan-out: generic path
+            cls = self.class_of[state]
+            col = tuple(u[q][cls] for q in range(num_classes))
+            prog.append((state, delta, steps, cls, col))
+        return tuple(prog), tuple(refresh.values())
+
     def resync(self, counts: Sequence[int]) -> None:
         """Reload every slot weight and class sum from a counts list, in place.
 
@@ -832,6 +1393,7 @@ class WeightedFusedIndex:
                 payload.resync(counts)
                 values[slot] = payload.weight()
         self.total = fill_tree(self.tree, self.num_slots, values)
+        self.tree_dirty = False
         class_counts = self.class_counts
         num_classes = len(class_counts)
         for cls in range(num_classes):

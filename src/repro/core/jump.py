@@ -20,6 +20,15 @@ index over all productive pair slots — so the general loop samples a
 productive ordered pair with one Fenwick ``find`` (the residual target
 decodes within-slot draws; no per-family dispatch) and updates weights
 through precompiled per-state plans with O(1)-amortised slot deltas.
+The index is *hybrid*: same-state slots whose counts sit in the
+classifier's window pool their mass into a proposal pseudo-slot served
+by O(1) agent-proposal rejection (and O(1) member moves on update),
+while the rest keep the Fenwick walk.  When the pool holds every
+remaining unit of weight — the steady state of same-state-heavy drains
+like the §4 line — the loop *sprints*: the routed target draw is
+skipped, transitions execute their compiled same-state variant
+(guarded so gated product slots collapse to a stale-mark), and the
+dominant −1/+1 transfer becomes a single flat re-label.
 The protocol's transition function is precompiled into lookup tables
 (per-state for same-state-only protocols, a lazily filled per-pair dict
 of straight-line update programs otherwise) so the inner loop never
@@ -61,7 +70,7 @@ from .configuration import Configuration
 from .engine import Event, Recorder
 from .families import SameStatePairs
 from .fenwick import FenwickTree
-from .fused import PRODUCT, SAME, TRIANGULAR, FusedIndex
+from .fused import PRODUCT, PROPOSAL, SAME, TRIANGULAR, FusedIndex
 from .protocol import PopulationProtocol
 
 __all__ = ["JumpEngine"]
@@ -72,6 +81,10 @@ _MAX_EXACT = 1 << 62
 
 # Exclusive upper bound of one raw 64-bit draw.
 _RAW_SPAN = 1 << 64
+# Proposal draws fit comfortably in 32 bits (bound = N·m̂), where the
+# modulo arithmetic stays single-digit; a separate uint32 batch serves
+# them.
+_RAW_SPAN32 = 1 << 32
 
 _UNIFORM_BATCH = 8192
 _RAW_BATCH = 8192
@@ -80,6 +93,21 @@ _AGENT_BATCH = 8192
 # How often (in productive events) the fast loop recomputes the exact
 # maximum count and re-evaluates its sampler choice.
 _REFRESH_EVENTS = 8192
+
+# How often (in productive events) the fused general loop re-partitions
+# same-state slots between the proposal pool and the Fenwick block.
+# Any partition is exact, so this is purely a constant-factor tracker:
+# eager migration/expulsion keeps membership tight in between, and the
+# acceptance trigger below forces an early pass when the bound m̂
+# degrades, so the periodic pass can be long.
+_RECLASSIFY_EVENTS = 8192
+
+# A pool draw burning more proposals than this signals a degraded
+# acceptance bound (a member count drifted far from m̂ since the last
+# partition) and forces an immediate reclassification — rate-limited by
+# a cooldown so a structurally poor regime cannot thrash the O(n) pass.
+_RECLASSIFY_PROPOSALS = 32
+_RECLASSIFY_COOLDOWN = 64
 
 # A same-state transition's net effect: ((state, count_delta, weight
 # coefficient), ...) — the coefficient is count_delta for states whose
@@ -90,6 +118,16 @@ _Ops = Tuple[Tuple[int, int, int], ...]
 
 def _transition_ops(si: int, sj: int, ti: int, tj: int):
     """Net per-state count changes of one transition, deduplicated."""
+    if si == sj:
+        # Same-state rules dominate compilation; resolve their few
+        # overlap shapes branch-wise instead of through a dict.
+        if ti == tj:
+            return () if ti == si else ((si, -2), (ti, 2))
+        if ti == si:
+            return ((si, -1), (tj, 1))
+        if tj == si:
+            return ((si, -1), (ti, 1))
+        return ((si, -2), (ti, 1), (tj, 1))
     delta: Dict[int, int] = {}
     delta[si] = delta.get(si, 0) - 1
     delta[sj] = delta.get(sj, 0) - 1
@@ -139,6 +177,12 @@ class JumpEngine:
         self._raw_pos = 0
         self._pair_table: Optional[Dict[int, tuple]] = (
             {} if protocol.compile_transitions else None
+        )
+        # Dense same-state program cache: same-state draws dominate the
+        # hybrid loop, and a list index beats hashing the pair key.
+        self._ss_progs: Optional[List[Optional[tuple]]] = (
+            [None] * self._num_states
+            if protocol.compile_transitions else None
         )
         self._ss_table = self._compile_same_state_table(families)
 
@@ -292,6 +336,7 @@ class JumpEngine:
         self._weight = self._fused.total
         if self._pair_table is not None:
             self._pair_table = {}
+            self._ss_progs = [None] * self._num_states
 
     # ------------------------------------------------------------------
     # Simulation
@@ -310,11 +355,15 @@ class JumpEngine:
     def _sample_pair(self, weight: int) -> tuple:
         return self._fused.sample(self.rand_below)
 
-    def _compile_pair(self, si: int, sj: int) -> tuple:
-        """``(ti, tj, ops, prog, refresh)`` — one transition, compiled.
+    def _compile_pair(self, si: int, sj: int, full: bool = True) -> list:
+        """``[ti, tj, ops, prog, refresh, fast]`` — one transition, compiled.
 
-        ``prog``/``refresh`` are the fused index's straight-line update
-        program for the transition (executed inline by the fast loop).
+        ``prog``/``refresh``/``fast`` are the fused index's straight-line
+        update programs for the transition (executed inline by the fast
+        loop; ``fast`` is the guarded same-state sprint variant).  With
+        ``full=False`` only ``fast`` is compiled; the entry is a list
+        so the general path can fill ``prog``/``refresh`` in lazily on
+        the first draw whose sprint guard fails.
         """
         out = self._protocol.delta(si, sj)
         if out is None:
@@ -324,8 +373,8 @@ class JumpEngine:
             )
         ti, tj = out
         ops = _transition_ops(si, sj, ti, tj)
-        prog, refresh = self._fused.compile_transition(ops)
-        return (ti, tj, ops, prog, refresh)
+        prog, refresh, fast = self._fused.compile_transition(ops, full=full)
+        return [ti, tj, ops, prog, refresh, fast]
 
     def _transition(self, si: int, sj: int) -> tuple:
         """``(ti, tj, ops, ...)`` for a productive pair, via the table."""
@@ -450,16 +499,22 @@ class JumpEngine:
     # Fast loops — no recorder, no interaction budget, no Event objects
     # ------------------------------------------------------------------
     def _run_fast_general(self, max_events: Optional[int]) -> bool:
-        """Fused-index loop for protocols with cross-state families.
+        """Hybrid fused-index loop for protocols with cross-state families.
 
         One exact weighted draw per event resolves to a slot of the
         fused index (inlined Fenwick ``find``); the residual target
         decodes the within-slot pair, so same-state and product slots
-        need no further randomness.  Transitions execute as precompiled
-        straight-line programs: per-state payload updates (O(1) count
-        moments for the reset line, one-sided Fenwick writes for
-        products) followed by one deduplicated weight refresh per
-        composite slot — no per-event family dispatch anywhere.
+        need no further randomness.  Draws landing in the proposal-pool
+        pseudo-slot switch to O(1) agent-proposal rejection — the fast
+        regime for same-state-heavy protocols like the §4 line, whose
+        mass the Fenwick walk used to re-search on every event.
+        Transitions execute as precompiled straight-line programs:
+        per-state payload updates (O(1) count moments for the reset
+        line, one-sided Fenwick writes for products, O(1) member moves
+        for pooled slots) followed by one deduplicated weight refresh
+        per composite slot — no per-event family dispatch anywhere.
+        The pool partition is re-evaluated every ``_RECLASSIFY_EVENTS``
+        so it tracks the drifting count profile.
         """
         protocol = self._protocol
         rng = self._rng
@@ -475,7 +530,18 @@ class JumpEngine:
         num_states = self._num_states
         total_pairs = self._total_pairs
         pair_table = self._pair_table
+        ss_progs = self._ss_progs
         log1p, ceil = math.log1p, math.ceil
+
+        pool = fused.pool
+        if pool is not None:
+            pagents = pool.agents
+            pwhere = pool.where
+            ppositions = pool.positions
+            pslot = pool.slot
+        else:
+            pagents = pwhere = ppositions = None
+            pslot = -1
 
         weight = self._weight
         interactions = self.interactions
@@ -483,6 +549,18 @@ class JumpEngine:
         # max(0, ...): an already-exhausted budget must stop immediately,
         # not underflow past the -1 "unlimited" sentinel.
         remaining = -1 if max_events is None else max(0, max_events - events)
+        reclassify_left = _RECLASSIFY_EVENTS
+        reclassify_cooldown = 0
+        # Monotone upper bound on every state count (reset at each
+        # reclassification) — the acceptance bound for decoding stale
+        # product sides by rejection instead of rebuilding their trees.
+        gmax = max(counts)
+        pmhat = pool.mhat if pool is not None else 1
+        # The pool pseudo-slot value is mirrored in a local and written
+        # back only at sync points (routing through the general find,
+        # reclassification, loop exit) — pooled same-state updates then
+        # touch a single local instead of three shared structures.
+        pool_w = values[pslot] if pool is not None else -1
 
         # Batched draws, as in the same-state loop: log(1-u) skip
         # numerators through numpy, raw 64-bit integers for exact
@@ -492,6 +570,14 @@ class JumpEngine:
         raws: List[int] = []
         raw_len = 0
         rpos = 0
+        sraws: List[int] = []
+        sraw_len = 0
+        spos = 0
+        # log1p(-W/T) cached on W: the drain's dominant transfer events
+        # leave the total weight unchanged, so the skip denominator is
+        # usually reusable.
+        lp = 0.0
+        lp_weight = -1
 
         while remaining != 0 and weight:
             # Geometric skip.
@@ -503,123 +589,522 @@ class JumpEngine:
                     upos = 0
                 lu = lus[upos]
                 upos += 1
-                lp = log1p(-weight / total_pairs)
+                if weight != lp_weight:
+                    lp = log1p(-weight / total_pairs)
+                    lp_weight = weight
                 if lu >= lp:
                     interactions += 1
                 else:
                     interactions += ceil(lu / lp)
-            # Exact uniform target in [0, weight).
-            while True:
-                if rpos == raw_len:
-                    raws = rng.integers(
-                        0, _RAW_SPAN, size=_RAW_BATCH, dtype=np.uint64
-                    ).tolist()
-                    raw_len = _RAW_BATCH
-                    rpos = 0
-                raw = raws[rpos]
-                rpos += 1
-                target = raw % weight
-                if raw - target <= _RAW_SPAN - weight:
-                    break
-            # Fused-index find: the few composite slots short-circuit
-            # with a linear scan (they soak up nearly every draw during
-            # reset storms); same-state draws walk the Fenwick tree,
-            # which spans only the same-state block.
-            pos = -1
-            for ci in range(num_composite):
-                v = values[ci]
-                if target < v:
-                    pos = ci
-                    break
-                target -= v
-            if pos < 0:
-                pos = 0
-                bit = highbit
-                while bit:
-                    nxt = pos + bit
-                    if nxt <= fensize:
-                        below = tree[nxt]
-                        if below <= target:
-                            target -= below
-                            pos = nxt
-                    bit >>= 1
-                pos += num_composite
-            kind = slot_kind[pos]
-            if kind == TRIANGULAR:
-                # Inlined _TriangularSlot.pair_from_target (factor 1).
-                tri = slot_payload[pos]
-                tcounts = tri.counts
-                line = tri.line
-                suffix = tri.s
-                tlen = len(tcounts)
-                si = -1
-                for i in range(tlen):
-                    c = tcounts[i]
-                    if c == 0:
-                        continue
-                    suffix -= c
-                    block = c * (c - 1 + suffix)
-                    if target < block:
-                        same = c * (c - 1)
-                        if target < same:
-                            si = sj = line[i]
+            if weight == pool_w:
+                # Sprint: every remaining unit of weight is pooled (the
+                # steady state of a same-state-heavy drain), so the
+                # routed target draw is a foregone conclusion — propose
+                # directly, exactly as the same-state fast loop does.
+                mh = pmhat
+                pbound = len(pagents) * mh
+                proposals = 0
+                if pbound <= 0x80000000:
+                    # Single-digit arithmetic: proposals draw from a
+                    # uint32 batch (bound = N·m̂ fits easily).
+                    plimit = _RAW_SPAN32 - pbound
+                    while True:
+                        if spos == sraw_len:
+                            sraws = rng.integers(
+                                0, _RAW_SPAN32, size=_RAW_BATCH,
+                                dtype=np.uint32,
+                            ).tolist()
+                            sraw_len = _RAW_BATCH
+                            spos = 0
+                        raw = sraws[spos]
+                        spos += 1
+                        v = raw % pbound
+                        if raw - v > plimit:
+                            continue
+                        proposals += 1
+                        s = pagents[v // mh]
+                        # Member invariant: len(positions[s]) ==
+                        # counts[s], so the threshold test reads the
+                        # counts directly.
+                        if v % mh < counts[s] - 1:
+                            si = sj = s
                             break
-                        si = line[i]
-                        sj = -1
-                        j_target = (target - same) // c
-                        for j in range(i + 1, tlen):
-                            cj = tcounts[j]
-                            if j_target < cj:
-                                sj = line[j]
-                                break
-                            j_target -= cj
-                        break
-                    target -= block
-                if si < 0 or sj < 0:
-                    raise SimulationError(
-                        "fused triangular sample out of range"
-                    )
-            elif kind == SAME:
-                si = sj = slot_payload[pos]
-            elif kind == PRODUCT:
-                prod = slot_payload[pos]
-                rtree = prod.resp_tree
-                rsize = prod.resp_size
-                # Both side draws decode from the one residual target.
-                t1 = target // rtree[rsize]
-                t2 = target - t1 * rtree[rsize]
-                p1 = 0
-                bit = prod.init_size
-                itree = prod.init_tree
-                while bit:
-                    nxt = p1 + bit
-                    if nxt <= prod.init_size:
-                        below = itree[nxt]
-                        if below <= t1:
-                            t1 -= below
-                            p1 = nxt
-                    bit >>= 1
-                si = prod.initiators[p1]
-                p2 = 0
-                bit = rsize
-                while bit:
-                    nxt = p2 + bit
-                    if nxt <= rsize:
-                        below = rtree[nxt]
-                        if below <= t2:
-                            t2 -= below
-                            p2 = nxt
-                    bit >>= 1
-                sj = prod.responders[p2]
+                else:
+                    plimit = _RAW_SPAN - pbound
+                    while True:
+                        if rpos == raw_len:
+                            raws = rng.integers(
+                                0, _RAW_SPAN, size=_RAW_BATCH,
+                                dtype=np.uint64,
+                            ).tolist()
+                            raw_len = _RAW_BATCH
+                            rpos = 0
+                        raw = raws[rpos]
+                        rpos += 1
+                        v = raw % pbound
+                        if raw - v > plimit:
+                            continue
+                        proposals += 1
+                        s = pagents[v // mh]
+                        if v % mh < counts[s] - 1:
+                            si = sj = s
+                            break
+                if (
+                    proposals > _RECLASSIFY_PROPOSALS
+                    and reclassify_cooldown <= 0
+                ):
+                    reclassify_left = 0
+                kind = SAME
             else:
-                si, sj = slot_payload[pos].sample(self.rand_below)
+                if pslot >= 0:
+                    values[pslot] = pool_w
+                # Exact uniform target in [0, weight).
+                while True:
+                    if rpos == raw_len:
+                        raws = rng.integers(
+                            0, _RAW_SPAN, size=_RAW_BATCH, dtype=np.uint64
+                        ).tolist()
+                        raw_len = _RAW_BATCH
+                        rpos = 0
+                    raw = raws[rpos]
+                    rpos += 1
+                    target = raw % weight
+                    if raw - target <= _RAW_SPAN - weight:
+                        break
+                # Fused-index find: the few composite slots (the pool
+                # pseudo-slot included) short-circuit with a linear
+                # scan; only draws landing in the tree-mode same-state
+                # block walk the Fenwick tree.
+                pos = -1
+                for ci in range(num_composite):
+                    v = values[ci]
+                    if target < v:
+                        pos = ci
+                        break
+                    target -= v
+                if pos < 0:
+                    pos = 0
+                    bit = highbit
+                    while bit:
+                        nxt = pos + bit
+                        if nxt <= fensize:
+                            below = tree[nxt]
+                            if below <= target:
+                                target -= below
+                                pos = nxt
+                        bit >>= 1
+                    pos += num_composite
+                kind = slot_kind[pos]
+                if kind == PROPOSAL:
+                    # Inlined _ProposalPool.sample_state: one raw draw
+                    # fuses the uniform pool-agent proposal with its
+                    # acceptance threshold; the routed residual target
+                    # is discarded (it is independent of the fresh
+                    # proposal draws).
+                    mh = pmhat
+                    pbound = len(pagents) * mh
+                    plimit = _RAW_SPAN - pbound
+                    proposals = 0
+                    while True:
+                        if rpos == raw_len:
+                            raws = rng.integers(
+                                0, _RAW_SPAN, size=_RAW_BATCH,
+                                dtype=np.uint64,
+                            ).tolist()
+                            raw_len = _RAW_BATCH
+                            rpos = 0
+                        raw = raws[rpos]
+                        rpos += 1
+                        v = raw % pbound
+                        if raw - v > plimit:
+                            continue
+                        proposals += 1
+                        s = pagents[v // mh]
+                        if v % mh < counts[s] - 1:
+                            si = sj = s
+                            break
+                    if (
+                        proposals > _RECLASSIFY_PROPOSALS
+                        and reclassify_cooldown <= 0
+                    ):
+                        # Acceptance degraded since the last partition
+                        # (a member count drifted far from m̂) —
+                        # re-partition now instead of waiting out the
+                        # periodic counter.
+                        reclassify_left = 0
+                elif kind == TRIANGULAR:
+                    # Inlined _TriangularSlot.pair_from_target (factor 1).
+                    tri = slot_payload[pos]
+                    tcounts = tri.counts
+                    line = tri.line
+                    suffix = tri.s
+                    tlen = len(tcounts)
+                    si = -1
+                    for i in range(tlen):
+                        c = tcounts[i]
+                        if c == 0:
+                            continue
+                        suffix -= c
+                        block = c * (c - 1 + suffix)
+                        if target < block:
+                            same = c * (c - 1)
+                            if target < same:
+                                si = sj = line[i]
+                                break
+                            si = line[i]
+                            sj = -1
+                            j_target = (target - same) // c
+                            for j in range(i + 1, tlen):
+                                cj = tcounts[j]
+                                if j_target < cj:
+                                    sj = line[j]
+                                    break
+                                j_target -= cj
+                            break
+                        target -= block
+                    if si < 0 or sj < 0:
+                        raise SimulationError(
+                            "fused triangular sample out of range"
+                        )
+                elif kind == SAME:
+                    si = sj = slot_payload[pos]
+                elif kind == PRODUCT:
+                    prod = slot_payload[pos]
+                    if prod.stale:
+                        # Decode around the stale side trees: rejection
+                        # against the global count bound, rebuilding
+                        # only if the profile is too skewed for it.
+                        si, sj = prod.sample_stale(gmax, self.rand_below)
+                    else:
+                        rtree = prod.resp_tree
+                        rsize = prod.resp_size
+                        # Both side draws decode from the one residual target.
+                        t1 = target // rtree[rsize]
+                        t2 = target - t1 * rtree[rsize]
+                        p1 = 0
+                        bit = prod.init_size
+                        itree = prod.init_tree
+                        while bit:
+                            nxt = p1 + bit
+                            if nxt <= prod.init_size:
+                                below = itree[nxt]
+                                if below <= t1:
+                                    t1 -= below
+                                    p1 = nxt
+                            bit >>= 1
+                        si = prod.initiators[p1]
+                        p2 = 0
+                        bit = rsize
+                        while bit:
+                            nxt = p2 + bit
+                            if nxt <= rsize:
+                                below = rtree[nxt]
+                                if below <= t2:
+                                    t2 -= below
+                                    p2 = nxt
+                            bit >>= 1
+                        sj = prod.responders[p2]
+                else:
+                    si, sj = slot_payload[pos].sample(self.rand_below)
             # Transition: precompiled program when the table is on.
             if pair_table is not None:
-                key = si * num_states + sj
-                entry = pair_table.get(key)
-                if entry is None:
-                    entry = self._compile_pair(si, sj)
-                    pair_table[key] = entry
+                if si == sj:
+                    # Same-state draws dominate the hybrid loop: a
+                    # dense per-state list beats hashing the pair key,
+                    # and only the sprint variant is compiled up front
+                    # (the general program fills in lazily on demand).
+                    entry = ss_progs[si]
+                    if entry is None:
+                        entry = self._compile_pair(si, si, full=False)
+                        ss_progs[si] = entry
+                else:
+                    key = si * num_states + sj
+                    entry = pair_table.get(key)
+                    if entry is None:
+                        entry = self._compile_pair(si, sj)
+                        pair_table[key] = entry
+                fast = entry[5]
+                if fast is not None:
+                    # Same-state sprint variant: legal while every
+                    # product slot it touches weighs zero (empty
+                    # responder side, no responder-side ops) — then the
+                    # product work collapses to a stale-mark plus a net
+                    # scalar add, and no refresh pass is needed.
+                    fprods = fast[1]
+                    if len(fprods) == 1:
+                        # Dominant shape: guard and act in one step.
+                        prod, dinit, dresp = fprods[0]
+                        if dresp == 0 and prod.resp_total == 0:
+                            prod.stale |= 1
+                            if dinit:
+                                prod.init_total += dinit
+                        else:
+                            fast = None
+                    elif fprods:
+                        for prod, dinit, dresp in fprods:
+                            if dresp != 0 or prod.resp_total != 0:
+                                fast = None
+                                break
+                        if fast is not None:
+                            for prod, dinit, dresp in fprods:
+                                prod.stale |= 1
+                                if dinit:
+                                    prod.init_total += dinit
+                if fast is not None:
+                    transfer = fast[2]
+                    applied = False
+                    if transfer is not None:
+                        # One agent moves src → dst; when both states
+                        # are pool members this is a single flat
+                        # re-label (no swap-removal, no insertion).
+                        # Every applied variant funnels into the one
+                        # shared epilogue below — the branches must
+                        # never fall through into the generic loop.
+                        src = transfer[0]
+                        dst = transfer[1]
+                        pls = ppositions[src]
+                        pld = ppositions[dst]
+                        if pls is not None and pld is not None:
+                            old_s = counts[src]
+                            old_d = counts[dst]
+                            counts[src] = old_s - 1
+                            counts[dst] = old_d + 1
+                            if old_d + 1 > gmax:
+                                gmax = old_d + 1
+                            p = pls.pop()
+                            pagents[p] = dst
+                            pwhere[p] = len(pld)
+                            pld.append(p)
+                            if old_s == 2:
+                                # src drained below a pair: expel its
+                                # last agent.
+                                p = pls.pop()
+                                last = len(pagents) - 1
+                                if p != last:
+                                    moved = pagents[last]
+                                    mw = pwhere[last]
+                                    pagents[p] = moved
+                                    pwhere[p] = mw
+                                    ppositions[moved][mw] = p
+                                pagents.pop()
+                                pwhere.pop()
+                                ppositions[src] = None
+                            if old_d + 1 > pool.hi:
+                                # Expel dst above the window.
+                                pld = ppositions[dst]
+                                w = (old_d + 1) * old_d
+                                for _ in range(old_d + 1):
+                                    p = pld.pop()
+                                    last = len(pagents) - 1
+                                    if p != last:
+                                        moved = pagents[last]
+                                        mw = pwhere[last]
+                                        pagents[p] = moved
+                                        pwhere[p] = mw
+                                        ppositions[moved][mw] = p
+                                    pagents.pop()
+                                    pwhere.pop()
+                                ppositions[dst] = None
+                                # src keeps its pool delta; dst mass
+                                # moves from the pool to the tree.
+                                pool_w -= old_d * (old_d - 1)
+                                values[transfer[4]] = w
+                                node = transfer[5]
+                                while node <= fensize:
+                                    tree[node] += w
+                                    node += node & -node
+                                weight += w - old_d * (old_d - 1)
+                                dw = -(old_s + old_s - 2)
+                                pool_w += dw
+                                weight += dw
+                            else:
+                                dw = (old_d - old_s + 1) * 2
+                                if dw:
+                                    pool_w += dw
+                                    weight += dw
+                            applied = True
+                        elif (
+                            pls is not None
+                            and counts[dst] == 1
+                            and pool.lo <= 2 <= pool.hi
+                        ):
+                            # dst migrates in: its lone agent plus the
+                            # moved one form a fresh two-member list.
+                            old_s = counts[src]
+                            counts[src] = old_s - 1
+                            counts[dst] = 2
+                            if 2 > gmax:
+                                gmax = 2
+                            p = pls.pop()
+                            pagents[p] = dst
+                            pwhere[p] = 0
+                            ppositions[dst] = [p, len(pagents)]
+                            pwhere.append(1)
+                            pagents.append(dst)
+                            if old_s == 2:
+                                p = pls.pop()
+                                last = len(pagents) - 1
+                                if p != last:
+                                    moved = pagents[last]
+                                    mw = pwhere[last]
+                                    pagents[p] = moved
+                                    pwhere[p] = mw
+                                    ppositions[moved][mw] = p
+                                pagents.pop()
+                                pwhere.pop()
+                                ppositions[src] = None
+                            dw = (2 - old_s) * 2
+                            if dw:
+                                pool_w += dw
+                                weight += dw
+                            applied = True
+                    if applied:
+                        events += 1
+                        remaining -= 1
+                        reclassify_left -= 1
+                        reclassify_cooldown -= 1
+                        if reclassify_left <= 0:
+                            reclassify_left = _RECLASSIFY_EVENTS
+                            reclassify_cooldown = _RECLASSIFY_COOLDOWN
+                            gmax = max(counts)
+                            fused.reclassify(counts)
+                            pool_w = pool.weight
+                            pmhat = pool.mhat
+                        continue
+                    for state, delta, slot, node0 in fast[0]:
+                        old = counts[state]
+                        new = old + delta
+                        if new < 0:
+                            raise SimulationError(
+                                f"state {state} count went negative "
+                                "applying transition"
+                            )
+                        counts[state] = new
+                        if new > gmax:
+                            gmax = new
+                        plist = ppositions[state]
+                        if plist is None:
+                            if pool.lo <= new <= pool.hi:
+                                # Migrate into the pool window.
+                                w = new * (new - 1)
+                                old_w = values[slot]
+                                if old_w:
+                                    values[slot] = 0
+                                    node = node0
+                                    while node <= fensize:
+                                        tree[node] -= old_w
+                                        node += node & -node
+                                base = len(pagents)
+                                ppositions[state] = list(
+                                    range(base, base + new)
+                                )
+                                pagents.extend([state] * new)
+                                pwhere.extend(range(new))
+                                if new > pmhat:
+                                    pmhat = new
+                                pool_w += w
+                                weight += w - old_w
+                            else:
+                                w = new * (new - 1)
+                                dw = w - values[slot]
+                                if dw:
+                                    values[slot] = w
+                                    weight += dw
+                                    node = node0
+                                    while node <= fensize:
+                                        tree[node] += dw
+                                        node += node & -node
+                        else:
+                            if delta == 1:
+                                pwhere.append(len(plist))
+                                plist.append(len(pagents))
+                                pagents.append(state)
+                                if new > pool.hi:
+                                    # Expel above the window: keeping
+                                    # the member would stretch m̂ (and
+                                    # the acceptance of every small
+                                    # member) — the Fenwick serves
+                                    # outgrown slots better.
+                                    for _ in range(new):
+                                        p = plist.pop()
+                                        last = len(pagents) - 1
+                                        if p != last:
+                                            moved = pagents[last]
+                                            mw = pwhere[last]
+                                            pagents[p] = moved
+                                            pwhere[p] = mw
+                                            ppositions[moved][mw] = p
+                                        pagents.pop()
+                                        pwhere.pop()
+                                    ppositions[state] = None
+                                    w = new * (new - 1)
+                                    pool_w -= old * (old - 1)
+                                    weight -= old * (old - 1)
+                                    values[slot] = w
+                                    node = node0
+                                    while node <= fensize:
+                                        tree[node] += w
+                                        node += node & -node
+                                    weight += w
+                                    continue
+                            elif delta == -1 and new >= 2:
+                                p = plist.pop()
+                                last = len(pagents) - 1
+                                if p != last:
+                                    moved = pagents[last]
+                                    mw = pwhere[last]
+                                    pagents[p] = moved
+                                    pwhere[p] = mw
+                                    ppositions[moved][mw] = p
+                                pagents.pop()
+                                pwhere.pop()
+                            elif delta > 0:
+                                for _ in range(delta):
+                                    pwhere.append(len(plist))
+                                    plist.append(len(pagents))
+                                    pagents.append(state)
+                                if new > pmhat:
+                                    pmhat = new
+                            else:
+                                removals = -delta if new >= 2 else old
+                                for _ in range(removals):
+                                    p = plist.pop()
+                                    last = len(pagents) - 1
+                                    if p != last:
+                                        moved = pagents[last]
+                                        mw = pwhere[last]
+                                        pagents[p] = moved
+                                        pwhere[p] = mw
+                                        ppositions[moved][mw] = p
+                                    pagents.pop()
+                                    pwhere.pop()
+                                if new < 2:
+                                    # Expel: weightless members only
+                                    # dilute proposal acceptance.
+                                    ppositions[state] = None
+                            dw = new * (new - 1) - old * (old - 1)
+                            if dw:
+                                pool_w += dw
+                                weight += dw
+                    events += 1
+                    remaining -= 1
+                    reclassify_left -= 1
+                    reclassify_cooldown -= 1
+                    if reclassify_left <= 0:
+                        reclassify_left = _RECLASSIFY_EVENTS
+                        reclassify_cooldown = _RECLASSIFY_COOLDOWN
+                        gmax = max(counts)
+                        if pool is not None:
+                            fused.reclassify(counts)
+                            pool_w = pool.weight
+                            pmhat = pool.mhat
+                    continue
+                if entry[3] is None:
+                    # First general-path use of a fast-only entry: fill
+                    # the full program in now.
+                    entry[3], entry[4], _ = fused.compile_transition(
+                        entry[2]
+                    )
                 for state, delta, steps in entry[3]:
                     old = counts[state]
                     new = old + delta
@@ -629,6 +1114,8 @@ class JumpEngine:
                             "transition"
                         )
                     counts[state] = new
+                    if new > gmax:
+                        gmax = new
                     for step in steps:
                         code = step[0]
                         if code == TRIANGULAR:
@@ -637,7 +1124,21 @@ class JumpEngine:
                             tri.s += delta
                             tri.q += new * new - old * old
                         elif code == PRODUCT:
-                            # Bare add-delta walk on the padded side tree.
+                            # Scalar side totals always; the padded-tree
+                            # walk only while the slot can be sampled
+                            # (the other side occupied) — a gated side
+                            # goes stale and rebuilds on next decode.
+                            prod = step[5]
+                            if step[6]:
+                                prod.init_total += delta
+                                if prod.stale & 1 or prod.resp_total == 0:
+                                    prod.stale |= 1
+                                    continue
+                            else:
+                                prod.resp_total += delta
+                                if prod.stale & 2 or prod.init_total == 0:
+                                    prod.stale |= 2
+                                    continue
                             ptree = step[1]
                             node = step[2]
                             psize = step[3]
@@ -645,16 +1146,98 @@ class JumpEngine:
                                 ptree[node] += delta
                                 node += node & -node
                         elif code == SAME:
-                            slot = step[1]
-                            w = new * (new - 1)
-                            dw = w - values[slot]
-                            if dw:
-                                values[slot] = w
-                                weight += dw
-                                node = step[2]
-                                while node <= fensize:
-                                    tree[node] += dw
-                                    node += node & -node
+                            # Hybrid dispatch: the state's current pool
+                            # membership picks an O(1) member move or
+                            # the Fenwick walk (SAME steps only exist
+                            # when the pool does).
+                            plist = ppositions[state]
+                            if plist is None:
+                                slot = step[1]
+                                if pool.lo <= new <= pool.hi:
+                                    # Migrate into the pool window: zero
+                                    # the Fenwick slot once, O(1) moves
+                                    # from here on.
+                                    w = new * (new - 1)
+                                    old_w = values[slot]
+                                    if old_w:
+                                        values[slot] = 0
+                                        node = step[2]
+                                        while node <= fensize:
+                                            tree[node] -= old_w
+                                            node += node & -node
+                                    base = len(pagents)
+                                    ppositions[state] = list(
+                                        range(base, base + new)
+                                    )
+                                    pagents.extend([state] * new)
+                                    pwhere.extend(range(new))
+                                    if new > pmhat:
+                                        pmhat = new
+                                    pool_w += w
+                                    weight += w - old_w
+                                else:
+                                    w = new * (new - 1)
+                                    dw = w - values[slot]
+                                    if dw:
+                                        values[slot] = w
+                                        weight += dw
+                                        node = step[2]
+                                        while node <= fensize:
+                                            tree[node] += dw
+                                            node += node & -node
+                            else:
+                                if delta > 0:
+                                    for _ in range(delta):
+                                        pwhere.append(len(plist))
+                                        plist.append(len(pagents))
+                                        pagents.append(state)
+                                    if new > pool.hi:
+                                        # Expel above the window (see
+                                        # the sprint variant).
+                                        for _ in range(new):
+                                            p = plist.pop()
+                                            last = len(pagents) - 1
+                                            if p != last:
+                                                moved = pagents[last]
+                                                mw = pwhere[last]
+                                                pagents[p] = moved
+                                                pwhere[p] = mw
+                                                ppositions[moved][mw] = p
+                                            pagents.pop()
+                                            pwhere.pop()
+                                        ppositions[state] = None
+                                        w = new * (new - 1)
+                                        pool_w -= old * (old - 1)
+                                        weight -= old * (old - 1)
+                                        slot = step[1]
+                                        values[slot] = w
+                                        node = step[2]
+                                        while node <= fensize:
+                                            tree[node] += w
+                                            node += node & -node
+                                        weight += w
+                                        continue
+                                else:
+                                    removals = -delta if new >= 2 else old
+                                    for _ in range(removals):
+                                        p = plist.pop()
+                                        last = len(pagents) - 1
+                                        if p != last:
+                                            moved = pagents[last]
+                                            mw = pwhere[last]
+                                            pagents[p] = moved
+                                            pwhere[p] = mw
+                                            ppositions[moved][mw] = p
+                                        pagents.pop()
+                                        pwhere.pop()
+                                    if new < 2:
+                                        # Expel: weightless members only
+                                        # dilute proposal acceptance.
+                                        ppositions[state] = None
+                                dw = new * (new - 1) - old * (old - 1)
+                                if dw:
+                                    pool_w += dw
+                                    weight += dw
                         else:
                             step[1].on_count_change(state, old, new)
                 # One deferred weight refresh per touched composite
@@ -668,14 +1251,21 @@ class JumpEngine:
                         q_ = tri.q
                         w = (q_ - s_) + (s_ * s_ - q_) // 2
                     elif rkind == PRODUCT:
-                        w = ref[2][ref[3]] * ref[4][ref[5]]
+                        prod = ref[2]
+                        w = prod.init_total * prod.resp_total
                     else:
                         w = ref[2].weight
                     slot = ref[0]
                     weight += w - values[slot]
                     values[slot] = w
             else:
-                # Dynamic delta (compile_transitions opted out).
+                # Dynamic delta (compile_transitions opted out).  The
+                # generic update path reads and writes the shared pool
+                # weight, so sync the deferred local around it.
+                if pool is not None:
+                    values[pslot] = pool_w
+                    pool.weight = pool_w
+                    pool.mhat = pmhat
                 out = protocol.delta(si, sj)
                 if out is None:
                     raise SimulationError(
@@ -692,9 +1282,31 @@ class JumpEngine:
                             "transition"
                         )
                     counts[state] = new
+                    if new > gmax:
+                        gmax = new
                     weight += fused.apply_count_change(state, old, new)
+                if pool is not None:
+                    pool_w = pool.weight
+                    pmhat = pool.mhat
             events += 1
             remaining -= 1
+            reclassify_left -= 1
+            reclassify_cooldown -= 1
+            if reclassify_left <= 0:
+                reclassify_left = _RECLASSIFY_EVENTS
+                reclassify_cooldown = _RECLASSIFY_COOLDOWN
+                gmax = max(counts)
+                if pool is not None:
+                    # Re-partition pool vs Fenwick from the live counts.
+                    # All pool arrays mutate in place, so every local
+                    # alias above stays valid; the total is unchanged.
+                    fused.reclassify(counts)
+                    pool_w = pool.weight
+                    pmhat = pool.mhat
+        if pool is not None:
+            values[pslot] = pool_w
+            pool.weight = pool_w
+            pool.mhat = pmhat
         self._weight = weight
         fused.total = weight
         self.interactions = interactions

@@ -67,10 +67,15 @@ from ..exceptions import SimulationError
 from .configuration import Configuration
 from .engine import Event, Recorder
 from .fused import (
+    PRODUCT,
+    SAME,
+    WEIGHT_DENOMINATOR,
+    FusedIndex,
     WeightedFusedIndex,
     WeightedIndexUnsupported,
     dyadic_weight_numerator,
 )
+from .jump import _transition_ops
 from .protocol import PopulationProtocol
 from .sequential import SequentialEngine
 
@@ -99,6 +104,39 @@ _MAX_CLASSES = 64
 # Without declared classes they are derived from the dense weight
 # matrix, which is O(num_states²) — only worth it for modest spaces.
 _DENSE_CLASS_LIMIT = 2048
+
+#: Acceptance-aware engine choice.  The *acceptance mass* of a segment
+#: scheduler is its weighted productive mass over the uniform
+#: productive mass — the probability that a uniformly drawn productive
+#: pair passes the scheduler's rejection test, estimated exactly (as a
+#: ratio of integer totals) on the start configuration.  The weighted
+#: index's cost grows with the scheduler's class count (slots multiply
+#: as classes², updates as classes), while rejection mechanisms pay
+#: 1/acceptance instead — so the routing rule is two-dimensional:
+#:
+#: * a segment with many classes *and* workable acceptance runs the
+#:   **thinned** realisation — sample from the cheap uniform hybrid
+#:   index and thin with the exact 53-bit dyadic acceptance test (the
+#:   rejection engine's own mechanism, mounted on the jump clock);
+#: * a *scalar* scheduler with many classes and workable acceptance is
+#:   routed away from the weighted engine entirely
+#:   (:func:`try_weighted_engine` returns ``None``) so callers fall
+#:   back to the per-step rejection engine, which measured several
+#:   times faster there;
+#: * everything else (the common few-class adversaries) runs the
+#:   inlined weighted jump loop, which does not pay retries at all.
+#:
+#: Thresholds are reference-box measurements; both realisations are
+#: exact, so this is purely a constant-factor choice.
+_THINNING_ACCEPTANCE = 0.4
+_THINNING_CLASSES = 8
+_REJECTION_ACCEPTANCE = 0.25
+_REJECTION_CLASSES = 16
+# How often (in productive events) a thinned segment re-partitions the
+# uniform hybrid index's proposal pool (the jump engine's loop reacts
+# to measured acceptance instead; here a periodic pass is enough since
+# the thinned route only serves high-acceptance segments).
+_THINNED_RECLASSIFY_EVENTS = 4096
 
 
 class PairScheduler(ABC):
@@ -577,6 +615,35 @@ class WeightedScheduledEngine:
                 )
             self._indices.append(compiled[key])
         self._index = self._indices[self._cursor.epoch]
+        # Acceptance-aware engine choice per segment: estimate each
+        # segment's acceptance mass at compile time (both totals are
+        # exact integers over the *start* configuration — the choice is
+        # a constant-factor routing decision, both realisations are
+        # exact) and route high-acceptance segments to the thinned
+        # rejection mechanism, low-acceptance ones to the weighted
+        # index.
+        uniform_total = sum(family.weight for family in families)
+        self.acceptance_estimates = [
+            (
+                index.total / (WEIGHT_DENOMINATOR * uniform_total)
+                if uniform_total > 0 else 0.0
+            )
+            for index in self._indices
+        ]
+        self._thinned = [
+            estimate >= _THINNING_ACCEPTANCE
+            and len(index._class_matrix) >= _THINNING_CLASSES
+            for estimate, index in zip(
+                self.acceptance_estimates, self._indices
+            )
+        ]
+        # The thinned loops sample productive pairs from the uniform
+        # hybrid fused index (proposal pool included), resynced at
+        # segment entry.
+        self._uniform: Optional[FusedIndex] = (
+            FusedIndex(families, self._num_states, self.counts)
+            if any(self._thinned) else None
+        )
         self._uniforms = rng.random(_UNIFORM_BATCH)
         self._uniform_pos = 0
         self._raws: List[int] = []
@@ -793,7 +860,28 @@ class WeightedScheduledEngine:
         recorder: Optional[Recorder],
         max_events: Optional[int],
     ) -> bool:
-        """The single-scheduler jump loop (one epoch segment chunk)."""
+        """One epoch-segment chunk, routed to the segment's realisation.
+
+        Recorder-free chunks dispatch on the segment's compile-time
+        acceptance estimate: high-acceptance segments run the thinned
+        rejection loop over the uniform hybrid index, the rest the
+        inlined weighted jump loop.  Both realise the identical step
+        distribution, and segment boundaries are stopping times, so the
+        per-segment choice is exact.
+        """
+        if recorder is None:
+            if self._thinned[self._cursor.epoch]:
+                return self._run_segment_thinned(max_interactions, max_events)
+            return self._run_segment_weighted(max_interactions, max_events)
+        return self._run_segment_slow(max_interactions, recorder, max_events)
+
+    def _run_segment_slow(
+        self,
+        max_interactions: Optional[int],
+        recorder: Optional[Recorder],
+        max_events: Optional[int],
+    ) -> bool:
+        """The instrumented single-scheduler jump loop (recorders)."""
         index = self._index
         while True:
             weight = index.total
@@ -817,6 +905,295 @@ class WeightedScheduledEngine:
                 recorder.on_event(
                     Event(self.interactions, si, sj, ti, tj), self.counts
                 )
+
+    def _run_segment_thinned(
+        self,
+        max_interactions: Optional[int],
+        max_events: Optional[int],
+    ) -> bool:
+        """High-acceptance segments: the rejection mechanism on the jump
+        clock.
+
+        Null steps still collapse into the geometric skip (the weighted
+        totals are maintained as scalars), but the productive pair is
+        drawn from the *uniform* hybrid fused index — proposal pool and
+        all — and thinned by the exact 53-bit dyadic acceptance test,
+        exactly the probability the rejection engine realises.  The
+        weighted index's big-integer Fenwick is left dirty and refills
+        lazily on its next ``find``.
+        """
+        index = self._index
+        uniform = self._uniform
+        counts = self.counts
+        if not uniform.resync(counts):  # pragma: no cover — defensive
+            return self._run_segment_slow(max_interactions, None, max_events)
+        class_of = index.class_of
+        matrix = index._class_matrix
+        index.tree_dirty = True
+        rand_below = self.rand_below
+        next_raw = self._next_raw
+        transition = self._transition
+        full = WEIGHT_DENOMINATOR
+        reclassify_left = _THINNED_RECLASSIFY_EVENTS
+        while True:
+            weight = index.total
+            if weight == 0:
+                return True
+            if max_events is not None and self.events >= max_events:
+                return False
+            reclassify_left -= 1
+            if reclassify_left <= 0:
+                # The uniform hybrid's proposal-pool bound m̂ only
+                # stretches within a segment; a periodic re-partition
+                # keeps long `until=silence` segments from degrading.
+                reclassify_left = _THINNED_RECLASSIFY_EVENTS
+                uniform.reclassify(counts)
+            skip = self._geometric_skip(weight, index.total_mass())
+            if (
+                max_interactions is not None
+                and self.interactions + skip > max_interactions
+            ):
+                self.interactions = max_interactions
+                return False
+            self.interactions += skip
+            while True:
+                si, sj = uniform.sample(rand_below)
+                numerator = matrix[class_of[si]][class_of[sj]]
+                # 53 top bits of one raw are a uniform dyadic threshold.
+                if numerator >= full or (next_raw() >> 11) < numerator:
+                    break
+            _, _, ops = transition(si, sj)
+            for state, delta in ops:
+                old = counts[state]
+                new = old + delta
+                if new < 0:
+                    raise SimulationError(
+                        f"state {state} count went negative applying "
+                        "transition"
+                    )
+                counts[state] = new
+                uniform.apply_count_change(state, old, new)
+                index.apply_count_change_flat(state, old, new)
+            self.events += 1
+
+    def _run_segment_weighted(
+        self,
+        max_interactions: Optional[int],
+        max_events: Optional[int],
+    ) -> bool:
+        """Low-acceptance segments: the inlined weighted jump loop.
+
+        The method-dispatch loop is unrolled: batched skip draws, a
+        spliced two-raw exact target, an inlined Fenwick find, and
+        transitions compiled to straight-line programs cached on the
+        index (:attr:`~repro.core.fused.WeightedFusedIndex.prog_cache`)
+        with pre-resolved class-sum columns.
+        """
+        index = self._index
+        cap = WEIGHT_DENOMINATOR * self._protocol.num_agents ** 2
+        if cap >= (1 << 126):  # pragma: no cover — absurd populations
+            return self._run_segment_slow(max_interactions, None, max_events)
+        if self._pair_table is None:
+            # The protocol opted out of transition compilation (its
+            # delta is not a pure function) — caching straight-line
+            # programs would freeze the first-sampled outcome, so stay
+            # on the dynamic-dispatch loop.
+            return self._run_segment_slow(max_interactions, None, max_events)
+        if index.tree_dirty:
+            from .fenwick import fill_tree
+
+            fill_tree(index.tree, index.num_slots, index.values)
+            index.tree_dirty = False
+        counts = self.counts
+        tree = index.tree
+        values = index.values
+        num_slots = index.num_slots
+        highbit = 1 << (num_slots.bit_length() - 1) if num_slots else 0
+        slot_kind = index.slot_kind
+        slot_payload = index.slot_payload
+        class_counts = index.class_counts
+        row_dot = index._row_dot
+        u = index._class_matrix
+        num_classes = len(u)
+        prog_cache = index.prog_cache
+        num_states = self._num_states
+        rng = self._rng
+        log1p, ceil = math.log1p, math.ceil
+        span = 1 << 128
+        total = index.total
+        interactions = self.interactions
+        events = self.events
+        remaining = -1 if max_events is None else max(0, max_events - events)
+        lus: List[float] = []
+        upos = _UNIFORM_BATCH
+        raws: List[int] = []
+        raw_len = 0
+        rpos = 0
+        silent = False
+        while remaining != 0:
+            if total == 0:
+                silent = True
+                break
+            # Total step mass over all ordered pairs, O(#classes).
+            mass = 0
+            diag = 0
+            for p in range(num_classes):
+                cp = class_counts[p]
+                mass += cp * row_dot[p]
+                diag += u[p][p] * cp
+            mass -= diag
+            # Geometric skip over accepted scheduler steps.
+            ratio = total / mass
+            if ratio >= 1.0:
+                skip = 1
+            else:
+                if upos == _UNIFORM_BATCH:
+                    lus = np.log1p(-rng.random(_UNIFORM_BATCH)).tolist()
+                    upos = 0
+                lu = lus[upos]
+                upos += 1
+                lp = log1p(-ratio)
+                skip = 1 if lu >= lp else ceil(lu / lp)
+            if (
+                max_interactions is not None
+                and interactions + skip > max_interactions
+            ):
+                interactions = max_interactions
+                break
+            interactions += skip
+            # Exact uniform target in [0, total): two spliced raws cover
+            # any mass the dyadic scale can reach at sane populations.
+            while True:
+                if rpos >= raw_len - 1:
+                    raws = rng.integers(
+                        0, _RAW_SPAN, size=_RAW_BATCH, dtype=np.uint64
+                    ).tolist()
+                    raw_len = _RAW_BATCH
+                    rpos = 0
+                draw = (raws[rpos] << 64) | raws[rpos + 1]
+                rpos += 2
+                target = draw % total
+                if draw - target <= span - total:
+                    break
+            # Inlined Fenwick find over all slots.
+            pos = 0
+            bit = highbit
+            while bit:
+                nxt = pos + bit
+                if nxt <= num_slots:
+                    below = tree[nxt]
+                    if below <= target:
+                        target -= below
+                        pos = nxt
+                bit >>= 1
+            kind = slot_kind[pos]
+            payload = slot_payload[pos]
+            if kind == SAME:
+                si = sj = payload[0]
+            elif kind == PRODUCT:
+                si, sj = payload.pair_from_target(target)
+            elif type(payload) is tuple:  # weighted per-position line
+                si, sj = payload[0].pair_from_target(payload[1], target)
+            else:
+                si, sj = payload.pair_from_target(target)
+            # Transition via the index's compiled-program cache.
+            key = si * num_states + sj
+            entry = prog_cache.get(key)
+            if entry is None:
+                entry = self._compile_weighted_pair(si, sj, index)
+                prog_cache[key] = entry
+            prog = entry[2]
+            if prog is None:
+                # Weighted-line fan-out: generic method path.
+                for state, delta in entry[3]:
+                    old = counts[state]
+                    new = old + delta
+                    if new < 0:
+                        raise SimulationError(
+                            f"state {state} count went negative applying "
+                            "transition"
+                        )
+                    counts[state] = new
+                    index.apply_count_change(state, old, new)
+                total = index.total
+            else:
+                dtotal = 0
+                for state, delta, steps, cls, col in prog:
+                    old = counts[state]
+                    new = old + delta
+                    if new < 0:
+                        raise SimulationError(
+                            f"state {state} count went negative applying "
+                            "transition"
+                        )
+                    counts[state] = new
+                    class_counts[cls] += delta
+                    qi = 0
+                    for column in col:
+                        row_dot[qi] += column * delta
+                        qi += 1
+                    for step in steps:
+                        code = step[0]
+                        if code == SAME:
+                            slot = step[1]
+                            w = step[2] * new * (new - 1)
+                            dv = w - values[slot]
+                            if dv:
+                                values[slot] = w
+                                dtotal += dv
+                                node = slot + 1
+                                while node <= num_slots:
+                                    tree[node] += dv
+                                    node += node & -node
+                        elif code == PRODUCT:
+                            step[1].add(step[2], step[3], delta)
+                        else:  # TRIANGULAR (no weighted-line here)
+                            pay = step[1]
+                            pay.counts[step[2]] = new
+                            pay.s += delta
+                            pay.q += new * new - old * old
+                for slot, rkind, pay, factor in entry[3]:
+                    if rkind == PRODUCT:
+                        w = factor * pay.init_total * pay.resp_total
+                    else:
+                        s_ = pay.s
+                        q_ = pay.q
+                        w = factor * ((q_ - s_) + (s_ * s_ - q_) // 2)
+                    dv = w - values[slot]
+                    if dv:
+                        values[slot] = w
+                        dtotal += dv
+                        node = slot + 1
+                        while node <= num_slots:
+                            tree[node] += dv
+                            node += node & -node
+                if dtotal:
+                    total += dtotal
+                    index.total = total
+            events += 1
+            remaining -= 1
+        self.interactions = interactions
+        self.events = events
+        index.total = total
+        return silent
+
+    def _compile_weighted_pair(
+        self, si: int, sj: int, index: WeightedFusedIndex
+    ) -> tuple:
+        """``(ti, tj, prog, refresh_or_ops)`` for the inlined loop."""
+        out = self._protocol.delta(si, sj)
+        if out is None:
+            raise SimulationError(
+                f"weighted index sampled null pair ({si}, {sj}) — "
+                "family coverage does not match delta"
+            )
+        ti, tj = out
+        ops = _transition_ops(si, sj, ti, tj)
+        compiled = index.compile_transition(ops)
+        if compiled is None:
+            return (ti, tj, None, ops)
+        prog, refresh = compiled
+        return (ti, tj, prog, refresh)
 
     def run(
         self,
@@ -862,13 +1239,27 @@ def try_weighted_engine(
     *every* segment scheduler must compile — a single unsupported
     segment sends the whole timeline to the rejection engine, so the
     step distribution never changes mid-run for engine reasons.
+
+    The fallback is also **acceptance-aware**: a scalar scheduler whose
+    estimated acceptance mass is workable but whose class count bloats
+    the weighted index (slots grow as classes²) measures several times
+    faster on the per-step rejection engine, so ``None`` is returned
+    even though the index *could* compile.  Both engines are exact;
+    this only picks the cheaper realisation.
     """
     try:
-        return WeightedScheduledEngine(
+        engine = WeightedScheduledEngine(
             protocol, configuration, rng, scheduler, start_epoch=start_epoch
         )
     except WeightedIndexUnsupported:
         return None
+    if (
+        len(engine._indices) == 1
+        and engine.acceptance_estimates[0] >= _REJECTION_ACCEPTANCE
+        and len(engine._indices[0]._class_matrix) >= _REJECTION_CLASSES
+    ):
+        return None
+    return engine
 
 
 class _AcceptStream:

@@ -51,7 +51,7 @@ from ..configurations.generators import (
     random_configuration,
     solved_configuration,
 )
-from ..exceptions import ExperimentError
+from ..exceptions import ExperimentError, ProtocolError
 from ..protocols.leader import count_leaders
 from .schedulers import build_epoch_scheduler, build_scheduler
 from .spec import FaultPhase, RunPhase, Scenario
@@ -350,7 +350,19 @@ def _apply_fault(
                 f"{n} agents would leave {new_n}; protocols need >= 2"
             )
         shrunk = depart_agents(configuration, phase.departures, seed=rng)
-        new_protocol = scenario.protocol.build(num_agents=new_n)
+        # ``retier=True``: churn growing (or shrinking) n past the
+        # pinned ring/line lattice window re-derives the lattice
+        # parameter from the new size instead of raising; only sizes
+        # *no* lattice of the family covers still fail.
+        try:
+            new_protocol = scenario.protocol.build(
+                num_agents=new_n, retier=True
+            )
+        except ProtocolError as error:
+            raise ExperimentError(
+                f"churn resized the population to {new_n}, which no "
+                f"{scenario.protocol.kind} lattice can represent: {error}"
+            ) from error
         counts = _remap_counts(
             shrunk.counts_list(), protocol, new_protocol, rng
         )

@@ -19,7 +19,7 @@ import json
 from dataclasses import asdict, dataclass, field, replace
 from typing import Dict, Optional, Tuple, Union
 
-from ..exceptions import ExperimentError
+from ..exceptions import ExperimentError, ProtocolError
 from ..protocols.ag import AGProtocol
 from ..protocols.line import LineOfTrapsProtocol
 from ..protocols.modified_tree import ModifiedTreeProtocol
@@ -73,10 +73,30 @@ class ProtocolSpec:
                 f"scenario populations need n >= 2, got {self.num_agents}"
             )
 
-    def build(self, num_agents: Optional[int] = None):
-        """Construct the protocol, optionally at a churned size."""
+    def build(self, num_agents: Optional[int] = None, retier: bool = False):
+        """Construct the protocol, optionally at a churned size.
+
+        With ``retier=True`` a ring/line build whose pinned lattice
+        parameter ``m`` cannot represent the (churned) population is
+        retried with ``m`` re-derived from the new size — growing the
+        population past the current lattice window re-tiers the lattice
+        on the fly instead of raising.  Sizes no lattice of the family
+        can represent (the gaps between line lattices) still raise,
+        loudly: a silently clamped population would mislabel the
+        recovery tables.
+        """
         n = self.num_agents if num_agents is None else num_agents
-        return _PROTOCOL_BUILDERS[self.kind](self, n)
+        try:
+            return _PROTOCOL_BUILDERS[self.kind](self, n)
+        except ProtocolError:
+            if (
+                not retier
+                or self.kind not in ("ring", "line")
+                or self.m is None
+            ):
+                raise
+            retiered = replace(self, num_agents=max(2, n), m=None)
+            return _PROTOCOL_BUILDERS[self.kind](retiered, n)
 
 
 _PROTOCOL_BUILDERS = {

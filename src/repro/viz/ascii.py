@@ -7,7 +7,7 @@ benchmarks that regenerate the paper's Figure 1 and Figure 2.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..protocols.line import LineOfTrapsProtocol
 from ..protocols.ring import RingOfTrapsProtocol
@@ -21,6 +21,7 @@ __all__ = [
     "render_trap",
     "render_ring",
     "render_line",
+    "render_trend_table",
 ]
 
 _KIND_MARK = {
@@ -95,6 +96,64 @@ def render_ring(
     lines = [f"ring of traps, m={protocol.m}, n={protocol.num_agents}"]
     for index, trap in enumerate(protocol.traps):
         lines.append("  " + render_trap(trap, counts, label=f"a={index:<3} "))
+    return "\n".join(lines)
+
+
+_SPARK_MARKS = "▁▂▃▄▅▆▇█"
+
+
+def _sparkline(values: Sequence[float]) -> str:
+    """Unicode sparkline of a value series (empty-safe)."""
+    if not values:
+        return ""
+    lo = min(values)
+    hi = max(values)
+    if hi <= lo:
+        return _SPARK_MARKS[3] * len(values)
+    span = hi - lo
+    top = len(_SPARK_MARKS) - 1
+    return "".join(
+        _SPARK_MARKS[round((v - lo) / span * top)] for v in values
+    )
+
+
+def render_trend_table(
+    rows: Sequence[Dict[str, str]], last: int = 12
+) -> str:
+    """ASCII trend table of a bench history (nightly job summaries).
+
+    ``rows`` is the parsed ``bench_history.csv``
+    (:func:`repro.analysis.bench.read_bench_history`): one row per case
+    per run.  Each case renders its latest ratio and events/s, the
+    drift against the previous run, and a sparkline over the last
+    ``last`` runs — enough to spot a slow regression that each
+    individual 15%-tolerance gate would let through.
+    """
+    by_case: Dict[str, List[Dict[str, str]]] = {}
+    order: List[str] = []
+    for row in rows:
+        case = row["case"]
+        if case not in by_case:
+            by_case[case] = []
+            order.append(case)
+        by_case[case].append(row)
+    lines = [
+        f"{'case':<18} {'metric':<22} {'latest':>8} {'drift':>7} "
+        f"{'ev/s':>12}  trend"
+    ]
+    for case in order:
+        history = by_case[case][-last:]
+        ratios = [float(row["ratio"]) for row in history]
+        latest = history[-1]
+        drift = (
+            f"{ratios[-1] / ratios[-2] - 1.0:+.1%}"
+            if len(ratios) >= 2 and ratios[-2] > 0 else "-"
+        )
+        lines.append(
+            f"{case:<18} {latest['metric']:<22} {ratios[-1]:>7.2f}x "
+            f"{drift:>7} {float(latest['events_per_sec']):>12,.0f}  "
+            f"{_sparkline(ratios)}"
+        )
     return "\n".join(lines)
 
 

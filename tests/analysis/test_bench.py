@@ -3,15 +3,52 @@
 import json
 
 import numpy as np
+import pytest
 
 from repro import AGProtocol, Configuration
 from repro.analysis.bench import (
     LegacyJumpEngine,
+    append_bench_history,
+    bench_ratios,
     bench_suite,
+    compare_bench,
+    load_bench,
+    read_bench_history,
     render_bench,
     run_bench,
     write_bench_json,
 )
+from repro.exceptions import SimulationError
+from repro.viz.ascii import render_trend_table
+
+
+def _fake_record(timestamp="20260101T000000", speedup=3.0, wvr=2.0):
+    """A minimal synthetic bench record for trend-machinery tests."""
+    def engine_case(case_id, ratio):
+        return {
+            "case": case_id,
+            "legacy": {"events_per_sec": 100_000.0, "events": 1000},
+            "current": {
+                "events_per_sec": 100_000.0 * ratio, "events": 1000
+            },
+            "speedup": ratio,
+        }
+
+    return {
+        "timestamp": timestamp,
+        "cases": [
+            engine_case("tree-n256", speedup),
+            engine_case("line-m4", speedup * 0.7),
+        ],
+        "scheduler_cases": [
+            {
+                "case": "tree-epoch-n128",
+                "rejection": {"events_per_sec": 50_000.0},
+                "weighted": {"events_per_sec": 50_000.0 * wvr},
+                "weighted_vs_rejection": wvr,
+            }
+        ],
+    }
 
 
 class TestLegacyJumpEngine:
@@ -38,7 +75,9 @@ class TestBenchSuite:
     def test_quick_suite_cases(self):
         cases = bench_suite(quick=True)
         assert len(cases) >= 3
-        assert all(case.max_events <= 10_000 for case in cases)
+        assert all(case.max_events <= 20_000 for case in cases)
+        # The hybrid sampler's headline workload gates every PR.
+        assert "line-m4" in {case.case_id for case in cases}
 
     def test_full_suite_includes_acceptance_case(self):
         cases = bench_suite(quick=False)
@@ -73,3 +112,71 @@ class TestRunBench:
         for case in record["cases"]:
             assert case["case"] in text
         assert "headline" in text
+
+
+class TestBenchTrendGating:
+    def test_ratios_cover_engine_and_scheduler_cases(self):
+        ratios = bench_ratios(_fake_record())
+        assert ratios["tree-n256"][0] == "speedup"
+        assert ratios["tree-epoch-n128"][0] == "weighted_vs_rejection"
+        assert ratios["tree-epoch-n128"][1] == 2.0
+
+    def test_compare_passes_within_tolerance(self):
+        baseline = _fake_record(speedup=3.0, wvr=2.0)
+        current = _fake_record("20260102T000000", speedup=2.7, wvr=1.8)
+        lines = compare_bench(current, baseline, tolerance=0.15)
+        # every shared case reported, none failing
+        assert len(lines) == 3
+        assert all("->" in line for line in lines)
+
+    def test_compare_fails_on_regression_beyond_tolerance(self):
+        baseline = _fake_record(speedup=3.0, wvr=2.0)
+        current = _fake_record("20260102T000000", speedup=2.0, wvr=2.0)
+        with pytest.raises(SimulationError, match="tree-n256"):
+            compare_bench(current, baseline, tolerance=0.15)
+
+    def test_compare_fails_on_scheduler_ratio_regression(self):
+        baseline = _fake_record(speedup=3.0, wvr=2.0)
+        current = _fake_record("20260102T000000", speedup=3.0, wvr=1.2)
+        with pytest.raises(SimulationError, match="tree-epoch-n128"):
+            compare_bench(current, baseline, tolerance=0.15)
+
+    def test_compare_tolerates_suite_growth(self):
+        baseline = _fake_record()
+        current = _fake_record("20260102T000000")
+        current["cases"].append({
+            "case": "brand-new",
+            "legacy": {"events_per_sec": 1.0, "events": 1},
+            "current": {"events_per_sec": 2.0, "events": 1},
+            "speedup": 2.0,
+        })
+        lines = compare_bench(current, baseline)
+        assert any("new case" in line for line in lines)
+        # and removal is reported, not fatal
+        del current["cases"][0]
+        lines = compare_bench(current, baseline)
+        assert any("baseline only" in line for line in lines)
+
+    def test_committed_baselines_load_and_self_compare(self):
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parents[2]
+        for name in ("BENCH_BASELINE.json", "BENCH_BASELINE_FULL.json"):
+            record = load_bench(str(root / name))
+            assert compare_bench(record, record, tolerance=0.0)
+
+    def test_history_roundtrip_and_trend_table(self, tmp_path):
+        path = str(tmp_path / "bench_history.csv")
+        first = append_bench_history(_fake_record(), path)
+        second = append_bench_history(
+            _fake_record("20260102T000000", speedup=3.3, wvr=2.2), path
+        )
+        assert first == second == 3
+        rows = read_bench_history(path)
+        assert len(rows) == 6
+        assert rows[0]["case"] == "tree-n256"
+        assert float(rows[0]["ratio"]) == 3.0
+        table = render_trend_table(rows)
+        assert "tree-n256" in table and "tree-epoch-n128" in table
+        # second run's drift against the first is rendered
+        assert "+10.0%" in table

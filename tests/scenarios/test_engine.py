@@ -220,6 +220,67 @@ class TestChurn:
         assert result.recovered_all
         assert result.final_configuration.num_agents == 86
 
+    def test_churn_retiers_line_lattice_past_the_window(self):
+        """Growing n past the pinned m=2 window re-tiers to m=4.
+
+        The m=2 lattice covers 72..120 agents; churn to 960 lands
+        exactly on the m=4 lattice, so the rebuilt protocol must carry
+        the new parameter instead of raising — and the run must still
+        recover on the re-tiered lattice.
+        """
+        result = run_scenario(
+            Scenario(
+                name="churn-line-retier",
+                protocol=ProtocolSpec(kind="line", num_agents=96, m=2),
+                start=StartSpec(kind="random"),
+                phases=(
+                    RunPhase(until="silence", max_events=300_000),
+                    FaultPhase(kind="churn", departures=0, arrivals=864),
+                    RunPhase(until="silence", max_events=2_000_000),
+                ),
+            ),
+            seed=9,
+        )
+        assert result.recovered_all
+        assert result.final_configuration.num_agents == 960
+        # LineOfTraps(m=4): 960 rank states + X.
+        assert result.final_configuration.num_states == 961
+
+    def test_churn_retiers_ring_lattice_past_the_window(self):
+        """A pinned ring grows past m(m+1); the rebuild re-derives m."""
+        result = run_scenario(
+            Scenario(
+                name="churn-ring-retier",
+                protocol=ProtocolSpec(kind="ring", num_agents=12, m=3),
+                start=StartSpec(kind="random"),
+                phases=(
+                    RunPhase(until="silence", max_events=100_000),
+                    FaultPhase(kind="churn", departures=0, arrivals=18),
+                    RunPhase(until="silence", max_events=500_000),
+                ),
+            ),
+            seed=10,
+        )
+        assert result.recovered_all
+        assert result.final_configuration.num_agents == 30
+        assert result.final_configuration.num_states == 30
+
+    def test_churn_into_a_lattice_gap_still_fails_loudly(self):
+        """Sizes between line lattices (121..959) have no honest m."""
+        with pytest.raises(ExperimentError, match="lattice"):
+            run_scenario(
+                Scenario(
+                    name="churn-line-gap",
+                    protocol=ProtocolSpec(kind="line", num_agents=96, m=2),
+                    start=StartSpec(kind="random"),
+                    phases=(
+                        FaultPhase(kind="churn", departures=0, arrivals=100),
+                        RunPhase(until="silence", max_events=10_000),
+                    ),
+                ),
+                seed=11,
+            )
+
     def test_churn_below_two_agents_fails_loudly(self):
         # A scripted fault must not be silently weakened: departing more
         # agents than the population can spare is a scenario bug.
