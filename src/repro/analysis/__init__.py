@@ -28,6 +28,12 @@ from .recovery import (
     survival_table,
 )
 from .stats import Summary, geometric_mean, summarise, wilson_interval
+from .supervision import (
+    JobFailure,
+    SupervisionPolicy,
+    check_picklable,
+    supervised_map,
+)
 from .sweep import SweepPoint, fan_out, measure_stabilisation, run_sweep
 from .tables import Table, format_value
 from .trajectories import (
@@ -40,6 +46,7 @@ from .trajectories import (
 __all__ = [
     "BenchCase",
     "LegacyJumpEngine",
+    "JobFailure",
     "LineVectors",
     "PhaseCensus",
     "PowerLawFit",
@@ -47,12 +54,14 @@ __all__ = [
     "ResetCounter",
     "SampledMetricRecorder",
     "Summary",
+    "SupervisionPolicy",
     "SweepPoint",
     "Table",
     "TreePhaseRecorder",
     "all_traps_tidy",
     "bench_suite",
     "bootstrap_exponent_interval",
+    "check_picklable",
     "fan_out",
     "fit_power_law",
     "format_value",
@@ -76,6 +85,7 @@ __all__ = [
     "run_sweep",
     "stabilise_line",
     "summarise",
+    "supervised_map",
     "survival_curve",
     "survival_table",
     "tree_path_potential",

@@ -12,7 +12,6 @@ the one-root-seed reproducibility guarantee bit-for-bit.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -23,8 +22,16 @@ from ..core.engine import RunResult, run_protocol
 from ..core.protocol import PopulationProtocol
 from ..exceptions import ExperimentError
 from .stats import Summary, summarise
+from .supervision import JobFailure, SupervisionPolicy, supervised_map
 
-__all__ = ["SweepPoint", "fan_out", "run_sweep", "measure_stabilisation"]
+__all__ = [
+    "SweepPoint",
+    "fan_out",
+    "run_sweep",
+    "measure_stabilisation",
+    "JobFailure",
+    "SupervisionPolicy",
+]
 
 # A builder maps (params, rng) to a ready-to-run (protocol, configuration).
 Builder = Callable[
@@ -35,10 +42,17 @@ Builder = Callable[
 
 @dataclass
 class SweepPoint:
-    """All repetitions of one parameter point, with summaries."""
+    """All repetitions of one parameter point, with summaries.
+
+    ``failures`` lists repetitions quarantined by the supervised
+    executor (crashed/hung/erroring jobs under a non-fail-fast
+    :class:`~repro.analysis.supervision.SupervisionPolicy`); the
+    summaries below cover the surviving ``runs`` only.
+    """
 
     params: Dict[str, object]
     runs: List[RunResult] = field(default_factory=list)
+    failures: List[JobFailure] = field(default_factory=list)
 
     @property
     def parallel_times(self) -> List[float]:
@@ -68,23 +82,40 @@ class SweepPoint:
         return self.time_summary().maximum
 
 
-def fan_out(worker, jobs: Sequence, workers: Optional[int] = None) -> List:
+def fan_out(
+    worker,
+    jobs: Sequence,
+    workers: Optional[int] = None,
+    policy: Optional[SupervisionPolicy] = None,
+) -> List:
     """Map ``worker`` over ``jobs``, optionally via a process pool.
 
     The shared executor seam for every campaign/sweep in the repo:
     ``workers`` of ``None`` or 1 runs serially in-process; more fans the
-    jobs out over a :class:`~concurrent.futures.ProcessPoolExecutor`.
-    Results keep job order, so any caller that derives each job's
-    randomness *before* dispatch (the ``SeedSequence.spawn`` pattern) is
-    bit-identical at every worker count.  ``worker`` and the jobs must
-    then be picklable, i.e. module-level callables and plain data.
+    jobs out under :func:`~repro.analysis.supervision.supervised_map`
+    (future-per-job dispatch with deadlines, crash isolation, bounded
+    retries, and quarantine — see that module).  Results keep job
+    order, so any caller that derives each job's randomness *before*
+    dispatch (the ``SeedSequence.spawn`` pattern) is bit-identical at
+    every worker count.  ``worker`` and the jobs must then be
+    picklable — checked up front, with the offending object named —
+    i.e. module-level callables and plain data.
+
+    ``fan_out`` itself keeps the classic all-or-nothing contract: any
+    job quarantined by the supervisor raises :class:`ExperimentError`
+    here.  Callers that want quarantined jobs back as data use
+    :func:`supervised_map` directly.
     """
-    if workers is not None and workers < 1:
-        raise ExperimentError(f"workers must be >= 1, got {workers}")
-    if workers is not None and workers > 1 and jobs:
-        with ProcessPoolExecutor(max_workers=workers) as executor:
-            return list(executor.map(worker, jobs))
-    return [worker(job) for job in jobs]
+    results, failures = supervised_map(
+        worker, jobs, workers=workers, policy=policy
+    )
+    if failures:
+        detail = "; ".join(repr(failure) for failure in failures[:5])
+        raise ExperimentError(
+            f"{len(failures)} of {len(results)} jobs failed under "
+            f"supervision: {detail}"
+        )
+    return results
 
 
 def _run_sweep_job(job: tuple) -> RunResult:
@@ -116,6 +147,7 @@ def run_sweep(
     max_interactions: Optional[int] = None,
     max_events: Optional[int] = None,
     workers: Optional[int] = None,
+    policy: Optional[SupervisionPolicy] = None,
 ) -> List[SweepPoint]:
     """Run ``repetitions`` independent runs per parameter point.
 
@@ -123,14 +155,24 @@ def run_sweep(
     starting configuration from the given generator, so the whole sweep
     is a pure function of ``seed``.
 
-    ``workers`` > 1 fans the repetitions out over a process pool.  Each
-    repetition's generator is spawned from the root ``SeedSequence`` in
-    a fixed order before dispatch, so results are bit-identical to a
-    serial sweep with the same ``seed`` regardless of the worker count
-    (only ``RunResult.wall_time_s`` varies).  ``build`` must then be
-    picklable, i.e. a module-level callable.  The default (``None`` or
-    1) runs serially in-process.
+    ``workers`` > 1 fans the repetitions out over a supervised process
+    pool.  Each repetition's generator is spawned from the root
+    ``SeedSequence`` in a fixed order before dispatch, so results are
+    bit-identical to a serial sweep with the same ``seed`` regardless
+    of the worker count (only ``RunResult.wall_time_s`` varies).
+    ``build`` must then be picklable, i.e. a module-level callable.
+    The default (``None`` or 1) runs serially in-process.
+
+    ``policy`` tunes supervision (per-job timeouts, retry budgets);
+    with ``fail_fast=False`` quarantined repetitions land in
+    :attr:`SweepPoint.failures` instead of raising, and that point's
+    summaries cover the surviving runs.
     """
+    if not points:
+        raise ExperimentError(
+            "run_sweep needs at least one parameter point; got an "
+            "empty points sequence"
+        )
     if repetitions < 1:
         raise ExperimentError(f"repetitions must be >= 1, got {repetitions}")
     root = np.random.SeedSequence(seed)
@@ -147,14 +189,25 @@ def run_sweep(
         for point_index, params in enumerate(points)
         for rep in range(repetitions)
     ]
-    runs = fan_out(_run_sweep_job, jobs, workers=workers)
+    runs, failures = supervised_map(
+        _run_sweep_job, jobs, workers=workers, policy=policy
+    )
+    if failures and (policy is None or policy.fail_fast):
+        detail = "; ".join(repr(failure) for failure in failures[:5])
+        raise ExperimentError(
+            f"{len(failures)} of {len(jobs)} sweep repetitions failed "
+            f"under supervision: {detail}"
+        )
+    by_index = {failure.index: failure for failure in failures}
     results = []
     for point_index, params in enumerate(points):
         start = point_index * repetitions
+        indices = range(start, start + repetitions)
         results.append(
             SweepPoint(
                 params=dict(params),
-                runs=runs[start : start + repetitions],
+                runs=[runs[i] for i in indices if runs[i] is not None],
+                failures=[by_index[i] for i in indices if i in by_index],
             )
         )
     return results
@@ -168,8 +221,14 @@ def measure_stabilisation(
     seed: int = 0,
     max_interactions: Optional[int] = None,
     workers: Optional[int] = None,
+    policy: Optional[SupervisionPolicy] = None,
 ) -> List[SweepPoint]:
     """Convenience sweep over a single integer parameter (usually ``n``)."""
+    if not xs:
+        raise ExperimentError(
+            f"measure_stabilisation needs at least one {x_name} value; "
+            "got an empty sequence"
+        )
     points = [{x_name: x} for x in xs]
     return run_sweep(
         points,
@@ -178,4 +237,5 @@ def measure_stabilisation(
         seed=seed,
         max_interactions=max_interactions,
         workers=workers,
+        policy=policy,
     )

@@ -12,7 +12,9 @@ Subcommands:
 * ``render`` — print the paper's structures (Figure 1 graph, Figure 2
   tree, ring/line occupancy);
 * ``bench`` — measure hot-path events/sec against the frozen seed
-  engine and write ``BENCH_<timestamp>.json``.
+  engine and write ``BENCH_<timestamp>.json``;
+* ``ensemble`` — run, resume, and inspect resumable sharded ensembles
+  (10⁵+ seeded scenario runs with crash recovery; see README).
 """
 
 from __future__ import annotations
@@ -181,6 +183,68 @@ def build_parser() -> argparse.ArgumentParser:
         help="append this run's per-case events/s to a bench_history.csv "
         "and print the ASCII trend table (the nightly trend artifact)",
     )
+
+    ens = sub.add_parser(
+        "ensemble",
+        help="run / resume / inspect resumable sharded ensembles",
+    )
+    ens_sub = ens.add_subparsers(dest="ensemble_command", required=True)
+    ens_run = ens_sub.add_parser(
+        "run",
+        help="run one sharded ensemble (or resume an interrupted one)",
+    )
+    ens_run.add_argument(
+        "--campaign", default=None, metavar="ID",
+        help="campaign id (see `repro scenario list`); required unless "
+        "--resume reads it from the manifest",
+    )
+    ens_run.add_argument("--scale", choices=SCALES, default="smoke")
+    ens_run.add_argument("--seed", type=int, default=0)
+    ens_run.add_argument(
+        "--runs", type=int, default=None,
+        help="total seeded runs (default: the campaign's per-scale "
+        "repetition count)",
+    )
+    ens_run.add_argument(
+        "--shard-size", type=int, default=1000,
+        help="runs per shard file (bounds peak memory; default 1000)",
+    )
+    ens_run.add_argument(
+        "--out", required=True, metavar="DIR",
+        help="ensemble directory (manifest, shards, aggregates)",
+    )
+    ens_run.add_argument(
+        "--workers", type=int, default=None,
+        help="supervised process-pool size (default: serial; results "
+        "are bit-identical at any worker count)",
+    )
+    ens_run.add_argument(
+        "--resume", action="store_true",
+        help="continue an interrupted ensemble: verify finished shards "
+        "by checksum, quarantine corrupt ones, recompute only the gap",
+    )
+    ens_run.add_argument(
+        "--max-events", type=int, default=None,
+        help="default per-phase event budget for scenario run phases",
+    )
+    ens_run.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-run wall-clock deadline in seconds (hung runs are "
+        "killed, retried, then quarantined)",
+    )
+    ens_run.add_argument(
+        "--max-attempts", type=int, default=3,
+        help="crash/hang attempts per run before quarantine (default 3)",
+    )
+    ens_run.add_argument(
+        "--backoff", type=float, default=0.25,
+        help="first retry delay in seconds, doubling per attempt "
+        "(default 0.25)",
+    )
+    ens_status = ens_sub.add_parser(
+        "status", help="summarise an ensemble directory"
+    )
+    ens_status.add_argument("--out", required=True, metavar="DIR")
     return parser
 
 
@@ -376,6 +440,53 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_ensemble(args: argparse.Namespace) -> int:
+    from .analysis.supervision import SupervisionPolicy
+    from .ensemble import ensemble_status, run_ensemble
+
+    if args.ensemble_command == "status":
+        status = ensemble_status(args.out)
+        width = max(len(key) for key in status)
+        for key, value in status.items():
+            print(f"{key:{width}s} : {value}")
+        return 0 if status["complete"] else 1
+
+    policy = SupervisionPolicy(
+        timeout=args.timeout,
+        max_attempts=args.max_attempts,
+        backoff_base=args.backoff,
+        fail_fast=False,
+    )
+    aggregate = run_ensemble(
+        args.out,
+        campaign_id=args.campaign,
+        scale=args.scale,
+        total_runs=args.runs,
+        shard_size=args.shard_size,
+        seed=args.seed,
+        workers=args.workers,
+        default_max_events=args.max_events,
+        policy=policy,
+        resume=args.resume,
+        progress=lambda line: print(line, file=sys.stderr),
+    )
+    summary = aggregate["aggregates"]
+    print(f"campaign      : {aggregate['campaign']} "
+          f"(scale {aggregate['scale']}, seed {aggregate['seed']})")
+    print(f"runs          : {summary['runs']} of "
+          f"{aggregate['total_runs']} "
+          f"({summary['failed_jobs']} quarantined)")
+    recovered = summary["recovered_all"]
+    print(f"recovered all : {recovered['count']} "
+          f"({recovered['fraction']:.1%})")
+    times = summary["parallel_time"]
+    print(f"parallel time : mean {times['mean']:.1f}, "
+          f"p50 {times['p50']:.1f}, p90 {times['p90']:.1f}, "
+          f"p99 {times['p99']:.1f}")
+    print(f"aggregates    : {args.out}/aggregates.json")
+    return 0 if summary["failed_jobs"] == 0 else 1
+
+
 def _cmd_render(args: argparse.Namespace) -> int:
     if args.structure == "figure1":
         print(render_routing_graph(build_routing_graph(16)))
@@ -409,10 +520,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_report(args)
         if args.command == "bench":
             return _cmd_bench(args)
+        if args.command == "ensemble":
+            return _cmd_ensemble(args)
         return _cmd_render(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        # One clean line instead of a stack trace; long-running
+        # commands are interrupted deliberately all the time.
+        message = "interrupted"
+        if args.command == "ensemble" and getattr(
+            args, "ensemble_command", None
+        ) == "run":
+            message += (
+                f" — finished shards are safe; continue with "
+                f"`repro ensemble run --out {args.out} --resume`"
+            )
+        print(message, file=sys.stderr)
+        return 130
     except BrokenPipeError:
         # Output piped into a pager/head that closed early — not an error.
         sys.stderr.close()

@@ -17,6 +17,7 @@ from .engine import (
     Recorder,
     RunResult,
     TrajectoryRecorder,
+    build_engine,
     make_rng,
     run_protocol,
 )
@@ -50,11 +51,13 @@ from .scheduler import (
     try_weighted_engine,
 )
 from .sequential import SequentialEngine
+from .snapshot import EngineSnapshot, resume_engine
 
 __all__ = [
     "AgentScheduledEngine",
     "AgentScheduler",
     "Configuration",
+    "EngineSnapshot",
     "EpochBoundary",
     "EpochScheduler",
     "Event",
@@ -80,11 +83,13 @@ __all__ = [
     "WeightedScheduledEngine",
     "adversarial_swap",
     "arrive_agents",
+    "build_engine",
     "check_family_coverage",
     "corrupt_agents",
     "crash_and_replace",
     "depart_agents",
     "make_rng",
+    "resume_engine",
     "run_protocol",
     "try_weighted_engine",
 ]

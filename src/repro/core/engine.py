@@ -28,6 +28,7 @@ __all__ = [
     "Recorder",
     "TrajectoryRecorder",
     "MetricRecorder",
+    "build_engine",
     "run_protocol",
     "make_rng",
 ]
@@ -137,6 +138,66 @@ def make_rng(
     return np.random.default_rng(seed_or_rng)
 
 
+def build_engine(
+    protocol: PopulationProtocol,
+    configuration: Configuration,
+    seed: Union[int, np.random.Generator, None] = None,
+    engine: str = "jump",
+    scheduler: Optional["PairScheduler"] = None,
+):
+    """Construct the right driver for a run; returns ``(driver, name)``.
+
+    The engine-routing seam shared by :func:`run_protocol` and the
+    ensemble/checkpoint layers: uniform scheduling picks the named
+    engine class, a biased state-level scheduler routes ``"jump"``
+    through the weighted fast path when it compiles (falling back to
+    the rejection engine), and agent-identity schedulers always run on
+    the explicit-agent engine.  ``name`` is the qualified engine name
+    recorded in results (``weighted:<scheduler>`` etc.).
+
+    ``seed`` is normalised per constructed engine (an int seed hands
+    every candidate constructor a fresh generator, so a discarded
+    weighted-path probe never advances the stream the fallback uses).
+    """
+    # Imported here to avoid a circular import at module load time.
+    from .jump import JumpEngine
+    from .sequential import SequentialEngine
+
+    engines = {"jump": JumpEngine, "sequential": SequentialEngine}
+    if engine not in engines:
+        raise SimulationError(
+            f"unknown engine {engine!r}; expected one of {sorted(engines)}"
+        )
+    if scheduler is not None and not scheduler.is_uniform:
+        from .scheduler import (
+            AgentScheduledEngine,
+            AgentScheduler,
+            ScheduledEngine,
+            try_weighted_engine,
+        )
+
+        if isinstance(scheduler, AgentScheduler):
+            return (
+                AgentScheduledEngine(
+                    protocol, configuration, make_rng(seed), scheduler
+                ),
+                f"agent:{scheduler.name}",
+            )
+        if engine == "jump":
+            driver = try_weighted_engine(
+                protocol, configuration, make_rng(seed), scheduler
+            )
+            if driver is not None:
+                return driver, f"weighted:{scheduler.name}"
+        return (
+            ScheduledEngine(
+                protocol, configuration, make_rng(seed), scheduler
+            ),
+            f"scheduled:{scheduler.name}",
+        )
+    return engines[engine](protocol, configuration, make_rng(seed)), engine
+
+
 def run_protocol(
     protocol: PopulationProtocol,
     configuration: Configuration,
@@ -183,43 +244,10 @@ def run_protocol(
         distribution.  Agent-identity schedulers always run on the
         explicit-agent engine (``agent:<scheduler>``).
     """
-    # Imported here to avoid a circular import at module load time.
-    from .jump import JumpEngine
-    from .sequential import SequentialEngine
-
     seed_value = seed if isinstance(seed, int) else None
-    engines = {"jump": JumpEngine, "sequential": SequentialEngine}
-    if engine not in engines:
-        raise SimulationError(
-            f"unknown engine {engine!r}; expected one of {sorted(engines)}"
-        )
-    if scheduler is not None and not scheduler.is_uniform:
-        from .scheduler import (
-            AgentScheduledEngine,
-            AgentScheduler,
-            ScheduledEngine,
-            try_weighted_engine,
-        )
-
-        driver = None
-        if isinstance(scheduler, AgentScheduler):
-            driver = AgentScheduledEngine(
-                protocol, configuration, make_rng(seed), scheduler
-            )
-            engine = f"agent:{scheduler.name}"
-        if driver is None and engine == "jump":
-            driver = try_weighted_engine(
-                protocol, configuration, make_rng(seed), scheduler
-            )
-            if driver is not None:
-                engine = f"weighted:{scheduler.name}"
-        if driver is None:
-            driver = ScheduledEngine(
-                protocol, configuration, make_rng(seed), scheduler
-            )
-            engine = f"scheduled:{scheduler.name}"
-    else:
-        driver = engines[engine](protocol, configuration, make_rng(seed))
+    driver, engine = build_engine(
+        protocol, configuration, seed, engine=engine, scheduler=scheduler,
+    )
     start = time.perf_counter()
     silent = driver.run(
         max_interactions=max_interactions,

@@ -791,6 +791,16 @@ class FusedIndex:
         Returns ``False`` when the index contains opaque family slots
         (their internal state cannot be resynced from counts — the
         caller must rebuild the index from fresh families instead).
+
+        Resync is also the **canonicalisation seam** the checkpoint
+        layer relies on: the proposal/Fenwick partition and product
+        stale-flags it produces are a pure function of ``counts``
+        (history-independent), so an engine that resyncs at a run
+        boundary holds exactly the state a fresh engine (or one
+        restored from an :class:`~repro.core.snapshot.EngineSnapshot`)
+        would compile from the same counts.  That is what lets
+        snapshots stay compiled-index-free while restores stay
+        bit-exact.
         """
         kinds = self.slot_kind
         payloads = self.slot_payload

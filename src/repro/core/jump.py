@@ -72,6 +72,12 @@ from .families import SameStatePairs
 from .fenwick import FenwickTree
 from .fused import PRODUCT, PROPOSAL, SAME, TRIANGULAR, FusedIndex
 from .protocol import PopulationProtocol
+from .snapshot import (
+    EngineSnapshot,
+    capture_rng,
+    check_snapshot,
+    restore_rng,
+)
 
 __all__ = ["JumpEngine"]
 
@@ -337,6 +343,68 @@ class JumpEngine:
         if self._pair_table is not None:
             self._pair_table = {}
             self._ss_progs = [None] * self._num_states
+
+    def _canonicalise_index(self) -> None:
+        """Make the fused index a pure function of the live counts.
+
+        One in-place resync (index rebuild for opaque slots) — exactly
+        the re-partition the fast loops run periodically, so the step
+        distribution is unchanged.  At recorder-free ``run()``
+        boundaries the index is already canonical and this is a no-op
+        state-wise.
+        """
+        if self._fused.resync(self.counts):
+            self._weight = self._fused.total
+        else:
+            self._rebuild_fused(self.counts)
+
+    def snapshot(self) -> EngineSnapshot:
+        """Plain-data checkpoint for bit-exact resumption.
+
+        Canonicalises the hybrid sampler first (see
+        :mod:`repro.core.snapshot` for the exactness contract), then
+        captures counts, counters, the exact bit-generator state, and
+        the unconsumed buffered draws.
+        """
+        self._canonicalise_index()
+        exhausted = self._uniform_pos >= _UNIFORM_BATCH
+        return EngineSnapshot(
+            kind="jump",
+            num_states=self._num_states,
+            num_agents=self._protocol.num_agents,
+            counts=tuple(self.counts),
+            interactions=self.interactions,
+            events=self.events,
+            rng_state=capture_rng(self._rng),
+            uniforms=(
+                () if exhausted
+                else tuple(float(u) for u in self._uniforms)
+            ),
+            uniform_pos=_UNIFORM_BATCH if exhausted else self._uniform_pos,
+            raws=tuple(int(r) for r in self._raws[self._raw_pos:]),
+        )
+
+    def restore(self, snapshot: EngineSnapshot) -> None:
+        """Adopt a snapshot in place; continues bit-for-bit.
+
+        Reuses the ``resync`` fault seam, so nothing recompiles — the
+        transition tables are count-independent and stay valid.
+        """
+        check_snapshot(
+            snapshot, "jump", self._num_states, self._protocol.num_agents
+        )
+        self.counts = [int(c) for c in snapshot.counts]
+        self._canonicalise_index()
+        self.interactions = snapshot.interactions
+        self.events = snapshot.events
+        restore_rng(self._rng, snapshot.rng_state)
+        if snapshot.uniforms:
+            self._uniforms = np.asarray(snapshot.uniforms, dtype=np.float64)
+            self._uniform_pos = snapshot.uniform_pos
+        else:
+            self._uniform_pos = _UNIFORM_BATCH
+        self._raws = [int(r) for r in snapshot.raws]
+        self._raw_pos = 0
 
     # ------------------------------------------------------------------
     # Simulation
@@ -1311,6 +1379,15 @@ class JumpEngine:
         fused.total = weight
         self.interactions = interactions
         self.events = events
+        # Canonicalise the sampler at the run boundary: the pool
+        # partition and any stale product sides drift with the loop's
+        # history, so one in-place resync makes the post-run state a
+        # pure function of the final counts — the same re-partition the
+        # loop performs every ``_RECLASSIFY_EVENTS``, and the contract
+        # the checkpoint seam (``snapshot``/``restore``) relies on for
+        # bit-identical resumption.
+        if not fused.resync(counts):
+            self._rebuild_fused(counts)
         # Discard any shared buffered draws so later step() calls start
         # from fresh batches of the (advanced) generator stream.
         self._uniform_pos = _UNIFORM_BATCH

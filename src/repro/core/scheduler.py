@@ -78,6 +78,12 @@ from .fused import (
 from .jump import _transition_ops
 from .protocol import PopulationProtocol
 from .sequential import SequentialEngine
+from .snapshot import (
+    EngineSnapshot,
+    capture_rng,
+    check_snapshot,
+    restore_rng,
+)
 
 __all__ = [
     "AgentScheduledEngine",
@@ -819,6 +825,88 @@ class WeightedScheduledEngine:
         self.counts = counts
         self._index.resync(counts)
 
+    def snapshot(self) -> EngineSnapshot:
+        """Plain-data checkpoint for bit-exact resumption.
+
+        Resyncs the active weighted index first (deterministic — no
+        randomness is consumed, and the refilled trees equal what lazy
+        rebuilds would produce), then captures counts, counters, the
+        epoch cursor, the per-segment routing decisions (made from the
+        *start* configuration, so they must travel with the snapshot),
+        and the exact generator state.
+        """
+        self._index.resync(self.counts)
+        cursor = self._cursor
+        exhausted = self._uniform_pos >= _UNIFORM_BATCH
+        return EngineSnapshot(
+            kind="weighted",
+            num_states=self._num_states,
+            num_agents=self._protocol.num_agents,
+            counts=tuple(self.counts),
+            interactions=self.interactions,
+            events=self.events,
+            rng_state=capture_rng(self._rng),
+            uniforms=(
+                () if exhausted
+                else tuple(float(u) for u in self._uniforms)
+            ),
+            uniform_pos=_UNIFORM_BATCH if exhausted else self._uniform_pos,
+            raws=tuple(int(r) for r in self._raws[self._raw_pos:]),
+            epoch=cursor.epoch,
+            start_events=cursor.start_events,
+            start_interactions=cursor.start_interactions,
+            next_predicate_check=cursor.next_predicate_check,
+            thinned=tuple(self._thinned),
+            acceptance_estimates=tuple(self.acceptance_estimates),
+        )
+
+    def restore(self, snapshot: EngineSnapshot) -> None:
+        """Adopt a snapshot in place; continues bit-for-bit.
+
+        The segment indices stay as compiled at construction — only the
+        incoming epoch's index is resynced from the restored counts
+        (the epoch hot-swap seam); the rest resync at their swap, like
+        in an uninterrupted run.
+        """
+        check_snapshot(
+            snapshot, "weighted", self._num_states,
+            self._protocol.num_agents,
+        )
+        cursor = self._cursor
+        if not 0 <= snapshot.epoch < len(cursor.segments):
+            raise SimulationError(
+                f"snapshot epoch {snapshot.epoch} outside timeline of "
+                f"{len(cursor.segments)} segment(s)"
+            )
+        self.counts = [int(c) for c in snapshot.counts]
+        cursor.epoch = snapshot.epoch
+        cursor.start_events = snapshot.start_events
+        cursor.start_interactions = snapshot.start_interactions
+        cursor.next_predicate_check = snapshot.next_predicate_check
+        self._index = self._indices[snapshot.epoch]
+        self._index.resync(self.counts)
+        if snapshot.thinned is not None:
+            self._thinned = [bool(flag) for flag in snapshot.thinned]
+            self.acceptance_estimates = [
+                float(e) for e in snapshot.acceptance_estimates or ()
+            ]
+            if any(self._thinned) and self._uniform is None:
+                self._uniform = FusedIndex(
+                    self._protocol.build_families(self.counts),
+                    self._num_states,
+                    self.counts,
+                )
+        self.interactions = snapshot.interactions
+        self.events = snapshot.events
+        restore_rng(self._rng, snapshot.rng_state)
+        if snapshot.uniforms:
+            self._uniforms = np.asarray(snapshot.uniforms, dtype=np.float64)
+            self._uniform_pos = snapshot.uniform_pos
+        else:
+            self._uniform_pos = _UNIFORM_BATCH
+        self._raws = [int(r) for r in snapshot.raws]
+        self._raw_pos = 0
+
     def step(self) -> Optional[Event]:
         """Advance to (and apply) the next productive interaction.
 
@@ -1286,6 +1374,15 @@ class _AcceptStream:
         self._pos += 1
         return u
 
+    def tail(self) -> tuple:
+        """Unconsumed buffered thresholds (checkpoint capture)."""
+        return tuple(float(u) for u in self._accepts[self._pos:])
+
+    def restore_tail(self, accepts) -> None:
+        """Adopt captured thresholds; the next draws consume them first."""
+        self._accepts = np.asarray(accepts, dtype=np.float64)
+        self._pos = 0
+
 
 class ScheduledEngine(SequentialEngine):
     """Per-interaction rejection engine honouring an arbitrary scheduler.
@@ -1308,6 +1405,8 @@ class ScheduledEngine(SequentialEngine):
     which is what makes this the exact reference for the weighted
     engine's epoch hot-swap).
     """
+
+    snapshot_kind = "scheduled"
 
     def __init__(
         self,
@@ -1365,6 +1464,30 @@ class ScheduledEngine(SequentialEngine):
             a, b = super()._next_pair()
             if accept.next() < weights[states[a], states[b]]:
                 return a, b
+
+    def _snapshot_fields(self) -> dict:
+        cursor = self._cursor
+        return {
+            "accepts": self._accept.tail(),
+            "epoch": cursor.epoch,
+            "start_events": cursor.start_events,
+            "start_interactions": cursor.start_interactions,
+            "next_predicate_check": cursor.next_predicate_check,
+        }
+
+    def _restore_fields(self, snapshot: EngineSnapshot) -> None:
+        cursor = self._cursor
+        if not 0 <= snapshot.epoch < len(cursor.segments):
+            raise SimulationError(
+                f"snapshot epoch {snapshot.epoch} outside timeline of "
+                f"{len(cursor.segments)} segment(s)"
+            )
+        cursor.epoch = snapshot.epoch
+        cursor.start_events = snapshot.start_events
+        cursor.start_interactions = snapshot.start_interactions
+        cursor.next_predicate_check = snapshot.next_predicate_check
+        self._weights = self._matrices[snapshot.epoch]
+        self._accept.restore_tail(snapshot.accepts)
 
     def step(self) -> Optional[Event]:
         """One accepted scheduler step under the active epoch segment."""
@@ -1448,6 +1571,8 @@ class AgentScheduledEngine(SequentialEngine):
     not their current memory).
     """
 
+    snapshot_kind = "agent"
+
     def __init__(
         self,
         protocol: PopulationProtocol,
@@ -1464,6 +1589,12 @@ class AgentScheduledEngine(SequentialEngine):
     def scheduler(self) -> AgentScheduler:
         """The agent scheduler this engine realises."""
         return self._scheduler
+
+    def _snapshot_fields(self) -> dict:
+        return {"accepts": self._accept.tail()}
+
+    def _restore_fields(self, snapshot: EngineSnapshot) -> None:
+        self._accept.restore_tail(snapshot.accepts)
 
     def _next_pair(self) -> tuple:
         """One *accepted* ordered pair of distinct agent indices."""

@@ -22,6 +22,12 @@ from ..exceptions import SimulationError
 from .configuration import Configuration
 from .engine import Event, Recorder
 from .protocol import PopulationProtocol
+from .snapshot import (
+    EngineSnapshot,
+    capture_rng,
+    check_snapshot,
+    restore_rng,
+)
 
 __all__ = ["SequentialEngine"]
 
@@ -30,6 +36,9 @@ _PAIR_BATCH = 4096
 
 class SequentialEngine:
     """Drives one protocol run, one interaction at a time."""
+
+    #: Snapshot tag — subclasses (the rejection engines) override it.
+    snapshot_kind = "sequential"
 
     def __init__(
         self,
@@ -137,6 +146,76 @@ class SequentialEngine:
         self._families = self._protocol.build_families(counts)
         self._weight = sum(family.weight for family in self._families)
         self._state_families = self._compile_state_families()
+
+    def _snapshot_fields(self) -> dict:
+        """Subclass hook: extra plain-data fields for :meth:`snapshot`."""
+        return {}
+
+    def _restore_fields(self, snapshot: EngineSnapshot) -> None:
+        """Subclass hook: adopt the extra fields captured above."""
+
+    def snapshot(self) -> EngineSnapshot:
+        """Plain-data checkpoint for bit-exact resumption.
+
+        The explicit agent array *is* the engine's dynamical state (no
+        compiled sampler to canonicalise), so a sequential snapshot is
+        always state-preserving: the unconsumed pair draws and the
+        exact generator state travel along, and the restored engine
+        continues identically to the uninterrupted one.
+        """
+        return EngineSnapshot(
+            kind=self.snapshot_kind,
+            num_states=self._protocol.num_states,
+            num_agents=self._n,
+            counts=tuple(self.counts),
+            interactions=self.interactions,
+            events=self.events,
+            rng_state=capture_rng(self._rng),
+            agent_states=tuple(self.agent_states),
+            pair_buffer=tuple(
+                int(v)
+                for row in self._pair_buffer[self._pair_pos:]
+                for v in row
+            ),
+            **self._snapshot_fields(),
+        )
+
+    def restore(self, snapshot: EngineSnapshot) -> None:
+        """Adopt a snapshot in place; continues bit-for-bit.
+
+        Families are rebuilt from the restored counts (a deterministic,
+        count-pure construction — the ``reset_configuration`` seam),
+        never serialised.
+        """
+        check_snapshot(
+            snapshot, self.snapshot_kind, self._protocol.num_states, self._n
+        )
+        if snapshot.agent_states is None:
+            raise SimulationError(
+                "sequential snapshot carries no agent states"
+            )
+        counts = [int(c) for c in snapshot.counts]
+        agent_states = [int(s) for s in snapshot.agent_states]
+        tally = [0] * self._protocol.num_states
+        for state in agent_states:
+            tally[state] += 1
+        if tally != counts:
+            raise SimulationError(
+                "snapshot agent states disagree with its counts"
+            )
+        self.counts = counts
+        self.agent_states = agent_states
+        self._families = self._protocol.build_families(counts)
+        self._weight = sum(family.weight for family in self._families)
+        self._state_families = self._compile_state_families()
+        self.interactions = snapshot.interactions
+        self.events = snapshot.events
+        restore_rng(self._rng, snapshot.rng_state)
+        self._pair_buffer = np.asarray(
+            snapshot.pair_buffer, dtype=np.int64
+        ).reshape(-1, 2)
+        self._pair_pos = 0
+        self._restore_fields(snapshot)
 
     def step(self) -> Optional[Event]:
         """One scheduler step; returns the event if it was productive."""

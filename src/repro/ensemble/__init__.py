@@ -1,0 +1,35 @@
+"""Resumable sharded ensembles over the scenario campaign catalog.
+
+The orchestration layer for very large (10⁵+ run) fault-tolerance
+studies: shard the seeded runs, execute each shard under worker
+supervision, persist shards atomically with checksums, stream the
+records through online reducers, and resume exactly the missing gap
+after any crash.  See :mod:`repro.ensemble.runner` for the mechanics.
+"""
+
+from .manifest import (
+    atomic_write_json,
+    create_manifest,
+    file_sha256,
+    load_manifest,
+    save_manifest,
+    shard_path,
+)
+from .reducers import EnsembleAggregates, P2Quantile, RecoveryTable, Welford
+from .runner import ensemble_status, run_ensemble, run_record
+
+__all__ = [
+    "EnsembleAggregates",
+    "P2Quantile",
+    "RecoveryTable",
+    "Welford",
+    "atomic_write_json",
+    "create_manifest",
+    "ensemble_status",
+    "file_sha256",
+    "load_manifest",
+    "run_ensemble",
+    "run_record",
+    "save_manifest",
+    "shard_path",
+]

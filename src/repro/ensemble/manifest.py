@@ -1,0 +1,179 @@
+"""Ensemble manifests and crash-safe JSON persistence.
+
+An ensemble directory is self-describing:
+
+* ``manifest.json`` — the plan: campaign id, scale, root seed, total
+  run count, shard size, and one entry per shard (``pending`` or
+  ``done``, with the SHA-256 of the finished shard file);
+* ``shard-<index>.json`` — one file per shard of run records;
+* ``aggregates.json`` — the streamed fold over all shards.
+
+Every file is written atomically (temp file in the same directory,
+flush + fsync, ``os.replace``), so a crash — including SIGKILL — can
+never leave a half-written file under a valid name: a file either has
+its complete content or does not exist.  The manifest is only updated
+*after* its shard file is durably in place, so ``done`` + matching
+checksum implies the shard is trustworthy; anything else is recomputed
+on resume.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Dict, List, Optional
+
+from ..exceptions import ExperimentError
+
+__all__ = [
+    "MANIFEST_NAME",
+    "atomic_write_json",
+    "create_manifest",
+    "file_sha256",
+    "load_json",
+    "load_manifest",
+    "save_manifest",
+    "shard_path",
+]
+
+MANIFEST_NAME = "manifest.json"
+MANIFEST_VERSION = 1
+
+
+def atomic_write_json(path: str, payload: Dict) -> None:
+    """Write JSON durably: temp file + flush + fsync + rename.
+
+    Deterministic bytes for deterministic payloads (sorted keys, fixed
+    separators) — byte-comparing two aggregate files is meaningful.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    descriptor, temp_path = tempfile.mkstemp(
+        dir=directory, prefix=".tmp-", suffix=".json"
+    )
+    try:
+        with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True, indent=1)
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
+
+
+def load_json(path: str) -> Dict:
+    """Read one JSON file; corrupt content raises ``ValueError``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def file_sha256(path: str) -> str:
+    """Hex SHA-256 of a file's bytes."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def shard_path(out_dir: str, index: int) -> str:
+    return os.path.join(out_dir, f"shard-{index:05d}.json")
+
+
+def create_manifest(
+    campaign_id: str,
+    scale: str,
+    seed: int,
+    total_runs: int,
+    shard_size: int,
+    default_max_events: Optional[int],
+) -> Dict:
+    """Build a fresh manifest dict (all shards pending)."""
+    if total_runs < 1:
+        raise ExperimentError(f"total_runs must be >= 1, got {total_runs}")
+    if shard_size < 1:
+        raise ExperimentError(f"shard_size must be >= 1, got {shard_size}")
+    shards: List[Dict] = []
+    start = 0
+    index = 0
+    while start < total_runs:
+        stop = min(start + shard_size, total_runs)
+        shards.append(
+            {
+                "index": index,
+                "start": start,
+                "stop": stop,
+                "status": "pending",
+                "sha256": None,
+            }
+        )
+        start = stop
+        index += 1
+    return {
+        "version": MANIFEST_VERSION,
+        "campaign": campaign_id,
+        "scale": scale,
+        "seed": seed,
+        "total_runs": total_runs,
+        "shard_size": shard_size,
+        "default_max_events": default_max_events,
+        "shards": shards,
+    }
+
+
+def save_manifest(out_dir: str, manifest: Dict) -> None:
+    atomic_write_json(os.path.join(out_dir, MANIFEST_NAME), manifest)
+
+
+def load_manifest(out_dir: str) -> Dict:
+    """Load and structurally validate an ensemble manifest."""
+    path = os.path.join(out_dir, MANIFEST_NAME)
+    if not os.path.exists(path):
+        raise ExperimentError(
+            f"no ensemble manifest at {path} — run without --resume to "
+            "start a fresh ensemble"
+        )
+    try:
+        manifest = load_json(path)
+    except ValueError as exc:
+        raise ExperimentError(
+            f"ensemble manifest {path} is corrupt: {exc}"
+        ) from exc
+    version = manifest.get("version")
+    if version != MANIFEST_VERSION:
+        raise ExperimentError(
+            f"ensemble manifest version {version!r} is not supported "
+            f"(expected {MANIFEST_VERSION})"
+        )
+    required = (
+        "campaign", "scale", "seed", "total_runs", "shard_size", "shards",
+    )
+    missing = [key for key in required if key not in manifest]
+    if missing:
+        raise ExperimentError(
+            f"ensemble manifest {path} is missing fields: {missing}"
+        )
+    covered = 0
+    for position, shard in enumerate(manifest["shards"]):
+        if shard.get("index") != position or shard.get("start") != covered:
+            raise ExperimentError(
+                f"ensemble manifest {path} has an inconsistent shard "
+                f"table at position {position}"
+            )
+        if shard.get("stop", 0) <= shard["start"]:
+            raise ExperimentError(
+                f"ensemble manifest {path} shard {position} is empty"
+            )
+        covered = shard["stop"]
+    if covered != manifest["total_runs"]:
+        raise ExperimentError(
+            f"ensemble manifest {path} shards cover {covered} runs, "
+            f"expected {manifest['total_runs']}"
+        )
+    return manifest

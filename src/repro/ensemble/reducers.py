@@ -1,0 +1,283 @@
+"""Online (single-pass, O(1)-memory) reducers for ensemble aggregation.
+
+The ensemble runner streams 10⁵+ run records shard-by-shard; nothing
+here ever holds the observations themselves.  Three primitives:
+
+* :class:`Welford` — numerically stable running mean/variance/extrema;
+* :class:`P2Quantile` — the Jain–Chlamtac P² estimator: a quantile
+  approximation from five markers, no stored samples;
+* :class:`RecoveryTable` — per-fault-label recovery statistics built
+  from each record's phase timeline.
+
+:class:`EnsembleAggregates` composes them into the shape
+``aggregates.json`` serialises.  Every reducer is a deterministic fold:
+feeding the same records in the same order always produces bit-equal
+state, which is what makes a resumed ensemble's aggregate file
+byte-identical to an uninterrupted run's (the runner always streams
+shards in index order).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+__all__ = [
+    "EnsembleAggregates",
+    "P2Quantile",
+    "RecoveryTable",
+    "Welford",
+]
+
+
+class Welford:
+    """Running count / mean / variance / extrema (Welford's method)."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+
+    def update(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (0 for fewer than two observations)."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    def to_dict(self) -> Dict:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
+
+class P2Quantile:
+    """P² streaming quantile estimator (Jain & Chlamtac, 1985).
+
+    Tracks the ``p``-quantile with five markers whose heights are
+    adjusted by parabolic interpolation — O(1) memory and a
+    deterministic fold over the observation stream.  Exact for the
+    first five observations; an estimate afterwards.
+    """
+
+    def __init__(self, p: float) -> None:
+        if not 0.0 < p < 1.0:
+            raise ValueError(f"quantile must be in (0, 1), got {p}")
+        self.p = p
+        self.count = 0
+        self._heights: List[float] = []
+        self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+        self._desired = [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0]
+        self._increments = [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0]
+
+    def update(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        if len(self._heights) < 5:
+            self._heights.append(value)
+            self._heights.sort()
+            return
+        heights = self._heights
+        positions = self._positions
+        if value < heights[0]:
+            heights[0] = value
+            cell = 0
+        elif value >= heights[4]:
+            heights[4] = value
+            cell = 3
+        else:
+            cell = 0
+            while value >= heights[cell + 1]:
+                cell += 1
+        for i in range(cell + 1, 5):
+            positions[i] += 1.0
+        for i in range(5):
+            self._desired[i] += self._increments[i]
+        # Nudge the three middle markers toward their desired positions.
+        for i in (1, 2, 3):
+            delta = self._desired[i] - positions[i]
+            if (delta >= 1.0 and positions[i + 1] - positions[i] > 1.0) or (
+                delta <= -1.0 and positions[i - 1] - positions[i] < -1.0
+            ):
+                step = 1.0 if delta >= 1.0 else -1.0
+                candidate = self._parabolic(i, step)
+                if heights[i - 1] < candidate < heights[i + 1]:
+                    heights[i] = candidate
+                else:
+                    heights[i] = self._linear(i, step)
+                positions[i] += step
+
+    def _parabolic(self, i: int, step: float) -> float:
+        h, q = self._positions, self._heights
+        return q[i] + step / (h[i + 1] - h[i - 1]) * (
+            (h[i] - h[i - 1] + step) * (q[i + 1] - q[i]) / (h[i + 1] - h[i])
+            + (h[i + 1] - h[i] - step) * (q[i] - q[i - 1]) / (h[i] - h[i - 1])
+        )
+
+    def _linear(self, i: int, step: float) -> float:
+        h, q = self._positions, self._heights
+        j = i + int(step)
+        return q[i] + step * (q[j] - q[i]) / (h[j] - h[i])
+
+    @property
+    def value(self) -> Optional[float]:
+        """Current quantile estimate (``None`` before any observation)."""
+        if not self._heights:
+            return None
+        if len(self._heights) < 5:
+            # Exact small-sample quantile (nearest-rank on the sorted
+            # prefix) until the marker machinery has five observations.
+            rank = max(
+                0, min(len(self._heights) - 1,
+                       int(math.ceil(self.p * len(self._heights))) - 1)
+            )
+            return self._heights[rank]
+        return self._heights[2]
+
+
+class _Distribution:
+    """Welford + a fixed battery of P² quantiles over one statistic."""
+
+    QUANTILES = (0.5, 0.9, 0.99)
+
+    def __init__(self) -> None:
+        self.welford = Welford()
+        self.quantiles = [P2Quantile(p) for p in self.QUANTILES]
+
+    def update(self, value: float) -> None:
+        self.welford.update(value)
+        for quantile in self.quantiles:
+            quantile.update(value)
+
+    def to_dict(self) -> Dict:
+        data = self.welford.to_dict()
+        for quantile in self.quantiles:
+            data[f"p{int(quantile.p * 100)}"] = quantile.value
+        return data
+
+
+class RecoveryTable:
+    """Per-fault-label recovery statistics from record phase timelines.
+
+    Mirrors :meth:`repro.scenarios.engine.ScenarioResult.recovery_pairs`
+    on the plain-dict records the ensemble shards store: each fault
+    phase pairs with the next run phase; consecutive faults share one
+    recovery.  Tracks, per fault label, how often recovery re-silenced
+    and the distribution of recovery parallel time.
+    """
+
+    def __init__(self) -> None:
+        self._rows: Dict[str, Dict] = {}
+
+    def _row(self, label: str) -> Dict:
+        if label not in self._rows:
+            self._rows[label] = {
+                "count": 0,
+                "recovered": 0,
+                "unrecovered": 0,
+                "parallel_time": _Distribution(),
+            }
+        return self._rows[label]
+
+    def update(self, phases: Sequence[Dict]) -> None:
+        pending: List[Dict] = []
+        for phase in phases:
+            if phase["kind"] == "fault":
+                pending.append(phase)
+            elif pending:
+                for fault in pending:
+                    row = self._row(fault["label"])
+                    row["count"] += 1
+                    if phase["silent"]:
+                        row["recovered"] += 1
+                        row["parallel_time"].update(
+                            phase["interactions"] / phase["num_agents"]
+                        )
+                    else:
+                        row["unrecovered"] += 1
+                pending = []
+        for fault in pending:
+            row = self._row(fault["label"])
+            row["count"] += 1
+            row["unrecovered"] += 1
+
+    def to_dict(self) -> Dict:
+        return {
+            label: {
+                "count": row["count"],
+                "recovered": row["recovered"],
+                "unrecovered": row["unrecovered"],
+                "parallel_time": row["parallel_time"].to_dict(),
+            }
+            for label, row in sorted(self._rows.items())
+        }
+
+
+class EnsembleAggregates:
+    """The full streaming fold over an ensemble's run records.
+
+    ``update`` consumes one shard record (a plain dict — either a run
+    record or a quarantined-job record); ``to_dict`` emits the
+    deterministic, wall-clock-free aggregate that ``aggregates.json``
+    stores.  Records must be fed in global run order for bit-stable
+    output, which the runner guarantees by streaming shards by index.
+    """
+
+    def __init__(self) -> None:
+        self.runs = 0
+        self.failed = 0
+        self.recovered_all = 0
+        self.events = _Distribution()
+        self.interactions = _Distribution()
+        self.parallel_time = _Distribution()
+        self.recovery = RecoveryTable()
+
+    def update(self, record: Dict) -> None:
+        if record.get("failed"):
+            self.failed += 1
+            return
+        self.runs += 1
+        if record["recovered_all"]:
+            self.recovered_all += 1
+        self.events.update(record["total_events"])
+        self.interactions.update(record["total_interactions"])
+        self.parallel_time.update(record["total_parallel_time"])
+        self.recovery.update(record["phases"])
+
+    def to_dict(self) -> Dict:
+        completed = self.runs
+        return {
+            "runs": completed,
+            "failed_jobs": self.failed,
+            "recovered_all": {
+                "count": self.recovered_all,
+                "fraction": (
+                    self.recovered_all / completed if completed else 0.0
+                ),
+            },
+            "total_events": self.events.to_dict(),
+            "total_interactions": self.interactions.to_dict(),
+            "parallel_time": self.parallel_time.to_dict(),
+            "recovery": self.recovery.to_dict(),
+        }

@@ -1,0 +1,325 @@
+"""Resumable sharded ensemble runner.
+
+Runs ``total_runs`` independently seeded instances of one catalogued
+campaign scenario, sharded so that arbitrarily large ensembles (10⁵+
+runs) complete with bounded peak memory and survive being killed at any
+instant:
+
+* Seeds follow the repo-wide discipline — one root ``SeedSequence``
+  spawned into one child per run *before* any dispatch — so every run
+  is a pure function of ``(seed, run_index)`` and the ensemble is
+  bit-identical at any worker count, across resumes, and across shard
+  boundaries.
+* Each shard's jobs go through the supervised executor
+  (:func:`repro.analysis.supervision.supervised_map`) with
+  ``fail_fast=False``: a crashed/hung/poison run becomes a quarantine
+  record in the shard, never a lost ensemble.
+* Shard files and the manifest are written atomically
+  (:mod:`repro.ensemble.manifest`); the manifest marks a shard ``done``
+  only after its file is durably renamed, with its SHA-256.
+* ``resume=True`` verifies every ``done`` shard's checksum, renames
+  corrupt files to ``*.corrupt`` and recomputes exactly the gap.
+* Aggregates are **always** recomputed by streaming the shard files in
+  index order through the online reducers
+  (:mod:`repro.ensemble.reducers`) — never incrementally carried in
+  memory across shards — so a resumed ensemble's ``aggregates.json``
+  is byte-identical to an uninterrupted one's (records and aggregates
+  carry no wall-clock fields).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..analysis.supervision import SupervisionPolicy, supervised_map
+from ..exceptions import ExperimentError
+from ..scenarios.catalog import get_campaign
+from ..scenarios.engine import ScenarioResult, run_scenario
+from .manifest import (
+    MANIFEST_NAME,
+    atomic_write_json,
+    create_manifest,
+    file_sha256,
+    load_json,
+    load_manifest,
+    save_manifest,
+    shard_path,
+)
+from .reducers import EnsembleAggregates
+
+__all__ = [
+    "AGGREGATES_NAME",
+    "ensemble_status",
+    "run_ensemble",
+    "run_record",
+]
+
+AGGREGATES_NAME = "aggregates.json"
+
+Progress = Optional[Callable[[str], None]]
+
+
+def run_record(result: ScenarioResult, run_index: int) -> Dict:
+    """Flatten one scenario result into a plain shard record.
+
+    Deliberately excludes every wall-clock field — records must be a
+    pure function of ``(seed, run_index)`` for resumed ensembles to
+    reproduce uninterrupted ones byte-for-byte.
+    """
+    return {
+        "run": run_index,
+        "scenario": result.scenario_name,
+        "protocol": result.protocol_name,
+        "recovered_all": result.recovered_all,
+        "total_events": result.total_events,
+        "total_interactions": result.total_interactions,
+        "total_parallel_time": result.total_parallel_time,
+        "phases": [
+            {
+                "index": log.index,
+                "kind": log.kind,
+                "label": log.label,
+                "num_agents": log.num_agents,
+                "interactions": log.interactions,
+                "events": log.events,
+                "silent": log.silent,
+                "stop_reason": log.stop_reason,
+                "distance": log.distance,
+                "scheduler": log.scheduler,
+            }
+            for log in result.phase_logs
+        ],
+    }
+
+
+def _ensemble_job(job: tuple) -> Dict:
+    """One ensemble run, self-contained for worker processes."""
+    scenario, child, default_max_events, run_index = job
+    result = run_scenario(
+        scenario, seed=child, default_max_events=default_max_events
+    )
+    return run_record(result, run_index)
+
+
+def _default_policy(policy: Optional[SupervisionPolicy]) -> SupervisionPolicy:
+    """Ensemble runs quarantine rather than die: force fail_fast off."""
+    if policy is None:
+        return SupervisionPolicy(fail_fast=False)
+    if policy.fail_fast:
+        return SupervisionPolicy(
+            timeout=policy.timeout,
+            max_attempts=policy.max_attempts,
+            backoff_base=policy.backoff_base,
+            backoff_cap=policy.backoff_cap,
+            jitter=policy.jitter,
+            max_pool_rebuilds=policy.max_pool_rebuilds,
+            fail_fast=False,
+        )
+    return policy
+
+
+def _verify_done_shards(out_dir: str, manifest: Dict, progress: Progress) -> int:
+    """Re-check every ``done`` shard; corrupt ones go back to pending.
+
+    Returns the number of shards demoted.  A corrupt file is renamed to
+    ``<shard>.corrupt`` (kept for post-mortems, replaced on repeat
+    corruption) rather than deleted.
+    """
+    demoted = 0
+    for shard in manifest["shards"]:
+        if shard["status"] != "done":
+            continue
+        path = shard_path(out_dir, shard["index"])
+        reason = None
+        if not os.path.exists(path):
+            reason = "file missing"
+        elif file_sha256(path) != shard["sha256"]:
+            reason = "checksum mismatch"
+        if reason is None:
+            continue
+        if os.path.exists(path):
+            os.replace(path, path + ".corrupt")
+        shard["status"] = "pending"
+        shard["sha256"] = None
+        demoted += 1
+        if progress:
+            progress(
+                f"shard {shard['index']} is corrupt ({reason}); "
+                "quarantined and queued for recompute"
+            )
+    return demoted
+
+
+def _aggregate(out_dir: str, manifest: Dict) -> Dict:
+    """Stream every shard file, in index order, through the reducers."""
+    aggregates = EnsembleAggregates()
+    for shard in manifest["shards"]:
+        payload = load_json(shard_path(out_dir, shard["index"]))
+        for record in payload["records"]:
+            aggregates.update(record)
+    return {
+        "campaign": manifest["campaign"],
+        "scale": manifest["scale"],
+        "seed": manifest["seed"],
+        "total_runs": manifest["total_runs"],
+        "aggregates": aggregates.to_dict(),
+    }
+
+
+def run_ensemble(
+    out_dir: str,
+    campaign_id: Optional[str] = None,
+    scale: str = "smoke",
+    total_runs: Optional[int] = None,
+    shard_size: int = 1000,
+    seed: int = 0,
+    workers: Optional[int] = None,
+    default_max_events: Optional[int] = None,
+    policy: Optional[SupervisionPolicy] = None,
+    resume: bool = False,
+    progress: Progress = None,
+) -> Dict:
+    """Run (or resume) one sharded ensemble; returns the aggregate dict.
+
+    Fresh runs need ``campaign_id`` (and optionally ``total_runs``,
+    defaulting to the campaign's repetition count for ``scale``);
+    resumed runs read every parameter from the on-disk manifest and
+    reject contradicting arguments, so a resume can never silently
+    compute a different ensemble.
+    """
+    if resume:
+        manifest = load_manifest(out_dir)
+        if campaign_id is not None and campaign_id != manifest["campaign"]:
+            raise ExperimentError(
+                f"--resume found campaign {manifest['campaign']!r} in "
+                f"{out_dir}, not {campaign_id!r}"
+            )
+        if total_runs is not None and total_runs != manifest["total_runs"]:
+            raise ExperimentError(
+                f"--resume found {manifest['total_runs']} runs in "
+                f"{out_dir}, not {total_runs}"
+            )
+        _verify_done_shards(out_dir, manifest, progress)
+        save_manifest(out_dir, manifest)
+    else:
+        if campaign_id is None:
+            raise ExperimentError(
+                "a fresh ensemble needs a campaign id"
+            )
+        if os.path.exists(os.path.join(out_dir, MANIFEST_NAME)):
+            raise ExperimentError(
+                f"{out_dir} already holds an ensemble manifest; pass "
+                "resume/--resume to continue it or choose a fresh "
+                "directory"
+            )
+        campaign = get_campaign(campaign_id)
+        if total_runs is None:
+            total_runs = campaign.repetitions_for(scale)
+        manifest = create_manifest(
+            campaign_id=campaign_id,
+            scale=scale,
+            seed=seed,
+            total_runs=total_runs,
+            shard_size=shard_size,
+            default_max_events=default_max_events,
+        )
+        os.makedirs(out_dir, exist_ok=True)
+        save_manifest(out_dir, manifest)
+
+    campaign = get_campaign(manifest["campaign"])
+    scenario = campaign.build(manifest["scale"])
+    effective_policy = _default_policy(policy)
+    # One upfront spawn; shards slice it, so a run's seed never depends
+    # on which shards already finished.
+    children = np.random.SeedSequence(manifest["seed"]).spawn(
+        manifest["total_runs"]
+    )
+    max_events = manifest.get("default_max_events")
+
+    pending = [s for s in manifest["shards"] if s["status"] != "done"]
+    if progress:
+        done = len(manifest["shards"]) - len(pending)
+        progress(
+            f"ensemble {manifest['campaign']}@{manifest['scale']}: "
+            f"{manifest['total_runs']} runs in {len(manifest['shards'])} "
+            f"shards ({done} already done)"
+        )
+    for shard in pending:
+        jobs = [
+            (scenario, children[i], max_events, i)
+            for i in range(shard["start"], shard["stop"])
+        ]
+        records, failures = supervised_map(
+            _ensemble_job, jobs, workers=workers, policy=effective_policy
+        )
+        merged: List[Dict] = []
+        by_index = {failure.index: failure for failure in failures}
+        for offset, record in enumerate(records):
+            if record is not None:
+                merged.append(record)
+            else:
+                failure = by_index[offset]
+                merged.append(
+                    {
+                        "run": shard["start"] + offset,
+                        "failed": True,
+                        "kind": failure.kind,
+                        "error": failure.error,
+                        "message": failure.message,
+                        "attempts": failure.attempts,
+                    }
+                )
+        path = shard_path(out_dir, shard["index"])
+        atomic_write_json(
+            path,
+            {
+                "index": shard["index"],
+                "start": shard["start"],
+                "stop": shard["stop"],
+                "records": merged,
+            },
+        )
+        shard["status"] = "done"
+        shard["sha256"] = file_sha256(path)
+        save_manifest(out_dir, manifest)
+        if progress:
+            note = f" ({len(failures)} quarantined)" if failures else ""
+            progress(
+                f"shard {shard['index']} done "
+                f"[{shard['stop']}/{manifest['total_runs']} runs]{note}"
+            )
+
+    aggregate = _aggregate(out_dir, manifest)
+    atomic_write_json(os.path.join(out_dir, AGGREGATES_NAME), aggregate)
+    if progress:
+        summary = aggregate["aggregates"]
+        progress(
+            f"aggregated {summary['runs']} runs "
+            f"({summary['failed_jobs']} failed jobs) -> "
+            f"{os.path.join(out_dir, AGGREGATES_NAME)}"
+        )
+    return aggregate
+
+
+def ensemble_status(out_dir: str) -> Dict:
+    """Summarise an ensemble directory without running anything."""
+    manifest = load_manifest(out_dir)
+    done = [s for s in manifest["shards"] if s["status"] == "done"]
+    runs_done = sum(s["stop"] - s["start"] for s in done)
+    aggregates_path = os.path.join(out_dir, AGGREGATES_NAME)
+    status = {
+        "campaign": manifest["campaign"],
+        "scale": manifest["scale"],
+        "seed": manifest["seed"],
+        "total_runs": manifest["total_runs"],
+        "shard_size": manifest["shard_size"],
+        "shards_total": len(manifest["shards"]),
+        "shards_done": len(done),
+        "runs_done": runs_done,
+        "complete": len(done) == len(manifest["shards"]),
+        "has_aggregates": os.path.exists(aggregates_path),
+    }
+    return status

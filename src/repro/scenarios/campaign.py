@@ -16,7 +16,11 @@ from typing import List, Optional
 
 import numpy as np
 
-from ..analysis.sweep import fan_out
+from ..analysis.supervision import (
+    JobFailure,
+    SupervisionPolicy,
+    supervised_map,
+)
 from ..exceptions import ExperimentError
 from .engine import ScenarioResult, run_scenario
 from .spec import Scenario
@@ -26,11 +30,18 @@ __all__ = ["CampaignResult", "CampaignRunner", "run_campaign"]
 
 @dataclass
 class CampaignResult:
-    """All repetitions of one scenario campaign."""
+    """All repetitions of one scenario campaign.
+
+    ``failures`` lists repetitions quarantined by the supervised
+    executor (only non-empty under a ``fail_fast=False``
+    :class:`~repro.analysis.supervision.SupervisionPolicy`); the
+    statistics below cover the surviving ``results``.
+    """
 
     scenario: Scenario
     seed: int
     results: List[ScenarioResult] = field(default_factory=list)
+    failures: List[JobFailure] = field(default_factory=list)
 
     @property
     def repetitions(self) -> int:
@@ -71,13 +82,16 @@ def run_campaign(
     seed: int = 0,
     workers: Optional[int] = None,
     default_max_events: Optional[int] = None,
+    policy: Optional[SupervisionPolicy] = None,
 ) -> CampaignResult:
     """Run ``repetitions`` independent instances of ``scenario``.
 
-    ``workers`` > 1 fans the instances out over a process pool (the
-    scenario spec and its results are plain data, so they pickle);
-    ``default_max_events`` caps run phases that carry no budget of
-    their own.
+    ``workers`` > 1 fans the instances out over the supervised process
+    pool (the scenario spec and its results are plain data, so they
+    pickle); ``default_max_events`` caps run phases that carry no
+    budget of their own.  ``policy`` tunes supervision; with
+    ``fail_fast=False`` quarantined repetitions are recorded in
+    :attr:`CampaignResult.failures` instead of raising.
     """
     if repetitions < 1:
         raise ExperimentError(
@@ -85,8 +99,21 @@ def run_campaign(
         )
     children = np.random.SeedSequence(seed).spawn(repetitions)
     jobs = [(scenario, child, default_max_events) for child in children]
-    results = fan_out(_campaign_job, jobs, workers=workers)
-    return CampaignResult(scenario=scenario, seed=seed, results=results)
+    results, failures = supervised_map(
+        _campaign_job, jobs, workers=workers, policy=policy
+    )
+    if failures and (policy is None or policy.fail_fast):
+        detail = "; ".join(repr(failure) for failure in failures[:5])
+        raise ExperimentError(
+            f"{len(failures)} of {len(jobs)} campaign repetitions of "
+            f"{scenario.name!r} failed under supervision: {detail}"
+        )
+    return CampaignResult(
+        scenario=scenario,
+        seed=seed,
+        results=[r for r in results if r is not None],
+        failures=failures,
+    )
 
 
 class CampaignRunner:
@@ -103,11 +130,13 @@ class CampaignRunner:
         seed: int = 0,
         workers: Optional[int] = None,
         default_max_events: Optional[int] = None,
+        policy: Optional[SupervisionPolicy] = None,
     ) -> None:
         self.repetitions = repetitions
         self.seed = seed
         self.workers = workers
         self.default_max_events = default_max_events
+        self.policy = policy
 
     def run(self, scenario: Scenario) -> CampaignResult:
         """Execute one scenario under this runner's policy."""
@@ -117,4 +146,5 @@ class CampaignRunner:
             seed=self.seed,
             workers=self.workers,
             default_max_events=self.default_max_events,
+            policy=self.policy,
         )

@@ -1,0 +1,165 @@
+"""Online reducers: accuracy against batch references, determinism."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ensemble.reducers import (
+    EnsembleAggregates,
+    P2Quantile,
+    RecoveryTable,
+    Welford,
+)
+
+
+class TestWelford:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False),
+            min_size=1, max_size=200,
+        )
+    )
+    def test_matches_numpy(self, values):
+        welford = Welford()
+        for value in values:
+            welford.update(value)
+        assert welford.count == len(values)
+        assert welford.mean == pytest.approx(np.mean(values), rel=1e-9,
+                                             abs=1e-6)
+        if len(values) > 1:
+            assert welford.variance == pytest.approx(
+                np.var(values, ddof=1), rel=1e-6, abs=1e-4
+            )
+        assert welford.minimum == min(values)
+        assert welford.maximum == max(values)
+
+    def test_empty(self):
+        welford = Welford()
+        assert welford.count == 0
+        assert welford.variance == 0.0
+        assert welford.to_dict()["min"] is None
+
+
+class TestP2Quantile:
+    def test_exact_for_small_samples(self):
+        quantile = P2Quantile(0.5)
+        for value in (5.0, 1.0, 3.0):
+            quantile.update(value)
+        assert quantile.value == 3.0
+
+    def test_empty_is_none(self):
+        assert P2Quantile(0.9).value is None
+
+    def test_rejects_degenerate_p(self):
+        with pytest.raises(ValueError):
+            P2Quantile(0.0)
+        with pytest.raises(ValueError):
+            P2Quantile(1.0)
+
+    @pytest.mark.parametrize("p", [0.5, 0.9, 0.99])
+    def test_close_to_numpy_percentile_on_large_stream(self, p):
+        rng = np.random.default_rng(42)
+        values = rng.exponential(scale=100.0, size=20_000)
+        quantile = P2Quantile(p)
+        for value in values:
+            quantile.update(value)
+        exact = float(np.percentile(values, p * 100.0))
+        # P² is an approximation; a few percent on a heavy-ish tail.
+        assert quantile.value == pytest.approx(exact, rel=0.05)
+
+    def test_deterministic_fold(self):
+        rng = np.random.default_rng(7)
+        values = rng.normal(size=5_000)
+        first, second = P2Quantile(0.9), P2Quantile(0.9)
+        for value in values:
+            first.update(value)
+        for value in values:
+            second.update(value)
+        assert first.value == second.value
+
+
+def _record(run, recovered=True, events=100, interactions=1000,
+            phases=None):
+    return {
+        "run": run,
+        "recovered_all": recovered,
+        "total_events": events,
+        "total_interactions": interactions,
+        "total_parallel_time": interactions / 10.0,
+        "phases": phases if phases is not None else [],
+    }
+
+
+def _phases(recovered=True):
+    return [
+        {"kind": "run", "label": "stabilise", "num_agents": 10,
+         "interactions": 500, "events": 60, "silent": True},
+        {"kind": "fault", "label": "corrupt 20%", "num_agents": 10,
+         "interactions": 0, "events": 0, "silent": False},
+        {"kind": "run", "label": "recover", "num_agents": 10,
+         "interactions": 400, "events": 40, "silent": recovered},
+    ]
+
+
+class TestRecoveryTable:
+    def test_pairs_faults_with_next_run_phase(self):
+        table = RecoveryTable()
+        table.update(_phases(recovered=True))
+        table.update(_phases(recovered=False))
+        data = table.to_dict()
+        row = data["corrupt 20%"]
+        assert row["count"] == 2
+        assert row["recovered"] == 1
+        assert row["unrecovered"] == 1
+        assert row["parallel_time"]["count"] == 1
+        assert row["parallel_time"]["mean"] == pytest.approx(40.0)
+
+    def test_trailing_fault_counts_as_unrecovered(self):
+        table = RecoveryTable()
+        table.update(
+            [
+                {"kind": "fault", "label": "late crash", "num_agents": 10,
+                 "interactions": 0, "events": 0, "silent": False},
+            ]
+        )
+        row = table.to_dict()["late crash"]
+        assert row["count"] == 1 and row["unrecovered"] == 1
+
+
+class TestEnsembleAggregates:
+    def test_streaming_fold(self):
+        aggregates = EnsembleAggregates()
+        for run in range(10):
+            aggregates.update(
+                _record(run, recovered=run % 2 == 0, events=run * 10,
+                        interactions=run * 100, phases=_phases())
+            )
+        aggregates.update({"run": 10, "failed": True, "kind": "crash",
+                           "error": "BrokenProcessPool", "message": "",
+                           "attempts": 3})
+        data = aggregates.to_dict()
+        assert data["runs"] == 10
+        assert data["failed_jobs"] == 1
+        assert data["recovered_all"]["count"] == 5
+        assert data["recovered_all"]["fraction"] == 0.5
+        assert data["total_events"]["count"] == 10
+        assert data["total_events"]["mean"] == pytest.approx(45.0)
+        assert data["recovery"]["corrupt 20%"]["count"] == 10
+
+    def test_deterministic_output(self):
+        import json
+
+        def build():
+            aggregates = EnsembleAggregates()
+            for run in range(50):
+                aggregates.update(
+                    _record(run, events=run, interactions=run * 7,
+                            phases=_phases(recovered=run % 3 != 0))
+                )
+            return aggregates.to_dict()
+
+        assert json.dumps(build(), sort_keys=True) == json.dumps(
+            build(), sort_keys=True
+        )

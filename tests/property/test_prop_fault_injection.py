@@ -146,3 +146,79 @@ class TestWeightCacheAfterMutation:
         assert warm.counts == fresh.counts
         assert warm.interactions - base_interactions == fresh.interactions
         assert warm.events - base_events == fresh.events
+
+
+class TestSnapshotAfterChurn:
+    """The checkpoint seam composes with the fault seam: a snapshot
+    taken mid-scenario, after ``reset_configuration`` churn, restores
+    and continues identically to the engine that took it."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        protocol_index=st.integers(0, 2),
+        warmup_events=st.integers(0, 100),
+        victims=st.integers(1, 10),
+        kind=st.sampled_from(["corrupt", "crash", "swap"]),
+        tail_events=st.integers(1, 300),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_jump_snapshot_after_reset_configuration(
+        self, protocol_index, warmup_events, victims, kind, tail_events, seed
+    ):
+        from repro import resume_engine
+
+        protocol = _protocol(protocol_index)
+        start = random_configuration(protocol, seed=seed)
+        engine = JumpEngine(protocol, start, np.random.default_rng(seed))
+        engine.run(max_events=warmup_events)
+        corrupted = _fault(
+            Configuration(engine.counts), kind, victims, seed + 1
+        )
+        engine.reset_configuration(corrupted)
+        # Run a little *after* the fault so the snapshot captures
+        # genuinely post-churn sampler state, then checkpoint.
+        engine.run(max_events=engine.events + 20)
+        snapshot = engine.snapshot()
+        restored = resume_engine(protocol, snapshot)
+        assert restored.counts == engine.counts
+        assert restored.productive_weight == engine.productive_weight
+        target = engine.events + tail_events
+        live_silent = engine.run(max_events=target)
+        restored_silent = restored.run(max_events=target)
+        assert live_silent == restored_silent
+        assert restored.counts == engine.counts
+        assert restored.interactions == engine.interactions
+        assert restored.events == engine.events
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        warmup_events=st.integers(0, 60),
+        victims=st.integers(1, 8),
+        tail_events=st.integers(1, 200),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_sequential_snapshot_after_reset_configuration(
+        self, warmup_events, victims, tail_events, seed
+    ):
+        from repro import resume_engine
+
+        protocol = AGProtocol(10)
+        start = random_configuration(protocol, seed=seed)
+        engine = SequentialEngine(
+            protocol, start, np.random.default_rng(seed)
+        )
+        engine.run(max_events=warmup_events)
+        corrupted = corrupt_agents(
+            Configuration(engine.counts), victims, seed=seed + 1
+        )
+        engine.reset_configuration(corrupted)
+        engine.run(max_events=engine.events + 10)
+        snapshot = engine.snapshot()
+        restored = resume_engine(protocol, snapshot)
+        target = engine.events + tail_events
+        assert engine.run(max_events=target) == restored.run(
+            max_events=target
+        )
+        assert restored.counts == engine.counts
+        assert restored.agent_states == engine.agent_states
+        assert restored.interactions == engine.interactions
