@@ -1,0 +1,56 @@
+"""Crash-safe file writes shared across the repo.
+
+One implementation of the temp-file + flush + fsync + ``os.replace``
+pattern (born in :mod:`repro.ensemble.manifest`, now shared): a crash —
+including SIGKILL — can never leave a half-written file under a valid
+name.  A file either has its complete content or does not exist.
+
+Users: ensemble manifests/shards/aggregates, bench ``BENCH_*.json``
+records, and JSONL trace files (:mod:`repro.obs.trace`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Dict
+
+__all__ = ["atomic_write_json", "atomic_write_text"]
+
+
+def atomic_write_text(path: str, text: str, suffix: str = ".txt") -> None:
+    """Write ``text`` durably: temp file + flush + fsync + rename."""
+    directory = os.path.dirname(os.path.abspath(path))
+    descriptor, temp_path = tempfile.mkstemp(
+        dir=directory, prefix=".tmp-", suffix=suffix
+    )
+    try:
+        with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_json(
+    path: str,
+    payload: Dict,
+    sort_keys: bool = True,
+    indent: int = 1,
+) -> None:
+    """Write JSON durably via :func:`atomic_write_text`.
+
+    Deterministic bytes for deterministic payloads (sorted keys, fixed
+    separators by default) — byte-comparing two aggregate files is
+    meaningful.  Callers with an established on-disk format (the bench
+    records) pass their own ``sort_keys``/``indent``.
+    """
+    text = json.dumps(payload, sort_keys=sort_keys, indent=indent) + "\n"
+    atomic_write_text(path, text, suffix=".json")

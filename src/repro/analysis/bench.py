@@ -69,8 +69,10 @@ __all__ = [
     "bench_suite",
     "check_speedup_floors",
     "compare_bench",
+    "instrument_bench",
     "load_bench",
     "read_bench_history",
+    "render_instrument",
     "run_bench",
     "scheduler_bench_suite",
     "write_bench_json",
@@ -850,12 +852,89 @@ def read_bench_history(path: str) -> List[Dict[str, str]]:
 
 
 def write_bench_json(record: Dict[str, object], output_dir: str = ".") -> str:
-    """Write the record to ``<output_dir>/BENCH_<timestamp>.json``."""
+    """Write the record to ``<output_dir>/BENCH_<timestamp>.json``.
+
+    Atomic (temp/fsync/rename via :mod:`repro._io`): a record under a
+    valid ``BENCH_*`` name is always complete, even if the bench run is
+    killed mid-write.
+    """
+    from .._io import atomic_write_json
+
     path = os.path.join(output_dir, f"BENCH_{record['timestamp']}.json")
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(record, handle, indent=2)
-        handle.write("\n")
+    atomic_write_json(path, record, indent=2, sort_keys=False)
     return path
+
+
+def instrument_bench(
+    quick: bool = True, seed: int = 7
+) -> Dict[str, object]:
+    """Run the engine suite once per case with counters attached.
+
+    One instrumented run per :func:`bench_suite` case (no timing — the
+    counters, not the wall clock, are the measurement): each entry
+    reports the raw counter bag plus the derived ratios from
+    :meth:`repro.obs.Instrumentation.derived`.  ``line-m4`` is the
+    headline: its ``proposals_per_pool_draw`` and ``sprint_share`` are
+    the ROADMAP's residual-cost answer for the hybrid proposal/Fenwick
+    sampler.
+    """
+    from ..obs import Instrumentation
+
+    cases = []
+    for case in bench_suite(quick=quick):
+        protocol, start = case.build()
+        instr = Instrumentation()
+        engine = JumpEngine(
+            protocol, start, np.random.default_rng(seed),
+            instrumentation=instr,
+        )
+        silent = engine.run(max_events=case.max_events)
+        entry = {
+            "case": case.case_id,
+            "protocol": case.protocol_name,
+            "n": case.num_agents,
+            "max_events": case.max_events,
+            "seed": seed,
+            "silent": silent,
+        }
+        entry.update(instr.to_dict())
+        cases.append(entry)
+    return {"quick": quick, "seed": seed, "cases": cases}
+
+
+def render_instrument(record: Dict[str, object]) -> str:
+    """Fixed-width table of an :func:`instrument_bench` record."""
+    lines = [
+        f"{'case':<16} {'events':>8} {'skips/ev':>9} {'raws/ev':>8} "
+        f"{'props/pool':>10} {'sprint':>7} {'fenwick':>8}"
+    ]
+
+    def ratio(entry, name, fmt="{:.2f}"):
+        value = entry["derived"].get(name)
+        return fmt.format(value) if value is not None else "-"
+
+    for entry in record["cases"]:
+        lines.append(
+            f"{entry['case']:<16} {entry['counters'].get('events', 0):>8} "
+            f"{ratio(entry, 'skip_draws_per_event'):>9} "
+            f"{ratio(entry, 'raw_draws_per_event'):>8} "
+            f"{ratio(entry, 'proposals_per_pool_draw'):>10} "
+            f"{ratio(entry, 'sprint_share', '{:.0%}'):>7} "
+            f"{ratio(entry, 'fenwick_share', '{:.0%}'):>8}"
+        )
+    headline = next(
+        (c for c in record["cases"] if c["case"] == "line-m4"), None
+    )
+    if headline is not None:
+        derived = headline["derived"]
+        lines.append(
+            "line-m4 residual cost: "
+            f"{derived.get('proposals_per_pool_draw', float('nan')):.2f} "
+            "proposals per pool draw, "
+            f"{derived.get('sprint_share', 0.0):.0%} of pool events on "
+            "the sprint shortcut"
+        )
+    return "\n".join(lines)
 
 
 def render_bench(record: Dict[str, object]) -> str:

@@ -157,6 +157,16 @@ def check_picklable(worker: Callable, jobs: Sequence) -> None:
         raise  # pragma: no cover — batch failed but every item passed
 
 
+def _notify(observer, kind: str, **fields) -> None:
+    """Report one supervision event; observer errors never break the map."""
+    if observer is None:
+        return
+    try:
+        observer(kind, fields)
+    except Exception:
+        pass
+
+
 def _terminate_pool(executor: ProcessPoolExecutor) -> None:
     """Kill a pool's workers and reap it without waiting on stuck jobs."""
     processes = getattr(executor, "_processes", None) or {}
@@ -176,6 +186,7 @@ def _run_serially(
     results: List,
     failures: Dict[int, JobFailure],
     attempts: List[int],
+    observer=None,
 ) -> None:
     """Degraded mode: finish ``indices`` in-process (no pre-emption)."""
     for index in indices:
@@ -191,6 +202,7 @@ def _run_serially(
                 message=str(exc),
                 attempts=attempts[index] + 1,
             )
+            _notify(observer, "quarantine", job=index, failure="error")
 
 
 def _solo_isolation(
@@ -202,6 +214,7 @@ def _solo_isolation(
     failures: Dict[int, JobFailure],
     attempts: List[int],
     retry_queue: deque,
+    observer=None,
 ) -> None:
     """Attribute blame for a pool break by re-running suspects alone.
 
@@ -219,14 +232,14 @@ def _solo_isolation(
                 _terminate_pool(solo)
                 _charge(index, "hang", "TimeoutError",
                         f"job exceeded {policy.timeout}s solo deadline",
-                        policy, failures, attempts, retry_queue)
+                        policy, failures, attempts, retry_queue, observer)
                 continue
             try:
                 results[index] = future.result()
             except BrokenProcessPool:
                 _charge(index, "crash", "BrokenProcessPool",
                         "worker process died running this job alone",
-                        policy, failures, attempts, retry_queue)
+                        policy, failures, attempts, retry_queue, observer)
             except Exception as exc:
                 if policy.fail_fast:
                     raise
@@ -237,6 +250,7 @@ def _solo_isolation(
                     message=str(exc),
                     attempts=attempts[index] + 1,
                 )
+                _notify(observer, "quarantine", job=index, failure="error")
         finally:
             _terminate_pool(solo)
 
@@ -250,6 +264,7 @@ def _charge(
     failures: Dict[int, JobFailure],
     attempts: List[int],
     retry_queue: deque,
+    observer=None,
 ) -> None:
     """Charge one attempt to a job; quarantine or schedule a retry."""
     attempts[index] += 1
@@ -261,8 +276,13 @@ def _charge(
             message=message,
             attempts=attempts[index],
         )
+        _notify(observer, "quarantine", job=index, failure=kind)
     else:
         retry_queue.append((index, policy.backoff_delay(attempts[index])))
+        _notify(
+            observer, "retry",
+            job=index, attempt=attempts[index], failure=kind,
+        )
 
 
 def supervised_map(
@@ -270,6 +290,7 @@ def supervised_map(
     jobs: Sequence,
     workers: Optional[int] = None,
     policy: Optional[SupervisionPolicy] = None,
+    observer: Optional[Callable[[str, dict], None]] = None,
 ) -> Tuple[List, List[JobFailure]]:
     """Map ``worker`` over ``jobs`` under supervision.
 
@@ -284,6 +305,14 @@ def supervised_map(
     no pre-emption is possible, so ``policy.timeout`` is not enforced
     and a hard crash is fatal — but worker exceptions still honour
     ``policy.fail_fast``.
+
+    ``observer``, when given, receives ``(kind, fields)`` for each
+    supervision event — ``"retry"`` (``job``/``attempt``/``failure``),
+    ``"quarantine"`` (``job``/``failure``), ``"pool_rebuild"``
+    (``rebuilds``) — the vocabulary of :mod:`repro.obs.trace`'s
+    operational records.  Observation is best-effort: observer
+    exceptions are swallowed, and the callback can never change the
+    results.
     """
     policy = policy or SupervisionPolicy()
     if workers is not None and workers < 1:
@@ -295,7 +324,7 @@ def supervised_map(
 
     if workers is None or workers <= 1 or not jobs:
         _run_serially(worker, jobs, range(len(jobs)), policy,
-                      results, failures, attempts)
+                      results, failures, attempts, observer)
         return results, sorted(failures.values(), key=lambda f: f.index)
 
     check_picklable(worker, jobs)
@@ -341,8 +370,9 @@ def supervised_map(
         _terminate_pool(executor)
         executor = None
         _solo_isolation(worker, jobs, suspects, policy,
-                        results, failures, attempts, retry_queue)
+                        results, failures, attempts, retry_queue, observer)
         rebuilds += 1
+        _notify(observer, "pool_rebuild", rebuilds=rebuilds)
 
     try:
         while pending or in_flight or retry_queue:
@@ -363,7 +393,7 @@ def supervised_map(
                     remaining += list(pending)
                     pending.clear()
                     _run_serially(worker, jobs, remaining, policy,
-                                  results, failures, attempts)
+                                  results, failures, attempts, observer)
                     continue
                 executor = ProcessPoolExecutor(max_workers=workers)
             while pending and len(in_flight) < workers:
@@ -402,6 +432,9 @@ def supervised_map(
                         message=str(exc),
                         attempts=attempts[index] + 1,
                     )
+                    _notify(
+                        observer, "quarantine", job=index, failure="error"
+                    )
             if broken_suspects is not None:
                 # Every job in flight at the break is a suspect — the
                 # dead worker could have been running any of them.
@@ -423,7 +456,8 @@ def supervised_map(
                     for index in overdue:
                         _charge(index, "hang", "TimeoutError",
                                 f"job exceeded {policy.timeout}s deadline",
-                                policy, failures, attempts, retry_queue)
+                                policy, failures, attempts, retry_queue,
+                                observer)
                     for future in list(in_flight):
                         index, _ = in_flight.pop(future)
                         if index not in overdue:
@@ -431,6 +465,7 @@ def supervised_map(
                     _terminate_pool(executor)
                     executor = None
                     rebuilds += 1
+                    _notify(observer, "pool_rebuild", rebuilds=rebuilds)
     finally:
         if executor is not None:
             executor.shutdown(wait=False, cancel_futures=True)

@@ -87,6 +87,7 @@ def fan_out(
     jobs: Sequence,
     workers: Optional[int] = None,
     policy: Optional[SupervisionPolicy] = None,
+    observer: Optional[Callable[[str, Dict], None]] = None,
 ) -> List:
     """Map ``worker`` over ``jobs``, optionally via a process pool.
 
@@ -104,10 +105,12 @@ def fan_out(
     ``fan_out`` itself keeps the classic all-or-nothing contract: any
     job quarantined by the supervisor raises :class:`ExperimentError`
     here.  Callers that want quarantined jobs back as data use
-    :func:`supervised_map` directly.
+    :func:`supervised_map` directly.  ``observer`` forwards the
+    supervisor's retry/quarantine/pool-rebuild events (see
+    :func:`supervised_map`).
     """
     results, failures = supervised_map(
-        worker, jobs, workers=workers, policy=policy
+        worker, jobs, workers=workers, policy=policy, observer=observer
     )
     if failures:
         detail = "; ".join(repr(failure) for failure in failures[:5])

@@ -12,9 +12,12 @@ Subcommands:
 * ``render`` — print the paper's structures (Figure 1 graph, Figure 2
   tree, ring/line occupancy);
 * ``bench`` — measure hot-path events/sec against the frozen seed
-  engine and write ``BENCH_<timestamp>.json``;
+  engine and write ``BENCH_<timestamp>.json`` (``--instrument`` reports
+  engine counters instead of wall-clock);
 * ``ensemble`` — run, resume, and inspect resumable sharded ensembles
-  (10⁵+ seeded scenario runs with crash recovery; see README).
+  (10⁵+ seeded scenario runs with crash recovery; see README);
+* ``trace`` — summarize, diff, and validate structured run traces
+  (``repro scenario run ... --trace out.jsonl``).
 """
 
 from __future__ import annotations
@@ -106,6 +109,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--markdown", action="store_true",
         help="emit Markdown tables instead of fixed-width text",
     )
+    sce_run.add_argument(
+        "--trace", default=None, metavar="JSONL",
+        help="write the campaign's merged logical trace to this file "
+        "(deterministic: identical at any --workers count; inspect "
+        "with `repro trace summarize`)",
+    )
 
     sim = sub.add_parser("simulate", help="run one protocol to silence")
     sim.add_argument("--protocol", choices=sorted(_PROTOCOLS), default="tree")
@@ -183,6 +192,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="append this run's per-case events/s to a bench_history.csv "
         "and print the ASCII trend table (the nightly trend artifact)",
     )
+    ben.add_argument(
+        "--instrument", action="store_true",
+        help="report engine counters (draws per event, proposals per "
+        "pool draw, sprint share) instead of timing — the residual-cost "
+        "breakdown",
+    )
 
     ens = sub.add_parser(
         "ensemble",
@@ -241,10 +256,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="first retry delay in seconds, doubling per attempt "
         "(default 0.25)",
     )
+    ens_run.add_argument(
+        "--progress", action="store_true",
+        help="live ASCII progress dashboard on stderr (shards, runs, "
+        "throughput, ETA, supervision interventions)",
+    )
     ens_status = ens_sub.add_parser(
         "status", help="summarise an ensemble directory"
     )
     ens_status.add_argument("--out", required=True, metavar="DIR")
+
+    trc = sub.add_parser(
+        "trace", help="summarize / diff / validate structured run traces"
+    )
+    trc_sub = trc.add_subparsers(dest="trace_command", required=True)
+    trc_sum = trc_sub.add_parser(
+        "summarize",
+        help="rebuild the campaign recovery tables from a trace file",
+    )
+    trc_sum.add_argument("trace_path", metavar="JSONL")
+    trc_diff = trc_sub.add_parser(
+        "diff",
+        help="compare two traces' logical histories (exit 1 on any "
+        "difference)",
+    )
+    trc_diff.add_argument("trace_a", metavar="A.JSONL")
+    trc_diff.add_argument("trace_b", metavar="B.JSONL")
+    trc_val = trc_sub.add_parser(
+        "validate", help="schema-check a trace file"
+    )
+    trc_val.add_argument("trace_path", metavar="JSONL")
     return parser
 
 
@@ -304,7 +345,23 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         repetitions=repetitions,
         seed=args.seed,
         workers=args.workers,
+        collect_trace=args.trace is not None,
     )
+    if args.trace is not None:
+        from .obs import TraceWriter, merge_trace_events
+
+        writer = TraceWriter(
+            args.trace,
+            source="scenario-run",
+            campaign=args.campaign_id,
+            scale=args.scale,
+            seed=args.seed,
+            repetitions=repetitions,
+        )
+        writer.extend(
+            merge_trace_events([r.trace_events for r in result.results])
+        )
+        print(f"wrote trace {writer.write()}", file=sys.stderr)
     tables = [recovery_table(result), phase_table(result),
               survival_table(result)]
     if scenario.timeline:
@@ -410,6 +467,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             raise ReproError(
                 f"--require-speedup floor {floor!r} is not a number"
             ) from None
+    if args.instrument:
+        from .analysis.bench import instrument_bench, render_instrument
+
+        print(render_instrument(
+            instrument_bench(quick=args.quick, seed=args.seed)
+        ))
+        return 0
     record = run_bench(quick=args.quick, seed=args.seed)
     print(render_bench(record))
     if args.output_dir != "-":
@@ -446,9 +510,30 @@ def _cmd_ensemble(args: argparse.Namespace) -> int:
 
     if args.ensemble_command == "status":
         status = ensemble_status(args.out)
-        width = max(len(key) for key in status)
-        for key, value in status.items():
+        scalars = {
+            k: v for k, v in status.items()
+            if k not in ("shards", "throughput_runs_per_s", "eta_s")
+        }
+        width = max(len(key) for key in scalars)
+        for key, value in scalars.items():
             print(f"{key:{width}s} : {value}")
+        if status["shards"]:
+            print(f"{'shards':{width}s} :")
+            print(f"  {'shard':>5} {'runs':>6} {'runs/s':>10}")
+            for row in status["shards"]:
+                rate = row["throughput_runs_per_s"]
+                rate_text = f"{rate:,.1f}" if rate is not None else "-"
+                print(f"  {row['index']:>5} {row['runs']:>6} {rate_text:>10}")
+        from .viz.ascii import render_ensemble_progress
+
+        print(render_ensemble_progress(
+            runs_done=status["runs_done"],
+            total_runs=status["total_runs"],
+            shards_done=status["shards_done"],
+            shards_total=status["shards_total"],
+            throughput=status["throughput_runs_per_s"],
+            eta_s=status["eta_s"],
+        ))
         return 0 if status["complete"] else 1
 
     policy = SupervisionPolicy(
@@ -457,6 +542,71 @@ def _cmd_ensemble(args: argparse.Namespace) -> int:
         backoff_base=args.backoff,
         fail_fast=False,
     )
+    observer = None
+    if args.progress:
+        import time
+
+        from .ensemble.manifest import load_manifest
+        from .viz.ascii import render_ensemble_progress
+
+        tally = {"runs": 0, "shards": 0, "retries": 0, "quarantined": 0}
+        totals = {}
+        begin = time.monotonic()
+
+        def observer(kind, fields):
+            if kind == "retry":
+                tally["retries"] += 1
+            elif kind == "quarantine":
+                tally["quarantined"] += 1
+            elif kind == "shard_done":
+                tally["shards"] += 1
+                tally["runs"] += fields["stop"] - fields["start"]
+            else:
+                return
+            if not totals:
+                # The manifest is durably on disk before any shard runs;
+                # it knows the true totals even on --resume.
+                manifest = load_manifest(args.out)
+                totals["runs"] = manifest["total_runs"]
+                totals["shards"] = len(manifest["shards"])
+                already = sum(
+                    s["stop"] - s["start"]
+                    for s in manifest["shards"]
+                    if s["status"] == "done"
+                )
+                totals["head_start"] = already - tally["runs"]
+                totals["shard_head_start"] = (
+                    sum(
+                        1 for s in manifest["shards"]
+                        if s["status"] == "done"
+                    )
+                    - tally["shards"]
+                )
+            elapsed = time.monotonic() - begin
+            throughput = tally["runs"] / elapsed if elapsed > 0 else None
+            runs_done = tally["runs"] + max(0, totals["head_start"])
+            remaining = totals["runs"] - runs_done
+            print(
+                render_ensemble_progress(
+                    runs_done=runs_done,
+                    total_runs=totals["runs"],
+                    shards_done=(
+                        tally["shards"]
+                        + max(0, totals["shard_head_start"])
+                    ),
+                    shards_total=totals["shards"],
+                    throughput=throughput,
+                    eta_s=(
+                        remaining / throughput
+                        if throughput and remaining > 0
+                        else None
+                    ),
+                    quarantined=tally["quarantined"],
+                    retries=tally["retries"],
+                ),
+                file=sys.stderr,
+            )
+
     aggregate = run_ensemble(
         args.out,
         campaign_id=args.campaign,
@@ -469,6 +619,7 @@ def _cmd_ensemble(args: argparse.Namespace) -> int:
         policy=policy,
         resume=args.resume,
         progress=lambda line: print(line, file=sys.stderr),
+        observer=observer,
     )
     summary = aggregate["aggregates"]
     print(f"campaign      : {aggregate['campaign']} "
@@ -485,6 +636,41 @@ def _cmd_ensemble(args: argparse.Namespace) -> int:
           f"p99 {times['p99']:.1f}")
     print(f"aggregates    : {args.out}/aggregates.json")
     return 0 if summary["failed_jobs"] == 0 else 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .obs import (
+        TraceReader,
+        diff_traces,
+        summarize_trace,
+        validate_trace,
+    )
+
+    if args.trace_command == "summarize":
+        reader = TraceReader(args.trace_path)
+        print(summarize_trace(reader.records))
+        return 0
+    if args.trace_command == "validate":
+        reader = TraceReader(args.trace_path)
+        validate_trace(reader.records)
+        logical = len(reader.logical())
+        operational = len(reader.operational())
+        print(
+            f"{args.trace_path}: valid v{reader.header['version']} trace "
+            f"from {reader.header.get('source', '?')} — {logical} logical "
+            f"+ {operational} operational records"
+        )
+        return 0
+    lines = diff_traces(
+        TraceReader(args.trace_a).logical(),
+        TraceReader(args.trace_b).logical(),
+    )
+    if not lines:
+        print("logical histories are identical")
+        return 0
+    for line in lines:
+        print(line)
+    return 1
 
 
 def _cmd_render(args: argparse.Namespace) -> int:
@@ -522,6 +708,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_bench(args)
         if args.command == "ensemble":
             return _cmd_ensemble(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
         return _cmd_render(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -144,6 +144,7 @@ def build_engine(
     seed: Union[int, np.random.Generator, None] = None,
     engine: str = "jump",
     scheduler: Optional["PairScheduler"] = None,
+    instrumentation=None,
 ):
     """Construct the right driver for a run; returns ``(driver, name)``.
 
@@ -158,6 +159,12 @@ def build_engine(
     ``seed`` is normalised per constructed engine (an int seed hands
     every candidate constructor a fresh generator, so a discarded
     weighted-path probe never advances the stream the fallback uses).
+
+    ``instrumentation`` is an optional
+    :class:`~repro.obs.Instrumentation` counter bag the driver updates
+    per chunk; ``None`` (the default) leaves the fast paths untouched.
+    Counters never consume randomness, so instrumented runs are
+    bit-identical to uninstrumented ones at the same seed.
     """
     # Imported here to avoid a circular import at module load time.
     from .jump import JumpEngine
@@ -179,23 +186,32 @@ def build_engine(
         if isinstance(scheduler, AgentScheduler):
             return (
                 AgentScheduledEngine(
-                    protocol, configuration, make_rng(seed), scheduler
+                    protocol, configuration, make_rng(seed), scheduler,
+                    instrumentation=instrumentation,
                 ),
                 f"agent:{scheduler.name}",
             )
         if engine == "jump":
             driver = try_weighted_engine(
-                protocol, configuration, make_rng(seed), scheduler
+                protocol, configuration, make_rng(seed), scheduler,
+                instrumentation=instrumentation,
             )
             if driver is not None:
                 return driver, f"weighted:{scheduler.name}"
         return (
             ScheduledEngine(
-                protocol, configuration, make_rng(seed), scheduler
+                protocol, configuration, make_rng(seed), scheduler,
+                instrumentation=instrumentation,
             ),
             f"scheduled:{scheduler.name}",
         )
-    return engines[engine](protocol, configuration, make_rng(seed)), engine
+    return (
+        engines[engine](
+            protocol, configuration, make_rng(seed),
+            instrumentation=instrumentation,
+        ),
+        engine,
+    )
 
 
 def run_protocol(
@@ -208,6 +224,7 @@ def run_protocol(
     require_silence: bool = False,
     max_events: Optional[int] = None,
     scheduler: Optional["PairScheduler"] = None,
+    instrumentation=None,
 ) -> RunResult:
     """Simulate ``protocol`` from ``configuration`` until silence.
 
@@ -243,10 +260,16 @@ def run_protocol(
         (``scheduled:<scheduler>``).  Both realise the identical step
         distribution.  Agent-identity schedulers always run on the
         explicit-agent engine (``agent:<scheduler>``).
+    instrumentation:
+        Optional :class:`~repro.obs.Instrumentation` counter bag the
+        engine updates per chunk (off by default; zero hot-path cost
+        when ``None``).  Its snapshot lands in the result's
+        ``metadata["instrumentation"]``.
     """
     seed_value = seed if isinstance(seed, int) else None
     driver, engine = build_engine(
         protocol, configuration, seed, engine=engine, scheduler=scheduler,
+        instrumentation=instrumentation,
     )
     start = time.perf_counter()
     silent = driver.run(
@@ -255,6 +278,9 @@ def run_protocol(
         max_events=max_events,
     )
     elapsed = time.perf_counter() - start
+    metadata: Dict[str, object] = {}
+    if instrumentation is not None:
+        metadata["instrumentation"] = instrumentation.to_dict()
     result = RunResult(
         protocol_name=protocol.name,
         engine_name=engine,
@@ -265,6 +291,7 @@ def run_protocol(
         final_configuration=Configuration(driver.counts),
         wall_time_s=elapsed,
         seed=seed_value,
+        metadata=metadata,
     )
     if require_silence and not silent:
         raise SimulationLimitReached(

@@ -156,8 +156,14 @@ class JumpEngine:
         configuration: Configuration,
         rng: np.random.Generator,
         debug: bool = False,
+        instrumentation=None,
     ) -> None:
         protocol.validate_configuration(configuration)
+        # Opt-in telemetry (repro.obs.Instrumentation).  The fast loops
+        # account for it per chunk via batch-consumption arithmetic and
+        # locals flushed at loop exit; counters never consume
+        # randomness, so instrumented runs stay bit-identical.
+        self._instr = instrumentation
         n = protocol.num_agents
         if n * (n - 1) >= _MAX_EXACT:
             raise SimulationError(
@@ -328,6 +334,11 @@ class JumpEngine:
             self._weight = self._fused.total
         else:
             self._rebuild_fused(counts)
+        if self._instr is not None:
+            self._instr.add("resyncs")
+            self._instr.mark(
+                "resync", events=self.events, interactions=self.interactions
+            )
 
     def _rebuild_fused(self, counts: List[int]) -> None:
         """Recompile the fused index (and weight) from a counts list.
@@ -367,6 +378,12 @@ class JumpEngine:
         the unconsumed buffered draws.
         """
         self._canonicalise_index()
+        if self._instr is not None:
+            self._instr.add("snapshots")
+            self._instr.mark(
+                "snapshot", events=self.events,
+                interactions=self.interactions,
+            )
         exhausted = self._uniform_pos >= _UNIFORM_BATCH
         return EngineSnapshot(
             kind="jump",
@@ -405,6 +422,12 @@ class JumpEngine:
             self._uniform_pos = _UNIFORM_BATCH
         self._raws = [int(r) for r in snapshot.raws]
         self._raw_pos = 0
+        if self._instr is not None:
+            self._instr.add("restores")
+            self._instr.mark(
+                "restore", events=self.events,
+                interactions=self.interactions,
+            )
 
     # ------------------------------------------------------------------
     # Simulation
@@ -533,6 +556,8 @@ class JumpEngine:
     ) -> bool:
         if recorder is not None:
             recorder.on_start(self.counts)
+        events0 = self.events
+        interactions0 = self.interactions
         silent = False
         while True:
             weight = self._weight
@@ -561,6 +586,11 @@ class JumpEngine:
                 )
         if recorder is not None:
             recorder.on_finish(silent, self.interactions, self.counts)
+        if self._instr is not None:
+            self._instr.add_counters(
+                events=self.events - events0,
+                interactions=self.interactions - interactions0,
+            )
         return silent
 
     # ------------------------------------------------------------------
@@ -619,6 +649,18 @@ class JumpEngine:
         remaining = -1 if max_events is None else max(0, max_events - events)
         reclassify_left = _RECLASSIFY_EVENTS
         reclassify_cooldown = 0
+        # Telemetry: draw totals derive from batch-refill tallies at
+        # loop exit (the `nub`/`nrb`/`nsb` increments below run once per
+        # 8192 draws); the per-branch counters only tick when
+        # instrumentation is attached (`instr_on`), so the off path pays
+        # one local bool test per event at most.
+        ins = self._instr
+        instr_on = ins is not None
+        events0 = events
+        interactions0 = interactions
+        nub = nrb = nsb = 0
+        c_sprint = c_pool = c_prop = 0
+        c_fen = c_comp = c_reclass = 0
         # Monotone upper bound on every state count (reset at each
         # reclassification) — the acceptance bound for decoding stale
         # product sides by rejection instead of rebuilding their trees.
@@ -655,6 +697,7 @@ class JumpEngine:
                 if upos == _UNIFORM_BATCH:
                     lus = np.log1p(-rng.random(_UNIFORM_BATCH)).tolist()
                     upos = 0
+                    nub += 1
                 lu = lus[upos]
                 upos += 1
                 if weight != lp_weight:
@@ -684,6 +727,7 @@ class JumpEngine:
                             ).tolist()
                             sraw_len = _RAW_BATCH
                             spos = 0
+                            nsb += 1
                         raw = sraws[spos]
                         spos += 1
                         v = raw % pbound
@@ -707,6 +751,7 @@ class JumpEngine:
                             ).tolist()
                             raw_len = _RAW_BATCH
                             rpos = 0
+                            nrb += 1
                         raw = raws[rpos]
                         rpos += 1
                         v = raw % pbound
@@ -722,6 +767,9 @@ class JumpEngine:
                     and reclassify_cooldown <= 0
                 ):
                     reclassify_left = 0
+                if instr_on:
+                    c_sprint += 1
+                    c_prop += proposals
                 kind = SAME
             else:
                 if pslot >= 0:
@@ -734,6 +782,7 @@ class JumpEngine:
                         ).tolist()
                         raw_len = _RAW_BATCH
                         rpos = 0
+                        nrb += 1
                     raw = raws[rpos]
                     rpos += 1
                     target = raw % weight
@@ -762,6 +811,10 @@ class JumpEngine:
                                 pos = nxt
                         bit >>= 1
                     pos += num_composite
+                    if instr_on:
+                        c_fen += 1
+                elif instr_on:
+                    c_comp += 1
                 kind = slot_kind[pos]
                 if kind == PROPOSAL:
                     # Inlined _ProposalPool.sample_state: one raw draw
@@ -781,6 +834,7 @@ class JumpEngine:
                             ).tolist()
                             raw_len = _RAW_BATCH
                             rpos = 0
+                            nrb += 1
                         raw = raws[rpos]
                         rpos += 1
                         v = raw % pbound
@@ -800,6 +854,9 @@ class JumpEngine:
                         # re-partition now instead of waiting out the
                         # periodic counter.
                         reclassify_left = 0
+                    if instr_on:
+                        c_pool += 1
+                        c_prop += proposals
                 elif kind == TRIANGULAR:
                     # Inlined _TriangularSlot.pair_from_target (factor 1).
                     tri = slot_payload[pos]
@@ -1038,6 +1095,8 @@ class JumpEngine:
                             fused.reclassify(counts)
                             pool_w = pool.weight
                             pmhat = pool.mhat
+                            if instr_on:
+                                c_reclass += 1
                         continue
                     for state, delta, slot, node0 in fast[0]:
                         old = counts[state]
@@ -1166,6 +1225,8 @@ class JumpEngine:
                             fused.reclassify(counts)
                             pool_w = pool.weight
                             pmhat = pool.mhat
+                            if instr_on:
+                                c_reclass += 1
                     continue
                 if entry[3] is None:
                     # First general-path use of a fast-only entry: fill
@@ -1371,6 +1432,8 @@ class JumpEngine:
                     fused.reclassify(counts)
                     pool_w = pool.weight
                     pmhat = pool.mhat
+                    if instr_on:
+                        c_reclass += 1
         if pool is not None:
             values[pslot] = pool_w
             pool.weight = pool_w
@@ -1379,6 +1442,24 @@ class JumpEngine:
         fused.total = weight
         self.interactions = interactions
         self.events = events
+        if ins is not None:
+            # Draw totals by batch-consumption arithmetic: full batches
+            # refilled minus whatever is left unconsumed in the tail.
+            cu = nub * _UNIFORM_BATCH - (_UNIFORM_BATCH - upos) if nub else 0
+            cr = nrb * _RAW_BATCH - (raw_len - rpos) if nrb else 0
+            cs = nsb * _RAW_BATCH - (sraw_len - spos) if nsb else 0
+            ins.add_counters(
+                events=events - events0,
+                interactions=interactions - interactions0,
+                skip_draws=cu,
+                raw_draws=cr + cs,
+                proposal_draws=c_prop,
+                pool_draws=c_sprint + c_pool,
+                sprint_events=c_sprint,
+                fenwick_finds=c_fen,
+                composite_finds=c_comp,
+                reclassifications=c_reclass,
+            )
         # Canonicalise the sampler at the run boundary: the pool
         # partition and any stale product sides drift with the loop's
         # history, so one in-place resync makes the post-run state a
@@ -1424,6 +1505,15 @@ class JumpEngine:
         # max(0, ...): an already-exhausted budget must stop immediately,
         # not underflow past the -1 "unlimited" sentinel.
         remaining = -1 if max_events is None else max(0, max_events - events)
+        # Telemetry: batch-refill tallies are unconditional (once per
+        # 8192 draws); everything per-event or per-segment is gated on
+        # `instr_on` and flushed once at loop exit.
+        ins = self._instr
+        instr_on = ins is not None
+        events0 = events
+        interactions0 = interactions
+        nub = nrb = npb = 0
+        c_pdisc = c_prop_events = c_fen_events = c_modes = 0
 
         # Skip draws are consumed as precomputed log(1-u): the geometric
         # inverse-CDF needs only ceil(log(1-u)/log(1-p)), and batching
@@ -1460,6 +1550,8 @@ class JumpEngine:
                 props: List[int] = []
                 ppos = 0
                 refresh = _REFRESH_EVENTS
+                c_modes += 1
+                seg0 = events
                 while remaining != 0 and weight:
                     if weight < demote_bound:
                         break  # acceptance too low — switch to Fenwick
@@ -1470,6 +1562,8 @@ class JumpEngine:
                             mhat = exact_max
                             prop_bound = n * mhat
                             demote_bound = (prop_bound + 7) // 8
+                            if instr_on:
+                                c_pdisc += len(props) - ppos
                             ppos = len(props)
                     # Geometric skip.
                     if weight >= total_pairs:
@@ -1480,6 +1574,7 @@ class JumpEngine:
                                 -rng.random(_UNIFORM_BATCH)
                             ).tolist()
                             upos = 0
+                            nub += 1
                         lu = lus[upos]
                         upos += 1
                         lp = log1p(-weight / total_pairs)
@@ -1494,6 +1589,7 @@ class JumpEngine:
                                 0, prop_bound, size=_AGENT_BATCH
                             ).tolist()
                             ppos = 0
+                            npb += 1
                         v = props[ppos]
                         ppos += 1
                         s = agent_state[v // mhat]
@@ -1512,6 +1608,8 @@ class JumpEngine:
                             mhat = c1
                             prop_bound = n * mhat
                             demote_bound = (prop_bound + 7) // 8
+                            if instr_on:
+                                c_pdisc += len(props) - ppos
                             ppos = len(props)
                     moved = members[s]
                     a1 = moved.pop()
@@ -1523,6 +1621,9 @@ class JumpEngine:
                     events += 1
                     remaining -= 1
                     refresh -= 1
+                if instr_on:
+                    c_prop_events += events - seg0
+                    c_pdisc += len(props) - ppos
             else:
                 # ---- Fenwick sampler -------------------------------------
                 fenwick = FenwickTree.from_values(
@@ -1534,6 +1635,8 @@ class JumpEngine:
                 values = fenwick._values
                 highbit = 1 << (num_states.bit_length() - 1)
                 refresh = _REFRESH_EVENTS
+                c_modes += 1
+                seg0 = events
                 while remaining != 0 and weight:
                     if refresh == 0:
                         refresh = _REFRESH_EVENTS
@@ -1549,6 +1652,7 @@ class JumpEngine:
                                 -rng.random(_UNIFORM_BATCH)
                             ).tolist()
                             upos = 0
+                            nub += 1
                         lu = lus[upos]
                         upos += 1
                         lp = log1p(-weight / total_pairs)
@@ -1564,6 +1668,7 @@ class JumpEngine:
                                 dtype=np.uint64,
                             ).tolist()
                             rpos = 0
+                            nrb += 1
                         raw = raws[rpos]
                         rpos += 1
                         target = raw % weight
@@ -1597,10 +1702,27 @@ class JumpEngine:
                     events += 1
                     remaining -= 1
                     refresh -= 1
+                if instr_on:
+                    c_fen_events += events - seg0
             mhat = max(counts)
 
         self.interactions = interactions
         self.events = events
+        if ins is not None:
+            cu = nub * _UNIFORM_BATCH - (_UNIFORM_BATCH - upos) if nub else 0
+            cr = nrb * _RAW_BATCH - (len(raws) - rpos) if nrb else 0
+            ins.add_counters(
+                events=events - events0,
+                interactions=interactions - interactions0,
+                skip_draws=cu,
+                raw_draws=cr,
+                proposal_draws=npb * _AGENT_BATCH - c_pdisc,
+                pool_draws=c_prop_events,
+                proposal_mode_events=c_prop_events,
+                fenwick_mode_events=c_fen_events,
+                fenwick_finds=c_fen_events,
+                mode_switches=c_modes - 1 if c_modes else 0,
+            )
         # The loop mutated counts without notifying the fused index;
         # resync it so step()/recorders stay usable after a fast run.
         if not self._fused.resync(counts):

@@ -577,11 +577,15 @@ class WeightedScheduledEngine:
         rng: np.random.Generator,
         scheduler: Union[PairScheduler, EpochScheduler],
         start_epoch: int = 0,
+        instrumentation=None,
     ) -> None:
         protocol.validate_configuration(configuration)
         self._protocol = protocol
         self._rng = rng
         self._scheduler = scheduler
+        # Optional telemetry bag (see repro.obs); the segment loops
+        # flush chunk-level deltas, never per-event increments.
+        self._instr = instrumentation
         self.counts: List[int] = configuration.counts_list()
         self._num_states = protocol.num_states
         self.interactions = 0
@@ -657,6 +661,9 @@ class WeightedScheduledEngine:
         self._pair_table: Optional[Dict[int, tuple]] = (
             {} if protocol.compile_transitions else None
         )
+        # Thinned-segment rejection tally (only ticks when instrumented;
+        # read as a delta by the _run_segment flush).
+        self._thinned_rejects = 0
 
     @property
     def scheduler(self) -> Union[PairScheduler, EpochScheduler]:
@@ -677,11 +684,22 @@ class WeightedScheduledEngine:
         """Enter the next segment, hot-swapping its precompiled index."""
         self._cursor.advance(self.events, self.interactions)
         index = self._indices[self._cursor.epoch]
-        if index is not self._index:
+        swapped = index is not self._index
+        if swapped:
             # The incoming index went stale while another segment ran;
             # one in-place resync from the live counts revalidates it.
             index.resync(self.counts)
             self._index = index
+        if self._instr is not None:
+            self._instr.add("epoch_switches")
+            if swapped:
+                self._instr.add("resyncs")
+            self._instr.mark(
+                "epoch_switch",
+                epoch=self._cursor.epoch,
+                events=self.events,
+                interactions=self.interactions,
+            )
 
     def _boundary_met(self) -> bool:
         return self._cursor.met(
@@ -824,6 +842,11 @@ class WeightedScheduledEngine:
             )
         self.counts = counts
         self._index.resync(counts)
+        if self._instr is not None:
+            self._instr.add("resyncs")
+            self._instr.mark(
+                "resync", events=self.events, interactions=self.interactions
+            )
 
     def snapshot(self) -> EngineSnapshot:
         """Plain-data checkpoint for bit-exact resumption.
@@ -836,6 +859,11 @@ class WeightedScheduledEngine:
         and the exact generator state.
         """
         self._index.resync(self.counts)
+        if self._instr is not None:
+            self._instr.add("snapshots")
+            self._instr.mark(
+                "snapshot", events=self.events, interactions=self.interactions
+            )
         cursor = self._cursor
         exhausted = self._uniform_pos >= _UNIFORM_BATCH
         return EngineSnapshot(
@@ -906,6 +934,11 @@ class WeightedScheduledEngine:
             self._uniform_pos = _UNIFORM_BATCH
         self._raws = [int(r) for r in snapshot.raws]
         self._raw_pos = 0
+        if self._instr is not None:
+            self._instr.add("restores")
+            self._instr.mark(
+                "restore", events=self.events, interactions=self.interactions
+            )
 
     def step(self) -> Optional[Event]:
         """Advance to (and apply) the next productive interaction.
@@ -957,11 +990,43 @@ class WeightedScheduledEngine:
         distribution, and segment boundaries are stopping times, so the
         per-segment choice is exact.
         """
-        if recorder is None:
-            if self._thinned[self._cursor.epoch]:
-                return self._run_segment_thinned(max_interactions, max_events)
-            return self._run_segment_weighted(max_interactions, max_events)
-        return self._run_segment_slow(max_interactions, recorder, max_events)
+        ins = self._instr
+        if ins is None:
+            if recorder is None:
+                if self._thinned[self._cursor.epoch]:
+                    return self._run_segment_thinned(
+                        max_interactions, max_events
+                    )
+                return self._run_segment_weighted(max_interactions, max_events)
+            return self._run_segment_slow(max_interactions, recorder, max_events)
+        # Instrumented: route identically, then flush this chunk's event
+        # delta under the realisation that produced it.
+        events0 = self.events
+        interactions0 = self.interactions
+        rejects0 = self._thinned_rejects
+        if recorder is None and self._thinned[self._cursor.epoch]:
+            name = "thinned_events"
+            silent = self._run_segment_thinned(max_interactions, max_events)
+        elif recorder is None:
+            name = "weighted_events"
+            silent = self._run_segment_weighted(max_interactions, max_events)
+        else:
+            name = "slow_events"
+            silent = self._run_segment_slow(
+                max_interactions, recorder, max_events
+            )
+        deltas = {
+            "events": self.events - events0,
+            "interactions": self.interactions - interactions0,
+            name: self.events - events0,
+        }
+        if name == "thinned_events":
+            # One acceptance test per accepted event plus one per reject.
+            rejects = self._thinned_rejects - rejects0
+            deltas["accept_tests"] = (self.events - events0) + rejects
+            deltas["accept_rejects"] = rejects
+        ins.add_counters(**deltas)
+        return silent
 
     def _run_segment_slow(
         self,
@@ -1022,6 +1087,7 @@ class WeightedScheduledEngine:
         next_raw = self._next_raw
         transition = self._transition
         full = WEIGHT_DENOMINATOR
+        instr_on = self._instr is not None
         reclassify_left = _THINNED_RECLASSIFY_EVENTS
         while True:
             weight = index.total
@@ -1050,6 +1116,8 @@ class WeightedScheduledEngine:
                 # 53 top bits of one raw are a uniform dyadic threshold.
                 if numerator >= full or (next_raw() >> 11) < numerator:
                     break
+                if instr_on:
+                    self._thinned_rejects += 1
             _, _, ops = transition(si, sj)
             for state, delta in ops:
                 old = counts[state]
@@ -1319,6 +1387,7 @@ def try_weighted_engine(
     rng: np.random.Generator,
     scheduler: Union[PairScheduler, EpochScheduler],
     start_epoch: int = 0,
+    instrumentation=None,
 ) -> Optional[WeightedScheduledEngine]:
     """Weighted jump engine, or ``None`` when it cannot apply exactly.
 
@@ -1337,7 +1406,8 @@ def try_weighted_engine(
     """
     try:
         engine = WeightedScheduledEngine(
-            protocol, configuration, rng, scheduler, start_epoch=start_epoch
+            protocol, configuration, rng, scheduler, start_epoch=start_epoch,
+            instrumentation=instrumentation,
         )
     except WeightedIndexUnsupported:
         return None
@@ -1359,20 +1429,28 @@ class _AcceptStream:
     numerators, so they must never diverge between engines.
     """
 
-    __slots__ = ("_rng", "_accepts", "_pos")
+    __slots__ = ("_rng", "_accepts", "_pos", "drawn")
 
     def __init__(self, rng: np.random.Generator) -> None:
         self._rng = rng
         self._accepts = np.empty(0)
         self._pos = 0
+        # Cumulative thresholds handed out, maintained by batch
+        # arithmetic at refill (telemetry reads it as a delta).
+        self.drawn = 0
 
     def next(self) -> float:
         if self._pos >= len(self._accepts):
+            self.drawn += len(self._accepts)
             self._accepts = self._rng.random(_ACCEPT_BATCH)
             self._pos = 0
         u = self._accepts[self._pos]
         self._pos += 1
         return u
+
+    def consumed(self) -> int:
+        """Total thresholds consumed so far (exhausted batches + head)."""
+        return self.drawn + self._pos
 
     def tail(self) -> tuple:
         """Unconsumed buffered thresholds (checkpoint capture)."""
@@ -1415,8 +1493,11 @@ class ScheduledEngine(SequentialEngine):
         rng: np.random.Generator,
         scheduler: Union[PairScheduler, EpochScheduler],
         start_epoch: int = 0,
+        instrumentation=None,
     ) -> None:
-        super().__init__(protocol, configuration, rng)
+        super().__init__(
+            protocol, configuration, rng, instrumentation=instrumentation
+        )
         self._scheduler = scheduler
         self._cursor = _EpochCursor(scheduler, start_epoch=start_epoch)
         # Value-level dedup (matrix bytes): value-equal segments built
@@ -1449,6 +1530,14 @@ class ScheduledEngine(SequentialEngine):
     def _advance_epoch(self) -> None:
         self._cursor.advance(self.events, self.interactions)
         self._weights = self._matrices[self._cursor.epoch]
+        if self._instr is not None:
+            self._instr.add("epoch_switches")
+            self._instr.mark(
+                "epoch_switch",
+                epoch=self._cursor.epoch,
+                events=self.events,
+                interactions=self.interactions,
+            )
 
     def _boundary_met(self) -> bool:
         return self._cursor.met(
@@ -1504,9 +1593,22 @@ class ScheduledEngine(SequentialEngine):
         """Run until silence or budget exhaustion; True iff silent."""
         if recorder is not None:
             recorder.on_start(self.counts)
+        events0 = self.events
+        interactions0 = self.interactions
+        accepts0 = self._accept.consumed()
         silent = _drive_epoch_timeline(
             self, self._run_loop, max_interactions, recorder, max_events
         )
+        if self._instr is not None:
+            # Every accepted step is one consumed threshold; the rest
+            # were rejections of the uniform candidate stream.
+            tests = self._accept.consumed() - accepts0
+            self._instr.add_counters(
+                events=self.events - events0,
+                interactions=self.interactions - interactions0,
+                accept_tests=tests,
+                accept_rejects=tests - (self.interactions - interactions0),
+            )
         if recorder is not None:
             recorder.on_finish(silent, self.interactions, self.counts)
         return silent
@@ -1579,8 +1681,11 @@ class AgentScheduledEngine(SequentialEngine):
         configuration: Configuration,
         rng: np.random.Generator,
         scheduler: AgentScheduler,
+        instrumentation=None,
     ) -> None:
-        super().__init__(protocol, configuration, rng)
+        super().__init__(
+            protocol, configuration, rng, instrumentation=instrumentation
+        )
         self._scheduler = scheduler
         self._agent_weights = scheduler.weight_vector(protocol.num_agents)
         self._accept = _AcceptStream(self._rng)
@@ -1604,3 +1709,21 @@ class AgentScheduledEngine(SequentialEngine):
             a, b = super()._next_pair()
             if accept.next() < weights[a] * weights[b]:
                 return a, b
+
+    def run(
+        self,
+        max_interactions: Optional[int] = None,
+        recorder: Optional[Recorder] = None,
+        max_events: Optional[int] = None,
+    ) -> bool:
+        """Run until silence or budget exhaustion; True iff silent."""
+        interactions0 = self.interactions
+        accepts0 = self._accept.consumed()
+        silent = super().run(max_interactions, recorder, max_events)
+        if self._instr is not None:
+            tests = self._accept.consumed() - accepts0
+            self._instr.add_counters(
+                accept_tests=tests,
+                accept_rejects=tests - (self.interactions - interactions0),
+            )
+        return silent

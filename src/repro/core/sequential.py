@@ -45,10 +45,15 @@ class SequentialEngine:
         protocol: PopulationProtocol,
         configuration: Configuration,
         rng: np.random.Generator,
+        instrumentation=None,
     ) -> None:
         protocol.validate_configuration(configuration)
         self._protocol = protocol
         self._rng = rng
+        # Optional telemetry bag (see repro.obs); counters are flushed
+        # per run from batch arithmetic, never per step.
+        self._instr = instrumentation
+        self._pair_batches = 0
         self.counts: List[int] = configuration.counts_list()
         # Explicit agent array: agent i holds state agent_states[i].
         self.agent_states: List[int] = []
@@ -84,6 +89,7 @@ class SequentialEngine:
             second = second + (second >= first)
             self._pair_buffer = np.stack([first, second], axis=1)
             self._pair_pos = 0
+            self._pair_batches += 1
         a, b = self._pair_buffer[self._pair_pos]
         self._pair_pos += 1
         return int(a), int(b)
@@ -146,6 +152,11 @@ class SequentialEngine:
         self._families = self._protocol.build_families(counts)
         self._weight = sum(family.weight for family in self._families)
         self._state_families = self._compile_state_families()
+        if self._instr is not None:
+            self._instr.add("resyncs")
+            self._instr.mark(
+                "resync", events=self.events, interactions=self.interactions
+            )
 
     def _snapshot_fields(self) -> dict:
         """Subclass hook: extra plain-data fields for :meth:`snapshot`."""
@@ -163,6 +174,11 @@ class SequentialEngine:
         exact generator state travel along, and the restored engine
         continues identically to the uninterrupted one.
         """
+        if self._instr is not None:
+            self._instr.add("snapshots")
+            self._instr.mark(
+                "snapshot", events=self.events, interactions=self.interactions
+            )
         return EngineSnapshot(
             kind=self.snapshot_kind,
             num_states=self._protocol.num_states,
@@ -216,6 +232,11 @@ class SequentialEngine:
         ).reshape(-1, 2)
         self._pair_pos = 0
         self._restore_fields(snapshot)
+        if self._instr is not None:
+            self._instr.add("restores")
+            self._instr.mark(
+                "restore", events=self.events, interactions=self.interactions
+            )
 
     def step(self) -> Optional[Event]:
         """One scheduler step; returns the event if it was productive."""
@@ -264,7 +285,21 @@ class SequentialEngine:
         """Run until silence or budget exhaustion; True iff silent."""
         if recorder is not None:
             recorder.on_start(self.counts)
+        events0 = self.events
+        interactions0 = self.interactions
+        batches0 = self._pair_batches
+        avail0 = len(self._pair_buffer) - self._pair_pos
         silent = self._run_loop(max_interactions, recorder, max_events)
+        if self._instr is not None:
+            avail = len(self._pair_buffer) - self._pair_pos
+            self._instr.add_counters(
+                events=self.events - events0,
+                interactions=self.interactions - interactions0,
+                pair_draws=(
+                    (self._pair_batches - batches0) * _PAIR_BATCH
+                    + avail0 - avail
+                ),
+            )
         if recorder is not None:
             recorder.on_finish(silent, self.interactions, self.counts)
         return silent

@@ -22,9 +22,9 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import tempfile
 from typing import Dict, List, Optional
 
+from .._io import atomic_write_json
 from ..exceptions import ExperimentError
 
 __all__ = [
@@ -40,31 +40,6 @@ __all__ = [
 
 MANIFEST_NAME = "manifest.json"
 MANIFEST_VERSION = 1
-
-
-def atomic_write_json(path: str, payload: Dict) -> None:
-    """Write JSON durably: temp file + flush + fsync + rename.
-
-    Deterministic bytes for deterministic payloads (sorted keys, fixed
-    separators) — byte-comparing two aggregate files is meaningful.
-    """
-    directory = os.path.dirname(os.path.abspath(path))
-    descriptor, temp_path = tempfile.mkstemp(
-        dir=directory, prefix=".tmp-", suffix=".json"
-    )
-    try:
-        with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, sort_keys=True, indent=1)
-            handle.write("\n")
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(temp_path, path)
-    except BaseException:
-        try:
-            os.unlink(temp_path)
-        except OSError:
-            pass
-        raise
 
 
 def load_json(path: str) -> Dict:

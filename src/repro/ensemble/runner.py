@@ -61,6 +61,22 @@ AGGREGATES_NAME = "aggregates.json"
 
 Progress = Optional[Callable[[str], None]]
 
+#: Optional supervision/lifecycle event sink: ``observer(kind, fields)``
+#: with the operational-record vocabulary of :mod:`repro.obs.trace`
+#: (``shard_start``/``shard_done`` here, ``retry``/``quarantine``/
+#: ``pool_rebuild`` forwarded from the supervised executor).
+Observer = Optional[Callable[[str, Dict], None]]
+
+
+def _observe(observer: Observer, kind: str, **fields) -> None:
+    """Best-effort event report; observer errors never break the run."""
+    if observer is None:
+        return
+    try:
+        observer(kind, fields)
+    except Exception:
+        pass
+
 
 def run_record(result: ScenarioResult, run_index: int) -> Dict:
     """Flatten one scenario result into a plain shard record.
@@ -181,6 +197,7 @@ def run_ensemble(
     policy: Optional[SupervisionPolicy] = None,
     resume: bool = False,
     progress: Progress = None,
+    observer: Observer = None,
 ) -> Dict:
     """Run (or resume) one sharded ensemble; returns the aggregate dict.
 
@@ -189,6 +206,13 @@ def run_ensemble(
     resumed runs read every parameter from the on-disk manifest and
     reject contradicting arguments, so a resume can never silently
     compute a different ensemble.
+
+    ``observer`` receives operational lifecycle events
+    (``shard_start``/``shard_done`` plus the supervised executor's
+    ``retry``/``quarantine``/``pool_rebuild``) — the live ``--progress``
+    dashboard and operational traces hang off this seam.  Observation
+    never changes the records or aggregates, which stay a pure function
+    of the manifest.
     """
     if resume:
         manifest = load_manifest(out_dir)
@@ -248,12 +272,17 @@ def run_ensemble(
             f"shards ({done} already done)"
         )
     for shard in pending:
+        _observe(
+            observer, "shard_start",
+            shard=shard["index"], start=shard["start"], stop=shard["stop"],
+        )
         jobs = [
             (scenario, children[i], max_events, i)
             for i in range(shard["start"], shard["stop"])
         ]
         records, failures = supervised_map(
-            _ensemble_job, jobs, workers=workers, policy=effective_policy
+            _ensemble_job, jobs, workers=workers, policy=effective_policy,
+            observer=observer,
         )
         merged: List[Dict] = []
         by_index = {failure.index: failure for failure in failures}
@@ -285,6 +314,11 @@ def run_ensemble(
         shard["status"] = "done"
         shard["sha256"] = file_sha256(path)
         save_manifest(out_dir, manifest)
+        _observe(
+            observer, "shard_done",
+            shard=shard["index"], start=shard["start"], stop=shard["stop"],
+            quarantined=len(failures),
+        )
         if progress:
             note = f" ({len(failures)} quarantined)" if failures else ""
             progress(
@@ -305,11 +339,61 @@ def run_ensemble(
 
 
 def ensemble_status(out_dir: str) -> Dict:
-    """Summarise an ensemble directory without running anything."""
+    """Summarise an ensemble directory without running anything.
+
+    Beyond the completion counters this estimates progress rates from
+    the ``done`` shard files' modification times (the only wall-clock
+    signal the runner leaves behind — records themselves stay
+    wall-clock-free): each shard after the first completed one gets a
+    ``throughput_runs_per_s`` over the interval since its predecessor,
+    and the remaining runs get an ``eta_s`` at the overall observed
+    rate.  Both are ``None`` until two shards have finished (or once
+    the ensemble is complete, for the ETA).
+    """
     manifest = load_manifest(out_dir)
     done = [s for s in manifest["shards"] if s["status"] == "done"]
     runs_done = sum(s["stop"] - s["start"] for s in done)
     aggregates_path = os.path.join(out_dir, AGGREGATES_NAME)
+
+    timed = []  # (mtime, shard) for done shards whose file survives
+    for shard in done:
+        path = shard_path(out_dir, shard["index"])
+        if os.path.exists(path):
+            timed.append((os.path.getmtime(path), shard))
+    timed.sort(key=lambda pair: pair[0])
+
+    shard_rows: List[Dict] = []
+    previous_mtime: Optional[float] = None
+    for mtime, shard in timed:
+        runs = shard["stop"] - shard["start"]
+        rate = None
+        if previous_mtime is not None and mtime > previous_mtime:
+            rate = runs / (mtime - previous_mtime)
+        shard_rows.append(
+            {
+                "index": shard["index"],
+                "runs": runs,
+                "throughput_runs_per_s": rate,
+            }
+        )
+        previous_mtime = mtime
+
+    throughput = None
+    if len(timed) >= 2:
+        span = timed[-1][0] - timed[0][0]
+        covered = sum(
+            shard["stop"] - shard["start"] for _, shard in timed[1:]
+        )
+        if span > 0:
+            throughput = covered / span
+    complete = len(done) == len(manifest["shards"])
+    runs_remaining = manifest["total_runs"] - runs_done
+    eta_s = (
+        runs_remaining / throughput
+        if throughput and not complete
+        else None
+    )
+
     status = {
         "campaign": manifest["campaign"],
         "scale": manifest["scale"],
@@ -319,7 +403,10 @@ def ensemble_status(out_dir: str) -> Dict:
         "shards_total": len(manifest["shards"]),
         "shards_done": len(done),
         "runs_done": runs_done,
-        "complete": len(done) == len(manifest["shards"]),
+        "complete": complete,
         "has_aggregates": os.path.exists(aggregates_path),
+        "shards": shard_rows,
+        "throughput_runs_per_s": throughput,
+        "eta_s": eta_s,
     }
     return status

@@ -1,0 +1,40 @@
+"""Observability: engine counters, structured traces, metrics sinks.
+
+Zero-cost-when-off instrumentation for the simulation stack:
+
+* :class:`~repro.obs.instrumentation.Instrumentation` — an opt-in
+  counter bag passed to ``build_engine``/``run_protocol``; the fast
+  loops account for it per chunk (batch consumption arithmetic at loop
+  exits), never per event, so the bench floors stay green when it is
+  off.
+* :mod:`repro.obs.trace` — versioned JSONL run traces with
+  deterministic logical content (no wall-clock in compared fields), so
+  traces taken at any worker count merge to identical histories.
+* :mod:`repro.obs.metrics` — a counters/gauges/histograms registry on
+  the ensemble reducers, exported as JSON or Prometheus text.
+"""
+
+from .instrumentation import Instrumentation, check_instrumentation_off_overhead
+from .metrics import MetricsRegistry
+from .trace import (
+    TRACE_VERSION,
+    TraceReader,
+    TraceWriter,
+    diff_traces,
+    merge_trace_events,
+    summarize_trace,
+    validate_trace,
+)
+
+__all__ = [
+    "Instrumentation",
+    "MetricsRegistry",
+    "TRACE_VERSION",
+    "TraceReader",
+    "TraceWriter",
+    "check_instrumentation_off_overhead",
+    "diff_traces",
+    "merge_trace_events",
+    "summarize_trace",
+    "validate_trace",
+]

@@ -1,0 +1,224 @@
+"""Opt-in engine counters with per-chunk accounting.
+
+:class:`Instrumentation` is a plain counter bag handed to
+``build_engine``/``run_protocol`` (or any engine constructor).  The
+engines treat it as *chunk-level* telemetry: fast loops keep their
+counts in locals or derive them from batch-consumption arithmetic
+(``batches * BATCH - unconsumed - discarded``) and flush once per chunk
+or at loop exit, never per event.  When no instrumentation is attached
+the only residue on the hot path is a single ``is not None`` test per
+chunk, so throughput is unchanged — the committed bench floors gate
+that.
+
+Counters never consume randomness, so a run with instrumentation
+attached is bit-identical to the same seed without it (the
+trajectory-equality property test asserts exactly that).
+
+Counter vocabulary (engines only touch the ones their loop has):
+
+``events``, ``interactions``
+    Productive events and scheduler steps covered by the run.
+``skip_draws``, ``raw_draws``
+    Uniforms consumed for geometric skips and 64-bit raws consumed for
+    routing/rejection, from batch arithmetic.
+``pool_draws``, ``sprint_events``, ``proposal_draws``
+    Events served by the proposal pool, the subset taken on the sprint
+    shortcut (no routing draw), and agent proposals consumed including
+    rejected ones — ``proposal_draws / pool_draws`` is the ROADMAP's
+    "proposals per draw" residual-cost number.
+``fenwick_finds``, ``composite_finds``
+    Routed target draws resolved by a Fenwick walk vs the composite
+    linear scan.
+``proposal_mode_events``, ``fenwick_mode_events``, ``mode_switches``
+    The same-state dual sampler's adaptive split.
+``accept_tests``, ``accept_rejects``
+    Rejection/thinning acceptance loop activity (scheduled engines).
+``weighted_events``, ``thinned_events``, ``slow_events``
+    Weighted-engine segment routing.
+``pair_draws``
+    Ordered agent pairs drawn by the sequential reference engine (from
+    batch arithmetic, rejected thinning draws included).
+``reclassifications``, ``resyncs``, ``epoch_switches``
+``snapshots``, ``restores``
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+__all__ = ["Instrumentation", "check_instrumentation_off_overhead"]
+
+
+class Instrumentation:
+    """Counter bag plus an optional structured mark log.
+
+    ``marks`` records rare structural events (epoch switches, resyncs,
+    snapshot/restore) as plain dicts when ``trace=True`` — the scenario
+    tracer folds them into the run trace.  Counters are plain ints in a
+    dict; everything is picklable so instrumentation survives worker
+    round-trips.
+    """
+
+    __slots__ = ("counters", "marks", "trace")
+
+    def __init__(self, trace: bool = False) -> None:
+        self.counters: Dict[str, int] = {}
+        self.marks: List[Dict] = []
+        self.trace = trace
+
+    def add(self, name: str, value: int = 1) -> None:
+        """Bump one counter (chunk-level call sites only)."""
+        if value:
+            self.counters[name] = self.counters.get(name, 0) + int(value)
+
+    def add_counters(self, **deltas: int) -> None:
+        """Flush a fast loop's local tallies in one call."""
+        counters = self.counters
+        for name, value in deltas.items():
+            if value:
+                counters[name] = counters.get(name, 0) + int(value)
+
+    def mark(self, kind: str, **fields) -> None:
+        """Record one structural event (no-op unless tracing)."""
+        if self.trace:
+            record = {"kind": kind}
+            record.update(fields)
+            self.marks.append(record)
+
+    def get(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    def merge(self, other: "Instrumentation") -> None:
+        """Fold another bag's counters (and marks) into this one."""
+        self.add_counters(**other.counters)
+        if self.trace:
+            self.marks.extend(other.marks)
+
+    def merge_counts(self, counters: Dict[str, int]) -> None:
+        """Fold a plain counter dict (e.g. from a worker record)."""
+        self.add_counters(**counters)
+
+    def derived(self) -> Dict[str, float]:
+        """Ratios answering the residual-cost questions.
+
+        Only ratios whose denominators are non-zero appear, so the dict
+        reflects which loops actually ran.
+        """
+        c = self.counters.get
+        out: Dict[str, float] = {}
+        events = c("events", 0)
+        pool = c("pool_draws", 0)
+        finds = c("fenwick_finds", 0) + c("composite_finds", 0)
+        if pool:
+            out["proposals_per_pool_draw"] = c("proposal_draws", 0) / pool
+            out["sprint_share"] = c("sprint_events", 0) / pool
+        if events:
+            out["skip_draws_per_event"] = c("skip_draws", 0) / events
+            out["raw_draws_per_event"] = c("raw_draws", 0) / events
+        if pool or finds:
+            out["fenwick_share"] = finds / (pool + finds)
+        tests = c("accept_tests", 0)
+        if tests:
+            out["acceptance"] = 1.0 - c("accept_rejects", 0) / tests
+        return out
+
+    def to_dict(self) -> Dict[str, object]:
+        """Stable plain-data view (sorted counters + derived ratios)."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "derived": dict(sorted(self.derived().items())),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(
+            f"{k}={v}" for k, v in sorted(self.counters.items())
+        )
+        return f"Instrumentation({inner})"
+
+
+def check_instrumentation_off_overhead(
+    case_id: str = "line-m4",
+    tolerance: float = 0.02,
+    repeats: int = 5,
+    seed: int = 7,
+    attempts: int = 3,
+) -> Dict[str, object]:
+    """Assert the instrumentation-off path costs ≤ ``tolerance``.
+
+    Interleaves best-of-``repeats`` timings of one quick bench case run
+    two ways with the same seed: directly constructed ``JumpEngine``
+    (the uninstrumented baseline) and through ``build_engine`` with
+    ``instrumentation=None`` (the off path every caller gets).  Both
+    execute the identical fast loop, so the ratio sits at ~1.0 unless
+    the off path grows per-event work — which is exactly the regression
+    this guards (the committed speedup floors gate the absolute
+    throughput separately).  The overhead guarded against is structural
+    (per-event branches), so one clean measurement suffices: a failing
+    measurement is re-taken up to ``attempts`` times before it counts —
+    scheduler noise trips a single best-of-N comparison a few percent
+    either way, and only a real regression fails every attempt.  Raises
+    :class:`~repro.exceptions.SimulationError` if the off path stays
+    more than ``tolerance`` slower; returns the measurement dict.
+    """
+    import time
+
+    import numpy as np
+
+    from ..analysis.bench import bench_suite
+    from ..core.engine import build_engine
+    from ..core.jump import JumpEngine
+    from ..exceptions import SimulationError
+
+    case = next(
+        (c for c in bench_suite(quick=True) if c.case_id == case_id), None
+    )
+    if case is None:
+        raise SimulationError(
+            f"unknown quick bench case {case_id!r} for the overhead check"
+        )
+
+    def run_baseline() -> float:
+        protocol, start = case.build()
+        engine = JumpEngine(protocol, start, np.random.default_rng(seed))
+        begin = time.perf_counter()
+        engine.run(max_events=case.max_events)
+        wall = time.perf_counter() - begin
+        return engine.events / wall if wall > 0 else float("inf")
+
+    def run_off() -> float:
+        protocol, start = case.build()
+        driver, _ = build_engine(
+            protocol, start, seed=seed, engine="jump", instrumentation=None
+        )
+        begin = time.perf_counter()
+        driver.run(max_events=case.max_events)
+        wall = time.perf_counter() - begin
+        return driver.events / wall if wall > 0 else float("inf")
+
+    result: Dict[str, object] = {}
+    for attempt in range(max(1, attempts)):
+        baseline = 0.0
+        off = 0.0
+        # Interleaved so slow-start noise (page cache, turbo) hits both
+        # arms.
+        for _ in range(max(1, repeats)):
+            baseline = max(baseline, run_baseline())
+            off = max(off, run_off())
+        ratio = off / baseline if baseline > 0 else 1.0
+        result = {
+            "case": case_id,
+            "baseline_events_per_sec": baseline,
+            "off_events_per_sec": off,
+            "ratio": ratio,
+            "tolerance": tolerance,
+            "attempt": attempt + 1,
+        }
+        if ratio >= 1.0 - tolerance:
+            return result
+    raise SimulationError(
+        f"instrumentation-off overhead on {case_id}: "
+        f"{result['off_events_per_sec']:,.0f} ev/s vs baseline "
+        f"{result['baseline_events_per_sec']:,.0f} ev/s "
+        f"(ratio {result['ratio']:.3f} < {1.0 - tolerance:.3f} "
+        f"on every one of {max(1, attempts)} attempts)"
+    )

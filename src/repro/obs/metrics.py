@@ -1,0 +1,144 @@
+"""Metrics registry: counters, gauges, histograms, and export sinks.
+
+One :class:`MetricsRegistry` aggregates telemetry across any number of
+runs — including runs executed in worker pools, whose contributions
+arrive as plain counter dicts (picklable) and are folded in by the
+coordinating process.  Histograms reuse the ensemble's streaming
+reducers (:class:`~repro.ensemble.reducers.Welford` plus P² quantile
+markers), so aggregation is O(1) memory regardless of run count.
+
+Export sinks: :meth:`MetricsRegistry.to_dict` (JSON-ready) and
+:meth:`MetricsRegistry.to_prometheus` (the Prometheus text exposition
+format, histograms as summaries with quantile labels).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Optional
+
+from ..ensemble.reducers import P2Quantile, Welford
+
+__all__ = ["MetricsRegistry"]
+
+_QUANTILES = (0.5, 0.9, 0.99)
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+
+def _prom_name(name: str) -> str:
+    """Sanitise a metric name for the Prometheus exposition format."""
+    cleaned = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not _NAME_OK.match(cleaned):
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+class _Histogram:
+    """Welford + P² quantile battery over one observed statistic."""
+
+    def __init__(self) -> None:
+        self.welford = Welford()
+        self.quantiles = [P2Quantile(p) for p in _QUANTILES]
+
+    def observe(self, value: float) -> None:
+        self.welford.update(value)
+        for quantile in self.quantiles:
+            quantile.update(value)
+
+    def to_dict(self) -> Dict:
+        data = self.welford.to_dict()
+        for quantile in self.quantiles:
+            data[f"p{int(quantile.p * 100)}"] = quantile.value
+        return data
+
+
+class MetricsRegistry:
+    """Named counters / gauges / histograms with JSON + Prometheus sinks.
+
+    A ``namespace`` (default ``repro``) prefixes every exported
+    Prometheus metric name.  All mutators are cheap enough for
+    per-record use; the hot simulation loops never touch a registry
+    directly — they flush :class:`~repro.obs.Instrumentation` counter
+    bags, which callers fold in via :meth:`merge_counters`.
+    """
+
+    def __init__(self, namespace: str = "repro") -> None:
+        self.namespace = namespace
+        self.counters: Dict[str, int] = {}
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, _Histogram] = {}
+
+    # -- mutators ------------------------------------------------------
+    def counter_add(self, name: str, value: int = 1) -> None:
+        if value:
+            self.counters[name] = self.counters.get(name, 0) + int(value)
+
+    def gauge_set(self, name: str, value: float) -> None:
+        self.gauges[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = _Histogram()
+        histogram.observe(float(value))
+
+    def merge_counters(
+        self, counters: Dict[str, int], prefix: str = ""
+    ) -> None:
+        """Fold a worker's counter dict (e.g. ``Instrumentation.counters``)."""
+        for name, value in counters.items():
+            self.counter_add(prefix + name, value)
+
+    # -- sinks ---------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "namespace": self.namespace,
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "histograms": {
+                name: histogram.to_dict()
+                for name, histogram in sorted(self.histograms.items())
+            },
+        }
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition (v0.0.4) of the whole registry.
+
+        Histograms export as summaries: one sample per quantile plus
+        ``_sum``-less ``_count`` and ``_mean`` (the reducers keep no
+        exact sum; mean times count recovers it for dashboards).
+        """
+        lines = []
+        prefix = _prom_name(self.namespace)
+        for name, value in sorted(self.counters.items()):
+            metric = f"{prefix}_{_prom_name(name)}_total"
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {value}")
+        for name, value in sorted(self.gauges.items()):
+            metric = f"{prefix}_{_prom_name(name)}"
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {_format_value(value)}")
+        for name, histogram in sorted(self.histograms.items()):
+            metric = f"{prefix}_{_prom_name(name)}"
+            lines.append(f"# TYPE {metric} summary")
+            for quantile in histogram.quantiles:
+                estimate = quantile.value
+                if estimate is None:
+                    continue
+                lines.append(
+                    f'{metric}{{quantile="{quantile.p}"}} '
+                    f"{_format_value(estimate)}"
+                )
+            lines.append(f"{metric}_count {histogram.welford.count}")
+            lines.append(
+                f"{metric}_mean {_format_value(histogram.welford.mean)}"
+            )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _format_value(value: Optional[float]) -> str:
+    if value is None:
+        return "NaN"
+    formatted = repr(float(value))
+    return formatted

@@ -70,9 +70,12 @@ def _campaign_job(job: tuple) -> ScenarioResult:
     child, so the result is a pure function of the job tuple —
     bit-identical inline or in any worker process.
     """
-    scenario, child, default_max_events = job
+    scenario, child, default_max_events, collect_trace = job
     return run_scenario(
-        scenario, seed=child, default_max_events=default_max_events
+        scenario,
+        seed=child,
+        default_max_events=default_max_events,
+        collect_trace=collect_trace,
     )
 
 
@@ -83,6 +86,7 @@ def run_campaign(
     workers: Optional[int] = None,
     default_max_events: Optional[int] = None,
     policy: Optional[SupervisionPolicy] = None,
+    collect_trace: bool = False,
 ) -> CampaignResult:
     """Run ``repetitions`` independent instances of ``scenario``.
 
@@ -92,13 +96,20 @@ def run_campaign(
     budget of their own.  ``policy`` tunes supervision; with
     ``fail_fast=False`` quarantined repetitions are recorded in
     :attr:`CampaignResult.failures` instead of raising.
+    ``collect_trace`` makes every repetition record its logical trace
+    (:attr:`~repro.scenarios.engine.ScenarioResult.trace_events`) —
+    plain data that travels back from worker processes and merges into
+    one campaign trace independent of the worker count.
     """
     if repetitions < 1:
         raise ExperimentError(
             f"repetitions must be >= 1, got {repetitions}"
         )
     children = np.random.SeedSequence(seed).spawn(repetitions)
-    jobs = [(scenario, child, default_max_events) for child in children]
+    jobs = [
+        (scenario, child, default_max_events, collect_trace)
+        for child in children
+    ]
     results, failures = supervised_map(
         _campaign_job, jobs, workers=workers, policy=policy
     )

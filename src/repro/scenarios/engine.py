@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -101,6 +101,10 @@ class ScenarioResult:
     phase_logs: List[PhaseLog] = field(default_factory=list)
     final_configuration: Optional[Configuration] = None
     wall_time_s: float = 0.0
+    #: Logical trace records (``run_scenario(..., collect_trace=True)``)
+    #: — plain dicts without a run index, which the trace merge adds;
+    #: deterministic in the seed, so they survive worker round-trips.
+    trace_events: List[Dict] = field(default_factory=list)
 
     @property
     def total_interactions(self) -> int:
@@ -224,7 +228,10 @@ def _distance(protocol, configuration) -> Optional[int]:
 # ----------------------------------------------------------------------
 # Engine plumbing
 # ----------------------------------------------------------------------
-def _make_engine(scenario, protocol, configuration, rng, start_epoch=0):
+def _make_engine(
+    scenario, protocol, configuration, rng, start_epoch=0,
+    instrumentation=None,
+):
     if scenario.timeline:
         # Time-varying adversary: the whole timeline compiles into the
         # weighted jump fast path whenever every segment does; the
@@ -233,26 +240,39 @@ def _make_engine(scenario, protocol, configuration, rng, start_epoch=0):
         # churn-induced engine rebuild.
         timeline = build_epoch_scheduler(scenario, protocol)
         engine = try_weighted_engine(
-            protocol, configuration, rng, timeline, start_epoch=start_epoch
+            protocol, configuration, rng, timeline, start_epoch=start_epoch,
+            instrumentation=instrumentation,
         )
         if engine is not None:
             return engine
         return ScheduledEngine(
-            protocol, configuration, rng, timeline, start_epoch=start_epoch
+            protocol, configuration, rng, timeline, start_epoch=start_epoch,
+            instrumentation=instrumentation,
         )
     scheduler = build_scheduler(scenario.scheduler, protocol)
     if scheduler is None:
-        return JumpEngine(protocol, configuration, rng)
+        return JumpEngine(
+            protocol, configuration, rng, instrumentation=instrumentation
+        )
     if isinstance(scheduler, AgentScheduler):
         # Identity-level adversaries need explicit agents.
-        return AgentScheduledEngine(protocol, configuration, rng, scheduler)
+        return AgentScheduledEngine(
+            protocol, configuration, rng, scheduler,
+            instrumentation=instrumentation,
+        )
     # Biased phases run on the weighted jump fast path whenever the
     # scheduler compiles into the weighted fused index; the
     # rejection engine remains the fallback for exotic schedulers.
-    engine = try_weighted_engine(protocol, configuration, rng, scheduler)
+    engine = try_weighted_engine(
+        protocol, configuration, rng, scheduler,
+        instrumentation=instrumentation,
+    )
     if engine is not None:
         return engine
-    return ScheduledEngine(protocol, configuration, rng, scheduler)
+    return ScheduledEngine(
+        protocol, configuration, rng, scheduler,
+        instrumentation=instrumentation,
+    )
 
 
 def _scheduler_label(engine) -> str:
@@ -439,12 +459,21 @@ def run_scenario(
     scenario: Scenario,
     seed: Union[int, np.random.Generator, np.random.SeedSequence, None] = None,
     default_max_events: Optional[int] = None,
+    collect_trace: bool = False,
 ) -> ScenarioResult:
     """Execute one scenario instance; a pure function of ``seed``.
 
     ``default_max_events`` caps run phases that declare no ``max_events``
     of their own (the safety net for exploratory scenarios on schedulers
     or protocols that may not converge inside a phase).
+
+    ``collect_trace`` additionally records the run's logical history
+    (phase lifecycle, faults, engine epoch switches / resyncs /
+    snapshot-restores) as plain dicts in ``result.trace_events``.
+    Instrumentation never consumes randomness, so a traced run is
+    bit-identical to an untraced one at the same seed, and the records
+    carry no wall-clock fields — the merged trace of a campaign is the
+    same whatever worker count produced it.
     """
     rng = make_rng(
         np.random.default_rng(seed)
@@ -454,7 +483,34 @@ def run_scenario(
     seed_value = seed if isinstance(seed, int) else None
     protocol = scenario.protocol.build()
     configuration = _start_configuration(scenario, protocol, rng)
-    engine = _make_engine(scenario, protocol, configuration, rng)
+    instr = None
+    trace: List[Dict] = []
+    if collect_trace:
+        from ..obs import Instrumentation
+
+        instr = Instrumentation(trace=True)
+        trace.append(
+            {
+                "kind": "run_start",
+                "scenario": scenario.name,
+                "protocol": protocol.name,
+                "num_agents": protocol.num_agents,
+            }
+        )
+
+    def drain_marks(phase_index: int) -> None:
+        """Fold engine marks (epoch/resync/snapshot) into the trace."""
+        if instr is None or not instr.marks:
+            return
+        for mark in instr.marks:
+            record = dict(mark)
+            record["phase"] = phase_index
+            trace.append(record)
+        instr.marks.clear()
+
+    engine = _make_engine(
+        scenario, protocol, configuration, rng, instrumentation=instr
+    )
     result = ScenarioResult(
         scenario_name=scenario.name,
         protocol_name=protocol.name,
@@ -464,28 +520,47 @@ def run_scenario(
     for index, phase in enumerate(scenario.phases):
         phase_wall = time.perf_counter()
         if isinstance(phase, RunPhase):
+            label = phase.label or f"run:{phase.until}"
+            if collect_trace:
+                trace.append(
+                    {
+                        "kind": "phase_start",
+                        "phase": index,
+                        "phase_kind": "run",
+                        "label": label,
+                    }
+                )
             events_before = engine.events
             interactions_before = engine.interactions
             silent, reason = _execute_run(
                 engine, protocol, phase, default_max_events
             )
             config_after = Configuration(engine.counts)
-            result.phase_logs.append(
-                PhaseLog(
-                    index=index,
-                    kind="run",
-                    label=phase.label or f"run:{phase.until}",
-                    num_agents=protocol.num_agents,
-                    interactions=engine.interactions - interactions_before,
-                    events=engine.events - events_before,
-                    silent=silent,
-                    stop_reason=reason,
-                    distance=_distance(protocol, config_after),
-                    wall_time_s=time.perf_counter() - phase_wall,
-                    scheduler=_scheduler_label(engine),
-                )
+            log = PhaseLog(
+                index=index,
+                kind="run",
+                label=label,
+                num_agents=protocol.num_agents,
+                interactions=engine.interactions - interactions_before,
+                events=engine.events - events_before,
+                silent=silent,
+                stop_reason=reason,
+                distance=_distance(protocol, config_after),
+                wall_time_s=time.perf_counter() - phase_wall,
+                scheduler=_scheduler_label(engine),
             )
+            result.phase_logs.append(log)
         else:
+            label = phase.label or f"fault:{phase.kind}"
+            if collect_trace:
+                trace.append(
+                    {
+                        "kind": "phase_start",
+                        "phase": index,
+                        "phase_kind": "fault",
+                        "label": label,
+                    }
+                )
             configuration = Configuration(engine.counts)
             new_protocol, new_configuration = _apply_fault(
                 phase, scenario, protocol, configuration, rng
@@ -503,22 +578,60 @@ def run_scenario(
                 engine = _make_engine(
                     scenario, protocol, new_configuration, rng,
                     start_epoch=getattr(engine, "epoch", 0),
+                    instrumentation=instr,
                 )
-            result.phase_logs.append(
-                PhaseLog(
-                    index=index,
-                    kind="fault",
-                    label=phase.label or f"fault:{phase.kind}",
-                    num_agents=protocol.num_agents,
-                    interactions=0,
-                    events=0,
-                    silent=engine.is_silent(),
-                    stop_reason="fault",
-                    distance=_distance(protocol, new_configuration),
-                    wall_time_s=time.perf_counter() - phase_wall,
-                    scheduler=_scheduler_label(engine),
+            log = PhaseLog(
+                index=index,
+                kind="fault",
+                label=label,
+                num_agents=protocol.num_agents,
+                interactions=0,
+                events=0,
+                silent=engine.is_silent(),
+                stop_reason="fault",
+                distance=_distance(protocol, new_configuration),
+                wall_time_s=time.perf_counter() - phase_wall,
+                scheduler=_scheduler_label(engine),
+            )
+            result.phase_logs.append(log)
+            if collect_trace:
+                trace.append(
+                    {
+                        "kind": "fault",
+                        "phase": index,
+                        "label": label,
+                        "fault_kind": phase.kind,
+                        "num_agents": protocol.num_agents,
+                        "distance": log.distance,
+                    }
                 )
+        if collect_trace:
+            drain_marks(index)
+            log = result.phase_logs[-1]
+            trace.append(
+                {
+                    "kind": "phase_end",
+                    "phase": index,
+                    "phase_kind": log.kind,
+                    "label": log.label,
+                    "num_agents": log.num_agents,
+                    "interactions": log.interactions,
+                    "events": log.events,
+                    "silent": log.silent,
+                    "stop_reason": log.stop_reason,
+                    "distance": log.distance,
+                    "scheduler": log.scheduler,
+                }
             )
     result.final_configuration = Configuration(engine.counts)
     result.wall_time_s = time.perf_counter() - start_wall
+    if collect_trace:
+        trace.append(
+            {
+                "kind": "run_end",
+                "recovered_all": result.recovered_all,
+                "total_events": result.total_events,
+            }
+        )
+        result.trace_events = trace
     return result

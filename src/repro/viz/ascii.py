@@ -22,6 +22,7 @@ __all__ = [
     "render_ring",
     "render_line",
     "render_trend_table",
+    "render_ensemble_progress",
 ]
 
 _KIND_MARK = {
@@ -129,6 +130,8 @@ def render_trend_table(
     ``last`` runs — enough to spot a slow regression that each
     individual 15%-tolerance gate would let through.
     """
+    if not rows:
+        return "(no bench history yet — run the nightly bench to seed it)"
     by_case: Dict[str, List[Dict[str, str]]] = {}
     order: List[str] = []
     for row in rows:
@@ -155,6 +158,52 @@ def render_trend_table(
             f"{_sparkline(ratios)}"
         )
     return "\n".join(lines)
+
+
+def _format_eta(eta_s: Optional[float]) -> str:
+    if eta_s is None:
+        return "-"
+    seconds = max(0, int(round(eta_s)))
+    if seconds < 60:
+        return f"{seconds}s"
+    if seconds < 3600:
+        return f"{seconds // 60}m{seconds % 60:02d}s"
+    return f"{seconds // 3600}h{(seconds % 3600) // 60:02d}m"
+
+
+def render_ensemble_progress(
+    runs_done: int,
+    total_runs: int,
+    shards_done: int,
+    shards_total: int,
+    throughput: Optional[float] = None,
+    eta_s: Optional[float] = None,
+    quarantined: int = 0,
+    retries: int = 0,
+    width: int = 30,
+) -> str:
+    """One-line ASCII dashboard of a running (or resumable) ensemble.
+
+    ``[#####.....] 500/1000 runs | shard 5/10 | 120.0 runs/s | eta 4s``
+    plus a trailing fault tally when supervision had to intervene.
+    Built for the live ``repro ensemble run --progress`` feed and the
+    ``repro ensemble status`` summary line; throughput/ETA render as
+    ``-`` until known.
+    """
+    fraction = runs_done / total_runs if total_runs > 0 else 0.0
+    fraction = min(1.0, max(0.0, fraction))
+    filled = int(round(fraction * width))
+    bar = "#" * filled + "." * (width - filled)
+    rate = f"{throughput:,.1f} runs/s" if throughput else "- runs/s"
+    parts = [
+        f"[{bar}] {runs_done}/{total_runs} runs",
+        f"shard {shards_done}/{shards_total}",
+        rate,
+        f"eta {_format_eta(eta_s)}",
+    ]
+    if quarantined or retries:
+        parts.append(f"faults: {retries} retried, {quarantined} quarantined")
+    return " | ".join(parts)
 
 
 def render_line(

@@ -150,3 +150,100 @@ class TestRunEnsemble:
         assert status["shards_done"] == 2
         assert status["runs_done"] == 10
         assert not status["complete"]
+
+
+class TestStatusThroughput:
+    CAMPAIGN = "ag_corrupt_recover"
+
+    def _run(self, out_dir, **overrides):
+        kwargs = dict(
+            campaign_id=self.CAMPAIGN,
+            scale="smoke",
+            total_runs=9,
+            shard_size=3,
+            seed=17,
+            workers=None,
+        )
+        kwargs.update(overrides)
+        return run_ensemble(str(out_dir), **kwargs)
+
+    def test_throughput_and_eta_from_shard_mtimes(self, tmp_path):
+        out = str(tmp_path / "a")
+        self._run(out)
+        # Space the shard files one second apart so rates are exact.
+        for index, offset in enumerate((0, 1, 2)):
+            path = shard_path(out, index)
+            os.utime(path, (1_000_000 + offset, 1_000_000 + offset))
+        status = ensemble_status(out)
+        rows = {row["index"]: row for row in status["shards"]}
+        assert rows[0]["throughput_runs_per_s"] is None  # no predecessor
+        assert rows[1]["throughput_runs_per_s"] == pytest.approx(3.0)
+        assert rows[2]["throughput_runs_per_s"] == pytest.approx(3.0)
+        # 6 runs over 2 seconds since the first completed shard.
+        assert status["throughput_runs_per_s"] == pytest.approx(3.0)
+        assert status["eta_s"] is None  # complete: nothing left to do
+
+    def test_partial_ensemble_gets_an_eta(self, tmp_path):
+        out = str(tmp_path / "a")
+        self._run(out)
+        manifest = load_manifest(out)
+        manifest["shards"][2]["status"] = "pending"
+        manifest["shards"][2]["sha256"] = None
+        save_manifest(out, manifest)
+        os.unlink(shard_path(out, 2))
+        for index, offset in enumerate((0, 1)):
+            path = shard_path(out, index)
+            os.utime(path, (1_000_000 + offset, 1_000_000 + offset))
+        status = ensemble_status(out)
+        assert status["throughput_runs_per_s"] == pytest.approx(3.0)
+        assert status["eta_s"] == pytest.approx(1.0)  # 3 runs at 3 runs/s
+
+    def test_single_done_shard_has_no_rate(self, tmp_path):
+        out = str(tmp_path / "a")
+        self._run(out)
+        manifest = load_manifest(out)
+        for shard in manifest["shards"][1:]:
+            shard["status"] = "pending"
+            shard["sha256"] = None
+        save_manifest(out, manifest)
+        status = ensemble_status(out)
+        assert status["throughput_runs_per_s"] is None
+        assert status["eta_s"] is None
+
+
+class TestObserverSeam:
+    def test_shard_lifecycle_events_fire_in_order(self, tmp_path):
+        events = []
+        run_ensemble(
+            str(tmp_path / "a"),
+            campaign_id="ag_corrupt_recover",
+            scale="smoke",
+            total_runs=4,
+            shard_size=2,
+            seed=17,
+            observer=lambda kind, fields: events.append((kind, fields)),
+        )
+        kinds = [kind for kind, _ in events]
+        assert kinds == [
+            "shard_start", "shard_done", "shard_start", "shard_done",
+        ]
+        starts = [f for k, f in events if k == "shard_start"]
+        assert [(f["start"], f["stop"]) for f in starts] == [(0, 2), (2, 4)]
+        done = [f for k, f in events if k == "shard_done"]
+        assert all(f["quarantined"] == 0 for f in done)
+
+    def test_observer_does_not_change_aggregates(self, tmp_path):
+        plain = run_ensemble(
+            str(tmp_path / "plain"),
+            campaign_id="ag_corrupt_recover",
+            scale="smoke", total_runs=4, shard_size=2, seed=17,
+        )
+        observed = run_ensemble(
+            str(tmp_path / "observed"),
+            campaign_id="ag_corrupt_recover",
+            scale="smoke", total_runs=4, shard_size=2, seed=17,
+            observer=lambda kind, fields: None,
+        )
+        assert json.dumps(plain, sort_keys=True) == json.dumps(
+            observed, sort_keys=True
+        )

@@ -68,3 +68,61 @@ class TestRenderTrapRingLine:
         assert "line 2" in text
         assert text.count("a=") == protocol.traps_per_line
         assert "X holds 0" in text
+
+
+class TestRenderTrendTable:
+    def test_empty_history_renders_placeholder(self):
+        from repro.viz.ascii import render_trend_table
+
+        text = render_trend_table([])
+        assert "no bench history" in text
+        assert "\n" not in text  # a single placeholder line, not a table
+
+    def test_single_row_history_renders_without_drift(self):
+        from repro.viz.ascii import render_trend_table
+
+        rows = [{
+            "timestamp": "20260808T000000", "case": "line-m4",
+            "metric": "speedup", "ratio": "1.5",
+            "events_per_sec": "100000.0",
+            "reference_events_per_sec": "66000.0",
+        }]
+        text = render_trend_table(rows)
+        assert "line-m4" in text
+        assert " - " in text  # drift placeholder with one sample
+
+
+class TestRenderEnsembleProgress:
+    def test_bar_counts_and_eta(self):
+        from repro.viz.ascii import render_ensemble_progress
+
+        text = render_ensemble_progress(
+            runs_done=5, total_runs=10, shards_done=1, shards_total=2,
+            throughput=2.5, eta_s=2.0, width=10,
+        )
+        assert "[#####.....]" in text
+        assert "5/10 runs" in text
+        assert "shard 1/2" in text
+        assert "2.5 runs/s" in text
+        assert "eta 2s" in text
+        assert "faults" not in text
+
+    def test_unknown_rates_and_fault_tally(self):
+        from repro.viz.ascii import render_ensemble_progress
+
+        text = render_ensemble_progress(
+            runs_done=0, total_runs=0, shards_done=0, shards_total=0,
+            quarantined=2, retries=3,
+        )
+        assert "- runs/s" in text and "eta -" in text
+        assert "3 retried, 2 quarantined" in text
+
+    def test_eta_formatting_scales(self):
+        from repro.viz.ascii import render_ensemble_progress
+
+        assert "eta 1m30s" in render_ensemble_progress(
+            1, 2, 1, 2, throughput=1.0, eta_s=90.0
+        )
+        assert "eta 2h05m" in render_ensemble_progress(
+            1, 2, 1, 2, throughput=1.0, eta_s=7500.0
+        )

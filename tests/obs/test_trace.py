@@ -1,0 +1,132 @@
+"""Structured run traces: round-trip, schema, worker invariance.
+
+The central claim: a campaign's merged logical trace is a pure function
+of (campaign, scale, seed) — byte-identical at any worker count — and a
+trace file alone is enough to rebuild the recovery tables.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro._io import atomic_write_json, atomic_write_text
+from repro.exceptions import ExperimentError
+from repro.obs import (
+    TRACE_VERSION,
+    TraceReader,
+    TraceWriter,
+    diff_traces,
+    merge_trace_events,
+    summarize_trace,
+    validate_trace,
+)
+from repro.scenarios import get_campaign, run_campaign
+
+
+def _smoke_campaign(workers=None, campaign_id="ag_corrupt_recover"):
+    campaign = get_campaign(campaign_id)
+    scenario = campaign.build("smoke")
+    return run_campaign(
+        scenario, repetitions=2, seed=5, workers=workers,
+        collect_trace=True,
+    )
+
+
+class TestAtomicIO:
+    def test_atomic_write_text_round_trip(self, tmp_path):
+        path = str(tmp_path / "out.txt")
+        atomic_write_text(path, "hello\n")
+        with open(path, "r", encoding="utf-8") as handle:
+            assert handle.read() == "hello\n"
+        # Overwrite is atomic too: no stray temp files remain.
+        atomic_write_text(path, "world\n")
+        with open(path, "r", encoding="utf-8") as handle:
+            assert handle.read() == "world\n"
+        assert os.listdir(tmp_path) == ["out.txt"]
+
+    def test_atomic_write_json_round_trip(self, tmp_path):
+        path = str(tmp_path / "out.json")
+        atomic_write_json(path, {"b": 1, "a": [1, 2]})
+        with open(path, "r", encoding="utf-8") as handle:
+            assert json.load(handle) == {"b": 1, "a": [1, 2]}
+
+
+class TestTraceRoundTrip:
+    def test_write_read_validate_summarize(self, tmp_path):
+        result = _smoke_campaign()
+        path = str(tmp_path / "trace.jsonl")
+        writer = TraceWriter(path, source="test", campaign="ag_corrupt_recover")
+        writer.extend(
+            merge_trace_events([r.trace_events for r in result.results])
+        )
+        assert writer.write() == path
+
+        reader = TraceReader(path)
+        assert reader.header["version"] == TRACE_VERSION
+        assert reader.header["campaign"] == "ag_corrupt_recover"
+        validate_trace(reader.records)
+
+        kinds = {r["kind"] for r in reader.logical()}
+        assert {"run_start", "phase_start", "fault", "phase_end",
+                "run_end"} <= kinds
+        summary = summarize_trace(reader.records)
+        assert "2 runs" in summary
+        assert "Recovery after faults" in summary
+
+    def test_reader_rejects_torn_and_versionless_files(self, tmp_path):
+        path = str(tmp_path / "bad.jsonl")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('{"kind": "run_start"}\n')
+        with pytest.raises(ExperimentError, match="header"):
+            TraceReader(path)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('{"kind": "header", "version": 99}\n')
+        with pytest.raises(ExperimentError, match="version"):
+            TraceReader(path)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("{not json\n")
+        with pytest.raises(ExperimentError, match="not valid JSON"):
+            TraceReader(path)
+
+    def test_validate_catches_missing_fields_and_unknown_kinds(self):
+        header = {"kind": "header", "version": TRACE_VERSION, "source": "t"}
+        with pytest.raises(ExperimentError, match="missing"):
+            validate_trace([header, {"kind": "run_start", "run": 0}])
+        with pytest.raises(ExperimentError, match="unknown kind"):
+            validate_trace([header, {"kind": "wat"}])
+        with pytest.raises(ExperimentError, match="second header"):
+            validate_trace([header, dict(header)])
+
+
+class TestWorkerInvariance:
+    def test_merged_traces_identical_at_any_worker_count(self):
+        serial = _smoke_campaign(workers=1)
+        pooled = _smoke_campaign(workers=2)
+        merged_serial = merge_trace_events(
+            [r.trace_events for r in serial.results]
+        )
+        merged_pooled = merge_trace_events(
+            [r.trace_events for r in pooled.results]
+        )
+        assert merged_serial == merged_pooled
+        assert diff_traces(merged_serial, merged_pooled) == []
+
+    def test_diff_reports_divergence(self):
+        result = _smoke_campaign()
+        merged = merge_trace_events(
+            [r.trace_events for r in result.results]
+        )
+        mutated = [dict(r) for r in merged]
+        mutated[1]["num_agents"] = 99999
+        lines = diff_traces(merged, mutated)
+        assert lines and "differs" in lines[0]
+
+    def test_epoch_campaign_traces_epoch_switches(self):
+        result = _smoke_campaign(campaign_id="ag_epoch_cluster_flip")
+        merged = merge_trace_events(
+            [r.trace_events for r in result.results]
+        )
+        switches = [r for r in merged if r["kind"] == "epoch_switch"]
+        assert switches, "epoch campaign must trace its epoch boundaries"
+        assert all("run" in r and "epoch" in r for r in switches)
