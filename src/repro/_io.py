@@ -16,11 +16,39 @@ import os
 import tempfile
 from typing import Dict
 
-__all__ = ["atomic_write_json", "atomic_write_text"]
+__all__ = ["atomic_write_json", "atomic_write_text", "fsync_directory"]
+
+
+def fsync_directory(directory: str) -> None:
+    """Best-effort fsync of a directory's entries.
+
+    ``os.replace`` makes the rename atomic but not durable: on power
+    failure the *directory entry* itself can be lost unless the
+    directory is fsynced too.  Some filesystems (and all of Windows)
+    refuse to open or fsync directories — those errors are swallowed,
+    keeping the write path portable while upgrading durability where
+    the platform allows it.
+    """
+    flags = os.O_RDONLY | getattr(os, "O_DIRECTORY", 0)
+    try:
+        descriptor = os.open(directory, flags)
+    except OSError:
+        return
+    try:
+        os.fsync(descriptor)
+    except OSError:
+        pass
+    finally:
+        os.close(descriptor)
 
 
 def atomic_write_text(path: str, text: str, suffix: str = ".txt") -> None:
-    """Write ``text`` durably: temp file + flush + fsync + rename."""
+    """Write ``text`` durably: temp file + flush + fsync + rename.
+
+    The containing directory is fsynced after the rename (best effort)
+    so the new directory entry survives power failure — "done +
+    checksum implies trustworthy" holds end to end.
+    """
     directory = os.path.dirname(os.path.abspath(path))
     descriptor, temp_path = tempfile.mkstemp(
         dir=directory, prefix=".tmp-", suffix=suffix
@@ -31,6 +59,7 @@ def atomic_write_text(path: str, text: str, suffix: str = ".txt") -> None:
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(temp_path, path)
+        fsync_directory(directory)
     except BaseException:
         try:
             os.unlink(temp_path)

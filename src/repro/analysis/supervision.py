@@ -38,6 +38,8 @@ from __future__ import annotations
 
 import pickle
 import random
+import signal
+import threading
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -49,10 +51,55 @@ from ..exceptions import ExperimentError
 
 __all__ = [
     "JobFailure",
+    "ShutdownLatch",
     "SupervisionPolicy",
     "check_picklable",
     "supervised_map",
 ]
+
+
+class ShutdownLatch:
+    """A signal-to-flag adapter for cooperative graceful shutdown.
+
+    Long-running drivers (the cooperative ensemble worker, most of all)
+    poll ``latch.requested`` at safe points — between shards, never
+    mid-commit — and wind down cleanly: release leases, leave every
+    file either complete or absent, exit.  Used as a context manager it
+    installs itself as the handler for ``signals`` (default
+    ``SIGTERM``, what orchestrators and ``kill`` send) and restores the
+    previous handlers on exit; installation is best-effort because
+    ``signal.signal`` only works on the main thread — off it, the latch
+    still functions via :meth:`trip`.
+    """
+
+    def __init__(self, signals: Sequence[int] = (signal.SIGTERM,)) -> None:
+        self.signals = tuple(signals)
+        self._event = threading.Event()
+        self._previous: Dict[int, object] = {}
+
+    @property
+    def requested(self) -> bool:
+        return self._event.is_set()
+
+    def trip(self, signum: Optional[int] = None, frame=None) -> None:
+        """Request shutdown (also the installed signal handler)."""
+        self._event.set()
+
+    def __enter__(self) -> "ShutdownLatch":
+        for signum in self.signals:
+            try:
+                self._previous[signum] = signal.signal(signum, self.trip)
+            except ValueError:
+                pass  # not the main thread — trip() still works
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        for signum, previous in self._previous.items():
+            try:
+                signal.signal(signum, previous)
+            except (ValueError, TypeError):
+                pass
+        self._previous.clear()
 
 
 @dataclass(frozen=True)

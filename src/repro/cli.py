@@ -14,8 +14,10 @@ Subcommands:
 * ``bench`` — measure hot-path events/sec against the frozen seed
   engine and write ``BENCH_<timestamp>.json`` (``--instrument`` reports
   engine counters instead of wall-clock);
-* ``ensemble`` — run, resume, and inspect resumable sharded ensembles
-  (10⁵+ seeded scenario runs with crash recovery; see README);
+* ``ensemble`` — run, resume, join, and inspect resumable sharded
+  ensembles (10⁵+ seeded scenario runs with crash recovery; ``join``
+  adds cooperative multi-process/multi-machine draining via
+  crash-tolerant shard leases; see README);
 * ``trace`` — summarize, diff, and validate structured run traces
   (``repro scenario run ... --trace out.jsonl``).
 """
@@ -261,6 +263,76 @@ def build_parser() -> argparse.ArgumentParser:
         help="live ASCII progress dashboard on stderr (shards, runs, "
         "throughput, ETA, supervision interventions)",
     )
+    ens_join = ens_sub.add_parser(
+        "join",
+        help="join an ensemble directory as one cooperative worker "
+        "(crash-tolerant shard leases; run N of these against one "
+        "shared directory)",
+    )
+    ens_join.add_argument(
+        "out", metavar="OUT_DIR",
+        help="shared ensemble directory (the first joiner bootstraps "
+        "the manifest from the flags below; later joiners read it)",
+    )
+    ens_join.add_argument(
+        "--campaign", default=None, metavar="ID",
+        help="campaign id, used only if this joiner creates the "
+        "manifest (required then; later joiners may omit it or must "
+        "match)",
+    )
+    ens_join.add_argument("--scale", choices=SCALES, default="smoke")
+    ens_join.add_argument("--seed", type=int, default=0)
+    ens_join.add_argument(
+        "--runs", type=int, default=None,
+        help="total seeded runs, used only at manifest bootstrap",
+    )
+    ens_join.add_argument(
+        "--shard-size", type=int, default=1000,
+        help="runs per shard file, used only at manifest bootstrap",
+    )
+    ens_join.add_argument(
+        "--max-events", type=int, default=None,
+        help="default per-phase event budget, used only at bootstrap",
+    )
+    ens_join.add_argument(
+        "--workers", type=int, default=None,
+        help="this joiner's supervised process-pool size (default: "
+        "serial)",
+    )
+    ens_join.add_argument(
+        "--ttl", type=float, default=30.0,
+        help="shard lease time-to-live in seconds; a worker dead "
+        "longer than this has its shard reclaimed (default 30)",
+    )
+    ens_join.add_argument(
+        "--worker-id", default=None, metavar="ID",
+        help="override the worker identity in leases and traces "
+        "(default: <host>-<pid>-<uuid>)",
+    )
+    ens_join.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-run wall-clock deadline in seconds",
+    )
+    ens_join.add_argument(
+        "--max-attempts", type=int, default=3,
+        help="crash/hang attempts per run before quarantine (default 3)",
+    )
+    ens_join.add_argument(
+        "--backoff", type=float, default=0.25,
+        help="first retry delay in seconds, doubling per attempt "
+        "(default 0.25)",
+    )
+    ens_join.add_argument(
+        "--progress", action="store_true",
+        help="narrate claims, commits, steals, and reconciliation on "
+        "stderr",
+    )
+    ens_join.add_argument(
+        "--trace", default=None, metavar="JSONL",
+        help="write this worker's operational trace (lease claims/"
+        "renews/steals, shard commits, supervision events) to this "
+        "file; inspect with `repro trace validate`",
+    )
     ens_status = ens_sub.add_parser(
         "status", help="summarise an ensemble directory"
     )
@@ -504,15 +576,99 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_ensemble_summary(aggregate: dict, out_dir: str) -> int:
+    """The shared end-of-run report for ``ensemble run`` and ``join``."""
+    summary = aggregate["aggregates"]
+    print(f"campaign      : {aggregate['campaign']} "
+          f"(scale {aggregate['scale']}, seed {aggregate['seed']})")
+    print(f"runs          : {summary['runs']} of "
+          f"{aggregate['total_runs']} "
+          f"({summary['failed_jobs']} quarantined)")
+    recovered = summary["recovered_all"]
+    print(f"recovered all : {recovered['count']} "
+          f"({recovered['fraction']:.1%})")
+    times = summary["parallel_time"]
+    print(f"parallel time : mean {times['mean']:.1f}, "
+          f"p50 {times['p50']:.1f}, p90 {times['p90']:.1f}, "
+          f"p99 {times['p99']:.1f}")
+    print(f"aggregates    : {out_dir}/aggregates.json")
+    return 0 if summary["failed_jobs"] == 0 else 1
+
+
+def _cmd_ensemble_join(args: argparse.Namespace) -> int:
+    from .analysis.supervision import ShutdownLatch, SupervisionPolicy
+    from .ensemble import join_ensemble, worker_identity
+
+    policy = SupervisionPolicy(
+        timeout=args.timeout,
+        max_attempts=args.max_attempts,
+        backoff_base=args.backoff,
+        fail_fast=False,
+    )
+    worker = args.worker_id or worker_identity()
+    writer = None
+    observer = None
+    if args.trace is not None:
+        from .obs import TraceWriter
+
+        writer = TraceWriter(
+            args.trace,
+            source="ensemble-join",
+            worker=worker,
+            out_dir=args.out,
+        )
+
+        def observer(kind, fields):
+            writer.emit(kind, **fields)
+
+    progress = None
+    if args.progress:
+        def progress(line):
+            print(line, file=sys.stderr)
+    with ShutdownLatch() as latch:
+        try:
+            aggregate = join_ensemble(
+                args.out,
+                campaign_id=args.campaign,
+                scale=args.scale,
+                total_runs=args.runs,
+                shard_size=args.shard_size,
+                seed=args.seed,
+                default_max_events=args.max_events,
+                workers=args.workers,
+                policy=policy,
+                ttl=args.ttl,
+                worker=worker,
+                shutdown=latch,
+                progress=progress,
+                observer=observer,
+            )
+        finally:
+            if writer is not None:
+                print(f"wrote trace {writer.write()}", file=sys.stderr)
+    if aggregate is None:
+        print(
+            f"worker {worker} stopped on request — finished shards are "
+            f"committed; rejoin with `repro ensemble join {args.out}`",
+            file=sys.stderr,
+        )
+        return 143
+    return _print_ensemble_summary(aggregate, args.out)
+
+
 def _cmd_ensemble(args: argparse.Namespace) -> int:
     from .analysis.supervision import SupervisionPolicy
     from .ensemble import ensemble_status, run_ensemble
+
+    if args.ensemble_command == "join":
+        return _cmd_ensemble_join(args)
 
     if args.ensemble_command == "status":
         status = ensemble_status(args.out)
         scalars = {
             k: v for k, v in status.items()
-            if k not in ("shards", "throughput_runs_per_s", "eta_s")
+            if k not in ("shards", "throughput_runs_per_s", "eta_s",
+                         "workers")
         }
         width = max(len(key) for key in scalars)
         for key, value in scalars.items():
@@ -524,6 +680,19 @@ def _cmd_ensemble(args: argparse.Namespace) -> int:
                 rate = row["throughput_runs_per_s"]
                 rate_text = f"{rate:,.1f}" if rate is not None else "-"
                 print(f"  {row['index']:>5} {row['runs']:>6} {rate_text:>10}")
+        if status["workers"]:
+            print(f"{'workers':{width}s} :")
+            print(f"  {'shard':>5} {'token':>5} {'expires':>9}  owner")
+            for row in status["workers"]:
+                expiry = (
+                    "EXPIRED"
+                    if row["expired"]
+                    else f"{row['expires_in_s']:.1f}s"
+                )
+                print(
+                    f"  {row['shard']:>5} {row['token']:>5} "
+                    f"{expiry:>9}  {row['owner']}"
+                )
         from .viz.ascii import render_ensemble_progress
 
         print(render_ensemble_progress(
@@ -621,21 +790,7 @@ def _cmd_ensemble(args: argparse.Namespace) -> int:
         progress=lambda line: print(line, file=sys.stderr),
         observer=observer,
     )
-    summary = aggregate["aggregates"]
-    print(f"campaign      : {aggregate['campaign']} "
-          f"(scale {aggregate['scale']}, seed {aggregate['seed']})")
-    print(f"runs          : {summary['runs']} of "
-          f"{aggregate['total_runs']} "
-          f"({summary['failed_jobs']} quarantined)")
-    recovered = summary["recovered_all"]
-    print(f"recovered all : {recovered['count']} "
-          f"({recovered['fraction']:.1%})")
-    times = summary["parallel_time"]
-    print(f"parallel time : mean {times['mean']:.1f}, "
-          f"p50 {times['p50']:.1f}, p90 {times['p90']:.1f}, "
-          f"p99 {times['p99']:.1f}")
-    print(f"aggregates    : {args.out}/aggregates.json")
-    return 0 if summary["failed_jobs"] == 0 else 1
+    return _print_ensemble_summary(aggregate, args.out)
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -718,12 +873,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # One clean line instead of a stack trace; long-running
         # commands are interrupted deliberately all the time.
         message = "interrupted"
-        if args.command == "ensemble" and getattr(
-            args, "ensemble_command", None
-        ) == "run":
+        ensemble_command = getattr(args, "ensemble_command", None)
+        if args.command == "ensemble" and ensemble_command == "run":
             message += (
                 f" — finished shards are safe; continue with "
                 f"`repro ensemble run --out {args.out} --resume`"
+            )
+        elif args.command == "ensemble" and ensemble_command == "join":
+            message += (
+                f" — committed shards are safe; any held lease expires "
+                f"after its TTL; continue with "
+                f"`repro ensemble join {args.out}`"
             )
         print(message, file=sys.stderr)
         return 130

@@ -2,34 +2,80 @@
 
 The orchestration layer for very large (10⁵+ run) fault-tolerance
 studies: shard the seeded runs, execute each shard under worker
-supervision, persist shards atomically with checksums, stream the
-records through online reducers, and resume exactly the missing gap
-after any crash.  See :mod:`repro.ensemble.runner` for the mechanics.
+supervision, persist shards atomically with checksums and exclusive
+commit markers, stream the records through online reducers, and resume
+exactly the missing gap after any crash.  Cooperative mode
+(:func:`~repro.ensemble.runner.join_ensemble`) lets N processes — on
+any machines sharing the ensemble directory's filesystem — drain one
+manifest concurrently through crash-tolerant shard leases
+(:mod:`repro.ensemble.lease`).  See :mod:`repro.ensemble.runner` for
+the mechanics.
 """
 
+from .lease import (
+    Lease,
+    LeaseHeartbeat,
+    LeaseManager,
+    lease_path,
+    list_leases,
+    worker_identity,
+)
 from .manifest import (
     atomic_write_json,
+    commit_shard,
     create_manifest,
+    create_manifest_exclusive,
+    done_marker_path,
     file_sha256,
     load_manifest,
+    read_done_marker,
+    reconcile_manifest,
     save_manifest,
     shard_path,
+    write_done_marker,
 )
-from .reducers import EnsembleAggregates, P2Quantile, RecoveryTable, Welford
-from .runner import ensemble_status, run_ensemble, run_record
+from .reducers import (
+    EnsembleAggregates,
+    P2Quantile,
+    RecoveryTable,
+    SurvivalCurve,
+    Welford,
+)
+from .runner import (
+    CooperativeWorker,
+    ensemble_status,
+    join_ensemble,
+    run_ensemble,
+    run_record,
+)
 
 __all__ = [
+    "CooperativeWorker",
     "EnsembleAggregates",
+    "Lease",
+    "LeaseHeartbeat",
+    "LeaseManager",
     "P2Quantile",
     "RecoveryTable",
+    "SurvivalCurve",
     "Welford",
     "atomic_write_json",
+    "commit_shard",
     "create_manifest",
+    "create_manifest_exclusive",
+    "done_marker_path",
     "ensemble_status",
     "file_sha256",
+    "join_ensemble",
+    "lease_path",
+    "list_leases",
     "load_manifest",
+    "read_done_marker",
+    "reconcile_manifest",
     "run_ensemble",
     "run_record",
     "save_manifest",
     "shard_path",
+    "worker_identity",
+    "write_done_marker",
 ]

@@ -1,11 +1,14 @@
 """Online (single-pass, O(1)-memory) reducers for ensemble aggregation.
 
 The ensemble runner streams 10⁵+ run records shard-by-shard; nothing
-here ever holds the observations themselves.  Three primitives:
+here ever holds the observations themselves.  Four primitives:
 
 * :class:`Welford` — numerically stable running mean/variance/extrema;
 * :class:`P2Quantile` — the Jain–Chlamtac P² estimator: a quantile
   approximation from five markers, no stored samples;
+* :class:`SurvivalCurve` — a fixed-grid empirical survival function
+  (exceedance counts per grid point), the tail view the paper's
+  silence-time claims need;
 * :class:`RecoveryTable` — per-fault-label recovery statistics built
   from each record's phase timeline.
 
@@ -20,12 +23,14 @@ shards in index order).
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence, Tuple
 
 __all__ = [
     "EnsembleAggregates",
     "P2Quantile",
     "RecoveryTable",
+    "SurvivalCurve",
     "Welford",
 ]
 
@@ -156,6 +161,64 @@ class P2Quantile:
         return self._heights[2]
 
 
+class SurvivalCurve:
+    """Fixed-grid empirical survival function, folded one value at a time.
+
+    For each grid point ``t`` the curve reports how many observations
+    exceeded it — ``exceed[i] = #{T : T > grid[i]}`` — and the fraction
+    ``survival[i] = exceed[i] / count``, the empirical ``P(T > t)``.
+    The quantile battery answers "what time covers 99% of recoveries";
+    the survival curve answers the complementary tail question the
+    paper's silence-time theorems are phrased in: "what fraction of
+    runs is still unrecovered at time t".
+
+    The grid is *fixed at construction* (default: 0 plus a geometric
+    ladder of exact dyadics, ``0.25 · 2^k`` up to ~5·10⁵, spanning
+    every recovery parallel time these protocols produce) so the fold
+    is deterministic and O(1) memory: feeding the same values in any
+    count of shards or resumes yields bit-equal output, preserving the
+    byte-identical ``aggregates.json`` contract.  Updates are O(log
+    grid) (one bisect into a per-bucket histogram); the exceedance
+    suffix sums are materialised only in :meth:`to_dict`.
+    """
+
+    DEFAULT_GRID: Tuple[float, ...] = (0.0,) + tuple(
+        0.25 * 2.0 ** k for k in range(21)
+    )
+
+    def __init__(self, grid: Optional[Sequence[float]] = None) -> None:
+        points = tuple(
+            float(g) for g in (self.DEFAULT_GRID if grid is None else grid)
+        )
+        if not points:
+            raise ValueError("survival grid must not be empty")
+        if any(b <= a for a, b in zip(points, points[1:])):
+            raise ValueError("survival grid must be strictly increasing")
+        self.grid = points
+        self.count = 0
+        # _buckets[j]: observations with exactly j grid points below them.
+        self._buckets = [0] * (len(points) + 1)
+
+    def update(self, value: float) -> None:
+        self.count += 1
+        self._buckets[bisect_left(self.grid, float(value))] += 1
+
+    def to_dict(self) -> Dict:
+        exceed: List[int] = []
+        remaining = self.count
+        for bucket in self._buckets[:-1]:
+            remaining -= bucket
+            exceed.append(remaining)
+        return {
+            "count": self.count,
+            "grid": list(self.grid),
+            "exceed": exceed,
+            "survival": [
+                (e / self.count if self.count else 0.0) for e in exceed
+            ],
+        }
+
+
 class _Distribution:
     """Welford + a fixed battery of P² quantiles over one statistic."""
 
@@ -197,6 +260,7 @@ class RecoveryTable:
                 "recovered": 0,
                 "unrecovered": 0,
                 "parallel_time": _Distribution(),
+                "survival": SurvivalCurve(),
             }
         return self._rows[label]
 
@@ -211,9 +275,11 @@ class RecoveryTable:
                     row["count"] += 1
                     if phase["silent"]:
                         row["recovered"] += 1
-                        row["parallel_time"].update(
+                        recovery_time = (
                             phase["interactions"] / phase["num_agents"]
                         )
+                        row["parallel_time"].update(recovery_time)
+                        row["survival"].update(recovery_time)
                     else:
                         row["unrecovered"] += 1
                 pending = []
@@ -229,6 +295,7 @@ class RecoveryTable:
                 "recovered": row["recovered"],
                 "unrecovered": row["unrecovered"],
                 "parallel_time": row["parallel_time"].to_dict(),
+                "survival": row["survival"].to_dict(),
             }
             for label, row in sorted(self._rows.items())
         }

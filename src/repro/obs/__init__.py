@@ -15,7 +15,7 @@ Zero-cost-when-off instrumentation for the simulation stack:
 """
 
 from .instrumentation import Instrumentation, check_instrumentation_off_overhead
-from .metrics import MetricsRegistry
+from .metrics import MetricsRegistry, ensemble_event_counter
 from .trace import (
     TRACE_VERSION,
     TraceReader,
@@ -34,6 +34,7 @@ __all__ = [
     "TraceWriter",
     "check_instrumentation_off_overhead",
     "diff_traces",
+    "ensemble_event_counter",
     "merge_trace_events",
     "summarize_trace",
     "validate_trace",

@@ -19,7 +19,7 @@ from typing import Dict, Optional
 
 from ..ensemble.reducers import P2Quantile, Welford
 
-__all__ = ["MetricsRegistry"]
+__all__ = ["MetricsRegistry", "ensemble_event_counter"]
 
 _QUANTILES = (0.5, 0.9, 0.99)
 
@@ -142,3 +142,21 @@ def _format_value(value: Optional[float]) -> str:
         return "NaN"
     formatted = repr(float(value))
     return formatted
+
+
+def ensemble_event_counter(registry: MetricsRegistry, prefix: str = "ensemble_"):
+    """An ensemble/lease observer that counts events into ``registry``.
+
+    Returns an ``observer(kind, fields)`` callable for the runner's and
+    lease manager's observer seams: every operational event increments
+    the counter ``<prefix><kind>`` (``ensemble_shard_commit``,
+    ``ensemble_lease_claim``, ``ensemble_lease_steal``,
+    ``ensemble_retry``, …), so a metrics export answers "how contended
+    was this cooperative run" without parsing the trace.  Observers can
+    be chained by hand: counting here never consumes the event.
+    """
+
+    def observer(kind: str, fields: Dict) -> None:
+        registry.counter_add(prefix + kind)
+
+    return observer

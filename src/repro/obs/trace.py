@@ -11,9 +11,11 @@ classes:
   ``workers=N`` merge (in run-index order) to byte-identical logical
   histories.
 * **operational** records (:data:`OPERATIONAL_KINDS`) — supervision
-  retries/quarantines/pool-rebuilds, shard lifecycle, and timing
-  summaries.  They describe *this execution* and are excluded from
-  logical comparison.
+  retries/quarantines/pool-rebuilds, shard lifecycle (including the
+  cooperative-mode lease protocol: ``lease_claim``/``lease_renew``/
+  ``lease_expire``/``lease_steal`` and the fenced ``shard_commit``),
+  and timing summaries.  They describe *this execution* and are
+  excluded from logical comparison.
 
 Files are written atomically via :func:`repro._io.atomic_write_text`
 (the ensemble manifest's temp/fsync/rename discipline), so a killed
@@ -51,6 +53,11 @@ OPERATIONAL_KINDS = frozenset(
         "pool_rebuild",
         "shard_start",
         "shard_done",
+        "shard_commit",
+        "lease_claim",
+        "lease_renew",
+        "lease_expire",
+        "lease_steal",
         "timing",
         "note",
     }
@@ -93,6 +100,11 @@ _REQUIRED: Dict[str, Sequence[str]] = {
     "pool_rebuild": ("rebuilds",),
     "shard_start": ("shard", "start", "stop"),
     "shard_done": ("shard", "start", "stop"),
+    "shard_commit": ("shard", "sha256"),
+    "lease_claim": ("shard", "owner", "token"),
+    "lease_renew": ("shard", "owner", "token"),
+    "lease_expire": ("shard", "owner", "token"),
+    "lease_steal": ("shard", "owner", "token", "previous_owner"),
 }
 
 

@@ -9,8 +9,80 @@ from repro.ensemble.reducers import (
     EnsembleAggregates,
     P2Quantile,
     RecoveryTable,
+    SurvivalCurve,
     Welford,
 )
+
+
+class TestSurvivalCurve:
+    def test_exact_exceedance_on_a_small_sample(self):
+        curve = SurvivalCurve(grid=[0.0, 1.0, 2.0, 4.0])
+        for value in (0.5, 1.0, 1.5, 3.0, 5.0):
+            curve.update(value)
+        data = curve.to_dict()
+        assert data["count"] == 5
+        assert data["grid"] == [0.0, 1.0, 2.0, 4.0]
+        # exceed[i] = #{T > grid[i]}: strictly greater, so T == 1.0
+        # does not exceed t = 1.0.
+        assert data["exceed"] == [5, 3, 2, 1]
+        assert data["survival"] == [1.0, 0.6, 0.4, 0.2]
+
+    def test_survival_is_monotone_non_increasing(self):
+        rng = np.random.default_rng(5)
+        curve = SurvivalCurve()
+        for value in rng.exponential(scale=40.0, size=500):
+            curve.update(value)
+        survival = curve.to_dict()["survival"]
+        assert all(b <= a for a, b in zip(survival, survival[1:]))
+        assert survival[0] == 1.0  # exponentials are all > 0
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.floats(0.0, 1e6, allow_nan=False, allow_infinity=False),
+            min_size=1, max_size=200,
+        )
+    )
+    def test_matches_batch_exceedance(self, values):
+        curve = SurvivalCurve()
+        for value in values:
+            curve.update(value)
+        data = curve.to_dict()
+        for t, exceed in zip(data["grid"], data["exceed"]):
+            assert exceed == sum(1 for v in values if v > t)
+
+    def test_deterministic_and_order_independent_output(self):
+        import json
+
+        def build(order):
+            curve = SurvivalCurve()
+            for value in order:
+                curve.update(value)
+            return json.dumps(curve.to_dict(), sort_keys=True)
+
+        values = list(np.random.default_rng(9).exponential(10.0, 100))
+        assert build(values) == build(list(reversed(values)))
+
+    def test_empty_curve(self):
+        data = SurvivalCurve(grid=[1.0, 2.0]).to_dict()
+        assert data["count"] == 0
+        assert data["exceed"] == [0, 0]
+        assert data["survival"] == [0.0, 0.0]
+
+    def test_grid_validation(self):
+        with pytest.raises(ValueError):
+            SurvivalCurve(grid=[])
+        with pytest.raises(ValueError):
+            SurvivalCurve(grid=[0.0, 1.0, 1.0])
+        with pytest.raises(ValueError):
+            SurvivalCurve(grid=[2.0, 1.0])
+
+    def test_default_grid_spans_protocol_recovery_times(self):
+        grid = SurvivalCurve.DEFAULT_GRID
+        assert grid[0] == 0.0
+        assert grid[1] == 0.25
+        assert grid[-1] > 2.5e5
+        assert all(b > a for a, b in zip(grid, grid[1:]))
 
 
 class TestWelford:
@@ -115,6 +187,12 @@ class TestRecoveryTable:
         assert row["unrecovered"] == 1
         assert row["parallel_time"]["count"] == 1
         assert row["parallel_time"]["mean"] == pytest.approx(40.0)
+        # The survival curve sees exactly the recovered recovery times:
+        # one observation of 40.0, which exceeds every grid point < 40.
+        assert row["survival"]["count"] == 1
+        grid = row["survival"]["grid"]
+        expected = [1 if 40.0 > t else 0 for t in grid]
+        assert row["survival"]["exceed"] == expected
 
     def test_trailing_fault_counts_as_unrecovered(self):
         table = RecoveryTable()

@@ -9,6 +9,7 @@ from repro.ensemble import ensemble_status, run_ensemble
 from repro.ensemble.manifest import (
     atomic_write_json,
     create_manifest,
+    done_marker_path,
     file_sha256,
     load_manifest,
     save_manifest,
@@ -141,11 +142,13 @@ class TestRunEnsemble:
     def test_status_on_partial_ensemble(self, tmp_path):
         out = str(tmp_path / "a")
         self._run(out)
-        # Demote one shard to pending to fake an interrupted ensemble.
+        # Demote one shard to pending to fake an interrupted ensemble
+        # (the commit marker is the authority, so it goes too).
         manifest = load_manifest(out)
         manifest["shards"][2]["status"] = "pending"
         manifest["shards"][2]["sha256"] = None
         save_manifest(out, manifest)
+        os.unlink(done_marker_path(out, 2))
         status = ensemble_status(out)
         assert status["shards_done"] == 2
         assert status["runs_done"] == 10
@@ -191,6 +194,7 @@ class TestStatusThroughput:
         manifest["shards"][2]["sha256"] = None
         save_manifest(out, manifest)
         os.unlink(shard_path(out, 2))
+        os.unlink(done_marker_path(out, 2))
         for index, offset in enumerate((0, 1)):
             path = shard_path(out, index)
             os.utime(path, (1_000_000 + offset, 1_000_000 + offset))
@@ -205,6 +209,7 @@ class TestStatusThroughput:
         for shard in manifest["shards"][1:]:
             shard["status"] = "pending"
             shard["sha256"] = None
+            os.unlink(done_marker_path(out, shard["index"]))
         save_manifest(out, manifest)
         status = ensemble_status(out)
         assert status["throughput_runs_per_s"] is None
@@ -225,10 +230,13 @@ class TestObserverSeam:
         )
         kinds = [kind for kind, _ in events]
         assert kinds == [
-            "shard_start", "shard_done", "shard_start", "shard_done",
+            "shard_start", "shard_commit", "shard_done",
+            "shard_start", "shard_commit", "shard_done",
         ]
         starts = [f for k, f in events if k == "shard_start"]
         assert [(f["start"], f["stop"]) for f in starts] == [(0, 2), (2, 4)]
+        commits = [f for k, f in events if k == "shard_commit"]
+        assert all(len(f["sha256"]) == 64 for f in commits)
         done = [f for k, f in events if k == "shard_done"]
         assert all(f["quarantined"] == 0 for f in done)
 
