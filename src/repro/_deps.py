@@ -1,0 +1,65 @@
+"""Optional-dependency seam: one lazy numpy import for the whole package.
+
+numpy powers the fast engines (batched draws, the vectorised batch
+kernel) and all of the analysis layer, but the *model* — protocols,
+configurations, the sequential reference engine — is plain Python.  To
+keep that split honest, every module imports numpy through this shim::
+
+    from repro._deps import np
+
+When numpy is installed, ``np`` is the real module and nothing changes.
+When it is missing, ``np`` is a proxy whose *every attribute access*
+raises an :class:`ImportError` naming the install command, so any code
+path that genuinely needs numpy fails with an actionable message
+instead of a bare ``ModuleNotFoundError`` at import time — while
+numpy-free paths (the sequential engine with the pure-Python generator
+from :mod:`repro._purerng`) keep working.
+
+Entry points that want to fail *eagerly* call :func:`require_numpy`
+with a feature name.
+"""
+
+from __future__ import annotations
+
+__all__ = ["np", "HAVE_NUMPY", "require_numpy", "NUMPY_HINT"]
+
+#: The message suffix every missing-numpy error carries.
+NUMPY_HINT = (
+    "numpy is not installed; install the optional extra with "
+    "`pip install 'repro[numpy]'` (or `pip install numpy`)"
+)
+
+try:
+    import numpy as _numpy
+except ImportError as exc:  # pragma: no cover - exercised via subprocess
+    _numpy = None
+    _NUMPY_ERROR: Exception | None = exc
+else:
+    _NUMPY_ERROR = None
+
+HAVE_NUMPY = _numpy is not None
+
+
+class _MissingNumpy:
+    """Placeholder for an absent numpy: actionable error on first use."""
+
+    def __getattr__(self, name: str):
+        raise ImportError(
+            f"this code path needs numpy (attribute {name!r}); {NUMPY_HINT}"
+        ) from _NUMPY_ERROR
+
+    def __bool__(self) -> bool:
+        return False
+
+
+np = _numpy if HAVE_NUMPY else _MissingNumpy()
+
+
+def require_numpy(feature: str) -> None:
+    """Raise an actionable :class:`ImportError` unless numpy is available.
+
+    ``feature`` names what the caller was trying to do, e.g.
+    ``require_numpy('the numpy batch backend')``.
+    """
+    if not HAVE_NUMPY:
+        raise ImportError(f"{feature} requires numpy; {NUMPY_HINT}") from _NUMPY_ERROR

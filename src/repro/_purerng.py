@@ -1,0 +1,78 @@
+"""Pure-Python stand-in for ``numpy.random.Generator``.
+
+Used only when numpy is absent (see :mod:`repro._deps`), so the
+sequential reference engine — the "obviously correct" scalar fallback —
+still runs.  It implements the small slice of the Generator API the
+scalar paths consume: ``integers``, ``random``, and a
+``bit_generator.state`` round-trip compatible with the snapshot layer's
+:func:`~repro.core.snapshot.capture_rng` / ``restore_rng`` contract
+(the state is a plain JSON-safe dict tagged with the generator name).
+
+``integers`` draws through :meth:`random.Random.randrange`, which is
+exact (rejection-based) — no float bias — so the sequential engine's
+pair law is identical to the numpy-backed one in distribution.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Union
+
+__all__ = ["PureGenerator"]
+
+
+class _PureBitGenerator:
+    """State carrier mimicking ``Generator.bit_generator``."""
+
+    def __init__(self, rand: random.Random) -> None:
+        self._rand = rand
+
+    @property
+    def state(self) -> Dict:
+        version, internal, gauss = self._rand.getstate()
+        return {
+            "bit_generator": type(self).__name__,
+            "state": {"version": version, "key": list(internal)},
+            "gauss": gauss,
+        }
+
+    @state.setter
+    def state(self, value: Dict) -> None:
+        inner = value["state"]
+        self._rand.setstate(
+            (inner["version"], tuple(inner["key"]), value.get("gauss"))
+        )
+
+
+class PureGenerator:
+    """Minimal ``numpy.random.Generator`` API over :class:`random.Random`."""
+
+    def __init__(self, seed: Optional[int] = None) -> None:
+        self._rand = random.Random(seed)
+        self._bit_generator = _PureBitGenerator(self._rand)
+
+    @property
+    def bit_generator(self) -> _PureBitGenerator:
+        return self._bit_generator
+
+    def random(self, size: Optional[int] = None) -> Union[float, List[float]]:
+        if size is None:
+            return self._rand.random()
+        rand = self._rand.random
+        return [rand() for _ in range(size)]
+
+    def integers(
+        self,
+        low: int,
+        high: Optional[int] = None,
+        size: Optional[int] = None,
+        dtype=None,
+    ) -> Union[int, List[int]]:
+        """Uniform integers in ``[low, high)`` — numpy's default endpoint."""
+        if high is None:
+            low, high = 0, low
+        span = int(high) - int(low)
+        randrange = self._rand.randrange
+        if size is None:
+            return low + randrange(span)
+        return [low + randrange(span) for _ in range(size)]

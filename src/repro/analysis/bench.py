@@ -41,7 +41,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
-import numpy as np
+from repro._deps import np
 
 from ..core.configuration import Configuration
 from ..core.engine import Recorder
@@ -65,6 +65,7 @@ __all__ = [
     "LegacyJumpEngine",
     "SchedulerBenchCase",
     "append_bench_history",
+    "backend_bench_suite",
     "bench_ratios",
     "bench_suite",
     "check_speedup_floors",
@@ -551,6 +552,32 @@ def scheduler_bench_suite(quick: bool = False) -> List[SchedulerBenchCase]:
     return [_tree_biased_case(1_024, 20_000), _tree_epoch_case(1_024, 20_000)]
 
 
+def backend_bench_suite(quick: bool = False) -> List[BenchCase]:
+    """Cases measured scalar-vs-numpy-batch (``backend="numpy"`` path).
+
+    Reuses the engine-suite builders; the runner measures each case
+    under the tuned scalar :class:`JumpEngine` and the numpy
+    :class:`~repro.core.batch.BatchEngine` and records the
+    ``batch_vs_scalar`` ratio.  Case ids carry a ``-np`` suffix so the
+    floors and the history CSV keep the backends apart.  The committed
+    floors here are *honest* measured values — the batch kernel is
+    currently slower than the tuned scalar engine (per-event Python
+    commit cost dominates; see README "Backends") — so the gate guards
+    against further regression, not a speedup claim.
+    """
+    if quick:
+        picks = [_line_case(4, 20_000), _tree_case(256, 5_000)]
+    else:
+        picks = [_line_case(4, 100_000), _tree_case(4_096, 100_000)]
+    return [
+        BenchCase(
+            f"{case.case_id}-np", case.protocol_name, case.num_agents,
+            case.max_events, case.build,
+        )
+        for case in picks
+    ]
+
+
 def _measure_scheduler_case(
     case: SchedulerBenchCase, seed: int, repeats: int = 2
 ) -> Dict[str, object]:
@@ -670,6 +697,28 @@ def run_bench(
         _measure_scheduler_case(case, seed, repeats=repeats)
         for case in scheduler_bench_suite(quick=quick)
     ]
+    # Imported here: the batch kernel is optional machinery the scalar
+    # bench must not pay for at import time.
+    from ..core.batch import BatchEngine
+
+    backend_cases = []
+    for case in backend_bench_suite(quick=quick):
+        scalar = _measure(JumpEngine, case, seed, repeats=repeats)
+        batch = _measure(BatchEngine, case, seed, repeats=repeats)
+        backend_cases.append(
+            {
+                "case": case.case_id,
+                "protocol": case.protocol_name,
+                "n": case.num_agents,
+                "max_events": case.max_events,
+                "seed": seed,
+                "scalar": scalar,
+                "batch": batch,
+                "batch_vs_scalar": (
+                    batch["events_per_sec"] / scalar["events_per_sec"]
+                ),
+            }
+        )
     headline = next(
         (c for c in cases if c["case"] == "ag-n10000"), cases[0]
     )
@@ -679,6 +728,7 @@ def run_bench(
         "repeats": repeats,
         "cases": cases,
         "scheduler_cases": scheduler_cases,
+        "backend_cases": backend_cases,
         "headline": {
             "case": headline["case"],
             "legacy_events_per_sec": headline["legacy"]["events_per_sec"],
@@ -698,7 +748,10 @@ def check_speedup_floors(
     scheduler cases (``tree-biased-*``, ``tree-epoch-*``) gate
     ``weighted_vs_rejection`` — the weighted fast path against the
     rejection reference running the identical step distribution, which
-    is the ratio a fast-path regression would erode.  Raises
+    is the ratio a fast-path regression would erode.  Backend cases
+    (``*-np``) gate ``batch_vs_scalar`` — the numpy batch kernel
+    against the tuned scalar engine on the same case; their committed
+    floors sit below 1.0 (honest measured values).  Raises
     :class:`~repro.exceptions.SimulationError` on an unknown case id or
     a floor violation — the CI gate.
     """
@@ -709,6 +762,10 @@ def check_speedup_floors(
     for case in record.get("scheduler_cases", ()):
         by_id[case["case"]] = (
             "weighted vs rejection", case["weighted_vs_rejection"]
+        )
+    for case in record.get("backend_cases", ()):
+        by_id[case["case"]] = (
+            "batch vs scalar", case["batch_vs_scalar"]
         )
     for case_id, floor in floors.items():
         entry = by_id.get(case_id)
@@ -745,6 +802,12 @@ def bench_ratios(record: Dict[str, object]) -> Dict[str, Tuple[str, float, float
             "weighted_vs_rejection",
             case["weighted_vs_rejection"],
             case["weighted"]["events_per_sec"],
+        )
+    for case in record.get("backend_cases", ()):
+        ratios[case["case"]] = (
+            "batch_vs_scalar",
+            case["batch_vs_scalar"],
+            case["batch"]["events_per_sec"],
         )
     return ratios
 
@@ -806,19 +869,50 @@ def compare_bench(
 
 
 _HISTORY_FIELDS = (
-    "timestamp", "case", "metric", "ratio", "events_per_sec",
+    "timestamp", "case", "metric", "backend", "ratio", "events_per_sec",
     "reference_events_per_sec",
 )
+
+
+def _migrate_bench_history(path: str) -> None:
+    """Upgrade a pre-backend-column history CSV in place.
+
+    Older CSVs lack the ``backend`` column; every row they hold was a
+    scalar-engine measurement, so migration rewrites them with
+    ``backend=python`` under the new header.  A current-header (or
+    missing/empty) file is left untouched.
+    """
+    if not (os.path.exists(path) and os.path.getsize(path) > 0):
+        return
+    with open(path, "r", encoding="utf-8", newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None or tuple(header) == _HISTORY_FIELDS:
+            return
+        old_rows = [dict(zip(header, row)) for row in reader]
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_HISTORY_FIELDS)
+        for row in old_rows:
+            writer.writerow([
+                row.get(field, "python" if field == "backend" else "")
+                for field in _HISTORY_FIELDS
+            ])
 
 
 def append_bench_history(record: Dict[str, object], path: str) -> int:
     """Append one record's per-case rows to a ``bench_history.csv``.
 
-    Creates the file (with a header) when missing; returns the number
-    of rows appended.  The nightly workflow keeps this CSV in its cache
-    so every run extends the same trend, uploads it as an artifact, and
-    renders it via :func:`repro.viz.ascii.render_trend_table`.
+    Creates the file (with a header) when missing and migrates an
+    old-header file first (see :func:`_migrate_bench_history`); returns
+    the number of rows appended.  Rows are labelled per backend:
+    engine and scheduler cases are the scalar Python hot paths
+    (``python``), backend cases the numpy batch kernel (``numpy``).
+    The nightly workflow keeps this CSV in its cache so every run
+    extends the same trend, uploads it as an artifact, and renders it
+    via :func:`repro.viz.ascii.render_trend_table`.
     """
+    _migrate_bench_history(path)
     exists = os.path.exists(path) and os.path.getsize(path) > 0
     rows = 0
     with open(path, "a", encoding="utf-8", newline="") as handle:
@@ -828,7 +922,7 @@ def append_bench_history(record: Dict[str, object], path: str) -> int:
         timestamp = record["timestamp"]
         for case in record["cases"]:
             writer.writerow([
-                timestamp, case["case"], "speedup",
+                timestamp, case["case"], "speedup", "python",
                 f"{case['speedup']:.4f}",
                 f"{case['current']['events_per_sec']:.1f}",
                 f"{case['legacy']['events_per_sec']:.1f}",
@@ -836,10 +930,18 @@ def append_bench_history(record: Dict[str, object], path: str) -> int:
             rows += 1
         for case in record.get("scheduler_cases", ()):
             writer.writerow([
-                timestamp, case["case"], "weighted_vs_rejection",
+                timestamp, case["case"], "weighted_vs_rejection", "python",
                 f"{case['weighted_vs_rejection']:.4f}",
                 f"{case['weighted']['events_per_sec']:.1f}",
                 f"{case['rejection']['events_per_sec']:.1f}",
+            ])
+            rows += 1
+        for case in record.get("backend_cases", ()):
+            writer.writerow([
+                timestamp, case["case"], "batch_vs_scalar", "numpy",
+                f"{case['batch_vs_scalar']:.4f}",
+                f"{case['batch']['events_per_sec']:.1f}",
+                f"{case['scalar']['events_per_sec']:.1f}",
             ])
             rows += 1
     return rows
@@ -866,28 +968,41 @@ def write_bench_json(record: Dict[str, object], output_dir: str = ".") -> str:
 
 
 def instrument_bench(
-    quick: bool = True, seed: int = 7
+    quick: bool = True, seed: int = 7, backend: str = "python"
 ) -> Dict[str, object]:
     """Run the engine suite once per case with counters attached.
 
     One instrumented run per :func:`bench_suite` case (no timing — the
     counters, not the wall clock, are the measurement): each entry
     reports the raw counter bag plus the derived ratios from
-    :meth:`repro.obs.Instrumentation.derived`.  ``line-m4`` is the
-    headline: its ``proposals_per_pool_draw`` and ``sprint_share`` are
-    the ROADMAP's residual-cost answer for the hybrid proposal/Fenwick
-    sampler.
+    :meth:`repro.obs.Instrumentation.derived`.  With the default
+    ``backend="python"`` the scalar :class:`JumpEngine` runs and
+    ``line-m4`` is the headline: its ``proposals_per_pool_draw`` and
+    ``sprint_share`` are the ROADMAP's residual-cost answer for the
+    hybrid proposal/Fenwick sampler.  With ``backend="numpy"`` the
+    engines are built through :func:`~repro.core.engine.build_engine`
+    (so cases route onto the batch kernel where supported) and the
+    batch-level counters — ``events_per_batch_refill`` ("events per
+    Python touch") and the refill/confirm rates — are the measurement.
     """
+    from ..core.engine import build_engine
     from ..obs import Instrumentation
 
     cases = []
     for case in bench_suite(quick=quick):
         protocol, start = case.build()
         instr = Instrumentation()
-        engine = JumpEngine(
-            protocol, start, np.random.default_rng(seed),
-            instrumentation=instr,
-        )
+        if backend == "python":
+            engine = JumpEngine(
+                protocol, start, np.random.default_rng(seed),
+                instrumentation=instr,
+            )
+            engine_name = "jump"
+        else:
+            engine, engine_name = build_engine(
+                protocol, start, seed=seed, engine="jump",
+                instrumentation=instr, backend=backend,
+            )
         silent = engine.run(max_events=case.max_events)
         entry = {
             "case": case.case_id,
@@ -895,24 +1010,63 @@ def instrument_bench(
             "n": case.num_agents,
             "max_events": case.max_events,
             "seed": seed,
+            "backend": backend,
+            "engine": engine_name,
             "silent": silent,
         }
         entry.update(instr.to_dict())
         cases.append(entry)
-    return {"quick": quick, "seed": seed, "cases": cases}
+    return {"quick": quick, "seed": seed, "backend": backend, "cases": cases}
 
 
 def render_instrument(record: Dict[str, object]) -> str:
-    """Fixed-width table of an :func:`instrument_bench` record."""
-    lines = [
-        f"{'case':<16} {'events':>8} {'skips/ev':>9} {'raws/ev':>8} "
-        f"{'props/pool':>10} {'sprint':>7} {'fenwick':>8}"
-    ]
+    """Fixed-width table of an :func:`instrument_bench` record.
+
+    Column set follows the backend: the scalar engines' sampler ratios
+    for ``python``, the batch kernel's amortisation ratios for
+    ``numpy``.
+    """
 
     def ratio(entry, name, fmt="{:.2f}"):
         value = entry["derived"].get(name)
         return fmt.format(value) if value is not None else "-"
 
+    if record.get("backend", "python") == "numpy":
+        lines = [
+            f"{'case':<16} {'engine':>10} {'events':>8} {'ev/refill':>10} "
+            f"{'confirm':>8} {'k2':>6} {'skips/ev':>9}"
+        ]
+        for entry in record["cases"]:
+            lines.append(
+                f"{entry['case']:<16} {entry.get('engine', '-'):>10} "
+                f"{entry['counters'].get('events', 0):>8} "
+                f"{ratio(entry, 'events_per_batch_refill', '{:.1f}'):>10} "
+                f"{ratio(entry, 'batch_confirm_acceptance', '{:.0%}'):>8} "
+                f"{ratio(entry, 'batch_k2_share', '{:.0%}'):>6} "
+                f"{ratio(entry, 'skip_draws_per_event'):>9}"
+            )
+        headline = next(
+            (
+                c for c in record["cases"]
+                if c["case"] == "line-m4" and c.get("engine") == "batch"
+            ),
+            None,
+        )
+        if headline is not None:
+            derived = headline["derived"]
+            lines.append(
+                "line-m4 batch amortisation: "
+                f"{derived.get('events_per_batch_refill', float('nan')):.1f} "
+                "events per Python touch (vectorised refill), "
+                f"{derived.get('batch_confirm_acceptance', 0.0):.0%} "
+                "confirm acceptance"
+            )
+        return "\n".join(lines)
+
+    lines = [
+        f"{'case':<16} {'events':>8} {'skips/ev':>9} {'raws/ev':>8} "
+        f"{'props/pool':>10} {'sprint':>7} {'fenwick':>8}"
+    ]
     for entry in record["cases"]:
         lines.append(
             f"{entry['case']:<16} {entry['counters'].get('events', 0):>8} "
@@ -960,6 +1114,15 @@ def render_bench(record: Dict[str, object]) -> str:
             f"{case['weighted_vs_rejection']:>7.2f}x"
             f"   [{case['scheduler']}; uniform "
             f"{case['uniform']['events_per_sec']:,.0f} ev/s]"
+        )
+    for case in record.get("backend_cases", ()):
+        lines.append(
+            f"{case['case']:<16} {case['n']:>6} "
+            f"{case['batch']['events']:>8} "
+            f"{case['scalar']['events_per_sec']:>12,.0f} "
+            f"{case['batch']['events_per_sec']:>13,.0f} "
+            f"{case['batch_vs_scalar']:>7.2f}x"
+            "   [numpy batch vs tuned scalar]"
         )
     head = record["headline"]
     lines.append(

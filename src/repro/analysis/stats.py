@@ -12,7 +12,7 @@ import math
 from dataclasses import dataclass
 from typing import Sequence, Tuple
 
-import numpy as np
+from repro._deps import np
 
 from ..exceptions import ExperimentError
 

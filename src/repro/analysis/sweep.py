@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
+from repro._deps import np
 
 from ..core.configuration import Configuration
 from ..core.engine import RunResult, run_protocol
@@ -35,7 +35,7 @@ __all__ = [
 
 # A builder maps (params, rng) to a ready-to-run (protocol, configuration).
 Builder = Callable[
-    [Dict[str, object], np.random.Generator],
+    [Dict[str, object], "np.random.Generator"],
     Tuple[PopulationProtocol, Configuration],
 ]
 

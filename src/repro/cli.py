@@ -131,6 +131,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine", choices=["jump", "sequential"], default="jump"
     )
     sim.add_argument(
+        "--backend", choices=["python", "numpy"], default="python",
+        help="execution substrate: 'python' (scalar hot paths, default) "
+        "or 'numpy' (the vectorised batch kernel where supported; "
+        "step-distribution-identical, needs the repro[numpy] extra)",
+    )
+    sim.add_argument(
         "--max-interactions", type=int, default=None,
         help="abort after this many scheduler steps",
     )
@@ -199,6 +205,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="report engine counters (draws per event, proposals per "
         "pool draw, sprint share) instead of timing — the residual-cost "
         "breakdown",
+    )
+    ben.add_argument(
+        "--backend", choices=["python", "numpy"], default="python",
+        help="backend for --instrument runs: 'numpy' routes cases onto "
+        "the batch kernel and reports its batch-level counters (events "
+        "per Python touch, refill/confirm rates); timing runs always "
+        "measure both backends via the *-np cases",
     )
 
     ens = sub.add_parser(
@@ -472,7 +485,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         start = solved_configuration(protocol)
     result = run_protocol(
         protocol, start, seed=args.seed, engine=args.engine,
-        max_interactions=args.max_interactions,
+        max_interactions=args.max_interactions, backend=args.backend,
     )
     final = result.final_configuration
     print(f"protocol            : {protocol.name}")
@@ -543,7 +556,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         from .analysis.bench import instrument_bench, render_instrument
 
         print(render_instrument(
-            instrument_bench(quick=args.quick, seed=args.seed)
+            instrument_bench(
+                quick=args.quick, seed=args.seed, backend=args.backend
+            )
         ))
         return 0
     record = run_bench(quick=args.quick, seed=args.seed)

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Union
 
-import numpy as np
+from repro._deps import np
 
 from ..exceptions import ConfigurationError
 from ..core.configuration import Configuration
@@ -35,7 +35,7 @@ __all__ = [
     "distance_from_solved",
 ]
 
-Seed = Union[int, np.random.Generator, None]
+Seed = Union[int, "np.random.Generator", None]
 
 
 def solved_configuration(protocol: RankingProtocol) -> Configuration:

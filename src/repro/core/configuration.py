@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
 
-import numpy as np
+from repro._deps import np
 
 from ..exceptions import ConfigurationError
 

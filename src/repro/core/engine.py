@@ -16,7 +16,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
-import numpy as np
+from repro._deps import HAVE_NUMPY, np, require_numpy
+from repro._purerng import PureGenerator
 
 from ..exceptions import SimulationError, SimulationLimitReached
 from .configuration import Configuration
@@ -132,10 +133,25 @@ class MetricRecorder(Recorder):
 def make_rng(
     seed_or_rng: Union[int, np.random.Generator, None],
 ) -> np.random.Generator:
-    """Normalise a seed / generator / None into a numpy Generator."""
-    if isinstance(seed_or_rng, np.random.Generator):
+    """Normalise a seed / generator / None into a generator.
+
+    With numpy installed this is a ``numpy.random.Generator``; without
+    it, ints and ``None`` become the pure-Python
+    :class:`~repro._purerng.PureGenerator` that keeps the sequential
+    reference engine running (see :mod:`repro._deps`).
+    """
+    if isinstance(seed_or_rng, PureGenerator):
         return seed_or_rng
-    return np.random.default_rng(seed_or_rng)
+    if HAVE_NUMPY:
+        if isinstance(seed_or_rng, np.random.Generator):
+            return seed_or_rng
+        return np.random.default_rng(seed_or_rng)
+    if seed_or_rng is None or isinstance(seed_or_rng, int):
+        return PureGenerator(seed_or_rng)
+    raise SimulationError(
+        f"cannot normalise {type(seed_or_rng).__name__!r} into a "
+        "generator without numpy"
+    )
 
 
 def build_engine(
@@ -145,6 +161,7 @@ def build_engine(
     engine: str = "jump",
     scheduler: Optional["PairScheduler"] = None,
     instrumentation=None,
+    backend: str = "python",
 ):
     """Construct the right driver for a run; returns ``(driver, name)``.
 
@@ -165,10 +182,47 @@ def build_engine(
     per chunk; ``None`` (the default) leaves the fast paths untouched.
     Counters never consume randomness, so instrumented runs are
     bit-identical to uninstrumented ones at the same seed.
+
+    ``backend`` selects the execution substrate: ``"python"`` (default)
+    keeps the tuned scalar loops; ``"numpy"`` routes uniform-scheduler
+    jump runs through the vectorised batch kernel
+    (:class:`~repro.core.batch.BatchEngine`, engine name ``"batch"``)
+    when the protocol's families compile for it, and falls back to the
+    scalar reference otherwise (non-uniform schedulers, the sequential
+    engine, opaque families).  ``backend="numpy"`` without numpy
+    installed raises an actionable :class:`ImportError`; with numpy
+    missing entirely the ``"python"`` backend degrades to the
+    sequential reference engine — the clean scalar fallback.
     """
+    if backend not in ("python", "numpy"):
+        raise SimulationError(
+            f"unknown backend {backend!r}; expected 'python' or 'numpy'"
+        )
+    if backend == "numpy":
+        require_numpy("the numpy batch backend (backend='numpy')")
     # Imported here to avoid a circular import at module load time.
-    from .jump import JumpEngine
     from .sequential import SequentialEngine
+
+    if not HAVE_NUMPY:
+        # Scalar fallback: the sequential reference engine is the only
+        # numpy-free driver.  Scheduled/weighted/agent engines and the
+        # jump engine all draw through numpy's batched streams.
+        if scheduler is not None and not scheduler.is_uniform:
+            require_numpy("non-uniform pair schedulers")
+        if engine not in ("jump", "sequential"):
+            raise SimulationError(
+                f"unknown engine {engine!r}; expected one of "
+                f"['jump', 'sequential']"
+            )
+        return (
+            SequentialEngine(
+                protocol, configuration, make_rng(seed),
+                instrumentation=instrumentation,
+            ),
+            "sequential",
+        )
+
+    from .jump import JumpEngine
 
     engines = {"jump": JumpEngine, "sequential": SequentialEngine}
     if engine not in engines:
@@ -205,6 +259,17 @@ def build_engine(
             ),
             f"scheduled:{scheduler.name}",
         )
+    if backend == "numpy" and engine == "jump":
+        from .batch import BatchEngine, batch_supported
+
+        if batch_supported(protocol):
+            return (
+                BatchEngine(
+                    protocol, configuration, make_rng(seed),
+                    instrumentation=instrumentation,
+                ),
+                "batch",
+            )
     return (
         engines[engine](
             protocol, configuration, make_rng(seed),
@@ -225,6 +290,7 @@ def run_protocol(
     max_events: Optional[int] = None,
     scheduler: Optional["PairScheduler"] = None,
     instrumentation=None,
+    backend: str = "python",
 ) -> RunResult:
     """Simulate ``protocol`` from ``configuration`` until silence.
 
@@ -265,11 +331,16 @@ def run_protocol(
         engine updates per chunk (off by default; zero hot-path cost
         when ``None``).  Its snapshot lands in the result's
         ``metadata["instrumentation"]``.
+    backend:
+        ``"python"`` (default, the tuned scalar loops) or ``"numpy"``
+        (the vectorised batch kernel on uniform-scheduler jump runs;
+        see :func:`build_engine` for the exact routing and fallbacks).
+        Both backends realise the identical step distribution.
     """
     seed_value = seed if isinstance(seed, int) else None
     driver, engine = build_engine(
         protocol, configuration, seed, engine=engine, scheduler=scheduler,
-        instrumentation=instrumentation,
+        instrumentation=instrumentation, backend=backend,
     )
     start = time.perf_counter()
     silent = driver.run(

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence, Union
 
-import numpy as np
+from repro._deps import np
 
 from ..exceptions import ConfigurationError
 from .configuration import Configuration

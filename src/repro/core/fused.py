@@ -706,6 +706,47 @@ class FusedIndex:
         self.total = sum(weights[:num_composite]) + fenwick.total
         self.state_steps = [tuple(entries) for entries in steps]
 
+    def layout(self) -> tuple:
+        """Plain structural description of the slot layout.
+
+        One hashable tuple per slot, count-independent — the structural
+        skeleton the compiled index is built around.  The batch backend
+        (:mod:`repro.core.batch`) compiles its weight bookkeeping from
+        this export and uses it as the cross-run program-cache key, so
+        both backends share one source of truth for how productive
+        pairs decompose into slots:
+
+        * ``("same", state)`` — one same-state rule slot;
+        * ``("product", initiators, responders)`` — an ordered-product
+          family slot (disjoint side tuples);
+        * ``("triangular", line)`` — a triangular line family slot (the
+          line in position order);
+        * ``("proposal-pool", states)`` — the hybrid same-state pool
+          pseudo-slot (candidate states);
+        * ``("opaque", states)`` — an opaque family adapter.
+        """
+        slots = []
+        for slot in range(self.num_slots):
+            kind = self.slot_kind[slot]
+            payload = self.slot_payload[slot]
+            if kind == SAME:
+                slots.append(("same", payload))
+            elif kind == PRODUCT:
+                slots.append(
+                    (
+                        "product",
+                        tuple(payload.initiators),
+                        tuple(payload.responders),
+                    )
+                )
+            elif kind == TRIANGULAR:
+                slots.append(("triangular", tuple(payload.line)))
+            elif kind == PROPOSAL:
+                slots.append(("proposal-pool", tuple(payload.states)))
+            else:
+                slots.append(("opaque", tuple(sorted(payload.states()))))
+        return tuple(slots)
+
     # ------------------------------------------------------------------
     # Slot-level primitives
     # ------------------------------------------------------------------

@@ -63,7 +63,7 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional, Tuple
 
-import numpy as np
+from repro._deps import np
 
 from ..exceptions import SimulationError
 from .configuration import Configuration

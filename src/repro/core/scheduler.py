@@ -61,7 +61,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-import numpy as np
+from repro._deps import np
 
 from ..exceptions import SimulationError
 from .configuration import Configuration

@@ -14,9 +14,7 @@ this engine the natural place for agent-level observations in examples.
 
 from __future__ import annotations
 
-from typing import List, Optional
-
-import numpy as np
+from typing import List, Optional, Tuple
 
 from ..exceptions import SimulationError
 from .configuration import Configuration
@@ -65,7 +63,7 @@ class SequentialEngine:
         self._state_families = self._compile_state_families()
         self.interactions = 0
         self.events = 0
-        self._pair_buffer = np.empty((0, 2), dtype=np.int64)
+        self._pair_buffer: List[Tuple[int, int]] = []
         self._pair_pos = 0
 
     def _compile_state_families(self):
@@ -82,17 +80,24 @@ class SequentialEngine:
         return [tuple(families) for families in by_state]
 
     def _next_pair(self) -> tuple:
-        """Uniform ordered pair of distinct agent indices."""
+        """Uniform ordered pair of distinct agent indices.
+
+        Buffered as plain int tuples — the same code serves numpy
+        generators (whose ``integers`` returns arrays) and the
+        pure-Python fallback generator (which returns lists), keeping
+        this the engine that runs when numpy is absent.
+        """
         if self._pair_pos >= len(self._pair_buffer):
             first = self._rng.integers(0, self._n, size=_PAIR_BATCH)
             second = self._rng.integers(0, self._n - 1, size=_PAIR_BATCH)
-            second = second + (second >= first)
-            self._pair_buffer = np.stack([first, second], axis=1)
+            self._pair_buffer = [
+                (int(a), int(b + (b >= a))) for a, b in zip(first, second)
+            ]
             self._pair_pos = 0
             self._pair_batches += 1
         a, b = self._pair_buffer[self._pair_pos]
         self._pair_pos += 1
-        return int(a), int(b)
+        return a, b
 
     @property
     def productive_weight(self) -> int:
@@ -189,7 +194,7 @@ class SequentialEngine:
             rng_state=capture_rng(self._rng),
             agent_states=tuple(self.agent_states),
             pair_buffer=tuple(
-                int(v)
+                v
                 for row in self._pair_buffer[self._pair_pos:]
                 for v in row
             ),
@@ -227,9 +232,8 @@ class SequentialEngine:
         self.interactions = snapshot.interactions
         self.events = snapshot.events
         restore_rng(self._rng, snapshot.rng_state)
-        self._pair_buffer = np.asarray(
-            snapshot.pair_buffer, dtype=np.int64
-        ).reshape(-1, 2)
+        flat = [int(v) for v in snapshot.pair_buffer]
+        self._pair_buffer = list(zip(flat[0::2], flat[1::2]))
         self._pair_pos = 0
         self._restore_fields(snapshot)
         if self._instr is not None:

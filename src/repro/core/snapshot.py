@@ -37,7 +37,7 @@ import copy
 from dataclasses import asdict, dataclass, field
 from typing import Dict, Optional, Tuple
 
-import numpy as np
+from repro._deps import np
 
 from ..exceptions import SimulationError
 
@@ -46,7 +46,14 @@ __all__ = ["EngineSnapshot", "resume_engine"]
 #: Snapshot schema version — bumped on any incompatible field change.
 SNAPSHOT_VERSION = 1
 
-_KINDS = ("jump", "sequential", "scheduled", "agent", "weighted")
+_KINDS = ("jump", "sequential", "scheduled", "agent", "weighted", "batch")
+
+#: Kinds a snapshot can be converted between via :meth:`EngineSnapshot.rehost`
+#: — the uniform-scheduler engines, whose dynamical state is fully
+#: determined by the counts (agents are exchangeable; buffered draws are
+#: discardable by memorylessness).  Scheduled/weighted/agent snapshots
+#: carry epoch cursors tied to their scheduler and stay host-locked.
+_REHOSTABLE = ("jump", "sequential", "batch")
 
 
 @dataclass(frozen=True)
@@ -93,6 +100,50 @@ class EngineSnapshot:
     def to_dict(self) -> Dict:
         """JSON-safe dict (tuples become lists; ints stay exact)."""
         return asdict(self)
+
+    def rehost(self, kind: str) -> "EngineSnapshot":
+        """Convert this snapshot for restoration onto another backend.
+
+        Cross-backend restore seam: a snapshot taken on one
+        uniform-scheduler engine (``jump`` / ``sequential`` / ``batch``)
+        becomes restorable on another.  Backend-specific buffered draws
+        are dropped — discarding unconsumed i.i.d. draws at a stopping
+        time is distribution-exact — and a target that needs explicit
+        agent identities (``sequential``) gets the canonical
+        state-sorted agent array, which realises the same law because
+        agents are exchangeable.  The continuation is therefore
+        *step-distribution-identical* to the source engine's, not
+        bit-identical: the new host consumes the restored generator
+        stream in its own pattern.
+        """
+        if self.kind not in _REHOSTABLE:
+            raise SimulationError(
+                f"cannot rehost a {self.kind!r} snapshot; only "
+                f"{_REHOSTABLE} interconvert"
+            )
+        if kind not in _REHOSTABLE:
+            raise SimulationError(
+                f"cannot rehost onto {kind!r}; expected one of {_REHOSTABLE}"
+            )
+        if kind == self.kind:
+            return self
+        agent_states: Optional[Tuple[int, ...]] = None
+        if kind == "sequential":
+            agent_states = tuple(
+                state
+                for state, count in enumerate(self.counts)
+                for _ in range(count)
+            )
+        return EngineSnapshot(
+            kind=kind,
+            num_states=self.num_states,
+            num_agents=self.num_agents,
+            counts=self.counts,
+            interactions=self.interactions,
+            events=self.events,
+            rng_state=copy.deepcopy(self.rng_state),
+            agent_states=agent_states,
+        )
 
     @classmethod
     def from_dict(cls, data: Dict) -> "EngineSnapshot":
@@ -200,12 +251,19 @@ def resume_engine(protocol, snapshot: EngineSnapshot, scheduler=None):
             f"snapshot has {snapshot.num_agents}"
         )
     configuration = Configuration(list(snapshot.counts))
-    # Throwaway stream: restore() installs the captured state.
-    rng = np.random.default_rng(0)
+    # Throwaway stream: restore() installs the captured state.  Routed
+    # through make_rng so the numpy-free fallback generator works too.
+    from .engine import make_rng
+
+    rng = make_rng(0)
     if snapshot.kind == "jump":
         engine = JumpEngine(protocol, configuration, rng)
     elif snapshot.kind == "sequential":
         engine = SequentialEngine(protocol, configuration, rng)
+    elif snapshot.kind == "batch":
+        from .batch import BatchEngine
+
+        engine = BatchEngine(protocol, configuration, rng)
     else:
         if scheduler is None:
             raise SimulationError(

@@ -25,7 +25,7 @@ from typing import Optional
 
 import math
 
-import numpy as np
+from repro._deps import np
 
 from ..analysis.stats import wilson_interval
 from ..analysis.tables import Table

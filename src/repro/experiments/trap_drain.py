@@ -22,7 +22,7 @@ from typing import Optional
 
 import math
 
-import numpy as np
+from repro._deps import np
 
 from ..analysis.potentials import all_traps_tidy
 from ..analysis.stats import summarise

@@ -19,7 +19,7 @@ from typing import Optional
 
 import math
 
-import numpy as np
+from repro._deps import np
 
 from ..analysis.stats import summarise
 from ..analysis.tables import Table

@@ -38,6 +38,15 @@ Counter vocabulary (engines only touch the ones their loop has):
 ``pair_draws``
     Ordered agent pairs drawn by the sequential reference engine (from
     batch arithmetic, rejected thinning draws included).
+``batch_refreshes``, ``batch_refills``, ``batch_candidates``,
+``batch_confirm_rejects``, ``batch_k2_events``, ``uniform_draws``
+    The numpy batch kernel's epoch machinery: frozen-stratum refreshes,
+    vectorised proposal refills (each one Python-level touch of numpy),
+    proposal candidates consumed / rejected by the modified-agent
+    confirm, events resolved through the closed-form K2 strata, and
+    uniforms consumed for geometric-skip batches —
+    ``events / batch_refills`` is the "events per Python touch"
+    amortisation number.
 ``reclassifications``, ``resyncs``, ``epoch_switches``
 ``snapshots``, ``restores``
 """
@@ -120,6 +129,22 @@ class Instrumentation:
         tests = c("accept_tests", 0)
         if tests:
             out["acceptance"] = 1.0 - c("accept_rejects", 0) / tests
+        refills = c("batch_refills", 0)
+        if refills and events:
+            # Events amortised per Python-level numpy touch.
+            out["events_per_batch_refill"] = events / refills
+        refreshes = c("batch_refreshes", 0)
+        if refreshes and events:
+            out["batch_refresh_rate"] = refreshes / events
+        candidates = c("batch_candidates", 0)
+        if candidates:
+            out["batch_confirm_acceptance"] = (
+                1.0 - c("batch_confirm_rejects", 0) / candidates
+            )
+        if events:
+            k2 = c("batch_k2_events", 0)
+            if k2 or refills:
+                out["batch_k2_share"] = k2 / events
         return out
 
     def to_dict(self) -> Dict[str, object]:

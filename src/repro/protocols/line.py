@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-import numpy as np
+from repro._deps import np
 
 from ..exceptions import ProtocolError
 from ..core.families import Family, OrderedProduct, SameStatePairs

@@ -22,7 +22,7 @@ from __future__ import annotations
 import math
 from typing import List, Optional
 
-import numpy as np
+from repro._deps import np
 
 from ..exceptions import ProtocolError
 from ..core.protocol import RankingProtocol, Transition

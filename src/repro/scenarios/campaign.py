@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-import numpy as np
+from repro._deps import np
 
 from ..analysis.supervision import (
     JobFailure,

@@ -23,7 +23,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
-import numpy as np
+from repro._deps import np
 
 from ..core.configuration import Configuration
 from ..core.engine import make_rng
@@ -230,7 +230,7 @@ def _distance(protocol, configuration) -> Optional[int]:
 # ----------------------------------------------------------------------
 def _make_engine(
     scenario, protocol, configuration, rng, start_epoch=0,
-    instrumentation=None,
+    instrumentation=None, backend="python",
 ):
     if scenario.timeline:
         # Time-varying adversary: the whole timeline compiles into the
@@ -251,6 +251,17 @@ def _make_engine(
         )
     scheduler = build_scheduler(scenario.scheduler, protocol)
     if scheduler is None:
+        # Uniform phases are the only ones the numpy batch kernel can
+        # serve (biased schedulers perturb the pair law it freezes);
+        # unsupported protocols fall back to the scalar jump engine.
+        if backend == "numpy":
+            from ..core.batch import BatchEngine, batch_supported
+
+            if batch_supported(protocol):
+                return BatchEngine(
+                    protocol, configuration, rng,
+                    instrumentation=instrumentation,
+                )
         return JumpEngine(
             protocol, configuration, rng, instrumentation=instrumentation
         )
@@ -460,12 +471,19 @@ def run_scenario(
     seed: Union[int, np.random.Generator, np.random.SeedSequence, None] = None,
     default_max_events: Optional[int] = None,
     collect_trace: bool = False,
+    backend: str = "python",
 ) -> ScenarioResult:
     """Execute one scenario instance; a pure function of ``seed``.
 
     ``default_max_events`` caps run phases that declare no ``max_events``
     of their own (the safety net for exploratory scenarios on schedulers
     or protocols that may not converge inside a phase).
+
+    ``backend="numpy"`` runs uniform-scheduler phases on the vectorised
+    batch kernel where the protocol supports it (biased/epoch scenarios
+    keep their scalar engines); the step distribution is unchanged, and
+    the fault seams (``reset_configuration``, churn rebuild) work
+    identically.
 
     ``collect_trace`` additionally records the run's logical history
     (phase lifecycle, faults, engine epoch switches / resyncs /
@@ -509,7 +527,8 @@ def run_scenario(
         instr.marks.clear()
 
     engine = _make_engine(
-        scenario, protocol, configuration, rng, instrumentation=instr
+        scenario, protocol, configuration, rng, instrumentation=instr,
+        backend=backend,
     )
     result = ScenarioResult(
         scenario_name=scenario.name,
@@ -578,7 +597,7 @@ def run_scenario(
                 engine = _make_engine(
                     scenario, protocol, new_configuration, rng,
                     start_epoch=getattr(engine, "epoch", 0),
-                    instrumentation=instr,
+                    instrumentation=instr, backend=backend,
                 )
             log = PhaseLog(
                 index=index,

@@ -1,0 +1,149 @@
+"""The numpy-free degradation contract, exercised in a subprocess.
+
+numpy is an optional extra (``pip install 'repro[numpy]'``).  Without
+it the package must still import, the sequential reference engine must
+still run protocols to silence, and ``backend="numpy"`` must fail with
+an actionable :class:`ImportError` naming the extra — not a bare
+``ModuleNotFoundError`` from deep inside an engine.
+
+The test process itself has numpy (the whole dev environment does), so
+each scenario runs in a fresh subprocess whose ``sys.meta_path`` blocks
+the numpy import before ``repro`` loads — the same observable state as
+a machine where the extra was never installed.  CI additionally runs
+the real thing (a job leg that uninstalls numpy); this file keeps the
+contract testable locally and under plain pytest.
+"""
+
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+_BLOCKER = """
+import sys
+
+class _BlockNumpy:
+    def find_module(self, name, path=None):  # legacy hook, pre-3.12
+        return None
+
+    def find_spec(self, name, path=None, target=None):
+        if name == "numpy" or name.startswith("numpy."):
+            raise ImportError("numpy blocked for this test")
+        return None
+
+sys.meta_path.insert(0, _BlockNumpy())
+for name in [m for m in sys.modules if m == "numpy" or m.startswith("numpy.")]:
+    del sys.modules[name]
+"""
+
+
+def _run(body: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-c", _BLOCKER + textwrap.dedent(body)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+class TestNumpyFreeFallback:
+    def test_sequential_fallback_runs_to_silence(self):
+        proc = _run(
+            """
+            from repro import AGProtocol, Configuration, build_engine
+            from repro._deps import HAVE_NUMPY
+
+            assert not HAVE_NUMPY, "blocker failed; numpy imported"
+            protocol = AGProtocol(10)
+            start = Configuration.all_in_state(0, 10, 10)
+            engine, name = build_engine(protocol, start, seed=3)
+            assert name == "sequential", name
+            assert engine.run() is True
+            assert engine.counts == [1] * 10, engine.counts
+            print("FALLBACK-OK")
+            """
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "FALLBACK-OK" in proc.stdout
+
+    def test_run_protocol_degrades_cleanly(self):
+        proc = _run(
+            """
+            from repro import AGProtocol, Configuration, run_protocol
+
+            protocol = AGProtocol(8)
+            start = Configuration.all_in_state(0, 8, 8)
+            result = run_protocol(protocol, start, seed=11)
+            assert result.silent
+            assert result.final_configuration.counts_list() == [1] * 8
+            print("RUN-OK")
+            """
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "RUN-OK" in proc.stdout
+
+    def test_numpy_backend_raises_actionable_error(self):
+        proc = _run(
+            """
+            from repro import AGProtocol, Configuration, build_engine
+
+            protocol = AGProtocol(10)
+            start = Configuration.all_in_state(0, 10, 10)
+            try:
+                build_engine(protocol, start, seed=3, backend="numpy")
+            except ImportError as error:
+                message = str(error)
+                assert "repro[numpy]" in message, message
+                assert "backend" in message, message
+                print("ERROR-OK")
+            else:
+                raise AssertionError("backend='numpy' did not raise")
+            """
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "ERROR-OK" in proc.stdout
+
+    def test_deps_proxy_names_the_extra_on_attribute_access(self):
+        proc = _run(
+            """
+            from repro._deps import np, HAVE_NUMPY
+
+            assert not HAVE_NUMPY
+            try:
+                np.random
+            except ImportError as error:
+                assert "repro[numpy]" in str(error), error
+                print("PROXY-OK")
+            else:
+                raise AssertionError("proxy did not raise")
+            """
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "PROXY-OK" in proc.stdout
+
+
+@pytest.mark.slow
+class TestNumpyFreeScenario:
+    def test_scenario_uniform_phase_runs(self):
+        """The scenario layer stays usable without numpy as long as the
+        scenario needs neither biased schedulers nor the analysis
+        stack (the pure-Python generator drives the sequential
+        engine)."""
+        proc = _run(
+            """
+            from repro import AGProtocol, Configuration, build_engine
+
+            protocol = AGProtocol(12)
+            start = Configuration.all_in_state(0, 12, 12)
+            engine, _ = build_engine(protocol, start, seed=7)
+            engine.run(max_events=50)
+            engine.reset_configuration(
+                Configuration.all_in_state(2, 12, 12)
+            )
+            assert engine.run() is True
+            print("SCENARIO-OK")
+            """
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "SCENARIO-OK" in proc.stdout

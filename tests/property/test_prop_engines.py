@@ -1,4 +1,4 @@
-"""Property tests: the two engines agree and conserve invariants."""
+"""Property tests: the engine backends agree and conserve invariants."""
 
 import numpy as np
 from hypothesis import given, settings
@@ -10,6 +10,7 @@ from repro import (
     JumpEngine,
     SequentialEngine,
 )
+from repro.core.batch import BatchEngine
 
 
 class TestEngineInvariants:
@@ -18,12 +19,12 @@ class TestEngineInvariants:
         st.integers(0, 2**31),
     )
     @settings(max_examples=40, deadline=None)
-    def test_both_engines_reach_the_same_silent_set(self, states, seed):
-        """AG has a unique silent configuration; both engines must find it
-        from any start."""
+    def test_all_engines_reach_the_same_silent_set(self, states, seed):
+        """AG has a unique silent configuration; every engine backend
+        must find it from any start."""
         protocol = AGProtocol(10)
         start = Configuration.from_agents(states, 10)
-        for cls in (JumpEngine, SequentialEngine):
+        for cls in (JumpEngine, SequentialEngine, BatchEngine):
             engine = cls(protocol, start, np.random.default_rng(seed))
             assert engine.run() is True
             assert engine.counts == [1] * 10
@@ -65,7 +66,7 @@ class TestEngineInvariants:
         interactions == events in BOTH engines, deterministically."""
         protocol = AGProtocol(2)
         start = Configuration([2, 0])
-        for cls in (JumpEngine, SequentialEngine):
+        for cls in (JumpEngine, SequentialEngine, BatchEngine):
             engine = cls(protocol, start, np.random.default_rng(seed))
             assert engine.run() is True
             assert engine.interactions == engine.events == 1
@@ -90,3 +91,23 @@ class TestStatisticalAgreement:
         jump = median_time(JumpEngine, 1000)
         seq = median_time(SequentialEngine, 2000)
         assert abs(jump / seq - 1) < 0.15
+
+    @settings(max_examples=1, deadline=None)
+    @given(st.just(0))
+    def test_batch_median_times_agree_for_ag16(self, __):
+        """The numpy batch kernel realises the same interaction-count
+        law as the jump chain: medians across 60 seeds within 15%."""
+        protocol = AGProtocol(16)
+        start = Configuration.all_in_state(0, 16, 16)
+
+        def median_time(cls, base):
+            times = []
+            for seed in range(60):
+                engine = cls(protocol, start, np.random.default_rng(base + seed))
+                engine.run()
+                times.append(engine.interactions)
+            return float(np.median(times))
+
+        jump = median_time(JumpEngine, 3000)
+        batch = median_time(BatchEngine, 4000)
+        assert abs(batch / jump - 1) < 0.15

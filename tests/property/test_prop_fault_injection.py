@@ -28,6 +28,7 @@ from repro import (
     crash_and_replace,
     random_configuration,
 )
+from repro.core.batch import _MIN_BATCH, BatchEngine
 from repro.core.faults import adversarial_swap
 
 
@@ -148,6 +149,81 @@ class TestWeightCacheAfterMutation:
         assert warm.events - base_events == fresh.events
 
 
+class TestBatchResyncEquivalence:
+    """The numpy batch kernel's ``reset_configuration`` is the same
+    resync seam: aggregates and the frozen epoch rebuild from the
+    mutated counts, and the continuation is exactly a fresh engine's."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        protocol_index=st.integers(0, 2),
+        warmup_events=st.integers(0, 120),
+        victims=st.integers(0, 12),
+        kind=st.sampled_from(["corrupt", "crash", "swap"]),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_batch_aggregates_survive_mutation(
+        self, protocol_index, warmup_events, victims, kind, seed
+    ):
+        protocol = _protocol(protocol_index)
+        start = random_configuration(protocol, seed=seed)
+        engine = BatchEngine(protocol, start, np.random.default_rng(seed))
+        engine.run(max_events=warmup_events)
+        corrupted = _fault(
+            Configuration(engine.counts), kind, victims, seed + 1
+        )
+        engine.reset_configuration(corrupted)
+        engine._check_invariants()
+        assert engine.is_silent() == protocol.is_silent(corrupted)
+        silent = engine.run(max_events=50_000)
+        engine._check_invariants()
+        if silent:
+            assert protocol.is_ranked(Configuration(engine.counts))
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        protocol_index=st.integers(0, 2),
+        seed=st.integers(0, 2**31 - 1),
+        victims=st.integers(1, 8),
+    )
+    def test_post_fault_trajectory_matches_fresh_batch_engine(
+        self, protocol_index, seed, victims
+    ):
+        # A reset batch engine and a fresh one given the same generator
+        # state must produce the *identical* trajectory: the frozen
+        # epoch carries no stale count information.  The batch
+        # constructor consumes no randomness (buffers fill lazily), so
+        # aligning the stream means re-seeding and dropping the warm
+        # engine's buffered draws and adaptive batch sizing — the same
+        # canonicalisation ``snapshot()`` performs.
+        protocol = _protocol(protocol_index)
+        start = random_configuration(protocol, seed=seed)
+        warm = BatchEngine(protocol, start, np.random.default_rng(seed))
+        warm.run(max_events=40)
+        corrupted = corrupt_agents(
+            Configuration(warm.counts), victims, seed=seed + 1
+        )
+        warm.reset_configuration(corrupted)
+        fresh = BatchEngine(
+            protocol, corrupted, np.random.default_rng(seed + 2)
+        )
+        warm._rng = np.random.default_rng(seed + 2)
+        warm._lus = []
+        warm._lu_pos = 0
+        warm._raws = []
+        warm._raw_pos = 0
+        warm._lp_weight = -1
+        warm._batch_size = _MIN_BATCH
+        base_interactions = warm.interactions
+        base_events = warm.events
+        warm_silent = warm.run(max_events=base_events + 10_000)
+        fresh_silent = fresh.run(max_events=10_000)
+        assert warm_silent == fresh_silent
+        assert warm.counts == fresh.counts
+        assert warm.interactions - base_interactions == fresh.interactions
+        assert warm.events - base_events == fresh.events
+
+
 class TestSnapshotAfterChurn:
     """The checkpoint seam composes with the fault seam: a snapshot
     taken mid-scenario, after ``reset_configuration`` churn, restores
@@ -222,3 +298,38 @@ class TestSnapshotAfterChurn:
         assert restored.counts == engine.counts
         assert restored.agent_states == engine.agent_states
         assert restored.interactions == engine.interactions
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        protocol_index=st.integers(0, 2),
+        warmup_events=st.integers(0, 100),
+        victims=st.integers(1, 10),
+        kind=st.sampled_from(["corrupt", "crash", "swap"]),
+        tail_events=st.integers(1, 300),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_batch_snapshot_after_reset_configuration(
+        self, protocol_index, warmup_events, victims, kind, tail_events, seed
+    ):
+        from repro import resume_engine
+
+        protocol = _protocol(protocol_index)
+        start = random_configuration(protocol, seed=seed)
+        engine = BatchEngine(protocol, start, np.random.default_rng(seed))
+        engine.run(max_events=warmup_events)
+        corrupted = _fault(
+            Configuration(engine.counts), kind, victims, seed + 1
+        )
+        engine.reset_configuration(corrupted)
+        engine.run(max_events=engine.events + 20)
+        snapshot = engine.snapshot()
+        restored = resume_engine(protocol, snapshot)
+        assert restored.counts == engine.counts
+        assert restored.productive_weight == engine.productive_weight
+        target = engine.events + tail_events
+        live_silent = engine.run(max_events=target)
+        restored_silent = restored.run(max_events=target)
+        assert live_silent == restored_silent
+        assert restored.counts == engine.counts
+        assert restored.interactions == engine.interactions
+        assert restored.events == engine.events

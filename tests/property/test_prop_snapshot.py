@@ -76,12 +76,12 @@ def _assert_same_state(reference, *others):
 
 
 def _three_way(protocol, configuration, seed, scheduler, engine,
-               warm_events, tail_events):
+               warm_events, tail_events, backend="python"):
     """run→continue == run→snapshot→restore→continue, all roundtrips."""
     def fresh():
         driver, _ = build_engine(
             protocol, configuration, seed, engine=engine,
-            scheduler=scheduler,
+            scheduler=scheduler, backend=backend,
         )
         return driver
 
@@ -198,6 +198,78 @@ class TestSnapshotExactness:
             tail_events,
         )
         assert snapshot.kind == "agent"
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        protocol_index=st.integers(0, 2),
+        warm_events=st.integers(0, 150),
+        tail_events=st.integers(1, 400),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_batch_engine_two_way(self, protocol_index, warm_events,
+                                  tail_events, seed):
+        """The numpy batch backend's snapshot canonicalises the taker
+        (buffered draws are discarded — exact by memorylessness), so the
+        contract is two-way: the snapshotting engine and every engine
+        restored from the snapshot (direct, pickle, JSON) continue
+        bit-identically to *each other*."""
+        protocol = _protocol(protocol_index)
+        start = random_configuration(protocol, seed=seed)
+        live, name = build_engine(
+            protocol, start, seed, engine="jump", backend="numpy"
+        )
+        assert name == "batch"
+        live.run(max_events=warm_events)
+        snapshot = live.snapshot()
+        assert snapshot.kind == "batch"
+        restored = resume_engine(protocol, snapshot)
+        pickled = resume_engine(protocol, pickle.loads(pickle.dumps(snapshot)))
+        jsoned = resume_engine(
+            protocol,
+            EngineSnapshot.from_dict(json.loads(json.dumps(snapshot.to_dict()))),
+        )
+        arms = (live, restored, pickled, jsoned)
+        _assert_same_state(*arms)
+        silences = [
+            arm.run(max_events=arm.events + tail_events) for arm in arms
+        ]
+        assert len(set(silences)) == 1
+        _assert_same_state(*arms)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        protocol_index=st.integers(0, 2),
+        warm_events=st.integers(0, 100),
+        tail_events=st.integers(1, 300),
+        seed=st.integers(0, 2**31 - 1),
+        target=st.sampled_from(["jump", "sequential"]),
+    )
+    def test_batch_snapshot_rehosts_across_backends(
+        self, protocol_index, warm_events, tail_events, seed, target
+    ):
+        """A batch snapshot rehosts onto the scalar engines (and back):
+        the continuation runs to silence with conserved population —
+        step-distribution-identical, not bit-identical, per the rehost
+        contract."""
+        protocol = _protocol(protocol_index)
+        start = random_configuration(protocol, seed=seed)
+        live, _ = build_engine(
+            protocol, start, seed, engine="jump", backend="numpy"
+        )
+        live.run(max_events=warm_events)
+        snapshot = live.snapshot()
+        rehosted = resume_engine(protocol, snapshot.rehost(target))
+        assert rehosted.counts == list(snapshot.counts)
+        assert rehosted.events == snapshot.events
+        rehosted.run(max_events=rehosted.events + tail_events)
+        assert sum(rehosted.counts) == protocol.num_agents
+        # And the reverse direction: scalar snapshot onto the batch host.
+        scalar, _ = build_engine(protocol, start, seed, engine="jump")
+        scalar.run(max_events=warm_events)
+        back = resume_engine(protocol, scalar.snapshot().rehost("batch"))
+        assert back.counts == scalar.counts
+        back.run(max_events=back.events + tail_events)
+        assert sum(back.counts) == protocol.num_agents
 
     @settings(max_examples=15, deadline=None)
     @given(

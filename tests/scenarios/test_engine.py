@@ -440,3 +440,85 @@ class TestAgentSchedulerScenarios:
         (log,) = result.phase_logs
         assert log.silent
         assert log.scheduler == "degree_skewed"
+
+
+class TestNumpyBackendScenarios:
+    """``run_scenario(backend="numpy")`` drives uniform phases on the
+    batch kernel; fault seams (resync, churn rebuild) must compose."""
+
+    def test_uniform_scenario_runs_on_batch_engine(self):
+        from repro.scenarios.engine import _make_engine
+        from repro.core.batch import BatchEngine
+        from repro.core.engine import make_rng
+        from repro.configurations.generators import random_configuration
+
+        scenario = _scenario([RunPhase(until="silence", max_events=100_000)])
+        protocol = scenario.protocol.build()
+        start = random_configuration(protocol, seed=0)
+        engine = _make_engine(
+            scenario, protocol, start, make_rng(0), backend="numpy"
+        )
+        assert isinstance(engine, BatchEngine)
+
+    def test_corrupt_then_recover_on_numpy_backend(self):
+        result = run_scenario(
+            _scenario(
+                [
+                    RunPhase(until="silence", max_events=100_000),
+                    FaultPhase(kind="corrupt", fraction=0.5),
+                    RunPhase(until="silence", max_events=100_000),
+                ]
+            ),
+            seed=9,
+            backend="numpy",
+        )
+        assert result.recovered_all
+        assert result.final_configuration.is_ranked(16)
+
+    def test_churn_then_recover_on_numpy_backend(self):
+        result = run_scenario(
+            _scenario(
+                [
+                    RunPhase(until="silence", max_events=100_000),
+                    FaultPhase(kind="churn", departures=4, arrivals=10),
+                    RunPhase(until="silence", max_events=200_000),
+                ]
+            ),
+            seed=4,
+            backend="numpy",
+        )
+        assert result.recovered_all
+        assert result.phase_logs[-1].num_agents == 22
+        assert result.final_configuration.is_ranked(22)
+
+    def test_numpy_backend_is_deterministic_in_the_seed(self):
+        scenario = _scenario(
+            [
+                RunPhase(until="silence", max_events=100_000),
+                FaultPhase(kind="corrupt", fraction=0.25),
+                RunPhase(until="silence", max_events=100_000),
+            ]
+        )
+        a = run_scenario(scenario, seed=12, backend="numpy")
+        b = run_scenario(scenario, seed=12, backend="numpy")
+        assert a.final_configuration.counts_list() == (
+            b.final_configuration.counts_list()
+        )
+        assert [log.interactions for log in a.phase_logs] == (
+            [log.interactions for log in b.phase_logs]
+        )
+
+    def test_biased_scenario_keeps_scalar_engine(self):
+        result = run_scenario(
+            _scenario(
+                [RunPhase(until="silence", max_events=100_000)],
+                scheduler=SchedulerSpec(
+                    kind="targeted", targets=3, target_weight=0.2
+                ),
+            ),
+            seed=5,
+            backend="numpy",
+        )
+        (log,) = result.phase_logs
+        assert log.silent
+        assert log.scheduler == "targeted"
