@@ -234,9 +234,12 @@ def _run_serially(
     failures: Dict[int, JobFailure],
     attempts: List[int],
     observer=None,
+    shutdown=None,
 ) -> None:
     """Degraded mode: finish ``indices`` in-process (no pre-emption)."""
     for index in indices:
+        if shutdown is not None and shutdown.requested:
+            return
         try:
             results[index] = worker(jobs[index])
         except Exception as exc:
@@ -338,6 +341,7 @@ def supervised_map(
     workers: Optional[int] = None,
     policy: Optional[SupervisionPolicy] = None,
     observer: Optional[Callable[[str, dict], None]] = None,
+    shutdown: Optional[ShutdownLatch] = None,
 ) -> Tuple[List, List[JobFailure]]:
     """Map ``worker`` over ``jobs`` under supervision.
 
@@ -360,6 +364,14 @@ def supervised_map(
     operational records.  Observation is best-effort: observer
     exceptions are swallowed, and the callback can never change the
     results.
+
+    ``shutdown``, when given, makes the map *interruptible at job
+    boundaries*: once ``shutdown.requested`` turns true no further job
+    is dispatched — in-flight jobs finish (their results land), and
+    every undispatched slot simply stays ``None`` without a failure
+    record.  Completed slots are final either way, so an interrupted
+    map is a clean prefix a caller can commit or resume from (the
+    ensemble shard runner and ``repro serve`` both rely on this).
     """
     policy = policy or SupervisionPolicy()
     if workers is not None and workers < 1:
@@ -371,7 +383,7 @@ def supervised_map(
 
     if workers is None or workers <= 1 or not jobs:
         _run_serially(worker, jobs, range(len(jobs)), policy,
-                      results, failures, attempts, observer)
+                      results, failures, attempts, observer, shutdown)
         return results, sorted(failures.values(), key=lambda f: f.index)
 
     check_picklable(worker, jobs)
@@ -423,6 +435,13 @@ def supervised_map(
 
     try:
         while pending or in_flight or retry_queue:
+            if shutdown is not None and shutdown.requested:
+                # Cooperative wind-down: stop dispatching, let what is
+                # already running finish, leave the rest untouched.
+                pending.clear()
+                retry_queue.clear()
+                if not in_flight:
+                    break
             drain_retries()
             if executor is None or rebuilds > policy.max_pool_rebuilds:
                 if executor is not None:
@@ -440,7 +459,8 @@ def supervised_map(
                     remaining += list(pending)
                     pending.clear()
                     _run_serially(worker, jobs, remaining, policy,
-                                  results, failures, attempts, observer)
+                                  results, failures, attempts, observer,
+                                  shutdown)
                     continue
                 executor = ProcessPoolExecutor(max_workers=workers)
             while pending and len(in_flight) < workers:

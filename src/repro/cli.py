@@ -19,7 +19,16 @@ Subcommands:
   adds cooperative multi-process/multi-machine draining via
   crash-tolerant shard leases; see README);
 * ``trace`` — summarize, diff, and validate structured run traces
-  (``repro scenario run ... --trace out.jsonl``).
+  (``repro scenario run ... --trace out.jsonl``);
+* ``serve`` — simulation-as-a-service: an HTTP + WebSocket server
+  accepting versioned JobSpecs (see ``repro.jobspec``), with digest
+  caching, bounded-queue backpressure, pause/resume, and live event
+  streaming.
+
+``simulate`` and ``scenario run`` construct the same
+:class:`~repro.jobspec.JobSpec` the server accepts, so every entry
+point speaks one schema; trajectories are bit-identical to the
+pre-JobSpec flag handling.
 """
 
 from __future__ import annotations
@@ -29,12 +38,7 @@ import sys
 from typing import Optional, Sequence
 
 from . import __version__
-from .configurations.generators import (
-    all_in_state_configuration,
-    k_distant_configuration,
-    random_configuration,
-    solved_configuration,
-)
+from .configurations.generators import solved_configuration
 from .core.engine import run_protocol
 from .exceptions import ReproError
 from .experiments import SCALES, list_experiments, run_experiment
@@ -371,6 +375,33 @@ def build_parser() -> argparse.ArgumentParser:
         "validate", help="schema-check a trace file"
     )
     trc_val.add_argument("trace_path", metavar="JSONL")
+
+    srv = sub.add_parser(
+        "serve",
+        help="serve simulations over HTTP/WebSocket (versioned JobSpec "
+        "API; digest-cached results, bounded-queue backpressure, live "
+        "event streaming; see README 'Serving')",
+    )
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (0 picks a free one; the bound port is printed)",
+    )
+    srv.add_argument(
+        "--queue-size", type=int, default=16,
+        help="bounded job-queue depth; submissions beyond it are "
+        "rejected with 429 + Retry-After (default 16)",
+    )
+    srv.add_argument(
+        "--cache-size", type=int, default=32,
+        help="finished results kept for digest-identical replay "
+        "(default 32)",
+    )
+    srv.add_argument(
+        "--workers", type=int, default=None,
+        help="supervised process-pool size for scenario repetitions "
+        "(default: serial, which streams records live per repetition)",
+    )
     return parser
 
 
@@ -418,19 +449,27 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
             print(f"{campaign.campaign_id:24s} {campaign.description}")
         return 0
 
+    from .jobspec import JobSpec
+
     campaign = get_campaign(args.campaign_id)
-    scenario = campaign.build(args.scale)
-    repetitions = (
-        args.repetitions
-        if args.repetitions is not None
-        else campaign.repetitions_for(args.scale)
+    # The run is specified by the same versioned JobSpec `repro serve`
+    # accepts; run_campaign consumes the spec's fields, so the
+    # trajectories are bit-identical to the pre-JobSpec flag handling.
+    spec = JobSpec.from_campaign(
+        args.campaign_id,
+        scale=args.scale,
+        seed=args.seed,
+        repetitions=args.repetitions,
+        trace=args.trace is not None,
     )
+    scenario = spec.scenario
+    repetitions = spec.repetitions
     result = run_campaign(
         scenario,
         repetitions=repetitions,
-        seed=args.seed,
+        seed=spec.seed,
         workers=args.workers,
-        collect_trace=args.trace is not None,
+        collect_trace=spec.trace,
     )
     if args.trace is not None:
         from .obs import TraceWriter, merge_trace_events
@@ -442,6 +481,7 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
             scale=args.scale,
             seed=args.seed,
             repetitions=repetitions,
+            jobspec_digest=spec.digest(),
         )
         writer.extend(
             merge_trace_events([r.trace_events for r in result.results])
@@ -474,19 +514,26 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    protocol = _PROTOCOLS[args.protocol](args.n)
-    if args.start == "random":
-        start = random_configuration(protocol, seed=args.seed)
-    elif args.start == "k-distant":
-        start = k_distant_configuration(protocol, args.k, seed=args.seed)
-    elif args.start == "pileup":
-        start = all_in_state_configuration(protocol, protocol.num_ranks - 1)
-    else:
-        start = solved_configuration(protocol)
-    result = run_protocol(
-        protocol, start, seed=args.seed, engine=args.engine,
-        max_interactions=args.max_interactions, backend=args.backend,
+    from .jobspec import JobSpec
+
+    legacy = dict(
+        protocol=args.protocol,
+        n=args.n,
+        start=args.start,
+        seed=args.seed,
+        engine=args.engine,
+        backend=args.backend,
+        max_interactions=args.max_interactions,
     )
+    if args.start == "k-distant":
+        # k only reaches the spec when it actually applies — the
+        # adapter warns on genuinely conflicting combinations.
+        legacy["k"] = args.k
+    spec = JobSpec.from_legacy_kwargs(**legacy)
+    kwargs = spec.to_run_kwargs()
+    protocol = kwargs.pop("protocol")
+    start = kwargs.pop("configuration")
+    result = run_protocol(protocol, start, **kwargs)
     final = result.final_configuration
     print(f"protocol            : {protocol.name}")
     print(f"population n        : {protocol.num_agents}")
@@ -843,6 +890,25 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve import serve_forever
+
+    # SIGTERM → graceful wind-down → exit 143 (the `ensemble join`
+    # contract); SIGINT → 130.  A running job is parked at its next
+    # safe boundary before the process exits.
+    return asyncio.run(
+        serve_forever(
+            host=args.host,
+            port=args.port,
+            queue_size=args.queue_size,
+            cache_size=args.cache_size,
+            workers=args.workers,
+        )
+    )
+
+
 def _cmd_render(args: argparse.Namespace) -> int:
     if args.structure == "figure1":
         print(render_routing_graph(build_routing_graph(16)))
@@ -880,6 +946,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_ensemble(args)
         if args.command == "trace":
             return _cmd_trace(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
         return _cmd_render(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -318,8 +318,17 @@ def create_manifest(
     total_runs: int,
     shard_size: int,
     default_max_events: Optional[int],
+    jobspec_digest: Optional[str] = None,
 ) -> Dict:
-    """Build a fresh manifest dict (all shards pending)."""
+    """Build a fresh manifest dict (all shards pending).
+
+    ``jobspec_digest`` pins the submitting request: the sha256 of the
+    canonical :class:`~repro.jobspec.JobSpec` this ensemble computes.
+    ``ensemble status`` surfaces it, and resume/join recompute it from
+    the manifest parameters and refuse to continue when the campaign's
+    current definition no longer hashes to the recorded value — a
+    silently drifted spec can then never masquerade as a resume.
+    """
     if total_runs < 1:
         raise ExperimentError(f"total_runs must be >= 1, got {total_runs}")
     if shard_size < 1:
@@ -348,6 +357,7 @@ def create_manifest(
         "total_runs": total_runs,
         "shard_size": shard_size,
         "default_max_events": default_max_events,
+        "jobspec_digest": jobspec_digest,
         "shards": shards,
     }
 

@@ -141,6 +141,39 @@ def _ensemble_job(job: tuple) -> Dict:
     return run_record(result, run_index)
 
 
+def _manifest_jobspec_digest(manifest: Dict) -> str:
+    """Digest of the JobSpec the manifest's parameters resolve to *now*.
+
+    Recomputed — not read — so a resume can detect that the campaign's
+    current definition (the scenario the catalog builds today) no
+    longer matches the spec that created the ensemble.
+    """
+    from ..jobspec import JobSpec
+
+    return JobSpec.from_campaign(
+        manifest["campaign"],
+        scale=manifest["scale"],
+        seed=manifest["seed"],
+        repetitions=manifest["total_runs"],
+        max_events=manifest.get("default_max_events"),
+    ).digest()
+
+
+def _check_manifest_digest(manifest: Dict, out_dir: str, verb: str) -> None:
+    """Refuse to continue an ensemble whose spec has drifted."""
+    recorded = manifest.get("jobspec_digest")
+    if recorded is None:
+        return  # pre-digest manifest: nothing to verify against
+    expected = _manifest_jobspec_digest(manifest)
+    if recorded != expected:
+        raise ExperimentError(
+            f"{verb} found jobspec digest {recorded[:12]}… recorded in "
+            f"{out_dir}, but the campaign as currently defined resolves "
+            f"to {expected[:12]}… — the spec changed since this ensemble "
+            "was created; start a fresh directory instead"
+        )
+
+
 def _default_policy(policy: Optional[SupervisionPolicy]) -> SupervisionPolicy:
     """Ensemble runs quarantine rather than die: force fail_fast off."""
     if policy is None:
@@ -309,6 +342,7 @@ def run_ensemble(
                 f"--resume found {manifest['total_runs']} runs in "
                 f"{out_dir}, not {total_runs}"
             )
+        _check_manifest_digest(manifest, out_dir, "--resume")
         reconcile_manifest(
             out_dir, manifest, repair=True, verify=True, progress=progress
         )
@@ -335,6 +369,7 @@ def run_ensemble(
             shard_size=shard_size,
             default_max_events=default_max_events,
         )
+        manifest["jobspec_digest"] = _manifest_jobspec_digest(manifest)
         os.makedirs(out_dir, exist_ok=True)
         save_manifest(out_dir, manifest)
 
@@ -624,6 +659,7 @@ def join_ensemble(
             shard_size=shard_size,
             default_max_events=default_max_events,
         )
+        manifest["jobspec_digest"] = _manifest_jobspec_digest(manifest)
         if create_manifest_exclusive(out_dir, manifest) and progress:
             progress(
                 f"bootstrapped ensemble {campaign_id}@{scale}: {runs} "
@@ -640,6 +676,7 @@ def join_ensemble(
             f"join found {manifest['total_runs']} runs in {out_dir}, "
             f"not {total_runs}"
         )
+    _check_manifest_digest(manifest, out_dir, "join")
     joiner = CooperativeWorker(
         out_dir,
         worker=worker,
@@ -719,6 +756,7 @@ def ensemble_status(out_dir: str) -> Dict:
         "campaign": manifest["campaign"],
         "scale": manifest["scale"],
         "seed": manifest["seed"],
+        "jobspec_digest": manifest.get("jobspec_digest"),
         "total_runs": manifest["total_runs"],
         "shard_size": manifest["shard_size"],
         "shards_total": len(manifest["shards"]),

@@ -27,7 +27,7 @@ from __future__ import annotations
 import json
 import os
 from types import SimpleNamespace
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Sequence
 
 from .._io import atomic_write_text
 from ..exceptions import ExperimentError
@@ -58,6 +58,11 @@ OPERATIONAL_KINDS = frozenset(
         "lease_renew",
         "lease_expire",
         "lease_steal",
+        "job_start",
+        "job_progress",
+        "job_paused",
+        "job_resumed",
+        "job_done",
         "timing",
         "note",
     }
@@ -105,6 +110,11 @@ _REQUIRED: Dict[str, Sequence[str]] = {
     "lease_renew": ("shard", "owner", "token"),
     "lease_expire": ("shard", "owner", "token"),
     "lease_steal": ("shard", "owner", "token", "previous_owner"),
+    "job_start": ("digest",),
+    "job_progress": ("events", "interactions"),
+    "job_paused": ("digest",),
+    "job_resumed": ("digest",),
+    "job_done": ("digest", "status"),
 }
 
 

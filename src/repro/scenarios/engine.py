@@ -472,6 +472,7 @@ def run_scenario(
     default_max_events: Optional[int] = None,
     collect_trace: bool = False,
     backend: str = "python",
+    trace_observer: Optional[Callable[[Dict], None]] = None,
 ) -> ScenarioResult:
     """Execute one scenario instance; a pure function of ``seed``.
 
@@ -492,6 +493,13 @@ def run_scenario(
     bit-identical to an untraced one at the same seed, and the records
     carry no wall-clock fields — the merged trace of a campaign is the
     same whatever worker count produced it.
+
+    ``trace_observer`` receives each logical record as it is produced —
+    the live-streaming seam (``repro serve`` pushes these straight onto
+    a WebSocket).  Observer exceptions are swallowed: a broken consumer
+    must not corrupt the simulation.  The records land in
+    ``result.trace_events`` only when ``collect_trace`` is also set, so
+    pure streaming keeps results lean.
     """
     rng = make_rng(
         np.random.default_rng(seed)
@@ -503,11 +511,21 @@ def run_scenario(
     configuration = _start_configuration(scenario, protocol, rng)
     instr = None
     trace: List[Dict] = []
-    if collect_trace:
+    tracing = collect_trace or trace_observer is not None
+
+    def record(payload: Dict) -> None:
+        trace.append(payload)
+        if trace_observer is not None:
+            try:
+                trace_observer(payload)
+            except Exception:
+                pass
+
+    if tracing:
         from ..obs import Instrumentation
 
         instr = Instrumentation(trace=True)
-        trace.append(
+        record(
             {
                 "kind": "run_start",
                 "scenario": scenario.name,
@@ -521,9 +539,9 @@ def run_scenario(
         if instr is None or not instr.marks:
             return
         for mark in instr.marks:
-            record = dict(mark)
-            record["phase"] = phase_index
-            trace.append(record)
+            annotated = dict(mark)
+            annotated["phase"] = phase_index
+            record(annotated)
         instr.marks.clear()
 
     engine = _make_engine(
@@ -540,8 +558,8 @@ def run_scenario(
         phase_wall = time.perf_counter()
         if isinstance(phase, RunPhase):
             label = phase.label or f"run:{phase.until}"
-            if collect_trace:
-                trace.append(
+            if tracing:
+                record(
                     {
                         "kind": "phase_start",
                         "phase": index,
@@ -571,8 +589,8 @@ def run_scenario(
             result.phase_logs.append(log)
         else:
             label = phase.label or f"fault:{phase.kind}"
-            if collect_trace:
-                trace.append(
+            if tracing:
+                record(
                     {
                         "kind": "phase_start",
                         "phase": index,
@@ -613,8 +631,8 @@ def run_scenario(
                 scheduler=_scheduler_label(engine),
             )
             result.phase_logs.append(log)
-            if collect_trace:
-                trace.append(
+            if tracing:
+                record(
                     {
                         "kind": "fault",
                         "phase": index,
@@ -624,10 +642,10 @@ def run_scenario(
                         "distance": log.distance,
                     }
                 )
-        if collect_trace:
+        if tracing:
             drain_marks(index)
             log = result.phase_logs[-1]
-            trace.append(
+            record(
                 {
                     "kind": "phase_end",
                     "phase": index,
@@ -644,13 +662,14 @@ def run_scenario(
             )
     result.final_configuration = Configuration(engine.counts)
     result.wall_time_s = time.perf_counter() - start_wall
-    if collect_trace:
-        trace.append(
+    if tracing:
+        record(
             {
                 "kind": "run_end",
                 "recovered_all": result.recovered_all,
                 "total_events": result.total_events,
             }
         )
+    if collect_trace:
         result.trace_events = trace
     return result

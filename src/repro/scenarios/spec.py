@@ -11,6 +11,13 @@ through ``to_dict``/``from_dict`` (and JSON/YAML files).
 
 Execution lives in :mod:`repro.scenarios.engine`; this module owns
 parsing, validation, and protocol construction.
+
+A scenario is also the payload of every :class:`~repro.jobspec.JobSpec`
+— the versioned request schema ``repro serve`` and the re-routed CLI
+entry points speak.  The dict forms here are therefore wire formats:
+changing a field name or default changes the canonical JobSpec
+serialisation (and so every cached digest), which requires bumping
+:data:`~repro.jobspec.JOBSPEC_VERSION`.
 """
 
 from __future__ import annotations

@@ -1,0 +1,179 @@
+"""Synchronous stdlib client for ``repro serve``.
+
+Used by the integration tests, the CI ``serve-smoke`` job, and the
+README examples: plain ``http.client`` for the JSON endpoints, a raw
+socket speaking the shared :mod:`repro.serve.wire` frame grammar for
+the WebSocket event stream.  No third-party dependency — the client
+exercises exactly the wire format the server emits, so the
+byte-identical-replay assertions compare real frames.
+"""
+
+from __future__ import annotations
+
+import base64
+import http.client
+import json
+import os
+import socket
+from typing import Dict, List, Optional, Tuple
+
+from ..exceptions import ReproError
+from .wire import OP_CLOSE, OP_TEXT, decode_frame, encode_frame
+
+__all__ = ["ServeClient"]
+
+
+class ServeClient:
+    """Talk to one ``repro serve`` instance at ``host:port``."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 0, timeout: float = 30.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # HTTP
+    # ------------------------------------------------------------------
+    def request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict] = None,
+    ) -> Tuple[int, Dict[str, str], Dict]:
+        """One JSON request; returns ``(status, headers, body)``."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            header_map = {
+                name.lower(): value for name, value in response.getheaders()
+            }
+            data = json.loads(raw.decode("utf-8")) if raw.strip() else {}
+            return response.status, header_map, data
+        finally:
+            connection.close()
+
+    def submit(self, spec_dict: Dict) -> Tuple[int, Dict[str, str], Dict]:
+        """POST a JobSpec dict to ``/v1/jobs``."""
+        return self.request("POST", "/v1/jobs", payload=spec_dict)
+
+    def job(self, job_id: str) -> Dict:
+        status, _, data = self.request("GET", f"/v1/jobs/{job_id}")
+        if status != 200:
+            raise ReproError(
+                f"GET /v1/jobs/{job_id} returned {status}: {data}"
+            )
+        return data
+
+    def health(self) -> Dict:
+        status, _, data = self.request("GET", "/v1/health")
+        if status != 200:
+            raise ReproError(f"health check returned {status}: {data}")
+        return data
+
+    def pause(self, job_id: str) -> Tuple[int, Dict]:
+        status, _, data = self.request("POST", f"/v1/jobs/{job_id}/pause")
+        return status, data
+
+    def resume(self, job_id: str) -> Tuple[int, Dict]:
+        status, _, data = self.request("POST", f"/v1/jobs/{job_id}/resume")
+        return status, data
+
+    # ------------------------------------------------------------------
+    # WebSocket
+    # ------------------------------------------------------------------
+    def stream_events(
+        self, job_id: str, raw: bool = False
+    ) -> List:
+        """Stream a job's events to completion.
+
+        Connects ``/v1/ws/jobs/<id>``, reads text frames until the
+        server's close frame (or EOF), and returns the parsed records —
+        or, with ``raw=True``, the exact payload bytes of each frame
+        (what the byte-identical-replay test compares).
+        """
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+        try:
+            key = base64.b64encode(os.urandom(16)).decode("ascii")
+            handshake = (
+                f"GET /v1/ws/jobs/{job_id} HTTP/1.1\r\n"
+                f"Host: {self.host}:{self.port}\r\n"
+                "Upgrade: websocket\r\n"
+                "Connection: Upgrade\r\n"
+                f"Sec-WebSocket-Key: {key}\r\n"
+                "Sec-WebSocket-Version: 13\r\n\r\n"
+            )
+            sock.sendall(handshake.encode("latin-1"))
+            head, leftover = self._read_until(sock, b"\r\n\r\n")
+            status_line = head.split(b"\r\n", 1)[0].decode("latin-1")
+            if " 101 " not in f"{status_line} ":
+                raise ReproError(
+                    f"websocket handshake refused: {status_line!r}"
+                )
+            # Frames may ride in the same TCP segment as the handshake
+            # response; ``leftover`` is consumed before the socket is.
+            buffered = bytearray(leftover)
+
+            def recv_exact(count: int) -> bytes:
+                while len(buffered) < count:
+                    chunk = sock.recv(4096)
+                    if not chunk:
+                        raise ReproError(
+                            "websocket connection closed mid-frame"
+                        )
+                    buffered.extend(chunk)
+                taken = bytes(buffered[:count])
+                del buffered[:count]
+                return taken
+
+            frames: List = []
+            while True:
+                try:
+                    opcode, payload = decode_frame(recv_exact)
+                except ReproError:
+                    break  # abrupt close after the stream is also fine
+                if opcode == OP_CLOSE:
+                    try:
+                        sock.sendall(
+                            encode_frame(b"", opcode=OP_CLOSE, mask=True)
+                        )
+                    except OSError:
+                        pass
+                    break
+                if opcode != OP_TEXT:
+                    continue
+                if raw:
+                    frames.append(payload)
+                else:
+                    frames.append(json.loads(payload.decode("utf-8")))
+            return frames
+        finally:
+            sock.close()
+
+    @staticmethod
+    def _read_until(
+        sock: socket.socket, marker: bytes
+    ) -> Tuple[bytes, bytes]:
+        """Read up to ``marker``; returns ``(head, bytes-past-marker)``."""
+        data = b""
+        while marker not in data:
+            chunk = sock.recv(4096)
+            if not chunk:
+                raise ReproError(
+                    "connection closed before websocket handshake completed"
+                )
+            data += chunk
+        head, _, rest = data.partition(marker)
+        return head, rest

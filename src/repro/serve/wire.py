@@ -1,0 +1,215 @@
+"""Wire-level plumbing for ``repro serve``: HTTP parsing and WebSocket frames.
+
+Everything here is stdlib-only and shared between the asyncio server
+(:mod:`repro.serve.server`) and the synchronous test/CI client
+(:mod:`repro.serve.client`): one frame *encoder* plus two symmetric
+decoders — an async one reading from an ``asyncio.StreamReader`` and a
+sync one reading through a ``recv_exact(n)`` callable — so both sides
+speak bit-identical RFC 6455 frames without a third-party websocket
+dependency.
+
+Scope is deliberately small: final (unfragmented) frames, text /
+binary / close / ping / pong opcodes, payloads up to 2**63-1 bytes.
+That is the full vocabulary the job-event stream needs; anything more
+exotic raises :class:`WireError` instead of being half-handled.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import os
+import struct
+from typing import Callable, Dict, Tuple
+
+from ..exceptions import ReproError
+
+__all__ = [
+    "WS_GUID",
+    "WireError",
+    "decode_frame",
+    "decode_frame_async",
+    "encode_frame",
+    "http_response",
+    "read_http_request",
+    "websocket_accept",
+]
+
+#: RFC 6455 handshake GUID, concatenated to the client key before SHA-1.
+WS_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+#: Opcodes this implementation speaks.
+OP_TEXT = 0x1
+OP_BINARY = 0x2
+OP_CLOSE = 0x8
+OP_PING = 0x9
+OP_PONG = 0xA
+
+_MAX_HEAD = 64 * 1024  # request-line + headers cap
+_MAX_BODY = 16 * 1024 * 1024  # JobSpecs are small; this is generous
+
+
+class WireError(ReproError):
+    """Malformed HTTP request or WebSocket frame."""
+
+
+def websocket_accept(key: str) -> str:
+    """``Sec-WebSocket-Accept`` value for a client's handshake key."""
+    digest = hashlib.sha1((key + WS_GUID).encode("ascii")).digest()
+    return base64.b64encode(digest).decode("ascii")
+
+
+def encode_frame(payload: bytes, opcode: int = OP_TEXT, mask: bool = False) -> bytes:
+    """Encode one final WebSocket frame.
+
+    Servers send unmasked frames (``mask=False``); clients must mask
+    (``mask=True``, RFC 6455 §5.3) — the masking key is random, which
+    is fine because masking is a transport detail the decoder strips
+    before any payload comparison.
+    """
+    head = bytearray()
+    head.append(0x80 | (opcode & 0x0F))  # FIN + opcode
+    length = len(payload)
+    mask_bit = 0x80 if mask else 0x00
+    if length < 126:
+        head.append(mask_bit | length)
+    elif length < 1 << 16:
+        head.append(mask_bit | 126)
+        head += struct.pack("!H", length)
+    else:
+        head.append(mask_bit | 127)
+        head += struct.pack("!Q", length)
+    if mask:
+        key = os.urandom(4)
+        head += key
+        masked = bytes(b ^ key[i % 4] for i, b in enumerate(payload))
+        return bytes(head) + masked
+    return bytes(head) + payload
+
+
+def _parse_head(first: bytes, second: bytes) -> Tuple[int, bool, int, bool]:
+    """Shared header interpretation: (opcode, fin, length7, masked)."""
+    b0, b1 = first[0], second[0]
+    fin = bool(b0 & 0x80)
+    if b0 & 0x70:
+        raise WireError("websocket frame uses reserved bits")
+    opcode = b0 & 0x0F
+    masked = bool(b1 & 0x80)
+    return opcode, fin, b1 & 0x7F, masked
+
+
+def _unmask(payload: bytes, key: bytes) -> bytes:
+    return bytes(b ^ key[i % 4] for i, b in enumerate(payload))
+
+
+def decode_frame(recv_exact: Callable[[int], bytes]) -> Tuple[int, bytes]:
+    """Decode one frame synchronously; returns ``(opcode, payload)``.
+
+    ``recv_exact(n)`` must return exactly ``n`` bytes or raise — the
+    sync client wraps a socket with such a helper.
+    """
+    opcode, fin, length, masked = _parse_head(recv_exact(1), recv_exact(1))
+    if not fin:
+        raise WireError("fragmented websocket frames are not supported")
+    if length == 126:
+        length = struct.unpack("!H", recv_exact(2))[0]
+    elif length == 127:
+        length = struct.unpack("!Q", recv_exact(8))[0]
+    key = recv_exact(4) if masked else b""
+    payload = recv_exact(length) if length else b""
+    if masked:
+        payload = _unmask(payload, key)
+    return opcode, payload
+
+
+async def decode_frame_async(reader) -> Tuple[int, bytes]:
+    """Decode one frame from an ``asyncio.StreamReader``.
+
+    Same grammar as :func:`decode_frame`; the server uses this to read
+    client frames (which RFC 6455 requires to be masked — unmasked
+    client frames are rejected).
+    """
+    opcode, fin, length, masked = _parse_head(
+        await reader.readexactly(1), await reader.readexactly(1)
+    )
+    if not fin:
+        raise WireError("fragmented websocket frames are not supported")
+    if length == 126:
+        length = struct.unpack("!H", await reader.readexactly(2))[0]
+    elif length == 127:
+        length = struct.unpack("!Q", await reader.readexactly(8))[0]
+    if not masked and opcode != OP_CLOSE:
+        raise WireError("client websocket frames must be masked")
+    key = await reader.readexactly(4) if masked else b""
+    payload = await reader.readexactly(length) if length else b""
+    if masked:
+        payload = _unmask(payload, key)
+    return opcode, payload
+
+
+async def read_http_request(
+    reader,
+) -> Tuple[str, str, Dict[str, str], bytes]:
+    """Parse one HTTP/1.1 request: ``(method, path, headers, body)``.
+
+    Header names are lower-cased; the body is read to ``Content-Length``
+    (chunked encoding is not supported — the server's clients are curl,
+    the sync test client, and browsers sending small JSON bodies).
+    """
+    head = await reader.readuntil(b"\r\n\r\n")
+    if len(head) > _MAX_HEAD:
+        raise WireError("request head too large")
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+        raise WireError(f"malformed request line {lines[0]!r}")
+    method, path = parts[0].upper(), parts[1]
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise WireError(f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError:
+        raise WireError(f"bad Content-Length {length_text!r}") from None
+    if length < 0 or length > _MAX_BODY:
+        raise WireError(f"unacceptable Content-Length {length}")
+    body = await reader.readexactly(length) if length else b""
+    return method, path, headers, body
+
+
+_STATUS_TEXT = {
+    101: "Switching Protocols",
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+
+def http_response(
+    status: int,
+    body: bytes = b"",
+    content_type: str = "application/json",
+    extra_headers: Tuple[Tuple[str, str], ...] = (),
+) -> bytes:
+    """Serialise one HTTP/1.1 response (``Connection: close`` always)."""
+    reason = _STATUS_TEXT.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    lines.extend(f"{name}: {value}" for name, value in extra_headers)
+    head = "\r\n".join(lines) + "\r\n\r\n"
+    return head.encode("latin-1") + body

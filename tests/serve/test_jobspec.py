@@ -1,0 +1,219 @@
+"""JobSpec v1: validation, canonical form, digests, legacy adapters."""
+
+import json
+import warnings
+from pathlib import Path
+
+import pytest
+
+from repro.configurations.generators import random_configuration
+from repro.core.engine import run_protocol
+from repro.jobspec import JOBSPEC_VERSION, JobSpec, JobSpecError
+from repro.protocols import AGProtocol
+from repro.scenarios.spec import (
+    ProtocolSpec,
+    RunPhase,
+    Scenario,
+    SchedulerSpec,
+)
+
+GOLDEN_PATH = Path(__file__).resolve().parent / "golden_jobspec_v1.json"
+
+
+def simulate_spec(**overrides):
+    kwargs = dict(protocol="ag", n=30, start="random", seed=7)
+    kwargs.update(overrides)
+    return JobSpec.from_legacy_kwargs(**kwargs)
+
+
+def scenario_dict(**top_level):
+    """A minimal valid scenario-mode jobspec dict to mutate per test."""
+    data = {
+        "version": JOBSPEC_VERSION,
+        "mode": "scenario",
+        "scenario": {
+            "name": "t",
+            "protocol": {"kind": "ag", "num_agents": 16},
+            "phases": [{"run": {"until": "silence", "max_events": 1000}}],
+        },
+    }
+    data.update(top_level)
+    return data
+
+
+class TestValidation:
+    def test_bad_protocol_kind_names_scenario_field(self):
+        data = scenario_dict()
+        data["scenario"]["protocol"]["kind"] = "nonexistent"
+        with pytest.raises(JobSpecError) as err:
+            JobSpec.from_dict(data)
+        assert err.value.field == "scenario"
+        assert "nonexistent" in str(err.value)
+
+    def test_unknown_backend(self):
+        with pytest.raises(JobSpecError) as err:
+            simulate_spec().__class__.from_dict(
+                {**simulate_spec().canonical(), "backend": "cuda"}
+            )
+        assert err.value.field == "backend"
+        assert "cuda" in str(err.value)
+
+    def test_agent_scheduler_in_timeline_rejected(self):
+        data = scenario_dict()
+        data["scenario"]["timeline"] = [
+            {"scheduler": {"kind": "targeted", "targets": 2}}
+        ]
+        with pytest.raises(JobSpecError) as err:
+            JobSpec.from_dict(data)
+        assert err.value.field == "scenario"
+        assert "agent-identity" in str(err.value)
+
+    def test_unknown_top_level_field(self):
+        with pytest.raises(JobSpecError) as err:
+            JobSpec.from_dict(scenario_dict(wrkers=4))
+        assert err.value.field == "wrkers"
+
+    def test_version_required_and_pinned(self):
+        data = scenario_dict()
+        del data["version"]
+        with pytest.raises(JobSpecError) as err:
+            JobSpec.from_dict(data)
+        assert err.value.field == "version"
+        with pytest.raises(JobSpecError) as err:
+            JobSpec.from_dict(scenario_dict(version=JOBSPEC_VERSION + 1))
+        assert err.value.field == "version"
+
+    def test_scenario_required(self):
+        with pytest.raises(JobSpecError) as err:
+            JobSpec.from_dict({"version": JOBSPEC_VERSION})
+        assert err.value.field == "scenario"
+
+    def test_ill_typed_scalars_name_their_field(self):
+        for field, value in (
+            ("seed", "zero"),
+            ("seed", True),
+            ("repetitions", 0),
+            ("trace", 1),
+            ("max_events", -5),
+        ):
+            with pytest.raises(JobSpecError) as err:
+                JobSpec.from_dict(scenario_dict(**{field: value}))
+            assert err.value.field == field, field
+
+    def test_scenario_mode_rejects_global_max_interactions(self):
+        with pytest.raises(JobSpecError) as err:
+            JobSpec.from_dict(scenario_dict(max_interactions=10))
+        assert err.value.field == "max_interactions"
+
+    def test_simulate_mode_rejects_biased_scheduler(self):
+        scenario = Scenario(
+            name="t",
+            protocol=ProtocolSpec(kind="ag", num_agents=16),
+            phases=(RunPhase(until="silence"),),
+            scheduler=SchedulerSpec(kind="state_biased", extra_weight=0.5),
+        )
+        with pytest.raises(JobSpecError) as err:
+            JobSpec(scenario=scenario, mode="simulate")
+        assert err.value.field == "mode"
+
+    def test_error_message_prefixes_field(self):
+        error = JobSpecError("boom", field="seed")
+        assert str(error) == "jobspec field 'seed': boom"
+        assert error.field == "seed"
+        assert JobSpecError("bare").field is None
+
+
+class TestCanonicalForm:
+    def test_round_trip_preserves_digest(self):
+        spec = simulate_spec()
+        assert JobSpec.from_dict(spec.to_dict()).digest() == spec.digest()
+        assert JobSpec.from_dict(spec.canonical()).digest() == spec.digest()
+
+    def test_digest_is_seed_sensitive(self):
+        assert simulate_spec(seed=7).digest() != simulate_spec(seed=8).digest()
+
+    def test_canonical_json_is_sorted_and_compact(self):
+        text = simulate_spec().canonical_json()
+        payload = json.loads(text)
+        assert text == json.dumps(
+            payload, sort_keys=True, separators=(",", ":")
+        )
+        assert payload["version"] == JOBSPEC_VERSION
+
+    def test_golden_file_pins_v1(self):
+        """Any drift here is a schema change: bump JOBSPEC_VERSION."""
+        golden = json.loads(GOLDEN_PATH.read_text())
+        simulate = simulate_spec()
+        assert simulate.canonical() == golden["simulate"]["canonical"]
+        assert simulate.digest() == golden["simulate"]["digest"]
+        scenario = JobSpec.from_dict(golden["scenario"]["canonical"])
+        assert scenario.canonical() == golden["scenario"]["canonical"]
+        assert scenario.digest() == golden["scenario"]["digest"]
+
+
+class TestLegacyAdapters:
+    def test_plain_legacy_call_is_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            spec = JobSpec.from_legacy_kwargs(
+                protocol="tree", n=50, start="k-distant", k=3, seed=1
+            )
+        assert spec.scenario.start.kind == "k_distant"
+        assert spec.scenario.start.k == 3
+
+    def test_ignored_k_warns(self):
+        with pytest.warns(DeprecationWarning, match="k=3 conflicts"):
+            spec = JobSpec.from_legacy_kwargs(
+                protocol="tree", n=50, start="random", k=3
+            )
+        assert spec.scenario.start.k is None
+
+    def test_sequential_numpy_conflict_warns_and_drops_backend(self):
+        with pytest.warns(DeprecationWarning, match="sequential"):
+            spec = JobSpec.from_legacy_kwargs(
+                protocol="ag", n=20, engine="sequential", backend="numpy"
+            )
+        assert spec.backend == "python"
+
+    def test_unknown_legacy_kwarg_named(self):
+        with pytest.raises(JobSpecError) as err:
+            JobSpec.from_legacy_kwargs(protocol="ag", n=20, turbo=True)
+        assert err.value.field == "turbo"
+
+    def test_to_run_kwargs_matches_legacy_path_bit_for_bit(self):
+        spec = simulate_spec()
+        kwargs = spec.to_run_kwargs()
+        protocol = kwargs.pop("protocol")
+        start = kwargs.pop("configuration")
+        rerouted = run_protocol(protocol, start, **kwargs)
+
+        legacy_protocol = AGProtocol(30)
+        legacy_start = random_configuration(legacy_protocol, seed=7)
+        legacy = run_protocol(legacy_protocol, legacy_start, seed=7)
+
+        assert rerouted.interactions == legacy.interactions
+        assert rerouted.events == legacy.events
+        assert (
+            rerouted.final_configuration.counts_list()
+            == legacy.final_configuration.counts_list()
+        )
+
+    def test_to_run_kwargs_rejects_scenario_mode(self):
+        spec = JobSpec.from_dict(scenario_dict())
+        with pytest.raises(JobSpecError) as err:
+            spec.to_run_kwargs()
+        assert err.value.field == "mode"
+
+
+class TestFromCampaign:
+    def test_catalogued_campaign_resolves_and_digests(self):
+        spec = JobSpec.from_campaign("ag_corrupt_recover", scale="smoke",
+                                     seed=3)
+        assert spec.mode == "scenario"
+        assert spec.repetitions >= 1
+        again = JobSpec.from_campaign("ag_corrupt_recover", scale="smoke",
+                                      seed=3)
+        assert spec.digest() == again.digest()
+        other = JobSpec.from_campaign("ag_corrupt_recover", scale="smoke",
+                                      seed=4)
+        assert spec.digest() != other.digest()
